@@ -1,0 +1,53 @@
+//! Criterion bench regenerating Figure 4 data points.
+//!
+//! Prints the reproduced speedup series once (representative constraint
+//! grid), then benchmarks the cost of producing one figure cell — both
+//! flows end-to-end on one (kernel, target, constraint) triple.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slpwlo_bench::harness::{run_point, PointOptions};
+use slpwlo_bench::report;
+use slpwlo_bench::sweep;
+use slpwlo_core::prepare;
+use slpwlo_kernels::all_benchmarks;
+use slpwlo_targets::{all_targets, xentium};
+
+fn print_reproduction() {
+    let constraints: Vec<f64> = [-5.0, -20.0, -40.0, -60.0, -80.0, -95.0].to_vec();
+    let targets = all_targets();
+    let mut all = Vec::new();
+    for bench in all_benchmarks() {
+        all.extend(sweep(&bench, &targets, &constraints, &PointOptions::default()));
+    }
+    println!("\n--- Figure 4 reproduction (condensed grid) ---");
+    println!("{}", report::fig4_text(&all));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("fig4_point");
+    let target = xentium();
+    for bench in all_benchmarks() {
+        let prep = prepare(bench.kernel.clone());
+        group.bench_with_input(
+            BenchmarkId::new("both_flows", bench.name),
+            &prep,
+            |b, prep| {
+                b.iter(|| {
+                    run_point(
+                        prep,
+                        bench.name,
+                        &target,
+                        -40.0,
+                        bench.activations,
+                        &PointOptions::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

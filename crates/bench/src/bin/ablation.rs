@@ -1,0 +1,103 @@
+//! Ablation study (beyond the paper, motivated by its section III
+//! discussion): what does each ingredient of the joint flow buy?
+//!
+//! * `no-scalopt` — the joint WLO/SLP without the fig. 1b scaling
+//!   optimization: mismatched per-lane scalings must unpack/shift/repack;
+//! * `no-acc-conflicts` — candidate validation only, without the
+//!   pairwise accuracy-conflict detection (fig. 1c lines 16-22): the
+//!   selection may paint itself into a corner and lose groups at the
+//!   `on_select` guard.
+//!
+//! Usage: `cargo run --release -p slpwlo-bench --bin ablation`
+
+use slpwlo_core::hooks::AccuracyHooks;
+use slpwlo_core::{lower_fixed, lower_scalar, prepare, scaling_optimize, Prepared};
+use slpwlo_fixedpoint::FixedPointSpec;
+use slpwlo_ir::blocks::blocks_by_priority;
+use slpwlo_ir::dfg::Dfg;
+use slpwlo_kernels::all_benchmarks;
+use slpwlo_sim::total_cycles;
+use slpwlo_slp::{run_selection, CandidateView, Round, SelectHooks, SimdGroup};
+use slpwlo_targets::{xentium, TargetModel};
+
+/// Accuracy hooks with the pairwise conflict detection disabled.
+struct NoConflictHooks<'a>(AccuracyHooks<'a>);
+
+impl SelectHooks for NoConflictHooks<'_> {
+    fn validate(&mut self, view: &CandidateView) -> bool {
+        self.0.validate(view)
+    }
+    fn accuracy_conflict(&mut self, _a: &CandidateView, _b: &CandidateView) -> bool {
+        false
+    }
+    fn on_select(&mut self, view: &CandidateView) -> bool {
+        self.0.on_select(view)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Full,
+    NoScalopt,
+    NoAccConflicts,
+}
+
+fn run_variant(
+    prep: &Prepared,
+    target: &TargetModel,
+    db: f64,
+    variant: Variant,
+) -> (u64, usize) {
+    let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
+    let mut per_block = Vec::new();
+    for block in blocks_by_priority(&prep.kernel) {
+        let dfg = Dfg::from_block(&prep.kernel, &block);
+        let mut groups: Vec<SimdGroup> = Vec::new();
+        loop {
+            let round = Round::new(&dfg, target, &groups);
+            let selected = {
+                let inner = AccuracyHooks::new(&dfg, &mut spec, &prep.eval, db);
+                if variant == Variant::NoAccConflicts {
+                    let mut hooks = NoConflictHooks(inner);
+                    run_selection(&dfg, target, &round, &groups, &mut hooks)
+                } else {
+                    let mut hooks = inner;
+                    run_selection(&dfg, target, &round, &groups, &mut hooks)
+                }
+            };
+            if selected.is_empty() {
+                break;
+            }
+            groups.retain(|g| !selected.iter().any(|s| s.lanes() > g.lanes() && s.overlaps(g)));
+            groups.extend(selected);
+        }
+        if variant != Variant::NoScalopt {
+            let _ = scaling_optimize(&mut spec, &dfg, &groups, &prep.eval, db);
+        }
+        per_block.push((block, dfg, groups));
+    }
+    let n_groups = per_block.iter().map(|(_, _, g)| g.len()).sum();
+    let simd = lower_fixed(&prep.kernel, &spec, target, &per_block);
+    let _scalar = lower_scalar(&prep.kernel, &spec, target);
+    (total_cycles(target, &simd, 2048), n_groups)
+}
+
+fn main() {
+    let target = xentium();
+    println!(
+        "Ablation on {} (SIMD cycles, N=2048; lower is better)\n{:<8} {:>6} {:>12} {:>12} {:>16}",
+        target.name, "bench", "dB", "full", "no-scalopt", "no-acc-conflicts"
+    );
+    for bench in all_benchmarks() {
+        let prep = prepare(bench.kernel.clone());
+        for db in [-20.0, -50.0, -80.0] {
+            let (full, gf) = run_variant(&prep, &target, db, Variant::Full);
+            let (nos, _) = run_variant(&prep, &target, db, Variant::NoScalopt);
+            let (noc, gc) = run_variant(&prep, &target, db, Variant::NoAccConflicts);
+            println!(
+                "{:<8} {:>6.0} {:>9} g={:<3} {:>12} {:>13} g={:<3}",
+                bench.name, db, full, gf, nos, noc, gc
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Reproduces Figure 6: speedup of `WLO-SLP` over the original
+//! (single-precision) floating-point version, on XENTIUM (soft float) and
+//! ST240 (hardware float).
+//!
+//! Usage: `cargo run --release -p slpwlo-bench --bin fig6 [--csv]`
+
+use slpwlo_bench::harness::{sweep, PointOptions};
+use slpwlo_bench::report;
+use slpwlo_kernels::all_benchmarks;
+use slpwlo_targets::{st240, xentium};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let constraints: Vec<f64> = (1..=9).map(|i| -5.0 * i as f64).collect(); // -5..-45
+    let targets = vec![xentium(), st240()];
+    let opts = PointOptions::default();
+    let mut all = Vec::new();
+    for bench in all_benchmarks() {
+        eprintln!("fig6: sweeping {} ...", bench.name);
+        all.extend(sweep(&bench, &targets, &constraints, &opts));
+    }
+    // Order by target first (figure 6 has one panel per target).
+    all.sort_by(|a, b| a.target.cmp(&b.target).then(a.bench.cmp(&b.bench)));
+    if csv {
+        print!("{}", report::csv(&all));
+    } else {
+        print!("{}", report::fig6_text(&all));
+    }
+}

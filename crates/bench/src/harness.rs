@@ -1,0 +1,121 @@
+//! Experiment execution.
+
+use slpwlo_core::{lower_float, prepare, wlo_first_flow, wlo_slp_flow, Prepared, TabuOptions};
+use slpwlo_kernels::Benchmark;
+use slpwlo_sim::{speedup, total_cycles};
+use slpwlo_targets::TargetModel;
+
+// Re-export the flow entry points under the harness namespace for the
+// binaries.
+pub use slpwlo_core::flow::{wlo_first_flow as first_flow, wlo_slp_flow as slp_flow};
+
+/// Options for one experiment point.
+#[derive(Debug, Clone, Copy)]
+pub struct PointOptions {
+    /// Tabu options for the baseline WLO.
+    pub tabu: TabuOptions,
+}
+
+impl Default for PointOptions {
+    fn default() -> Self {
+        PointOptions { tabu: TabuOptions::default() }
+    }
+}
+
+/// One (benchmark, target, constraint) measurement.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// Benchmark name ("FIR", "IIR", "CONV").
+    pub bench: String,
+    /// Target name ("XENTIUM", "ST240", "VEX-4", "VEX-1").
+    pub target: String,
+    /// Accuracy constraint in dB.
+    pub constraint_db: f64,
+    /// Workload activations.
+    pub activations: u64,
+    /// Cycles of the scalar fixed-point `WLO-First` code — the paper's
+    /// baseline denominator.
+    pub cycles_baseline: u64,
+    /// Cycles of the `WLO-First` SIMD code.
+    pub cycles_first: u64,
+    /// Cycles of the `WLO-SLP` SIMD code.
+    pub cycles_slp: u64,
+    /// Cycles of the original floating-point code.
+    pub cycles_float: u64,
+    /// SIMD groups selected by each flow.
+    pub groups_first: usize,
+    /// SIMD groups selected by the joint flow.
+    pub groups_slp: usize,
+    /// Final predicted noise of each flow (dB).
+    pub noise_first_db: f64,
+    /// Final predicted noise of the joint flow (dB).
+    pub noise_slp_db: f64,
+}
+
+impl ExperimentPoint {
+    /// Speedup of the `WLO-First` SIMD code over the baseline.
+    pub fn speedup_first(&self) -> f64 {
+        speedup(self.cycles_baseline, self.cycles_first)
+    }
+
+    /// Speedup of the `WLO-SLP` SIMD code over the baseline.
+    pub fn speedup_slp(&self) -> f64 {
+        speedup(self.cycles_baseline, self.cycles_slp)
+    }
+
+    /// Speedup of the `WLO-SLP` SIMD code over the floating-point code
+    /// (figure 6).
+    pub fn speedup_vs_float(&self) -> f64 {
+        speedup(self.cycles_float, self.cycles_slp)
+    }
+}
+
+/// Runs both flows plus the float reference for one point.
+pub fn run_point(
+    prep: &Prepared,
+    bench_name: &str,
+    target: &TargetModel,
+    constraint_db: f64,
+    activations: u64,
+    opts: &PointOptions,
+) -> ExperimentPoint {
+    let first = wlo_first_flow(prep, target, constraint_db, &opts.tabu);
+    let slp = wlo_slp_flow(prep, target, constraint_db);
+    let float_prog = lower_float(&prep.kernel);
+    ExperimentPoint {
+        bench: bench_name.to_string(),
+        target: target.name.clone(),
+        constraint_db,
+        activations,
+        cycles_baseline: total_cycles(target, &first.scalar, activations),
+        cycles_first: total_cycles(target, &first.simd, activations),
+        cycles_slp: total_cycles(target, &slp.simd, activations),
+        cycles_float: total_cycles(target, &float_prog, activations),
+        groups_first: first.group_count,
+        groups_slp: slp.group_count,
+        noise_first_db: first.noise_db,
+        noise_slp_db: slp.noise_db,
+    }
+}
+
+/// Sweeps one benchmark over targets and constraints.
+pub fn sweep(
+    bench: &Benchmark,
+    targets: &[TargetModel],
+    constraints_db: &[f64],
+    opts: &PointOptions,
+) -> Vec<ExperimentPoint> {
+    let prep = prepare(bench.kernel.clone());
+    let mut out = Vec::new();
+    for target in targets {
+        for &db in constraints_db {
+            out.push(run_point(&prep, bench.name, target, db, bench.activations, opts));
+        }
+    }
+    out
+}
+
+/// Re-exported preparation helper (range analysis + accuracy model).
+pub fn prepare_kernel(kernel: slpwlo_ir::Kernel) -> Prepared {
+    prepare(kernel)
+}

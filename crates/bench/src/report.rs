@@ -1,0 +1,196 @@
+//! Plain-text/CSV report emitters for the experiment binaries.
+
+use crate::harness::ExperimentPoint;
+use std::fmt::Write as _;
+
+/// Figure-4 style table: one row per constraint, speedups of both flows,
+/// grouped by (benchmark, target).
+pub fn fig4_text(points: &[ExperimentPoint]) -> String {
+    let mut s = String::new();
+    let mut last_key = String::new();
+    for p in points {
+        let key = format!("{} on {}", p.bench, p.target);
+        if key != last_key {
+            let _ = writeln!(s, "\n== {key} (speedup over WLO-First scalar fixed-point) ==");
+            let _ = writeln!(
+                s,
+                "{:>10} {:>12} {:>12} {:>8} {:>8}",
+                "dB", "WLO-First", "WLO-SLP", "grp-F", "grp-S"
+            );
+            last_key = key;
+        }
+        let _ = writeln!(
+            s,
+            "{:>10.0} {:>12.3} {:>12.3} {:>8} {:>8}",
+            p.constraint_db,
+            p.speedup_first(),
+            p.speedup_slp(),
+            p.groups_first,
+            p.groups_slp
+        );
+    }
+    s
+}
+
+/// Table-I style rows: raw SIMD cycle counts per constraint.
+pub fn table1_text(points: &[ExperimentPoint]) -> String {
+    let mut s = String::new();
+    let mut targets: Vec<String> = points.iter().map(|p| p.target.clone()).collect();
+    targets.dedup();
+    let constraints: Vec<f64> = {
+        let mut c: Vec<f64> = points.iter().map(|p| p.constraint_db).collect();
+        c.dedup();
+        c.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        c.dedup();
+        c
+    };
+    let _ = write!(s, "{:<10} {:<10}", "Target", "Flow");
+    for c in &constraints {
+        let _ = write!(s, "{c:>10.0}");
+    }
+    let _ = writeln!(s);
+    for t in targets.iter() {
+        for (flow, pick) in [
+            ("WLO-First", 0usize),
+            ("WLO-SLP", 1usize),
+        ] {
+            let _ = write!(s, "{t:<10} {flow:<10}");
+            for c in &constraints {
+                let p = points
+                    .iter()
+                    .find(|p| &p.target == t && p.constraint_db == *c)
+                    .expect("full grid");
+                let v = if pick == 0 { p.cycles_first } else { p.cycles_slp };
+                let _ = write!(s, "{v:>10}");
+            }
+            let _ = writeln!(s);
+        }
+    }
+    s
+}
+
+/// Figure-6 style table: speedup of `WLO-SLP` SIMD over the original
+/// floating-point version.
+pub fn fig6_text(points: &[ExperimentPoint]) -> String {
+    let mut s = String::new();
+    let mut last_target = String::new();
+    for p in points {
+        if p.target != last_target {
+            let _ = writeln!(s, "\n== {} (WLO-SLP speedup over floating point) ==", p.target);
+            let _ = writeln!(s, "{:>6} {:>8} {:>10}", "dB", "bench", "speedup");
+            last_target = p.target.clone();
+        }
+        let _ = writeln!(
+            s,
+            "{:>6.0} {:>8} {:>10.2}",
+            p.constraint_db,
+            p.bench,
+            p.speedup_vs_float()
+        );
+    }
+    s
+}
+
+/// CSV dump of all fields, for plotting.
+pub fn csv(points: &[ExperimentPoint]) -> String {
+    let mut s = String::from(
+        "bench,target,constraint_db,activations,cycles_baseline,cycles_first,cycles_slp,\
+         cycles_float,speedup_first,speedup_slp,speedup_vs_float,groups_first,groups_slp,\
+         noise_first_db,noise_slp_db\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{:.2},{:.2}",
+            p.bench,
+            p.target,
+            p.constraint_db,
+            p.activations,
+            p.cycles_baseline,
+            p.cycles_first,
+            p.cycles_slp,
+            p.cycles_float,
+            p.speedup_first(),
+            p.speedup_slp(),
+            p.speedup_vs_float(),
+            p.groups_first,
+            p.groups_slp,
+            p.noise_first_db,
+            p.noise_slp_db
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ExperimentPoint;
+
+    fn point(target: &str, db: f64, base: u64, first: u64, slp: u64) -> ExperimentPoint {
+        ExperimentPoint {
+            bench: "FIR".into(),
+            target: target.into(),
+            constraint_db: db,
+            activations: 100,
+            cycles_baseline: base,
+            cycles_first: first,
+            cycles_slp: slp,
+            cycles_float: base * 20,
+            groups_first: 1,
+            groups_slp: 3,
+            noise_first_db: -40.0,
+            noise_slp_db: -50.0,
+        }
+    }
+
+    #[test]
+    fn fig4_groups_by_bench_and_target() {
+        let pts = vec![point("XENTIUM", -5.0, 100, 90, 70), point("ST240", -5.0, 100, 110, 80)];
+        let t = fig4_text(&pts);
+        assert!(t.contains("FIR on XENTIUM"));
+        assert!(t.contains("FIR on ST240"));
+        // speedups: 100/90 = 1.111, 100/70 = 1.429
+        assert!(t.contains("1.111"));
+        assert!(t.contains("1.429"));
+    }
+
+    #[test]
+    fn table1_emits_full_grid() {
+        let pts = vec![
+            point("XENTIUM", -5.0, 100, 90, 70),
+            point("XENTIUM", -15.0, 100, 95, 75),
+        ];
+        let t = table1_text(&pts);
+        assert!(t.contains("WLO-First"));
+        assert!(t.contains("WLO-SLP"));
+        assert!(t.contains("90") && t.contains("75"), "{t}");
+    }
+
+    #[test]
+    fn fig6_uses_float_denominator() {
+        let pts = vec![point("XENTIUM", -5.0, 100, 90, 80)];
+        let t = fig6_text(&pts);
+        // 2000 float cycles / 80 = 25.00
+        assert!(t.contains("25.00"), "{t}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let pts = vec![point("XENTIUM", -5.0, 100, 90, 80)];
+        let c = csv(&pts);
+        let mut lines = c.lines();
+        assert!(lines.next().unwrap().starts_with("bench,target"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("FIR,XENTIUM,-5,100,100,90,80,2000,"));
+        assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn speedup_accessors() {
+        let p = point("X", -5.0, 100, 50, 25);
+        assert_eq!(p.speedup_first(), 2.0);
+        assert_eq!(p.speedup_slp(), 4.0);
+        assert_eq!(p.speedup_vs_float(), 80.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! C back-ends.
+//!
+//! The paper's flow ends in two generators: a **fixed-point C back-end**
+//! ("integer C types and explicit cast/scalings in order to match the
+//! fixed-point specification") and a **SIMD C back-end** that "implements
+//! the SIMD groups using an abstract C macros API and generates the API's
+//! implementation for the specified target processor using its
+//! corresponding SIMD intrinsics". This crate emits both artifacts:
+//!
+//! * [`fixed_c::emit_fixed_c`] — readable scalar fixed-point C with the
+//!   kernel's loop structure, integer storage at the specification's
+//!   container widths, and explicit alignment shifts;
+//! * [`simd_c::emit_simd_c`] — three-address code over the abstract macro
+//!   API (`VLOAD2`, `VMUL2`, `VSHR2`, `PACK2`, ...) generated from the
+//!   lowered machine program;
+//! * [`intrinsics::emit_intrinsics_header`] — the per-target macro
+//!   implementations.
+
+pub mod fixed_c;
+pub mod intrinsics;
+pub mod simd_c;
+
+pub use fixed_c::emit_fixed_c;
+pub use intrinsics::emit_intrinsics_header;
+pub use simd_c::emit_simd_c;

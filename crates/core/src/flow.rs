@@ -1,0 +1,169 @@
+//! End-to-end compilation flows: `WLO-SLP` (fig. 3) vs `WLO-First`
+//! (fig. 5).
+//!
+//! Both flows share the front half of the paper's tool-chain — range
+//! analysis, IWL determination, the analytical accuracy model — and the
+//! back half — scaling insertion, lowering. They differ exactly where the
+//! paper differs:
+//!
+//! * **`WLO-SLP`** (this paper): joint accuracy-aware SLP extraction and
+//!   word-length optimization plus scaling optimization;
+//! * **`WLO-First`** (baseline): Tabu-search WLO under the optimistic
+//!   word-length-proportional cost model, followed by plain
+//!   accuracy-unaware SLP extraction on the frozen specification.
+
+use crate::lower::{lower_fixed, lower_scalar, MachineProgram};
+use crate::nodes::value_wl;
+use crate::tabu::{tabu_wlo, TabuOptions};
+use crate::wlo_slp::wlo_slp;
+use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator, EvalOptions};
+use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions, Ranges};
+use slpwlo_fixedpoint::FixedPointSpec;
+use slpwlo_ir::blocks::collect_blocks;
+use slpwlo_ir::dfg::Dfg;
+use slpwlo_ir::Kernel;
+use slpwlo_slp::extract_plain;
+use slpwlo_targets::TargetModel;
+
+/// A kernel with its once-per-kernel analyses (ranges, noise gains).
+///
+/// Constraint sweeps reuse one `Prepared` so the expensive gain
+/// measurement runs once.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The kernel under optimization.
+    pub kernel: Kernel,
+    /// Value ranges of every node.
+    pub ranges: Ranges,
+    /// The analytical accuracy evaluator (`EVALACC`).
+    pub eval: AnalyticalEvaluator,
+}
+
+/// Runs the shared front end: range analysis plus accuracy-model
+/// construction.
+pub fn prepare(kernel: Kernel) -> Prepared {
+    let ranges = determine_ranges(&kernel, &RangeOptions::default());
+    let eval = AnalyticalEvaluator::new(&kernel, &EvalOptions::default());
+    Prepared { kernel, ranges, eval }
+}
+
+/// Outcome of one flow on one kernel/target/constraint point.
+#[derive(Debug)]
+pub struct FlowResult {
+    /// The final fixed-point specification.
+    pub spec: FixedPointSpec,
+    /// Lowered SIMD program.
+    pub simd: MachineProgram,
+    /// Lowered all-scalar program under the same specification.
+    pub scalar: MachineProgram,
+    /// Number of SIMD groups selected.
+    pub group_count: usize,
+    /// Predicted output noise power of the final spec (dB).
+    pub noise_db: f64,
+}
+
+/// The paper's joint flow (`WLO-SLP`, fig. 3).
+pub fn wlo_slp_flow(prep: &Prepared, target: &TargetModel, constraint_db: f64) -> FlowResult {
+    let res = wlo_slp(&prep.kernel, target, &prep.eval, constraint_db, &prep.ranges);
+    let blocks: Vec<_> = res
+        .blocks
+        .into_iter()
+        .map(|b| (b.block, b.dfg, b.groups))
+        .collect();
+    let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
+    let simd = lower_fixed(&prep.kernel, &res.spec, target, &blocks);
+    let scalar = lower_scalar(&prep.kernel, &res.spec, target);
+    let noise_db = prep.eval.noise_db(&res.spec);
+    FlowResult { spec: res.spec, simd, scalar, group_count, noise_db }
+}
+
+/// The baseline flow (`WLO-First`, fig. 5): Tabu WLO first, SLP second,
+/// no accuracy awareness in the extraction and no scaling optimization.
+pub fn wlo_first_flow(
+    prep: &Prepared,
+    target: &TargetModel,
+    constraint_db: f64,
+    tabu: &TabuOptions,
+) -> FlowResult {
+    let mut spec =
+        FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
+    tabu_wlo(
+        &prep.kernel,
+        &mut spec,
+        &prep.eval,
+        constraint_db,
+        &target.scalar_wls,
+        tabu,
+    );
+    // Plain SLP on the frozen specification.
+    let blocks: Vec<_> = collect_blocks(&prep.kernel)
+        .into_iter()
+        .map(|b| {
+            let dfg = Dfg::from_block(&prep.kernel, &b);
+            let groups = {
+                let spec_ref = &spec;
+                let dfg_ref = &dfg;
+                extract_plain(&dfg, target, &move |n| value_wl(spec_ref, dfg_ref, n))
+            };
+            (b, dfg, groups)
+        })
+        .collect();
+    let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
+    let simd = lower_fixed(&prep.kernel, &spec, target, &blocks);
+    let scalar = lower_scalar(&prep.kernel, &spec, target);
+    let noise_db = prep.eval.noise_db(&spec);
+    FlowResult { spec, simd, scalar, group_count, noise_db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_targets::xentium;
+
+    const FIR8: &str = r#"
+kernel fir8 {
+    input x range [-1, 1];
+    output y;
+    param c[8] = { 0.11, -0.23, 0.31, 0.17, -0.05, 0.27, -0.13, 0.07 };
+    array dl[8];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    for i in 0..8 unroll 4 {
+        acc = acc + c[i] * dl[i];
+    }
+    y = acc;
+}
+"#;
+
+    #[test]
+    fn both_flows_meet_the_constraint() {
+        let prep = prepare(parse_kernel(FIR8).unwrap());
+        let target = xentium();
+        for db in [-20.0, -50.0, -80.0] {
+            let a = wlo_slp_flow(&prep, &target, db);
+            let b = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
+            assert!(a.noise_db <= db, "WLO-SLP at {db}: {}", a.noise_db);
+            assert!(b.noise_db <= db, "WLO-First at {db}: {}", b.noise_db);
+        }
+    }
+
+    #[test]
+    fn wlo_slp_packs_where_baseline_cannot_coordinate() {
+        let prep = prepare(parse_kernel(FIR8).unwrap());
+        let target = xentium();
+        let a = wlo_slp_flow(&prep, &target, -40.0);
+        assert!(a.group_count > 0, "joint flow must find groups at -40 dB");
+    }
+
+    #[test]
+    fn flows_are_deterministic() {
+        let prep = prepare(parse_kernel(FIR8).unwrap());
+        let target = xentium();
+        let a1 = wlo_first_flow(&prep, &target, -45.0, &TabuOptions::default());
+        let a2 = wlo_first_flow(&prep, &target, -45.0, &TabuOptions::default());
+        assert_eq!(a1.group_count, a2.group_count);
+        assert_eq!(a1.simd.ops_per_activation(), a2.simd.ops_per_activation());
+    }
+}

@@ -1,0 +1,223 @@
+//! Accuracy-aware SLP extraction policy (fig. 1c of the paper).
+//!
+//! Implements `SETMAXWL` and the three accuracy-awareness points injected
+//! into the structural selection loop of `slpwlo-slp`:
+//!
+//! * **candidate validation** (lines 4–12): a candidate whose selection —
+//!   with everything else untouched — violates the accuracy constraint can
+//!   never be realised and is eliminated up-front;
+//! * **accuracy conflicts** (lines 13–25): two individually valid
+//!   candidates whose *joint* selection violates the constraint cannot
+//!   coexist;
+//! * **selection** (lines 26–35): `SETMAXWL` permanently shrinks the
+//!   selected group's word lengths per equation (1); should the cumulative
+//!   effect of a selection break the constraint after all (the paper's
+//!   pairwise conflicts cannot rule this out), the selection is vetoed and
+//!   rolled back.
+
+use crate::nodes::node_key;
+use slpwlo_accuracy::AccuracyEvaluator;
+use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
+use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
+use slpwlo_slp::{resolved_operands, CandidateView, SelectHooks, SimdGroup};
+
+/// Selection hooks enforcing the accuracy constraint.
+pub struct AccuracyHooks<'a> {
+    dfg: &'a Dfg,
+    spec: &'a mut FixedPointSpec,
+    eval: &'a dyn AccuracyEvaluator,
+    /// Accuracy constraint in dB (maximum tolerable output noise power).
+    constraint_db: f64,
+}
+
+impl<'a> AccuracyHooks<'a> {
+    /// Creates the hooks over the working specification.
+    pub fn new(
+        dfg: &'a Dfg,
+        spec: &'a mut FixedPointSpec,
+        eval: &'a dyn AccuracyEvaluator,
+        constraint_db: f64,
+    ) -> Self {
+        AccuracyHooks { dfg, spec, eval, constraint_db }
+    }
+
+    fn meets(&self) -> bool {
+        self.eval.meets(self.spec, self.constraint_db)
+    }
+}
+
+impl SelectHooks for AccuracyHooks<'_> {
+    fn validate(&mut self, view: &CandidateView) -> bool {
+        let mark = self.spec.mark();
+        set_max_wl(self.spec, self.dfg, &view.group, view.elem_wl);
+        let ok = self.meets();
+        self.spec.rollback(mark);
+        ok
+    }
+
+    fn accuracy_conflict(&mut self, a: &CandidateView, b: &CandidateView) -> bool {
+        let mark = self.spec.mark();
+        set_max_wl(self.spec, self.dfg, &a.group, a.elem_wl);
+        set_max_wl(self.spec, self.dfg, &b.group, b.elem_wl);
+        let ok = self.meets();
+        self.spec.rollback(mark);
+        !ok
+    }
+
+    fn on_select(&mut self, view: &CandidateView) -> bool {
+        let mark = self.spec.mark();
+        set_max_wl(self.spec, self.dfg, &view.group, view.elem_wl);
+        if self.meets() {
+            self.spec.commit(mark);
+            true
+        } else {
+            self.spec.rollback(mark);
+            false
+        }
+    }
+}
+
+/// `SETMAXWL(c, SPEC)`: sets every element of the group to the maximum
+/// word length `m` the target grants the group (equation (1)), and caps
+/// the *data delivered to the group's lanes* at `m` as well — a SIMD
+/// instruction over `m`-bit sub-words consumes `m`-bit superwords, so the
+/// operand producers (arrays, coefficient tables, feeding operations)
+/// must narrow too. For truncation chains this is equivalent to
+/// narrowing at pack time, applied conservatively to all consumers.
+pub fn set_max_wl(spec: &mut FixedPointSpec, dfg: &Dfg, group: &SimdGroup, m: i32) {
+    for &e in &group.elems {
+        let node = dfg.node(e);
+        if let Some(key) = node_key(dfg, e) {
+            cap(spec, key, m);
+        }
+        match &node.kind {
+            NodeKind::Bin(_) | NodeKind::Un(_) | NodeKind::StoreArray(..) => {
+                for op in resolved_operands(dfg, e) {
+                    cap_node(spec, dfg, op, m);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn cap_node(spec: &mut FixedPointSpec, dfg: &Dfg, n: NodeId, m: i32) {
+    if let Some(key) = node_key(dfg, n) {
+        cap(spec, key, m);
+    }
+}
+
+fn cap(spec: &mut FixedPointSpec, key: SpecKey, m: i32) {
+    if spec.wl(key) > m {
+        spec.set_wl(key, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_accuracy::AnalyticalEvaluator;
+    use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions};
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_ir::types::ArrayId;
+    use slpwlo_ir::Kernel;
+    use slpwlo_slp::{extract_rounds, mem_status};
+    use slpwlo_targets::xentium;
+
+    const SRC: &str = r#"
+kernel f {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array dl[4];
+    var t0;
+    var t1;
+    shiftin dl <- x;
+    t0 = c[0] * dl[0] + c[1] * dl[1];
+    t1 = c[2] * dl[2] + c[3] * dl[3];
+    y = t0 + t1;
+}
+"#;
+
+    fn setup() -> (Kernel, Dfg, FixedPointSpec, AnalyticalEvaluator) {
+        let k = parse_kernel(SRC).unwrap();
+        let r = determine_ranges(&k, &RangeOptions::default());
+        let spec = FixedPointSpec::from_ranges(&k, &r, 32);
+        let eval = AnalyticalEvaluator::with_defaults(&k);
+        let blocks = collect_blocks(&k);
+        let dfg = Dfg::from_stmts(&k, &blocks[0].stmts);
+        (k, dfg, spec, eval)
+    }
+
+    #[test]
+    fn set_max_wl_shrinks_group_and_feeding_data() {
+        let (_, dfg, mut spec, _) = setup();
+        let muls: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
+            .map(|(i, _)| i)
+            .collect();
+        let g = SimdGroup { elems: vec![muls[0], muls[1]] };
+        set_max_wl(&mut spec, &dfg, &g, 16);
+        // The muls themselves.
+        for &m in &g.elems {
+            let key = node_key(&dfg, m).unwrap();
+            assert_eq!(spec.wl(key), 16);
+        }
+        // The coefficient table and delay line feeding them.
+        assert_eq!(spec.wl(SpecKey::Array(ArrayId(0))), 16);
+    }
+
+    #[test]
+    fn loose_constraint_allows_groups_tight_constraint_blocks_them() {
+        let (_, dfg, mut spec, eval) = setup();
+        let target = xentium();
+        // Loose constraint: everything packs.
+        let mut hooks = AccuracyHooks::new(&dfg, &mut spec, &eval, -40.0);
+        let groups = extract_rounds(&dfg, &target, &mut hooks);
+        assert!(!groups.is_empty(), "-40 dB must allow 16-bit SIMD groups");
+        assert!(eval.meets(&spec, -40.0), "constraint must hold after extraction");
+
+        // Impossibly tight constraint: nothing packs (16-bit data cannot
+        // reach -200 dB).
+        let (_, dfg2, mut spec2, eval2) = setup();
+        let before = eval2.noise_db(&spec2);
+        let mut hooks2 = AccuracyHooks::new(&dfg2, &mut spec2, &eval2, -200.0);
+        let groups2 = extract_rounds(&dfg2, &target, &mut hooks2);
+        assert!(groups2.is_empty(), "-200 dB must block all 16-bit grouping");
+        // The spec is untouched (all rollbacks).
+        assert_eq!(eval2.noise_db(&spec2), before);
+    }
+
+    #[test]
+    fn extraction_prefers_contiguous_load_groups() {
+        let (_, dfg, mut spec, eval) = setup();
+        let target = xentium();
+        let mut hooks = AccuracyHooks::new(&dfg, &mut spec, &eval, -40.0);
+        let groups = extract_rounds(&dfg, &target, &mut hooks);
+        for g in &groups {
+            if matches!(g.kind(&dfg), NodeKind::LoadArray(..) | NodeKind::LoadParam(..)) {
+                assert_ne!(
+                    mem_status(&dfg, g),
+                    slpwlo_slp::MemStatus::Gather,
+                    "benefit model must avoid gathered load groups here"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_meets_constraint_after_any_extraction() {
+        for db in [-20.0, -45.0, -70.0, -90.0] {
+            let (_, dfg, mut spec, eval) = setup();
+            let mut hooks = AccuracyHooks::new(&dfg, &mut spec, &eval, db);
+            let _ = extract_rounds(&dfg, &xentium(), &mut hooks);
+            assert!(
+                eval.meets(&spec, db),
+                "constraint {db} dB violated: got {}",
+                eval.noise_db(&spec)
+            );
+        }
+    }
+}

@@ -1,0 +1,925 @@
+//! Lowering to a machine program.
+//!
+//! Turns (kernel, fixed-point specification, SIMD groups) into per-block
+//! operation lists with explicit dependences — the form both the
+//! `slpwlo-sim` VLIW cycle model and the C back-ends consume. This stage
+//! materialises everything the paper's performance discussion hinges on:
+//!
+//! * **scaling operations** (alignment shifts) derived from the formats,
+//! * **vectorized scalings** when all lanes shift by the same amount,
+//!   versus the **unpack/shift/repack** sequence of fig. 2 when they do
+//!   not,
+//! * **pack/unpack** operations wherever operand superwords are not
+//!   produced (or results not consumed) as superwords,
+//! * vector loads for contiguous aligned access, gathers otherwise,
+//! * the soft-float/hardware-float split for the original floating-point
+//!   code (fig. 6's baseline).
+
+use crate::nodes::value_format;
+use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
+use slpwlo_ir::blocks::{collect_blocks, Block};
+use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
+use slpwlo_ir::types::BinOp;
+use slpwlo_ir::Kernel;
+use slpwlo_slp::{mem_status, resolve_producer, MemStatus, SimdGroup};
+use slpwlo_targets::{OpQuery, TargetModel};
+use std::collections::HashMap;
+
+/// One machine operation with its dependence predecessors.
+#[derive(Debug, Clone)]
+pub struct Mop {
+    /// Cost/class query answered by the target model.
+    pub query: OpQuery,
+    /// Indices of operations this one must wait for.
+    pub preds: Vec<usize>,
+}
+
+/// A lowered basic block.
+#[derive(Debug, Clone)]
+pub struct MachineBlock {
+    /// Operations in a valid topological order.
+    pub ops: Vec<Mop>,
+    /// Executions per kernel activation.
+    pub trip: u64,
+    /// Whether the block body sits inside a loop (loop control overhead
+    /// applies per execution).
+    pub in_loop: bool,
+}
+
+/// A lowered kernel.
+#[derive(Debug, Clone)]
+pub struct MachineProgram {
+    /// Kernel name, for reports.
+    pub name: String,
+    /// Lowered blocks.
+    pub blocks: Vec<MachineBlock>,
+}
+
+impl MachineProgram {
+    /// Total operation count over one activation (trip-weighted).
+    pub fn ops_per_activation(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.ops.len() as u64 * b.trip)
+            .sum()
+    }
+}
+
+/// Lowers a kernel with its specification and per-block SIMD groups.
+///
+/// `groups_of` returns the groups of a block (empty slice for pure scalar
+/// code).
+pub fn lower_fixed(
+    kernel: &Kernel,
+    spec: &FixedPointSpec,
+    target: &TargetModel,
+    blocks: &[(Block, Dfg, Vec<SimdGroup>)],
+) -> MachineProgram {
+    let lowered = blocks
+        .iter()
+        .map(|(block, dfg, groups)| {
+            let mut lw = FixedLowerer::new(kernel, spec, target, dfg, groups);
+            lw.run();
+            MachineBlock { ops: lw.ops, trip: block.trip(), in_loop: block.in_loop() }
+        })
+        .collect();
+    MachineProgram { name: kernel.name().to_string(), blocks: lowered }
+}
+
+/// Lowers the all-scalar fixed-point version of a kernel (the baseline
+/// denominator of the paper's speedups).
+pub fn lower_scalar(
+    kernel: &Kernel,
+    spec: &FixedPointSpec,
+    target: &TargetModel,
+) -> MachineProgram {
+    let blocks: Vec<(Block, Dfg, Vec<SimdGroup>)> = collect_blocks(kernel)
+        .into_iter()
+        .map(|b| {
+            let dfg = Dfg::from_block(kernel, &b);
+            (b, dfg, Vec::new())
+        })
+        .collect();
+    lower_fixed(kernel, spec, target, &blocks)
+}
+
+/// Lowers the original floating-point version (fig. 6's reference).
+pub fn lower_float(kernel: &Kernel) -> MachineProgram {
+    let blocks = collect_blocks(kernel);
+    let lowered = blocks
+        .into_iter()
+        .map(|b| {
+            let dfg = Dfg::from_block(kernel, &b);
+            let ops = lower_float_block(&dfg);
+            MachineBlock { ops, trip: b.trip(), in_loop: b.in_loop() }
+        })
+        .collect();
+    MachineProgram { name: format!("{}_float", kernel.name()), blocks: lowered }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point lowering
+// ---------------------------------------------------------------------------
+
+struct FixedLowerer<'a> {
+    spec: &'a FixedPointSpec,
+    target: &'a TargetModel,
+    dfg: &'a Dfg,
+    groups: &'a [SimdGroup],
+    node_group: HashMap<NodeId, usize>,
+    ops: Vec<Mop>,
+    /// Scalar value producers: node -> op index (absent for constants and
+    /// live-ins, which cost nothing).
+    produced: HashMap<NodeId, usize>,
+    /// Vector result op of each emitted group.
+    group_result: HashMap<usize, usize>,
+    /// Cached unpack ops for grouped values consumed by scalar code.
+    unpacked: HashMap<NodeId, usize>,
+    /// Main op of every node (for memory-order dependences).
+    main_op: HashMap<NodeId, usize>,
+}
+
+impl<'a> FixedLowerer<'a> {
+    fn new(
+        _kernel: &'a Kernel,
+        spec: &'a FixedPointSpec,
+        target: &'a TargetModel,
+        dfg: &'a Dfg,
+        groups: &'a [SimdGroup],
+    ) -> Self {
+        let mut node_group = HashMap::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for &e in &g.elems {
+                node_group.insert(e, gi);
+            }
+        }
+        FixedLowerer {
+            spec,
+            target,
+            dfg,
+            groups,
+            node_group,
+            ops: Vec::new(),
+            produced: HashMap::new(),
+            group_result: HashMap::new(),
+            unpacked: HashMap::new(),
+            main_op: HashMap::new(),
+        }
+    }
+
+    fn run(&mut self) {
+        // Scalar consumers may interleave with a group's elements in the
+        // node order, so emission follows a coarsened topological order
+        // where each group is one super-node (valid groups guarantee this
+        // graph is acyclic: a cycle through a scalar node would make two
+        // group elements dependent).
+        let n_groups = self.groups.len();
+        let unit_of = |lw: &Self, id: NodeId| -> usize {
+            match lw.node_group.get(&id) {
+                Some(&gi) => gi,
+                None => n_groups + id.index(),
+            }
+        };
+        let n_units = n_groups + self.dfg.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n_units];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_units];
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); n_units];
+        for (id, node) in self.dfg.iter() {
+            let u = unit_of(self, id);
+            members[u].push(id);
+            for p in node.operands.iter().chain(node.deps.iter()) {
+                let pu = unit_of(self, *p);
+                if pu != u && !preds[u].contains(&pu) {
+                    preds[u].push(pu);
+                    succs[pu].push(u);
+                }
+            }
+        }
+        // Kahn's algorithm; ready units fire in ascending first-member
+        // order for determinism.
+        let mut indeg: Vec<usize> = preds.iter().map(|p| p.len()).collect();
+        let mut ready: std::collections::BTreeSet<(NodeId, usize)> = (0..n_units)
+            .filter(|&u| indeg[u] == 0 && !members[u].is_empty())
+            .map(|u| (members[u][0], u))
+            .collect();
+        let mut emitted = 0usize;
+        while let Some(&(first, u)) = ready.iter().next() {
+            ready.remove(&(first, u));
+            if u < n_groups {
+                self.emit_group(u);
+            } else {
+                self.emit_scalar(members[u][0]);
+            }
+            emitted += 1;
+            for &s in &succs[u] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 && !members[s].is_empty() {
+                    ready.insert((members[s][0], s));
+                }
+            }
+        }
+        let total_units = members.iter().filter(|m| !m.is_empty()).count();
+        assert_eq!(emitted, total_units, "coarsened graph must be acyclic");
+    }
+
+    fn push(&mut self, query: OpQuery, preds: Vec<usize>) -> usize {
+        let idx = self.ops.len();
+        self.ops.push(Mop { query, preds });
+        idx
+    }
+
+    /// Container word length of a node's value.
+    fn wl_of(&self, n: NodeId) -> i32 {
+        let wl = value_format(self.spec, self.dfg, n).wl().clamp(1, self.target.datapath);
+        self.target.container_wl(wl).unwrap_or(self.target.datapath)
+    }
+
+    fn fwl_of(&self, n: NodeId) -> i32 {
+        value_format(self.spec, self.dfg, n).fwl
+    }
+
+    /// Op index producing the scalar value of `n` (resolving variable
+    /// wiring and unpacking grouped values). `None` for free values.
+    fn scalar_value(&mut self, n: NodeId) -> Option<usize> {
+        let p = resolve_producer(self.dfg, n);
+        if let Some(&gi) = self.node_group.get(&p) {
+            if let Some(&u) = self.unpacked.get(&p) {
+                return Some(u);
+            }
+            let src = *self
+                .group_result
+                .get(&gi)
+                .expect("group result emitted before scalar consumers (topo order)");
+            let u = self.push(OpQuery::Unpack, vec![src]);
+            self.unpacked.insert(p, u);
+            return Some(u);
+        }
+        self.produced.get(&p).copied()
+    }
+
+    /// Memory-order predecessors of a node.
+    fn mem_deps(&self, n: NodeId) -> Vec<usize> {
+        self.dfg
+            .node(n)
+            .deps
+            .iter()
+            .filter_map(|d| self.main_op.get(d).copied())
+            .collect()
+    }
+
+    fn emit_scalar(&mut self, n: NodeId) {
+        let kind = self.dfg.node(n).kind.clone();
+        match kind {
+            NodeKind::Const(_) | NodeKind::LiveIn(_) | NodeKind::VarUse(_) => {
+                // Free: immediates and register wiring.
+            }
+            NodeKind::ReadInput(_) => {
+                let wl = self.wl_of(n);
+                let idx = self.push(OpQuery::Load(wl), vec![]);
+                self.produced.insert(n, idx);
+                self.main_op.insert(n, idx);
+            }
+            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => {
+                let wl = self.wl_of(n);
+                let deps = self.mem_deps(n);
+                let idx = self.push(OpQuery::Load(wl), deps);
+                self.produced.insert(n, idx);
+                self.main_op.insert(n, idx);
+            }
+            NodeKind::Bin(op) => {
+                let operands = self.dfg.node(n).operands.clone();
+                let out_fwl = self.fwl_of(n);
+                let out_wl = self.wl_of(n);
+                let mut deps = Vec::new();
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        for &o in &operands {
+                            let src = self.scalar_value(o);
+                            let s = self.fwl_of(o) - out_fwl;
+                            let dep = if s != 0 && !is_exact(self.dfg, o) {
+                                Some(self.push(
+                                    OpQuery::Shift(out_wl),
+                                    src.into_iter().collect(),
+                                ))
+                            } else {
+                                src
+                            };
+                            deps.extend(dep);
+                        }
+                        let idx = self.push(OpQuery::Add(out_wl), deps);
+                        self.produced.insert(n, idx);
+                        self.main_op.insert(n, idx);
+                    }
+                    BinOp::Mul => {
+                        let mut in_wl = 0;
+                        let mut full_fwl = 0;
+                        for &o in &operands {
+                            deps.extend(self.scalar_value(o));
+                            in_wl = in_wl.max(self.wl_of(o));
+                            full_fwl += self.fwl_of(o);
+                        }
+                        let idx = self.push(OpQuery::Mul(in_wl), deps);
+                        let exact = operands.iter().all(|&o| is_exact(self.dfg, o));
+                        let idx = if full_fwl != out_fwl && !exact {
+                            self.push(OpQuery::Shift(out_wl), vec![idx])
+                        } else {
+                            idx
+                        };
+                        self.produced.insert(n, idx);
+                        self.main_op.insert(n, idx);
+                    }
+                }
+            }
+            NodeKind::Un(_) => {
+                let o = self.dfg.node(n).operands[0];
+                let src = self.scalar_value(o);
+                let out_wl = self.wl_of(n);
+                let s = self.fwl_of(o) - self.fwl_of(n);
+                let mut dep = src;
+                if s != 0 && !is_exact(self.dfg, o) {
+                    dep = Some(self.push(OpQuery::Shift(out_wl), src.into_iter().collect()));
+                }
+                let idx = self.push(OpQuery::Add(out_wl), dep.into_iter().collect());
+                self.produced.insert(n, idx);
+                self.main_op.insert(n, idx);
+            }
+            NodeKind::StoreArray(a, _) => {
+                let o = self.dfg.node(n).operands[0];
+                let src = self.scalar_value(o);
+                let arr_fmt = self.spec.format(SpecKey::Array(a));
+                let wl = self
+                    .target
+                    .container_wl(arr_fmt.wl().clamp(1, self.target.datapath))
+                    .unwrap_or(self.target.datapath);
+                let s = self.fwl_of(o) - arr_fmt.fwl;
+                let val = if s != 0 && !is_exact(self.dfg, o) {
+                    Some(self.push(OpQuery::Shift(wl), src.into_iter().collect()))
+                } else {
+                    src
+                };
+                let mut deps: Vec<usize> = val.into_iter().collect();
+                deps.extend(self.mem_deps(n));
+                let idx = self.push(OpQuery::Store(wl), deps);
+                self.main_op.insert(n, idx);
+            }
+            NodeKind::ShiftIn(a) => {
+                let o = self.dfg.node(n).operands[0];
+                let src = self.scalar_value(o);
+                let arr_fmt = self.spec.format(SpecKey::Array(a));
+                let wl = self
+                    .target
+                    .container_wl(arr_fmt.wl().clamp(1, self.target.datapath))
+                    .unwrap_or(self.target.datapath);
+                let s = self.fwl_of(o) - arr_fmt.fwl;
+                let val = if s != 0 && !is_exact(self.dfg, o) {
+                    Some(self.push(OpQuery::Shift(wl), src.into_iter().collect()))
+                } else {
+                    src
+                };
+                let mut deps: Vec<usize> = val.into_iter().collect();
+                deps.extend(self.mem_deps(n));
+                // Circular buffer: one store plus one pointer update.
+                let st = self.push(OpQuery::Store(wl), deps);
+                let _ptr = self.push(OpQuery::Add(32), vec![]);
+                self.main_op.insert(n, st);
+            }
+            NodeKind::Output(_) => {
+                let o = self.dfg.node(n).operands[0];
+                let src = self.scalar_value(o);
+                let wl = self.wl_of(o);
+                let idx = self.push(OpQuery::Store(wl), src.into_iter().collect());
+                self.main_op.insert(n, idx);
+            }
+        }
+    }
+
+    fn emit_group(&mut self, gi: usize) {
+        let group = self.groups[gi].clone();
+        let lanes = group.lanes();
+        let kind = group.kind(self.dfg).clone();
+        match kind {
+            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => {
+                let mut deps = Vec::new();
+                for &e in &group.elems {
+                    deps.extend(self.mem_deps(e));
+                }
+                let idx = match mem_status(self.dfg, &group) {
+                    MemStatus::ContiguousAligned => self.push(OpQuery::VLoad(lanes), deps),
+                    MemStatus::ContiguousUnaligned => {
+                        let l = self.push(OpQuery::VLoad(lanes), deps);
+                        self.push(OpQuery::Add(32), vec![l]) // realign
+                    }
+                    _ => {
+                        // Gather: scalar loads plus a pack.
+                        let mut loaded = Vec::new();
+                        for &e in &group.elems {
+                            let d = self.mem_deps(e);
+                            loaded.push(self.push(OpQuery::Load(16), d));
+                        }
+                        self.push(OpQuery::Pack(lanes), loaded)
+                    }
+                };
+                self.finish_group(gi, &group, idx);
+            }
+            NodeKind::Bin(op) => {
+                let arity = 2;
+                let mut operand_srcs = Vec::new();
+                for pos in 0..arity {
+                    operand_srcs.push(self.vector_operand(&group, pos));
+                }
+                let mut deps: Vec<usize> = operand_srcs.iter().flatten().copied().collect();
+                // Pre-scaling for additive ops.
+                if matches!(op, BinOp::Add | BinOp::Sub) {
+                    for pos in 0..arity {
+                        let amounts: Vec<i32> = group
+                            .elems
+                            .iter()
+                            .map(|&e| {
+                                let o = self.dfg.node(e).operands[pos];
+                                self.fwl_of(o) - self.fwl_of(e)
+                            })
+                            .collect();
+                        if let Some(d) =
+                            self.emit_vector_scaling(&amounts, operand_srcs[pos], lanes)
+                        {
+                            deps.push(d);
+                        }
+                    }
+                }
+                let main = match op {
+                    BinOp::Add | BinOp::Sub => self.push(OpQuery::VAdd(lanes), deps),
+                    BinOp::Mul => self.push(OpQuery::VMul(lanes), deps),
+                };
+                // Result scaling for multiplies.
+                let mut result = main;
+                if matches!(op, BinOp::Mul) {
+                    let amounts: Vec<i32> = group
+                        .elems
+                        .iter()
+                        .map(|&e| {
+                            let ops = &self.dfg.node(e).operands;
+                            self.fwl_of(ops[0]) + self.fwl_of(ops[1]) - self.fwl_of(e)
+                        })
+                        .collect();
+                    if let Some(d) = self.emit_vector_scaling(&amounts, Some(main), lanes) {
+                        result = d;
+                    }
+                }
+                self.finish_group(gi, &group, result);
+            }
+            NodeKind::Un(_) => {
+                let src = self.vector_operand(&group, 0);
+                let amounts: Vec<i32> = group
+                    .elems
+                    .iter()
+                    .map(|&e| {
+                        let o = self.dfg.node(e).operands[0];
+                        self.fwl_of(o) - self.fwl_of(e)
+                    })
+                    .collect();
+                let mut deps: Vec<usize> = src.into_iter().collect();
+                if let Some(d) = self.emit_vector_scaling(&amounts, src, lanes) {
+                    deps.push(d);
+                }
+                let idx = self.push(OpQuery::VAdd(lanes), deps);
+                self.finish_group(gi, &group, idx);
+            }
+            NodeKind::StoreArray(a, _) => {
+                let src = self.vector_operand(&group, 0);
+                let arr_fwl = self.spec.format(SpecKey::Array(a)).fwl;
+                let amounts: Vec<i32> = group
+                    .elems
+                    .iter()
+                    .map(|&e| {
+                        let o = self.dfg.node(e).operands[0];
+                        self.fwl_of(o) - arr_fwl
+                    })
+                    .collect();
+                let mut deps: Vec<usize> = src.into_iter().collect();
+                if let Some(d) = self.emit_vector_scaling(&amounts, src, lanes) {
+                    deps.push(d);
+                }
+                for &e in &group.elems {
+                    deps.extend(self.mem_deps(e));
+                }
+                let idx = match mem_status(self.dfg, &group) {
+                    MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned => {
+                        self.push(OpQuery::VStore(lanes), deps)
+                    }
+                    _ => {
+                        // Scatter: per-lane extract + store.
+                        let mut last = None;
+                        for _ in 0..lanes {
+                            let u = self.push(OpQuery::Unpack, deps.clone());
+                            last = Some(self.push(OpQuery::Store(16), vec![u]));
+                        }
+                        last.expect("lanes >= 2")
+                    }
+                };
+                for &e in &group.elems {
+                    self.main_op.insert(e, idx);
+                }
+                self.group_result.insert(gi, idx);
+            }
+            other => unreachable!("ungroupable kind {other:?} in group"),
+        }
+    }
+
+    /// Emits the scaling needed to move a superword across grids.
+    ///
+    /// Uniform non-zero amounts become a single vector shift; mismatched
+    /// amounts pay the fig. 2 penalty (unpack each lane, shift, repack).
+    /// Returns the op to depend on, or `None` when no scaling is needed.
+    fn emit_vector_scaling(
+        &mut self,
+        amounts: &[i32],
+        src: Option<usize>,
+        lanes: u32,
+    ) -> Option<usize> {
+        if amounts.iter().all(|&a| a == 0) {
+            return None;
+        }
+        let deps: Vec<usize> = src.into_iter().collect();
+        if amounts.iter().all(|&a| a == amounts[0]) {
+            return Some(self.push(OpQuery::VShift(lanes), deps));
+        }
+        // Fig. 2: unpack, shift lanes individually, repack.
+        let mut shifted = Vec::new();
+        for &a in amounts {
+            let u = self.push(OpQuery::Unpack, deps.clone());
+            let s = if a != 0 {
+                self.push(OpQuery::Shift(16), vec![u])
+            } else {
+                u
+            };
+            shifted.push(s);
+        }
+        Some(self.push(OpQuery::Pack(lanes), shifted))
+    }
+
+    /// Materialises the operand superword of a group at `pos`; returns the
+    /// producing op, or `None` when the operand is free (constants).
+    fn vector_operand(&mut self, group: &SimdGroup, pos: usize) -> Option<usize> {
+        let sw: Vec<NodeId> = group
+            .elems
+            .iter()
+            .map(|&e| resolve_producer(self.dfg, self.dfg.node(e).operands[pos]))
+            .collect();
+        // Produced by another emitted group with identical lanes?
+        for (gi, g) in self.groups.iter().enumerate() {
+            if g.elems == sw {
+                return self.group_result.get(&gi).copied();
+            }
+        }
+        // Splat: broadcast one scalar.
+        if sw.iter().all(|&n| n == sw[0]) {
+            let src = self.scalar_value(sw[0]);
+            return Some(self.push(OpQuery::Pack(1), src.into_iter().collect()));
+        }
+        // General case: gather scalars and pack.
+        let mut deps = Vec::new();
+        for &n in &sw {
+            deps.extend(self.scalar_value(n));
+        }
+        Some(self.push(OpQuery::Pack(group.lanes()), deps))
+    }
+
+    fn finish_group(&mut self, gi: usize, group: &SimdGroup, result: usize) {
+        self.group_result.insert(gi, result);
+        for &e in &group.elems {
+            self.main_op.insert(e, result);
+        }
+    }
+}
+
+/// `true` for operands whose value is exact (constants, initial zeros):
+/// no scaling is ever materialised for them.
+fn is_exact(dfg: &Dfg, n: NodeId) -> bool {
+    matches!(
+        dfg.node(resolve_producer(dfg, n)).kind,
+        NodeKind::Const(_) | NodeKind::LiveIn(_)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Floating-point lowering
+// ---------------------------------------------------------------------------
+
+fn lower_float_block(dfg: &Dfg) -> Vec<Mop> {
+    let mut ops: Vec<Mop> = Vec::new();
+    let mut produced: HashMap<NodeId, usize> = HashMap::new();
+    let mut main_op: HashMap<NodeId, usize> = HashMap::new();
+    let push = |ops: &mut Vec<Mop>, query: OpQuery, preds: Vec<usize>| -> usize {
+        ops.push(Mop { query, preds });
+        ops.len() - 1
+    };
+    for (id, node) in dfg.iter() {
+        let value_of = |produced: &HashMap<NodeId, usize>, n: NodeId| -> Option<usize> {
+            produced.get(&resolve_producer(dfg, n)).copied()
+        };
+        let mem_deps = |main_op: &HashMap<NodeId, usize>, n: NodeId| -> Vec<usize> {
+            dfg.node(n)
+                .deps
+                .iter()
+                .filter_map(|d| main_op.get(d).copied())
+                .collect()
+        };
+        match &node.kind {
+            NodeKind::Const(_) | NodeKind::LiveIn(_) | NodeKind::VarUse(_) => {}
+            NodeKind::ReadInput(_) => {
+                let i = push(&mut ops, OpQuery::FLoad, vec![]);
+                produced.insert(id, i);
+                main_op.insert(id, i);
+            }
+            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => {
+                let deps = mem_deps(&main_op, id);
+                let i = push(&mut ops, OpQuery::FLoad, deps);
+                produced.insert(id, i);
+                main_op.insert(id, i);
+            }
+            NodeKind::Bin(op) => {
+                let deps: Vec<usize> = node
+                    .operands
+                    .iter()
+                    .filter_map(|&o| value_of(&produced, o))
+                    .collect();
+                let q = match op {
+                    BinOp::Mul => OpQuery::FMul,
+                    _ => OpQuery::FAdd,
+                };
+                let i = push(&mut ops, q, deps);
+                produced.insert(id, i);
+                main_op.insert(id, i);
+            }
+            NodeKind::Un(_) => {
+                let deps: Vec<usize> = node
+                    .operands
+                    .iter()
+                    .filter_map(|&o| value_of(&produced, o))
+                    .collect();
+                // Float negation: sign-bit flip on an ALU.
+                let i = push(&mut ops, OpQuery::Add(32), deps);
+                produced.insert(id, i);
+                main_op.insert(id, i);
+            }
+            NodeKind::StoreArray(..) | NodeKind::Output(_) => {
+                let mut deps: Vec<usize> = node
+                    .operands
+                    .iter()
+                    .filter_map(|&o| value_of(&produced, o))
+                    .collect();
+                deps.extend(mem_deps(&main_op, id));
+                let i = push(&mut ops, OpQuery::FStore, deps);
+                main_op.insert(id, i);
+            }
+            NodeKind::ShiftIn(_) => {
+                let mut deps: Vec<usize> = node
+                    .operands
+                    .iter()
+                    .filter_map(|&o| value_of(&produced, o))
+                    .collect();
+                deps.extend(mem_deps(&main_op, id));
+                let st = push(&mut ops, OpQuery::FStore, deps);
+                let _ptr = push(&mut ops, OpQuery::Add(32), vec![]);
+                main_op.insert(id, st);
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_accuracy::AnalyticalEvaluator;
+    use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions};
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_targets::xentium;
+
+    const FIR8: &str = r#"
+kernel fir8 {
+    input x range [-1, 1];
+    output y;
+    param c[8] = { 0.11, -0.23, 0.31, 0.17, -0.05, 0.27, -0.13, 0.07 };
+    array dl[8];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    for i in 0..8 unroll 4 {
+        acc = acc + c[i] * dl[i];
+    }
+    y = acc;
+}
+"#;
+
+    fn lowered(db: f64) -> (MachineProgram, MachineProgram) {
+        let k = parse_kernel(FIR8).unwrap();
+        let ranges = determine_ranges(&k, &RangeOptions::default());
+        let eval = AnalyticalEvaluator::with_defaults(&k);
+        let target = xentium();
+        let res = crate::wlo_slp(&k, &target, &eval, db, &ranges);
+        let blocks: Vec<_> = res
+            .blocks
+            .into_iter()
+            .map(|b| (b.block, b.dfg, b.groups))
+            .collect();
+        let simd = lower_fixed(&k, &res.spec, &target, &blocks);
+        let scalar = lower_scalar(&k, &res.spec, &target);
+        (simd, scalar)
+    }
+
+    #[test]
+    fn deps_point_backwards() {
+        let (simd, scalar) = lowered(-40.0);
+        for prog in [&simd, &scalar] {
+            for b in &prog.blocks {
+                for (i, op) in b.ops.iter().enumerate() {
+                    for &p in &op.preds {
+                        assert!(p < i, "dep {p} of op {i} must precede it");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_lowering_emits_vector_ops() {
+        let (simd, scalar) = lowered(-40.0);
+        let has_vector = simd.blocks.iter().any(|b| {
+            b.ops
+                .iter()
+                .any(|o| matches!(o.query, OpQuery::VMul(_) | OpQuery::VLoad(_)))
+        });
+        assert!(has_vector, "SIMD program must contain vector ops");
+        let scalar_has_vector = scalar.blocks.iter().any(|b| {
+            b.ops
+                .iter()
+                .any(|o| matches!(o.query, OpQuery::VMul(_) | OpQuery::VLoad(_)))
+        });
+        assert!(!scalar_has_vector);
+    }
+
+    #[test]
+    fn simd_reduces_trip_weighted_ops_in_hot_block() {
+        let (simd, scalar) = lowered(-30.0);
+        // The loop block (trip > 1) must shrink.
+        let hot = |p: &MachineProgram| -> u64 {
+            p.blocks
+                .iter()
+                .filter(|b| b.trip > 1)
+                .map(|b| b.ops.len() as u64 * b.trip)
+                .sum()
+        };
+        assert!(
+            hot(&simd) < hot(&scalar),
+            "simd {} vs scalar {}",
+            hot(&simd),
+            hot(&scalar)
+        );
+    }
+
+    #[test]
+    fn float_lowering_uses_float_ops_only() {
+        let k = parse_kernel(FIR8).unwrap();
+        let f = lower_float(&k);
+        let mut fadds = 0;
+        let mut fmuls = 0;
+        for b in &f.blocks {
+            for op in &b.ops {
+                match op.query {
+                    OpQuery::FAdd => fadds += 1,
+                    OpQuery::FMul => fmuls += 1,
+                    OpQuery::FLoad | OpQuery::FStore | OpQuery::Add(_) => {}
+                    other => panic!("unexpected op {other:?} in float lowering"),
+                }
+            }
+        }
+        assert!(fadds >= 4 && fmuls >= 4, "fadds {fadds} fmuls {fmuls}");
+    }
+
+    #[test]
+    fn tight_constraint_degenerates_to_scalar() {
+        let (simd, scalar) = lowered(-160.0);
+        assert_eq!(
+            simd.ops_per_activation(),
+            scalar.ops_per_activation(),
+            "no groups at -160 dB: identical programs"
+        );
+    }
+}
+
+#[cfg(test)]
+mod fig2_tests {
+    //! The fig. 2 scaling paths: uniform lane amounts vectorize into one
+    //! shift; mismatched amounts pay unpack/shift/repack.
+    use super::*;
+    use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions};
+    use slpwlo_fixedpoint::QFormat;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_slp::SimdGroup;
+    use slpwlo_targets::xentium;
+
+    /// Two muls feeding two adds lane-wise, groups built by hand so the
+    /// lane formats are fully controlled.
+    fn setup() -> (Kernel, FixedPointSpec, Dfg, Vec<SimdGroup>, Block) {
+        let src = r#"
+kernel f {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array dl[4];
+    var m0;
+    var m1;
+    var s0;
+    var s1;
+    shiftin dl <- x;
+    m0 = c[0] * dl[0];
+    m1 = c[1] * dl[1];
+    s0 = m0 + c[2] * dl[2];
+    s1 = m1 + c[3] * dl[3];
+    y = s0 + s1;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let r = determine_ranges(&k, &RangeOptions::default());
+        let spec = FixedPointSpec::from_ranges(&k, &r, 32);
+        let blocks = collect_blocks(&k);
+        let block = blocks.into_iter().next().unwrap();
+        let dfg = Dfg::from_block(&k, &block);
+        let muls: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(BinOp::Mul)))
+            .map(|(i, _)| i)
+            .collect();
+        let adds: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(BinOp::Add)))
+            .map(|(i, _)| i)
+            .collect();
+        let groups = vec![
+            SimdGroup { elems: vec![muls[0], muls[1]] },
+            SimdGroup { elems: vec![adds[0], adds[1]] },
+        ];
+        (k, spec, dfg, groups, block)
+    }
+
+    fn count(prog: &MachineProgram, pred: impl Fn(&OpQuery) -> bool) -> usize {
+        prog.blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .filter(|o| pred(&o.query))
+            .count()
+    }
+
+    /// Sets every arithmetic node (including the scalar muls feeding the
+    /// add group's second operand) to one format, so all lane scaling
+    /// amounts match.
+    fn uniformize(spec: &mut FixedPointSpec, dfg: &Dfg, fmt: QFormat) {
+        for (id, node) in dfg.iter() {
+            if matches!(node.kind, NodeKind::Bin(_)) {
+                let key = crate::nodes::node_key(dfg, id).unwrap();
+                spec.set_format(key, fmt);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_lane_amounts_vectorize_the_scaling() {
+        let (k, mut spec, dfg, groups, block) = setup();
+        uniformize(&mut spec, &dfg, QFormat::new(2, 14));
+        let target = xentium();
+        let prog = lower_fixed(&k, &spec, &target, &[(block, dfg, groups)]);
+        assert_eq!(
+            count(&prog, |q| matches!(q, OpQuery::Unpack)),
+            2,
+            "only the final scalar reduction unpacks the add pair"
+        );
+    }
+
+    #[test]
+    fn mismatched_lane_amounts_pay_unpack_shift_repack() {
+        let (k, mut spec, dfg, groups, block) = setup();
+        // Uniform everywhere except the two grouped mul lanes: their
+        // outputs now need different right shifts to reach the adds.
+        uniformize(&mut spec, &dfg, QFormat::new(2, 14));
+        let k0 = crate::nodes::node_key(&dfg, groups[0].elems[0]).unwrap();
+        let k1 = crate::nodes::node_key(&dfg, groups[0].elems[1]).unwrap();
+        spec.set_format(k0, QFormat::new(2, 20));
+        spec.set_format(k1, QFormat::new(2, 17));
+        let target = xentium();
+        let uniform = {
+            let (k2, mut spec2, dfg2, groups2, block2) = setup();
+            uniformize(&mut spec2, &dfg2, QFormat::new(2, 14));
+            let p = lower_fixed(&k2, &spec2, &target, &[(block2, dfg2, groups2)]);
+            count(&p, |q| matches!(q, OpQuery::Unpack))
+        };
+        let prog = lower_fixed(&k, &spec, &target, &[(block, dfg, groups)]);
+        let mismatched = count(&prog, |q| matches!(q, OpQuery::Unpack));
+        assert!(
+            mismatched >= uniform + 2,
+            "mismatched lane scalings must unpack each lane ({mismatched} vs {uniform})"
+        );
+        assert!(count(&prog, |q| matches!(q, OpQuery::Pack(_))) >= 1);
+    }
+}

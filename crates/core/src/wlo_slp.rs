@@ -1,0 +1,203 @@
+//! The SLP-aware WLO driver — fig. 1a of the paper.
+//!
+//! 1. Every node of the fixed-point specification starts at the maximum
+//!    word length supported by the target (the most accurate natively
+//!    implementable spec, and the least SIMD-friendly one).
+//! 2. Basic blocks are visited in priority order (their contribution to
+//!    execution time), so the accuracy-degradation budget is spent on the
+//!    hottest code first.
+//! 3. For each block, accuracy-aware SLP extraction runs to fixpoint:
+//!    each selected group's word lengths shrink per equation (1)
+//!    (`SETMAXWL`), wider groups absorb the narrower groups they merge
+//!    (line 12), and the loop ends when a pass selects nothing.
+//! 4. Scaling optimization (fig. 1b) then equalizes per-lane scaling
+//!    amounts inside the block's reused superwords.
+
+use crate::hooks::AccuracyHooks;
+use crate::scalopt::{scaling_optimize, ScalOptReport};
+use slpwlo_accuracy::AccuracyEvaluator;
+use slpwlo_fixedpoint::{FixedPointSpec, Ranges};
+use slpwlo_ir::blocks::{blocks_by_priority, Block};
+use slpwlo_ir::dfg::Dfg;
+use slpwlo_ir::Kernel;
+use slpwlo_slp::{run_selection, Round, SimdGroup};
+use slpwlo_targets::TargetModel;
+
+/// Per-block outcome of the joint optimization.
+#[derive(Debug)]
+pub struct BlockResult {
+    /// The source basic block.
+    pub block: Block,
+    /// Its data-flow graph.
+    pub dfg: Dfg,
+    /// Selected SIMD groups (final sizes, after extension rounds).
+    pub groups: Vec<SimdGroup>,
+    /// Scaling-optimization statistics.
+    pub scalopt: ScalOptReport,
+}
+
+/// Result of the SLP-aware WLO: the fully determined fixed-point
+/// specification plus the selected SIMD groups per block.
+#[derive(Debug)]
+pub struct WloSlpResult {
+    /// The optimized specification (meets the constraint by construction).
+    pub spec: FixedPointSpec,
+    /// Per-block groups, in priority order.
+    pub blocks: Vec<BlockResult>,
+}
+
+impl WloSlpResult {
+    /// Total number of selected groups across blocks.
+    pub fn group_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.groups.len()).sum()
+    }
+}
+
+/// Runs the joint SLP-aware word-length optimization (fig. 1a).
+///
+/// `constraint_db` is the accuracy constraint: the maximum tolerable
+/// output quantization-noise power in dB.
+pub fn wlo_slp(
+    kernel: &Kernel,
+    target: &TargetModel,
+    eval: &dyn AccuracyEvaluator,
+    constraint_db: f64,
+    ranges: &Ranges,
+) -> WloSlpResult {
+    // Lines 1-3: all nodes at the maximum supported word length.
+    let mut spec = FixedPointSpec::from_ranges(kernel, ranges, target.max_wl());
+    let mut results = Vec::new();
+
+    // Line 4: visit blocks in priority order.
+    for block in blocks_by_priority(kernel) {
+        let dfg = Dfg::from_block(kernel, &block);
+        let mut groups: Vec<SimdGroup> = Vec::new();
+
+        // Lines 6-14: iterate SLP extraction until no new groups.
+        loop {
+            let round = Round::new(&dfg, target, &groups);
+            let selected = {
+                let mut hooks = AccuracyHooks::new(&dfg, &mut spec, eval, constraint_db);
+                run_selection(&dfg, target, &round, &groups, &mut hooks)
+            };
+            if selected.is_empty() {
+                break;
+            }
+            // Line 12: wider merges supersede the groups they absorbed.
+            groups.retain(|g| !selected.iter().any(|s| s.lanes() > g.lanes() && s.overlaps(g)));
+            groups.extend(selected);
+        }
+
+        // Line 15: SLP-aware scaling optimization.
+        let scalopt = scaling_optimize(&mut spec, &dfg, &groups, eval, constraint_db);
+        results.push(BlockResult { block, dfg, groups, scalopt });
+    }
+    WloSlpResult { spec, blocks: results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator};
+    use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions};
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_targets::{vex, xentium};
+
+    const FIR8: &str = r#"
+kernel fir8 {
+    input x range [-1, 1];
+    output y;
+    param c[8] = { 0.11, -0.23, 0.31, 0.17, -0.05, 0.27, -0.13, 0.07 };
+    array dl[8];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    for i in 0..8 unroll 4 {
+        acc = acc + c[i] * dl[i];
+    }
+    y = acc;
+}
+"#;
+
+    fn run(db: f64, target: &slpwlo_targets::TargetModel) -> (WloSlpResult, AnalyticalEvaluator) {
+        let k = parse_kernel(FIR8).unwrap();
+        let ranges = determine_ranges(&k, &RangeOptions::default());
+        let eval = AnalyticalEvaluator::with_defaults(&k);
+        let res = wlo_slp(&k, target, &eval, db, &ranges);
+        (res, eval)
+    }
+
+    #[test]
+    fn constraint_always_met() {
+        for db in [-10.0, -30.0, -50.0, -70.0, -90.0] {
+            let (res, eval) = run(db, &xentium());
+            assert!(
+                eval.meets(&res.spec, db),
+                "constraint {db} violated: {}",
+                eval.noise_db(&res.spec)
+            );
+        }
+    }
+
+    #[test]
+    fn loose_constraints_find_more_groups() {
+        let (loose, _) = run(-20.0, &xentium());
+        let (tight, _) = run(-160.0, &xentium());
+        assert!(
+            loose.group_count() > tight.group_count(),
+            "loose {} vs tight {}",
+            loose.group_count(),
+            tight.group_count()
+        );
+        assert_eq!(tight.group_count(), 0, "no 16-bit grouping can reach -160 dB");
+    }
+
+    #[test]
+    fn hot_block_processed_first() {
+        let (res, _) = run(-30.0, &xentium());
+        // First block in results must be the unrolled loop body (highest
+        // priority); it must hold the groups.
+        assert!(res.blocks[0].block.in_loop());
+        assert!(!res.blocks[0].groups.is_empty());
+    }
+
+    #[test]
+    fn vex_extends_groups_beyond_pairs_at_loose_constraints() {
+        let (res, _) = run(-15.0, &vex(4));
+        let max_lanes = res
+            .blocks
+            .iter()
+            .flat_map(|b| b.groups.iter())
+            .map(|g| g.lanes())
+            .max()
+            .unwrap_or(0);
+        // 8-bit quads are only admissible when the noise budget is loose;
+        // -15 dB tolerates them for this kernel.
+        assert!(max_lanes >= 2, "expected grouping, got none");
+        // On XENTIUM the same constraint caps at pairs.
+        let (resx, _) = run(-15.0, &xentium());
+        let max_x = resx
+            .blocks
+            .iter()
+            .flat_map(|b| b.groups.iter())
+            .map(|g| g.lanes())
+            .max()
+            .unwrap_or(0);
+        assert!(max_x <= 2);
+    }
+
+    #[test]
+    fn groups_shrink_word_lengths_only_where_packed() {
+        use crate::nodes::node_key;
+        let (res, _) = run(-40.0, &xentium());
+        let spec = &res.spec;
+        for b in &res.blocks {
+            let grouped: Vec<_> = b.groups.iter().flat_map(|g| g.elems.iter().copied()).collect();
+            for &n in &grouped {
+                if let Some(key) = node_key(&b.dfg, n) {
+                    assert!(spec.wl(key) <= 16, "grouped node must be <= 16 bits");
+                }
+            }
+        }
+    }
+}

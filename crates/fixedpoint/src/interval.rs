@@ -1,0 +1,168 @@
+//! Interval arithmetic for dynamic-range analysis.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` over `f64`.
+///
+/// Used as the abstract value domain of range analysis. The empty interval
+/// is not representable; degenerate (point) intervals are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or a bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The point interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Interval::new(v, v)
+    }
+
+    /// `[0, 0]`.
+    pub fn zero() -> Self {
+        Interval::point(0.0)
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn union(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Returns `true` if `v` lies inside the interval.
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Returns `true` if `other` is contained in `self`.
+    pub fn encloses(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Maximum absolute value over the interval.
+    pub fn magnitude(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Scales both bounds away from zero by `factor` (≥ 1), used as a
+    /// safety margin on simulated ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    pub fn inflate(self, factor: f64) -> Interval {
+        assert!(factor >= 1.0, "inflate factor must be >= 1");
+        let scale = |v: f64| v * factor;
+        Interval::new(scale(self.lo).min(self.lo), scale(self.hi).max(self.hi))
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let c = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let lo = c.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(0.5, 3.0);
+        assert_eq!(a + b, Interval::new(-0.5, 5.0));
+        assert_eq!(a - b, Interval::new(-4.0, 1.5));
+        assert_eq!(a * b, Interval::new(-3.0, 6.0));
+        assert_eq!(-a, Interval::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn mul_sign_cases() {
+        let neg = Interval::new(-3.0, -1.0);
+        let pos = Interval::new(2.0, 4.0);
+        assert_eq!(neg * pos, Interval::new(-12.0, -2.0));
+        assert_eq!(neg * neg, Interval::new(1.0, 9.0));
+        let span = Interval::new(-2.0, 3.0);
+        assert_eq!(span * span, Interval::new(-6.0, 9.0));
+    }
+
+    #[test]
+    fn union_and_containment() {
+        let a = Interval::new(-1.0, 0.5);
+        let b = Interval::new(0.0, 2.0);
+        let u = a.union(b);
+        assert_eq!(u, Interval::new(-1.0, 2.0));
+        assert!(u.encloses(a) && u.encloses(b));
+        assert!(u.contains(1.99));
+        assert!(!a.contains(1.0));
+    }
+
+    #[test]
+    fn magnitude_and_inflate() {
+        let a = Interval::new(-0.5, 2.0);
+        assert_eq!(a.magnitude(), 2.0);
+        let inflated = a.inflate(1.5);
+        assert_eq!(inflated, Interval::new(-0.75, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn invalid_rejected() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Quantization modes, overflow handling and quantization-noise statistics.
+
+/// How values are quantized when fractional bits are discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantizeMode {
+    /// Two's-complement truncation (floor). The paper's assumption.
+    #[default]
+    Truncate,
+    /// Round-half-up: add half a step, then truncate.
+    Round,
+}
+
+/// How values exceeding the representable range are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowMode {
+    /// Clamp to the closest representable value. IWLs produced by range
+    /// analysis make saturation a rare event (only at exact range
+    /// extremes), matching the paper's "avoid overflows" IWL policy.
+    #[default]
+    Saturate,
+    /// Two's-complement wrap-around.
+    Wrap,
+}
+
+/// First and second moments of the quantization error introduced when a
+/// signal on grid `q_in` is re-quantized to the coarser grid `q_out`.
+///
+/// Uses the discrete noise model of Menard & Sentieys (DATE 2002) /
+/// Caffarena et al.:
+///
+/// * truncation: `mean = -(q_out - q_in)/2`, `var = (q_out² - q_in²)/12`
+/// * rounding:   `mean = q_in/2`,            `var = (q_out² - q_in²)/12`
+///
+/// `q_in = 0` models a continuous-amplitude source (float-to-fixed
+/// conversion of an input sample).
+///
+/// Returns `(mean, variance)`; both are zero when `q_out <= q_in`
+/// (no bits discarded).
+///
+/// # Panics
+///
+/// Panics if a grid step is negative.
+pub fn noise_stats(q_in: f64, q_out: f64, mode: QuantizeMode) -> (f64, f64) {
+    assert!(q_in >= 0.0 && q_out >= 0.0, "grid steps must be non-negative");
+    if q_out <= q_in {
+        return (0.0, 0.0);
+    }
+    let var = (q_out * q_out - q_in * q_in) / 12.0;
+    let mean = match mode {
+        QuantizeMode::Truncate => -(q_out - q_in) / 2.0,
+        QuantizeMode::Round => q_in / 2.0,
+    };
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_truncation() {
+        let q = 2f64.powi(-15);
+        let (m, v) = noise_stats(0.0, q, QuantizeMode::Truncate);
+        assert!((m + q / 2.0).abs() < 1e-30);
+        assert!((v - q * q / 12.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn continuous_rounding_is_unbiased() {
+        let q = 2f64.powi(-15);
+        let (m, v) = noise_stats(0.0, q, QuantizeMode::Round);
+        assert_eq!(m, 0.0);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn no_noise_when_not_discarding() {
+        assert_eq!(noise_stats(0.25, 0.25, QuantizeMode::Truncate), (0.0, 0.0));
+        assert_eq!(noise_stats(0.5, 0.25, QuantizeMode::Truncate), (0.0, 0.0));
+    }
+
+    #[test]
+    fn discrete_truncation_single_bit() {
+        // Discarding one bit: error in {0, -q_in}; mean -q_in/2,
+        // var q_in^2/4 - mean^2 = q_in^2/4 - q_in^2/4... the model's
+        // (q_out^2 - q_in^2)/12 = q_in^2/4 since q_out = 2 q_in.
+        let q_in = 2f64.powi(-10);
+        let q_out = 2.0 * q_in;
+        let (m, v) = noise_stats(q_in, q_out, QuantizeMode::Truncate);
+        assert!((m + q_in / 2.0).abs() < 1e-30);
+        assert!((v - q_in * q_in / 4.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn empirical_truncation_moments_match_model() {
+        // Empirically truncate a fine grid to a coarse one and compare
+        // moments with the analytical model.
+        let q_in = 2f64.powi(-12);
+        let q_out = 2f64.powi(-8);
+        let n = 1 << 16;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for k in 0..n {
+            // values on the fine grid, uniformly covering several coarse steps
+            let x = (k as f64) * q_in;
+            let xq = (x / q_out).floor() * q_out;
+            let e = xq - x;
+            sum += e;
+            sum2 += e * e;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let (m_model, v_model) = noise_stats(q_in, q_out, QuantizeMode::Truncate);
+        assert!((mean - m_model).abs() < q_out * 0.01, "mean {mean} vs {m_model}");
+        assert!((var - v_model).abs() < v_model * 0.05, "var {var} vs {v_model}");
+    }
+}

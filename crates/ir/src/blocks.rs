@@ -1,0 +1,175 @@
+//! Basic-block discovery.
+//!
+//! SLP extraction works at the basic-block level. In this IR, a basic block
+//! is a maximal run of consecutive non-loop statements within one statement
+//! list. Loop bodies are visited recursively, so a fully unrolled loop body
+//! becomes one large block — exactly the situation the paper's extraction
+//! algorithm targets.
+
+use crate::kernel::{Kernel, Stmt};
+use crate::types::LoopId;
+use std::fmt;
+
+/// Identifies a basic block within one kernel (document order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: straight-line statements plus loop context.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Identity of this block (document order).
+    pub id: BlockId,
+    /// The straight-line statements of the block (no `For` inside). These
+    /// are clones of the kernel's statements; expression ids still point
+    /// into the kernel's arena.
+    pub stmts: Vec<Stmt>,
+    /// Enclosing loops, outermost first, with their trip counts.
+    pub loops: Vec<(LoopId, u32)>,
+}
+
+impl Block {
+    /// Product of enclosing trip counts: how many times the block executes
+    /// per kernel activation.
+    pub fn trip(&self) -> u64 {
+        self.loops.iter().map(|&(_, c)| c as u64).product()
+    }
+
+    /// Execution-weighted expression-node count; used as the block priority
+    /// of the paper ("contribution of the basic block to the overall
+    /// execution time", approximated statically in lieu of profiling).
+    pub fn priority(&self, kernel: &Kernel) -> u64 {
+        let mut nodes = 0u64;
+        for s in &self.stmts {
+            if let Stmt::Assign(_, e) | Stmt::Store(_, _, e) | Stmt::ShiftIn(_, e) | Stmt::Output(_, e) = s
+            {
+                nodes += kernel.expr_tree_size(*e) as u64;
+            }
+        }
+        nodes * self.trip()
+    }
+
+    /// Returns `true` if the block executes inside at least one loop.
+    pub fn in_loop(&self) -> bool {
+        !self.loops.is_empty()
+    }
+}
+
+/// Collects the basic blocks of a kernel in document order.
+pub fn collect_blocks(kernel: &Kernel) -> Vec<Block> {
+    let mut out = Vec::new();
+    let mut next = 0u32;
+    fn go(
+        stmts: &[Stmt],
+        loops: &mut Vec<(LoopId, u32)>,
+        out: &mut Vec<Block>,
+        next: &mut u32,
+    ) {
+        let mut run: Vec<Stmt> = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::For { var, count, body } => {
+                    if !run.is_empty() {
+                        out.push(Block {
+                            id: BlockId(*next),
+                            stmts: std::mem::take(&mut run),
+                            loops: loops.clone(),
+                        });
+                        *next += 1;
+                    }
+                    loops.push((*var, *count));
+                    go(body, loops, out, next);
+                    loops.pop();
+                }
+                other => run.push(other.clone()),
+            }
+        }
+        if !run.is_empty() {
+            out.push(Block {
+                id: BlockId(*next),
+                stmts: run,
+                loops: loops.clone(),
+            });
+            *next += 1;
+        }
+    }
+    go(kernel.body(), &mut Vec::new(), &mut out, &mut next);
+    out
+}
+
+/// Collects blocks sorted by descending [`Block::priority`], the visit
+/// order required by the SLP-aware WLO algorithm (most execution-time
+/// impacting blocks first). Ties break on document order for determinism.
+pub fn blocks_by_priority(kernel: &Kernel) -> Vec<Block> {
+    let mut blocks = collect_blocks(kernel);
+    blocks.sort_by_key(|b| (std::cmp::Reverse(b.priority(kernel)), b.id));
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    /// head; for(8){ body }; tail  => 3 blocks.
+    fn sandwich() -> Kernel {
+        let mut b = KernelBuilder::new("s");
+        let x = b.input("x", -1.0, 1.0);
+        let y = b.output("y");
+        let acc = b.var("acc");
+        let a = b.array("dl", 8);
+        let xv = b.read_input(x);
+        b.shift_in(a, xv);
+        let z = b.constf(0.0);
+        b.assign(acc, z);
+        let i = b.begin_for(8);
+        let av = b.read_var(acc);
+        let l = b.load_ix(a, crate::types::IndexExpr::affine(i, 1, 0));
+        let s = b.add(av, l);
+        b.assign(acc, s);
+        b.end_for(i);
+        let r = b.read_var(acc);
+        b.set_output(y, r);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_three_blocks() {
+        let k = sandwich();
+        let blocks = collect_blocks(&k);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].stmts.len(), 2); // shift_in + assign
+        assert_eq!(blocks[1].stmts.len(), 1); // the loop body's assign
+        assert_eq!(blocks[1].trip(), 8);
+        assert_eq!(blocks[2].stmts.len(), 1); // output
+        assert!(blocks[1].in_loop());
+        assert!(!blocks[0].in_loop());
+    }
+
+    #[test]
+    fn priority_prefers_hot_loop() {
+        let k = sandwich();
+        let by_prio = blocks_by_priority(&k);
+        // The loop body has 3 nodes * 8 trips = 24, the head has 3 nodes,
+        // the tail has 1 node.
+        assert_eq!(by_prio[0].trip(), 8);
+        assert!(by_prio[0].priority(&k) > by_prio[1].priority(&k));
+    }
+
+    #[test]
+    fn straight_line_kernel_is_one_block() {
+        let mut b = KernelBuilder::new("sl");
+        let y = b.output("y");
+        let c = b.constf(1.0);
+        b.set_output(y, c);
+        let k = b.finish();
+        let blocks = collect_blocks(&k);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].trip(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! 2-D 3x3 convolution in streaming line-buffer form.
+//!
+//! One activation computes one output pixel: three row streams (the
+//! neighbourhoods above/at/below the output row, as delivered by line
+//! buffers outside the kernel) are shifted into three 3-wide column
+//! windows, and the fully unrolled 3x3 mask is applied — the form in
+//! which streaming hardware and DSP firmware implement small
+//! convolutions, and the fully-unrolled basic block the paper's CONV
+//! benchmark vectorizes.
+
+use slpwlo_ir::builder::KernelBuilder;
+use slpwlo_ir::Kernel;
+
+/// The 3x3 Gaussian-like smoothing mask `[1 2 1; 2 4 2; 1 2 1] / 16`,
+/// row-major. `sum = 1`, so pixel ranges are preserved.
+pub fn gaussian3x3() -> Vec<f64> {
+    vec![
+        1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
+        2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0,
+        1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
+    ]
+}
+
+/// Builds the streaming 3x3 convolution kernel for an arbitrary mask
+/// (row-major, 9 entries).
+///
+/// # Panics
+///
+/// Panics if `mask` does not have exactly 9 entries.
+pub fn conv_kernel(name: &str, mask: Vec<f64>) -> Kernel {
+    assert_eq!(mask.len(), 9, "3x3 mask needs 9 entries");
+    let mut b = KernelBuilder::new(name);
+    let r0 = b.input("r0", -1.0, 1.0);
+    let r1 = b.input("r1", -1.0, 1.0);
+    let r2 = b.input("r2", -1.0, 1.0);
+    let y = b.output("y");
+    let k = b.param("k", mask);
+    let w0 = b.array("w0", 3);
+    let w1 = b.array("w1", 3);
+    let w2 = b.array("w2", 3);
+    let acc = b.var("acc");
+    // Slide the three column windows by one pixel.
+    let v0 = b.read_input(r0);
+    b.shift_in(w0, v0);
+    let v1 = b.read_input(r1);
+    b.shift_in(w1, v1);
+    let v2 = b.read_input(r2);
+    b.shift_in(w2, v2);
+    // Fully unrolled 3x3 multiply-accumulate tree.
+    let zero = b.constf(0.0);
+    b.assign(acc, zero);
+    for (row, win) in [w0, w1, w2].into_iter().enumerate() {
+        for col in 0..3usize {
+            let kv = b.load_param(k, (row * 3 + col) as i64);
+            let wv = b.load(win, col as i64);
+            let m = b.mul(kv, wv);
+            let av = b.read_var(acc);
+            let s = b.add(av, m);
+            b.assign(acc, s);
+        }
+    }
+    let r = b.read_var(acc);
+    b.set_output(y, r);
+    b.finish()
+}
+
+/// The paper's CONV benchmark: Gaussian 3x3, fully unrolled.
+pub fn conv3x3() -> Kernel {
+    conv_kernel("conv3x3", gaussian3x3())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::interp::{Executor, FloatSem};
+
+    #[test]
+    fn one_straight_line_block() {
+        let k = conv3x3();
+        let blocks = collect_blocks(&k);
+        assert_eq!(blocks.len(), 1, "fully unrolled kernel is one basic block");
+        assert!(!blocks[0].in_loop());
+    }
+
+    #[test]
+    fn smoothing_of_constant_image_is_identity() {
+        let k = conv3x3();
+        let mut ex = Executor::new(&k, FloatSem);
+        let rows = vec![vec![0.5; 16], vec![0.5; 16], vec![0.5; 16]];
+        let out = ex.run(&rows);
+        // After the 3-pixel window fills, the output equals the input
+        // level (mask sums to 1).
+        for &v in &out[0][2..] {
+            assert!((v - 0.5).abs() < 1e-12, "got {v}");
+        }
+    }
+
+    #[test]
+    fn center_weight_dominates() {
+        let k = conv3x3();
+        let mut ex = Executor::new(&k, FloatSem);
+        // Single bright pixel in the middle row.
+        let mut r1 = vec![0.0; 8];
+        r1[3] = 1.0;
+        let rows = vec![vec![0.0; 8], r1, vec![0.0; 8]];
+        let out = ex.run(&rows);
+        // When the pixel sits in the window center (one activation after
+        // insertion), the response is 4/16.
+        let max = out[0].iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 0.25).abs() < 1e-12, "center response {max}");
+    }
+
+    #[test]
+    fn nine_muls_eight_adds() {
+        let k = conv3x3();
+        let mut muls = 0;
+        let mut adds = 0;
+        for (_, n) in k.exprs() {
+            match n {
+                slpwlo_ir::ExprNode::Bin(slpwlo_ir::BinOp::Mul, ..) => muls += 1,
+                slpwlo_ir::ExprNode::Bin(slpwlo_ir::BinOp::Add, ..) => adds += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(muls, 9);
+        assert_eq!(adds, 9, "nine accumulator adds (one per MAC, first adds to zero)");
+    }
+}

@@ -1,0 +1,131 @@
+//! FIR filter kernels.
+
+use slpwlo_ir::builder::KernelBuilder;
+use slpwlo_ir::types::IndexExpr;
+use slpwlo_ir::unroll::unroll;
+use slpwlo_ir::Kernel;
+
+/// Windowed-sinc low-pass coefficients (Hamming window), normalized to
+/// `sum(|c|) <= 1` so that outputs of inputs in `[-1, 1]` stay in
+/// `[-1, 1]` (no internal overflow headroom needed).
+///
+/// # Panics
+///
+/// Panics if `taps == 0` or the cutoff is outside `(0, 0.5)`.
+pub fn lowpass_coeffs(taps: usize, cutoff: f64) -> Vec<f64> {
+    assert!(taps > 0, "taps must be positive");
+    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5)");
+    let m = (taps - 1) as f64;
+    let mut c: Vec<f64> = (0..taps)
+        .map(|i| {
+            let x = i as f64 - m / 2.0;
+            let sinc = if x.abs() < 1e-12 {
+                2.0 * cutoff
+            } else {
+                (2.0 * std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
+            };
+            let w = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / m).cos();
+            sinc * w
+        })
+        .collect();
+    let l1: f64 = c.iter().map(|v| v.abs()).sum();
+    for v in &mut c {
+        *v /= l1;
+    }
+    c
+}
+
+/// Builds an FIR kernel with the given coefficients and an inner tap loop
+/// partially unrolled by `unroll_factor` (0 = no unrolling).
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty.
+pub fn fir_kernel(name: &str, coeffs: Vec<f64>, unroll_factor: u32) -> Kernel {
+    assert!(!coeffs.is_empty(), "FIR needs at least one coefficient");
+    let taps = coeffs.len();
+    let mut b = KernelBuilder::new(name);
+    let x = b.input("x", -1.0, 1.0);
+    let y = b.output("y");
+    let c = b.param("c", coeffs);
+    let dl = b.array("dl", taps);
+    let acc = b.var("acc");
+    let xv = b.read_input(x);
+    b.shift_in(dl, xv);
+    let zero = b.constf(0.0);
+    b.assign(acc, zero);
+    let i = b.begin_for(taps as u32);
+    let cv = b.load_param_ix(c, IndexExpr::affine(i, 1, 0));
+    let lv = b.load_ix(dl, IndexExpr::affine(i, 1, 0));
+    let m = b.mul(cv, lv);
+    let av = b.read_var(acc);
+    let s = b.add(av, m);
+    b.assign(acc, s);
+    b.end_for(i);
+    let r = b.read_var(acc);
+    b.set_output(y, r);
+    let mut kernel = b.finish();
+    if unroll_factor > 1 {
+        unroll(&mut kernel, i, unroll_factor).expect("tap loop exists");
+    }
+    kernel
+}
+
+/// The paper's FIR benchmark: 64 taps, inner loop unrolled by 4.
+pub fn fir64() -> Kernel {
+    fir_kernel("fir64", lowpass_coeffs(64, 0.2), 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::interp::{Executor, FloatSem};
+
+    #[test]
+    fn coefficients_are_l1_normalized() {
+        let c = lowpass_coeffs(64, 0.2);
+        let l1: f64 = c.iter().map(|v| v.abs()).sum();
+        assert!((l1 - 1.0).abs() < 1e-12);
+        // Low-pass: the DC gain is positive and close to the passband.
+        let dc: f64 = c.iter().sum();
+        assert!(dc > 0.5 && dc <= 1.0, "DC gain {dc}");
+    }
+
+    #[test]
+    fn fir64_structure() {
+        let k = fir64();
+        assert_eq!(k.params()[0].values.len(), 64);
+        let blocks = collect_blocks(&k);
+        // head (shiftin+init), unrolled loop body, tail (output).
+        assert_eq!(blocks.len(), 3);
+        let body = blocks.iter().find(|b| b.in_loop()).unwrap();
+        assert_eq!(body.trip(), 16, "64 taps unrolled by 4");
+        assert_eq!(body.stmts.len(), 4, "four tap statements per iteration");
+    }
+
+    #[test]
+    fn impulse_response_equals_coefficients() {
+        let k = fir_kernel("f", lowpass_coeffs(8, 0.25), 4);
+        let c = lowpass_coeffs(8, 0.25);
+        let mut ex = Executor::new(&k, FloatSem);
+        let mut input = vec![0.0; 10];
+        input[0] = 1.0;
+        let out = ex.run(&[input]);
+        for (i, &ci) in c.iter().enumerate() {
+            assert!((out[0][i] - ci).abs() < 1e-12, "tap {i}");
+        }
+        assert_eq!(out[0][8], 0.0);
+    }
+
+    #[test]
+    fn bounded_output_for_bounded_input() {
+        let k = fir64();
+        let mut ex = Executor::new(&k, FloatSem);
+        let xs: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let out = ex.run(&[xs]);
+        for &v in &out[0] {
+            assert!(v.abs() <= 1.0 + 1e-12, "L1-normalized FIR stays in [-1,1]: {v}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's benchmark kernels and their workloads.
+//!
+//! Section V-C of the paper: "A 64-tap FIR and a 10th order IIR filters as
+//! well as a 2d (3x3) image convolution (CONV) are used as benchmarks...
+//! The innermost loop in FIR and IIR is partially unrolled by 4 to expose
+//! SLP, whereas the convolution kernel (3x3) is fully unrolled. The input
+//! samples are pre-normalized to [-1, 1]."
+//!
+//! * [`fir::fir64`] — 64-tap windowed-sinc low-pass FIR, tap loop
+//!   unrolled by 4;
+//! * [`iir::iir10`] — stable order-10 direct-form-I IIR (five well
+//!   separated conjugate pole pairs expanded into direct form),
+//!   feed-forward and feedback tap loops unrolled by 4;
+//! * [`conv::conv3x3`] — 3x3 convolution in streaming line-buffer form
+//!   (one output pixel per activation, three row streams), fully
+//!   unrolled;
+//! * [`signals`] — seeded workload generators (inputs pre-normalized to
+//!   `[-1, 1]`).
+
+pub mod conv;
+pub mod fir;
+pub mod iir;
+pub mod signals;
+
+pub use conv::conv3x3;
+pub use fir::fir64;
+pub use iir::iir10;
+pub use signals::Workload;
+
+use slpwlo_ir::Kernel;
+
+/// A named benchmark with its standard workload size.
+#[derive(Debug)]
+pub struct Benchmark {
+    /// Display name used in reports ("FIR", "IIR", "CONV").
+    pub name: &'static str,
+    /// The kernel, already unrolled as in the paper.
+    pub kernel: Kernel,
+    /// Number of activations in the standard workload (samples/pixels).
+    pub activations: u64,
+}
+
+/// The paper's three benchmarks in presentation order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "FIR", kernel: fir64(), activations: 2048 },
+        Benchmark { name: "IIR", kernel: iir10(), activations: 2048 },
+        Benchmark { name: "CONV", kernel: conv3x3(), activations: 64 * 64 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_benchmarks() {
+        let b = all_benchmarks();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].name, "FIR");
+        for bench in &b {
+            assert!(bench.kernel.validate().is_ok(), "{} invalid", bench.name);
+        }
+    }
+}

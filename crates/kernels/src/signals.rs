@@ -1,0 +1,117 @@
+//! Workload generation: input streams pre-normalized to `[-1, 1]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated workload: one stream per kernel input.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// `inputs[i][n]` = value of input `i` at activation `n`.
+    pub inputs: Vec<Vec<f64>>,
+}
+
+impl Workload {
+    /// Number of activations.
+    pub fn activations(&self) -> usize {
+        self.inputs.first().map_or(0, |v| v.len())
+    }
+
+    /// Uniform white noise in `[-1, 1]` for `streams` inputs.
+    pub fn white(streams: usize, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs = (0..streams)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        Workload { inputs }
+    }
+
+    /// A normalized mix of sinusoids (deterministic, spectrally rich) —
+    /// a typical telecom-ish test vector.
+    pub fn sine_mix(streams: usize, n: usize) -> Self {
+        let freqs = [0.013, 0.037, 0.11, 0.23];
+        let inputs = (0..streams)
+            .map(|s| {
+                (0..n)
+                    .map(|i| {
+                        let t = i as f64 + 7.0 * s as f64;
+                        let v: f64 = freqs
+                            .iter()
+                            .enumerate()
+                            .map(|(k, f)| {
+                                ((2.0 * std::f64::consts::PI * f * t) + k as f64).sin()
+                            })
+                            .sum();
+                        v / freqs.len() as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload { inputs }
+    }
+
+    /// A synthetic "image" rendered as three row streams for the
+    /// streaming 3x3 convolution: smooth gradients plus seeded texture,
+    /// pre-normalized to `[-1, 1]`.
+    pub fn image_rows(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixel = |x: usize, y: usize| -> f64 {
+            let gx = x as f64 / width.max(1) as f64;
+            let gy = y as f64 / height.max(1) as f64;
+            let texture: f64 = rng.gen_range(-0.25..0.25);
+            (2.0 * gx - 1.0) * 0.4 + (2.0 * gy - 1.0) * 0.3 + texture
+        };
+        let n = width * height;
+        let mut rows = vec![Vec::with_capacity(n); 3];
+        for y in 0..height {
+            for x in 0..width {
+                // Row streams: the line above, the line itself, the line
+                // below (clamped at borders).
+                let ym = y.saturating_sub(1);
+                let yp = (y + 1).min(height - 1);
+                rows[0].push(pixel(x, ym).clamp(-1.0, 1.0));
+                rows[1].push(pixel(x, y).clamp(-1.0, 1.0));
+                rows[2].push(pixel(x, yp).clamp(-1.0, 1.0));
+            }
+        }
+        Workload { inputs: rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_noise_in_range_and_deterministic() {
+        let a = Workload::white(1, 1000, 42);
+        let b = Workload::white(1, 1000, 42);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.activations(), 1000);
+        for &v in &a.inputs[0] {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sine_mix_is_normalized() {
+        let w = Workload::sine_mix(2, 500);
+        assert_eq!(w.inputs.len(), 2);
+        for s in &w.inputs {
+            for &v in s {
+                assert!(v.abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn image_rows_shape() {
+        let w = Workload::image_rows(16, 8, 7);
+        assert_eq!(w.inputs.len(), 3);
+        assert_eq!(w.activations(), 16 * 8);
+        for s in &w.inputs {
+            for &v in s {
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

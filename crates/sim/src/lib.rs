@@ -1,0 +1,45 @@
+//! VLIW cycle-count simulation.
+//!
+//! Substitutes for the vendor cycle-accurate simulators of the paper's
+//! evaluation: lowered machine programs are list-scheduled onto the
+//! target's issue slots and functional units, respecting operation
+//! latencies, macro-op expansions (e.g. 32-bit multiplies on a 16x16
+//! multiplier array) and the machine-serializing nature of soft-float
+//! library calls. Loop blocks pay a per-iteration control overhead.
+//!
+//! Absolute cycle counts are approximations of the real cores; the
+//! *relative* comparisons the paper draws (SIMD vs scalar code produced
+//! by the two flows, fixed-point vs floating point) are what this model
+//! preserves.
+
+pub mod sched;
+
+pub use sched::{block_cycles, cycles_per_activation, schedule_block, total_cycles, Schedule};
+
+/// Speedup of `cycles` relative to `baseline` (equation (2) of the
+/// paper: `baseline / cycles`).
+///
+/// # Panics
+///
+/// Panics if `cycles` is zero.
+pub fn speedup(baseline: u64, cycles: u64) -> f64 {
+    assert!(cycles > 0, "cycle count must be positive");
+    baseline as f64 / cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(speedup(100, 50), 2.0);
+        assert_eq!(speedup(50, 100), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cycles_panics() {
+        let _ = speedup(1, 0);
+    }
+}

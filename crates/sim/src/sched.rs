@@ -1,0 +1,311 @@
+//! Resource-constrained list scheduling.
+
+use slpwlo_core::{MachineBlock, MachineProgram};
+use slpwlo_targets::{OpClass, TargetModel};
+
+/// Schedule of one block: per-op issue cycles and the block makespan.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Cycle at which each operation issues (first slot for macro-ops).
+    pub start: Vec<u64>,
+    /// Cycle at which each operation's result is available.
+    pub finish: Vec<u64>,
+    /// Total cycles for one execution of the block.
+    pub makespan: u64,
+}
+
+/// Resource usage tracker with growable per-cycle counters.
+struct Resources<'t> {
+    target: &'t TargetModel,
+    issue: Vec<u32>,
+    alu: Vec<u32>,
+    mul: Vec<u32>,
+    mem: Vec<u32>,
+    shift: Vec<u32>,
+    fpu: Vec<u32>,
+    /// Cycles fully blocked by a serializing operation.
+    blocked: Vec<bool>,
+}
+
+impl<'t> Resources<'t> {
+    fn new(target: &'t TargetModel) -> Self {
+        Resources {
+            target,
+            issue: Vec::new(),
+            alu: Vec::new(),
+            mul: Vec::new(),
+            mem: Vec::new(),
+            shift: Vec::new(),
+            fpu: Vec::new(),
+            blocked: Vec::new(),
+        }
+    }
+
+    fn grow(&mut self, cycle: usize) {
+        let need = cycle + 1;
+        if self.issue.len() < need {
+            self.issue.resize(need, 0);
+            self.alu.resize(need, 0);
+            self.mul.resize(need, 0);
+            self.mem.resize(need, 0);
+            self.shift.resize(need, 0);
+            self.fpu.resize(need, 0);
+            self.blocked.resize(need, false);
+        }
+    }
+
+    fn class_used(&mut self, class: OpClass, cycle: usize) -> &mut u32 {
+        match class {
+            OpClass::Alu => &mut self.alu[cycle],
+            OpClass::Mul => &mut self.mul[cycle],
+            OpClass::Mem => &mut self.mem[cycle],
+            OpClass::Shift => &mut self.shift[cycle],
+            OpClass::Fpu => &mut self.fpu[cycle],
+        }
+    }
+
+    /// Free issue+unit slots of `class` at `cycle`.
+    fn free_slots(&mut self, class: OpClass, cycle: usize) -> u32 {
+        self.grow(cycle);
+        if self.blocked[cycle] {
+            return 0;
+        }
+        let cap = self.target.units.of(class);
+        let width = self.target.issue_width;
+        let used_class = *self.class_used(class, cycle);
+        let used_issue = self.issue[cycle];
+        (cap.saturating_sub(used_class)).min(width.saturating_sub(used_issue))
+    }
+
+    fn take(&mut self, class: OpClass, cycle: usize, n: u32) {
+        self.grow(cycle);
+        *self.class_used(class, cycle) += n;
+        self.issue[cycle] += n;
+        debug_assert!(self.issue[cycle] <= self.target.issue_width);
+    }
+
+    /// Finds the earliest window of `len` completely idle cycles starting
+    /// at or after `from`, and blocks it (soft-float call).
+    fn take_serialized(&mut self, from: u64, len: u64) -> u64 {
+        let mut t = from;
+        'outer: loop {
+            for c in t..t + len {
+                self.grow(c as usize);
+                if self.issue[c as usize] > 0 || self.blocked[c as usize] {
+                    t = c + 1;
+                    continue 'outer;
+                }
+            }
+            for c in t..t + len {
+                self.blocked[c as usize] = true;
+                self.issue[c as usize] = self.target.issue_width;
+            }
+            return t;
+        }
+    }
+}
+
+/// List-schedules one block onto the target.
+pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
+    let n = block.ops.len();
+    let mut start = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut res = Resources::new(target);
+    let mut makespan = 0u64;
+
+    for (i, op) in block.ops.iter().enumerate() {
+        let est = op
+            .preds
+            .iter()
+            .map(|&p| finish[p])
+            .max()
+            .unwrap_or(0);
+        let cost = target.cost(op.query);
+        if cost.serialize {
+            let t = res.take_serialized(est, cost.latency as u64);
+            start[i] = t;
+            finish[i] = t + cost.latency as u64;
+        } else {
+            // Place `slots` unit issues greedily from the earliest cycle
+            // with capacity.
+            let mut remaining = cost.slots;
+            let mut t = est;
+            // Find first cycle with any capacity.
+            while res.free_slots(cost.class, t as usize) == 0 {
+                t += 1;
+            }
+            start[i] = t;
+            let mut cur = t;
+            while remaining > 0 {
+                let free = res.free_slots(cost.class, cur as usize);
+                if free == 0 {
+                    cur += 1;
+                    continue;
+                }
+                let take = free.min(remaining);
+                res.take(cost.class, cur as usize, take);
+                remaining -= take;
+                if remaining > 0 {
+                    cur += 1;
+                }
+            }
+            finish[i] = cur + cost.latency as u64;
+        }
+        makespan = makespan.max(finish[i]);
+    }
+    Schedule { start, finish, makespan }
+}
+
+/// Cycles for one execution of a block, including loop control overhead
+/// for in-loop blocks.
+pub fn block_cycles(target: &TargetModel, block: &MachineBlock) -> u64 {
+    let sched = schedule_block(target, block);
+    let overhead = if block.in_loop {
+        let w = target.issue_width.max(1);
+        (target.loop_overhead_ops.div_ceil(w) as u64) + 1
+    } else {
+        0
+    };
+    sched.makespan + overhead
+}
+
+/// Cycles for one kernel activation (all blocks, trip-weighted).
+pub fn cycles_per_activation(target: &TargetModel, program: &MachineProgram) -> u64 {
+    program
+        .blocks
+        .iter()
+        .map(|b| block_cycles(target, b) * b.trip)
+        .sum()
+}
+
+/// Total cycles for a workload of `activations` kernel activations.
+pub fn total_cycles(target: &TargetModel, program: &MachineProgram, activations: u64) -> u64 {
+    cycles_per_activation(target, program) * activations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_core::Mop;
+    use slpwlo_targets::{st240, vex, xentium, OpQuery};
+
+    fn block(ops: Vec<Mop>, in_loop: bool) -> MachineBlock {
+        MachineBlock { ops, trip: 1, in_loop }
+    }
+
+    fn op(query: OpQuery, preds: Vec<usize>) -> Mop {
+        Mop { query, preds }
+    }
+
+    #[test]
+    fn single_issue_serializes() {
+        let target = vex(1);
+        let ops: Vec<Mop> = (0..6).map(|_| op(OpQuery::Add(32), vec![])).collect();
+        let s = schedule_block(&target, &block(ops, false));
+        // Six independent adds on a 1-issue machine: one per cycle.
+        assert_eq!(s.makespan, 6);
+    }
+
+    #[test]
+    fn wide_issue_parallelizes() {
+        let target = xentium(); // 4 ALUs
+        let ops: Vec<Mop> = (0..8).map(|_| op(OpQuery::Add(32), vec![])).collect();
+        let s = schedule_block(&target, &block(ops, false));
+        // 8 adds over 4 ALUs: 2 cycles of issue + 1 latency left-over.
+        assert!(s.makespan <= 3, "makespan {}", s.makespan);
+    }
+
+    #[test]
+    fn memory_ports_limit_loads() {
+        let target = xentium(); // 2 mem ports, load latency 2
+        let ops: Vec<Mop> = (0..8).map(|_| op(OpQuery::Load(32), vec![])).collect();
+        let s = schedule_block(&target, &block(ops, false));
+        // 8 loads over 2 ports: last issues at cycle 3, finishes at 5.
+        assert_eq!(s.makespan, 4 + target.load_latency as u64 - 1);
+    }
+
+    #[test]
+    fn dependence_chain_bounds_makespan() {
+        let target = xentium();
+        let mut ops = vec![op(OpQuery::Add(32), vec![])];
+        for i in 1..10 {
+            ops.push(op(OpQuery::Add(32), vec![i - 1]));
+        }
+        let s = schedule_block(&target, &block(ops, false));
+        assert_eq!(s.makespan, 10, "a 10-add chain takes 10 cycles regardless of width");
+    }
+
+    #[test]
+    fn wide_mul_occupies_multiplier_longer() {
+        let target = xentium();
+        let narrow: Vec<Mop> = (0..4).map(|_| op(OpQuery::Mul(16), vec![])).collect();
+        let wide: Vec<Mop> = (0..4).map(|_| op(OpQuery::Mul(32), vec![])).collect();
+        let sn = schedule_block(&target, &block(narrow, false));
+        let sw = schedule_block(&target, &block(wide, false));
+        assert!(
+            sw.makespan > sn.makespan,
+            "32-bit muls ({}c) must be slower than 16-bit ({}c)",
+            sw.makespan,
+            sn.makespan
+        );
+    }
+
+    #[test]
+    fn soft_float_blocks_the_machine() {
+        let target = xentium();
+        let ops = vec![
+            op(OpQuery::FAdd, vec![]),
+            op(OpQuery::Add(32), vec![]), // independent, but machine is blocked
+        ];
+        let s = schedule_block(&target, &block(ops, false));
+        assert!(
+            s.start[1] >= target.fadd_cycles as u64,
+            "nothing issues during a soft-float call (start {})",
+            s.start[1]
+        );
+    }
+
+    #[test]
+    fn hw_float_pipelines_on_st240() {
+        let target = st240();
+        let ops = vec![op(OpQuery::FAdd, vec![]), op(OpQuery::Add(32), vec![])];
+        let s = schedule_block(&target, &block(ops, false));
+        assert_eq!(s.start[1], 0, "hardware float does not serialize");
+    }
+
+    #[test]
+    fn loop_overhead_added_per_iteration() {
+        let target = vex(1);
+        let ops = vec![op(OpQuery::Add(32), vec![])];
+        let inside = block_cycles(&target, &MachineBlock { ops: ops.clone(), trip: 4, in_loop: true });
+        let outside = block_cycles(&target, &MachineBlock { ops, trip: 1, in_loop: false });
+        assert!(inside > outside);
+    }
+
+    #[test]
+    fn trips_multiply_cycles() {
+        let target = xentium();
+        let b1 = MachineBlock {
+            ops: vec![op(OpQuery::Add(32), vec![])],
+            trip: 16,
+            in_loop: true,
+        };
+        let prog = MachineProgram { name: "t".into(), blocks: vec![b1] };
+        let per_act = cycles_per_activation(&target, &prog);
+        assert_eq!(total_cycles(&target, &prog, 10), per_act * 10);
+        let single = block_cycles(
+            &target,
+            &MachineBlock { ops: vec![op(OpQuery::Add(32), vec![])], trip: 1, in_loop: true },
+        );
+        assert_eq!(per_act, single * 16);
+    }
+
+    #[test]
+    fn pack_macro_op_consumes_multiple_slots() {
+        let target = vex(1); // 1 ALU per cycle
+        let ops = vec![op(OpQuery::Pack(4), vec![])];
+        let s = schedule_block(&target, &block(ops, false));
+        // 4 insert slots on a single ALU: at least 4 cycles of occupancy.
+        assert!(s.makespan >= 4, "makespan {}", s.makespan);
+    }
+}

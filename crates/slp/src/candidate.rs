@@ -1,0 +1,262 @@
+//! Candidate extraction rounds.
+//!
+//! A [`Round`] takes the current set of *items* — groups selected in
+//! earlier rounds plus still-ungrouped scalar operations — and enumerates
+//! merge candidates: pairs of equal-size, isomorphic, fully independent
+//! items whose doubled lane count the target supports (equation (1) of the
+//! paper restricted to the target's SIMD configurations).
+
+use crate::group::{fully_independent, mem_status, MemStatus, SimdGroup};
+use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
+use slpwlo_targets::TargetModel;
+use std::collections::HashMap;
+
+/// One merge candidate: items `left` and `right` (indices into
+/// [`Round::items`]) concatenated in that lane order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the left (low-lane) item.
+    pub left: usize,
+    /// Index of the right (high-lane) item.
+    pub right: usize,
+}
+
+/// A realised view of a candidate, handed to selection hooks.
+#[derive(Debug, Clone)]
+pub struct CandidateView {
+    /// The merged group (left lanes then right lanes).
+    pub group: SimdGroup,
+    /// Lane count of the merged group.
+    pub lanes: u32,
+    /// Element word length the target grants this group (equation (1)).
+    pub elem_wl: i32,
+}
+
+/// One extraction round over the current items.
+#[derive(Debug)]
+pub struct Round {
+    /// Current items: prior groups and ungrouped scalar singletons.
+    pub items: Vec<SimdGroup>,
+    /// Merge candidates over `items`.
+    pub candidates: Vec<Candidate>,
+    /// Lookup from `(left, right)` to candidate index.
+    by_pair: HashMap<(usize, usize), usize>,
+    /// Lookup from lane vectors to item index.
+    by_elems: HashMap<Vec<NodeId>, usize>,
+}
+
+impl Round {
+    /// Builds a round from prior groups: ungrouped groupable nodes join as
+    /// singletons, then all valid merge candidates are enumerated.
+    pub fn new(dfg: &Dfg, target: &TargetModel, prior: &[SimdGroup]) -> Self {
+        let mut items: Vec<SimdGroup> = prior.to_vec();
+        for n in dfg.groupable_nodes() {
+            if !prior.iter().any(|g| g.contains(n)) {
+                items.push(SimdGroup::singleton(n));
+            }
+        }
+        let candidates = enumerate(dfg, target, &items);
+        let by_pair = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.left, c.right), i))
+            .collect();
+        let by_elems = items
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.elems.clone(), i))
+            .collect();
+        Round { items, candidates, by_pair, by_elems }
+    }
+
+    /// Materialises the merged view of a candidate.
+    pub fn view(&self, target: &TargetModel, idx: usize) -> CandidateView {
+        let c = self.candidates[idx];
+        let group = self.items[c.left].concat(&self.items[c.right]);
+        let lanes = group.lanes();
+        let elem_wl = target
+            .simd_element_wl(lanes)
+            .expect("enumerate() only keeps supported lane counts");
+        CandidateView { group, lanes, elem_wl }
+    }
+
+    /// Candidate index for an ordered item pair.
+    pub fn candidate_of(&self, left: usize, right: usize) -> Option<usize> {
+        self.by_pair.get(&(left, right)).copied()
+    }
+
+    /// Item index whose lanes are exactly `elems`.
+    pub fn item_of(&self, elems: &[NodeId]) -> Option<usize> {
+        self.by_elems.get(elems).copied()
+    }
+}
+
+/// Enumerates merge candidates among the items.
+fn enumerate(dfg: &Dfg, target: &TargetModel, items: &[SimdGroup]) -> Vec<Candidate> {
+    let sizes = target.group_sizes();
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        for j in 0..items.len() {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (&items[i], &items[j]);
+            if a.lanes() != b.lanes() {
+                continue;
+            }
+            let lanes = a.lanes() + b.lanes();
+            if !sizes.contains(&lanes) || target.simd_element_wl(lanes).is_none() {
+                continue;
+            }
+            if !a.kind(dfg).isomorphic(b.kind(dfg)) {
+                continue;
+            }
+            // Canonical lane order: memory groups ordered by address
+            // (ascending offsets only — keep (i,j) iff it is the
+            // contiguous-friendly order or both orders are gathers and
+            // i < j); non-memory groups by node id of the first lane.
+            if !canonical_order(dfg, a, b, i, j) {
+                continue;
+            }
+            if !fully_independent(dfg, a, b) {
+                continue;
+            }
+            out.push(Candidate { left: i, right: j });
+        }
+    }
+    out
+}
+
+/// Decides whether `(a, b)` is the canonical lane order for this pair.
+fn canonical_order(dfg: &Dfg, a: &SimdGroup, b: &SimdGroup, i: usize, j: usize) -> bool {
+    let is_mem = matches!(
+        a.kind(dfg),
+        NodeKind::LoadArray(..) | NodeKind::LoadParam(..) | NodeKind::StoreArray(..)
+    );
+    if is_mem {
+        let fwd = mem_status(dfg, &a.concat(b));
+        let bwd = mem_status(dfg, &b.concat(a));
+        match (contiguous(fwd), contiguous(bwd)) {
+            (true, false) => true,
+            (false, true) => false,
+            // Both gathers (or both contiguous, impossible for distinct
+            // offsets): fall back to index order.
+            _ => i < j,
+        }
+    } else {
+        i < j
+    }
+}
+
+fn contiguous(s: MemStatus) -> bool {
+    matches!(s, MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_targets::{vex, xentium};
+
+    fn conv_like() -> Dfg {
+        // 4 independent multiplies with an adder tree (fully groupable).
+        let src = r#"
+kernel c {
+    input x range [-1, 1];
+    output y;
+    param k[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array w[4];
+    var t0;
+    var t1;
+    shiftin w <- x;
+    t0 = k[0] * w[0] + k[1] * w[1];
+    t1 = k[2] * w[2] + k[3] * w[3];
+    y = t0 + t1;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let blocks = collect_blocks(&k);
+        Dfg::from_stmts(&k, &blocks[0].stmts)
+    }
+
+    #[test]
+    fn round_one_finds_pairs() {
+        let dfg = conv_like();
+        let round = Round::new(&dfg, &xentium(), &[]);
+        // Items: all groupable nodes as singletons.
+        assert!(round.items.iter().all(|g| g.lanes() == 1));
+        // Candidates must include mul pairs, param-load pairs, array-load
+        // pairs and the (t0+t1-independent) add pairs.
+        assert!(!round.candidates.is_empty());
+        for idx in 0..round.candidates.len() {
+            let v = round.view(&xentium(), idx);
+            assert_eq!(v.lanes, 2);
+            assert_eq!(v.elem_wl, 16);
+        }
+    }
+
+    #[test]
+    fn mem_pairs_prefer_address_order() {
+        let dfg = conv_like();
+        let round = Round::new(&dfg, &xentium(), &[]);
+        // Every load-pair candidate that is contiguous must be in
+        // ascending address order.
+        for c in &round.candidates {
+            let g = round.items[c.left].concat(&round.items[c.right]);
+            if matches!(g.kind(&dfg), NodeKind::LoadArray(..)) {
+                let st = mem_status(&dfg, &g);
+                if contiguous(st) {
+                    // ascending: distance +1 verified by mem_status
+                    assert_ne!(st, MemStatus::Gather);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extension_round_pairs_groups_on_vex_only() {
+        let dfg = conv_like();
+        let r1 = Round::new(&dfg, &vex(4), &[]);
+        // Pick two disjoint mul pairs manually.
+        let muls: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
+            .map(|(i, _)| i)
+            .collect();
+        let g1 = SimdGroup { elems: vec![muls[0], muls[1]] };
+        let g2 = SimdGroup { elems: vec![muls[2], muls[3]] };
+        let r2 = Round::new(&dfg, &vex(4), &[g1.clone(), g2.clone()]);
+        // On VEX a 4x8 merge of the two pairs must be a candidate.
+        let i1 = r2.item_of(&g1.elems).unwrap();
+        let i2 = r2.item_of(&g2.elems).unwrap();
+        assert!(
+            r2.candidate_of(i1, i2).is_some() || r2.candidate_of(i2, i1).is_some(),
+            "VEX must offer the 4-lane extension"
+        );
+        // On XENTIUM (2x16 only) no group-pair candidate may appear.
+        let r2x = Round::new(&dfg, &xentium(), &[g1, g2]);
+        for c in &r2x.candidates {
+            assert_eq!(r2x.items[c.left].lanes(), 1, "no 4-lane candidates on XENTIUM");
+        }
+        let _ = r1;
+    }
+
+    #[test]
+    fn grouped_nodes_leave_the_singleton_pool() {
+        let dfg = conv_like();
+        let muls: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
+            .map(|(i, _)| i)
+            .collect();
+        let g = SimdGroup { elems: vec![muls[0], muls[1]] };
+        let round = Round::new(&dfg, &xentium(), &[g]);
+        let singleton_muls = round
+            .items
+            .iter()
+            .filter(|it| it.lanes() == 1 && it.contains(muls[0]))
+            .count();
+        assert_eq!(singleton_muls, 0, "grouped node must not reappear as a singleton");
+    }
+}

@@ -1,0 +1,279 @@
+//! SIMD groups and group-level graph utilities.
+
+use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
+use std::fmt;
+
+/// An ordered set of DFG nodes packed into one SIMD register.
+///
+/// The element order *is* the lane order; it matters for memory
+/// contiguity and superword reuse.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimdGroup {
+    /// Lane elements, lane 0 first.
+    pub elems: Vec<NodeId>,
+}
+
+impl SimdGroup {
+    /// A single-element (scalar) group — the starting item of round one.
+    pub fn singleton(n: NodeId) -> Self {
+        SimdGroup { elems: vec![n] }
+    }
+
+    /// Concatenates two groups (lanes of `self` then lanes of `other`).
+    pub fn concat(&self, other: &SimdGroup) -> SimdGroup {
+        let mut elems = self.elems.clone();
+        elems.extend_from_slice(&other.elems);
+        SimdGroup { elems }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> u32 {
+        self.elems.len() as u32
+    }
+
+    /// Returns `true` if the group contains `n`.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.elems.contains(&n)
+    }
+
+    /// Returns `true` if the groups share an element.
+    pub fn overlaps(&self, other: &SimdGroup) -> bool {
+        self.elems.iter().any(|e| other.contains(*e))
+    }
+
+    /// The operation kind shared by all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty group.
+    pub fn kind<'d>(&self, dfg: &'d Dfg) -> &'d NodeKind {
+        &dfg.node(self.elems[0]).kind
+    }
+}
+
+impl fmt::Display for SimdGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Follows `VarUse` wiring back to the producing node.
+///
+/// Variable reads are transparent for SLP: the superword chain
+/// `mul -> (assign/read) -> add` is a direct def-use chain in hardware.
+pub fn resolve_producer(dfg: &Dfg, n: NodeId) -> NodeId {
+    let mut cur = n;
+    loop {
+        match &dfg.node(cur).kind {
+            NodeKind::VarUse(_) => match dfg.node(cur).operands.first() {
+                Some(&def) => cur = def,
+                None => return cur,
+            },
+            _ => return cur,
+        }
+    }
+}
+
+/// Users of `n`'s value with `VarUse` wiring flattened away.
+pub fn effective_users(dfg: &Dfg, n: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeId> = dfg.node(n).users.clone();
+    while let Some(u) = stack.pop() {
+        match &dfg.node(u).kind {
+            NodeKind::VarUse(_) => stack.extend(dfg.node(u).users.iter().copied()),
+            _ => out.push(u),
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Operand nodes of `n` at each position, resolved through `VarUse`.
+pub fn resolved_operands(dfg: &Dfg, n: NodeId) -> Vec<NodeId> {
+    dfg.node(n)
+        .operands
+        .iter()
+        .map(|&o| resolve_producer(dfg, o))
+        .collect()
+}
+
+/// Returns `true` when every element of `a` is independent of every
+/// element of `b` — the requirement for merging them into one SIMD
+/// instruction.
+pub fn fully_independent(dfg: &Dfg, a: &SimdGroup, b: &SimdGroup) -> bool {
+    a.elems
+        .iter()
+        .all(|&x| b.elems.iter().all(|&y| dfg.independent(x, y)))
+}
+
+/// Returns `true` if some element of `from` reaches some element of `to`.
+pub fn group_reaches(dfg: &Dfg, from: &SimdGroup, to: &SimdGroup) -> bool {
+    from.elems
+        .iter()
+        .any(|&x| to.elems.iter().any(|&y| dfg.reaches(x, y)))
+}
+
+/// Memory layout of a group of loads or stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemStatus {
+    /// Contiguous and aligned to the vector width: one SIMD access.
+    ContiguousAligned,
+    /// Contiguous but misaligned: realizable with extra access/align ops.
+    ContiguousUnaligned,
+    /// Not contiguous: needs scalar accesses plus packing (gather).
+    Gather,
+    /// Not a memory group.
+    NotMemory,
+}
+
+/// Classifies the memory layout of a group's accesses.
+///
+/// Elements must be loads from the same array/param (callers guarantee
+/// this via isomorphism); contiguity requires identical affine terms and
+/// consecutive offsets in lane order; alignment requires the first offset
+/// to be a multiple of the lane count.
+pub fn mem_status(dfg: &Dfg, g: &SimdGroup) -> MemStatus {
+    let ixs: Vec<_> = g
+        .elems
+        .iter()
+        .map(|&e| match &dfg.node(e).kind {
+            NodeKind::LoadArray(_, ix)
+            | NodeKind::StoreArray(_, ix)
+            | NodeKind::LoadParam(_, ix) => Some(ix.clone()),
+            _ => None,
+        })
+        .collect();
+    if ixs.iter().any(|i| i.is_none()) {
+        return MemStatus::NotMemory;
+    }
+    let ixs: Vec<_> = ixs.into_iter().map(|i| i.expect("checked above")).collect();
+    for w in ixs.windows(2) {
+        if w[0].constant_distance(&w[1]) != Some(1) {
+            return MemStatus::Gather;
+        }
+    }
+    if ixs[0].offset().rem_euclid(g.lanes() as i64) == 0 {
+        MemStatus::ContiguousAligned
+    } else {
+        MemStatus::ContiguousUnaligned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_ir::Kernel;
+
+    fn fir_block() -> (Kernel, Dfg) {
+        let src = r#"
+kernel f {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array dl[4];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    acc = acc + c[0] * dl[0];
+    acc = acc + c[1] * dl[1];
+    acc = acc + c[2] * dl[2];
+    acc = acc + c[3] * dl[3];
+    y = acc;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let blocks = collect_blocks(&k);
+        assert_eq!(blocks.len(), 1);
+        let dfg = Dfg::from_block(&k, &blocks[0]);
+        (k, dfg)
+    }
+
+    fn nodes_of(dfg: &Dfg, pred: impl Fn(&NodeKind) -> bool) -> Vec<NodeId> {
+        dfg.iter().filter(|(_, n)| pred(&n.kind)).map(|(i, _)| i).collect()
+    }
+
+    #[test]
+    fn muls_are_fully_independent() {
+        let (_, dfg) = fir_block();
+        let muls = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
+        assert_eq!(muls.len(), 4);
+        let g1 = SimdGroup { elems: vec![muls[0], muls[1]] };
+        let g2 = SimdGroup { elems: vec![muls[2], muls[3]] };
+        assert!(fully_independent(&dfg, &g1, &g2));
+    }
+
+    #[test]
+    fn accumulator_adds_are_dependent() {
+        let (_, dfg) = fir_block();
+        let adds = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Add)));
+        assert_eq!(adds.len(), 4);
+        let g1 = SimdGroup::singleton(adds[0]);
+        let g2 = SimdGroup::singleton(adds[1]);
+        assert!(!fully_independent(&dfg, &g1, &g2));
+        assert!(group_reaches(&dfg, &g1, &g2));
+    }
+
+    #[test]
+    fn resolve_through_var_use() {
+        let (_, dfg) = fir_block();
+        let adds = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Add)));
+        // Second add's first operand is a VarUse of acc; its producer is
+        // the first add.
+        let ops = resolved_operands(&dfg, adds[1]);
+        assert!(ops.contains(&adds[0]));
+    }
+
+    #[test]
+    fn effective_users_skip_var_use() {
+        let (_, dfg) = fir_block();
+        let adds = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Add)));
+        let users = effective_users(&dfg, adds[0]);
+        assert_eq!(users, vec![adds[1]]);
+    }
+
+    #[test]
+    fn mem_status_classifies() {
+        let (_, dfg) = fir_block();
+        let loads = nodes_of(&dfg, |k| matches!(k, NodeKind::LoadArray(..)));
+        assert_eq!(loads.len(), 4);
+        // dl[0], dl[1]: contiguous, offset 0 => aligned.
+        let a = SimdGroup { elems: vec![loads[0], loads[1]] };
+        assert_eq!(mem_status(&dfg, &a), MemStatus::ContiguousAligned);
+        // dl[1], dl[2]: contiguous but offset 1 => unaligned.
+        let b = SimdGroup { elems: vec![loads[1], loads[2]] };
+        assert_eq!(mem_status(&dfg, &b), MemStatus::ContiguousUnaligned);
+        // dl[0], dl[2]: gap => gather.
+        let c = SimdGroup { elems: vec![loads[0], loads[2]] };
+        assert_eq!(mem_status(&dfg, &c), MemStatus::Gather);
+        // reversed order: distance -1 => gather (no reversing loads).
+        let d = SimdGroup { elems: vec![loads[1], loads[0]] };
+        assert_eq!(mem_status(&dfg, &d), MemStatus::Gather);
+        // a mul is not a memory group
+        let muls = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
+        let e = SimdGroup { elems: vec![muls[0], muls[1]] };
+        assert_eq!(mem_status(&dfg, &e), MemStatus::NotMemory);
+    }
+
+    #[test]
+    fn concat_and_overlap() {
+        let (_, dfg) = fir_block();
+        let muls = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
+        let g1 = SimdGroup { elems: vec![muls[0], muls[1]] };
+        let g2 = SimdGroup { elems: vec![muls[2], muls[3]] };
+        let g4 = g1.concat(&g2);
+        assert_eq!(g4.lanes(), 4);
+        assert!(g4.overlaps(&g1) && g4.overlaps(&g2));
+        assert!(!g1.overlaps(&g2));
+        assert_eq!(g4.to_string(), format!("{{{},{},{},{}}}", muls[0], muls[1], muls[2], muls[3]));
+    }
+}

@@ -1,0 +1,33 @@
+//! Superword level parallelism (SLP) extraction substrate.
+//!
+//! Implements the structural machinery of the Liu et al. (PLDI 2012)-style
+//! SLP extraction the paper builds on:
+//!
+//! * SIMD group **candidates**: pairs of isomorphic, independent items
+//!   (scalar operations in the first round, previously selected groups in
+//!   extension rounds — "the group selection is repeated ... as long as
+//!   groups size is supported");
+//! * **conflicts**: two candidates sharing an operation or linked by a
+//!   cyclic dependency can never both be realised;
+//! * **benefit** estimation: superword reuse enabled by a candidate versus
+//!   the packing/unpacking cost it incurs;
+//! * the iterative **selection loop** with pluggable hooks, through which
+//!   `slpwlo-core` injects the paper's accuracy-awareness (candidate
+//!   validation, accuracy conflicts, `SETMAXWL` on selection);
+//! * a plain accuracy-*unaware* extraction ([`select::extract_plain`]) used
+//!   by the `WLO-First` baseline flow.
+
+pub mod benefit;
+pub mod candidate;
+pub mod conflict;
+pub mod group;
+pub mod select;
+
+pub use benefit::BenefitModel;
+pub use candidate::{Candidate, CandidateView, Round};
+pub use conflict::structural_conflicts;
+pub use group::{
+    effective_users, fully_independent, group_reaches, mem_status, resolve_producer,
+    resolved_operands, MemStatus, SimdGroup,
+};
+pub use select::{extract_plain, extract_rounds, run_selection, NoHooks, SelectHooks};

@@ -1,0 +1,354 @@
+//! The iterative group-selection loop (fig. 1c lines 26–35 of the paper)
+//! and the round driver.
+//!
+//! The loop is parameterised by [`SelectHooks`] so that `slpwlo-core` can
+//! inject the paper's accuracy-awareness:
+//!
+//! * [`SelectHooks::validate`] — "eliminate candidates violating the
+//!   constraint" (fig. 1c lines 6–12);
+//! * [`SelectHooks::accuracy_conflict`] — the additional conflicts of
+//!   lines 16–22 (two candidates that cannot *coexist* within the noise
+//!   budget);
+//! * [`SelectHooks::on_select`] — `SETMAXWL` on the chosen group, with the
+//!   option to veto a selection whose cumulative effect would break the
+//!   constraint (a strict guard the paper implies through its conflict
+//!   definition).
+
+use crate::benefit::BenefitModel;
+use crate::candidate::{CandidateView, Round};
+use crate::conflict::conflicts;
+use crate::group::SimdGroup;
+use slpwlo_ir::dfg::{Dfg, NodeId};
+use slpwlo_targets::TargetModel;
+
+/// Hooks through which accuracy awareness (or any other policy) is
+/// injected into the selection loop.
+pub trait SelectHooks {
+    /// Candidate admission check, called once per candidate before
+    /// conflict analysis. Return `false` to discard the candidate.
+    fn validate(&mut self, view: &CandidateView) -> bool {
+        let _ = view;
+        true
+    }
+
+    /// Extra (non-structural) conflict between two candidates. Called
+    /// only for structurally compatible pairs.
+    fn accuracy_conflict(&mut self, a: &CandidateView, b: &CandidateView) -> bool {
+        let _ = (a, b);
+        false
+    }
+
+    /// Called when the loop wants to select a candidate. Apply side
+    /// effects (word-length updates) here; return `false` to veto.
+    fn on_select(&mut self, view: &CandidateView) -> bool {
+        let _ = view;
+        true
+    }
+}
+
+/// Policy-free hooks: plain structural SLP.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+
+impl SelectHooks for NoHooks {}
+
+/// Runs one selection pass over a round (one `SLP()` invocation of the
+/// paper) and returns the newly formed groups.
+pub fn run_selection(
+    dfg: &Dfg,
+    target: &TargetModel,
+    round: &Round,
+    selected_so_far: &[SimdGroup],
+    hooks: &mut dyn SelectHooks,
+) -> Vec<SimdGroup> {
+    let n = round.candidates.len();
+    let views: Vec<CandidateView> = (0..n).map(|i| round.view(target, i)).collect();
+
+    // Candidate validation (fig. 1c lines 4-12).
+    let mut alive: Vec<bool> = views.iter().map(|v| hooks.validate(v)).collect();
+
+    // Conflict detection (fig. 1c lines 13-25).
+    let mut conf: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        if !alive[i] {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if !alive[j] {
+                continue;
+            }
+            if conflicts(dfg, round, i, j) {
+                conf.push((i, j));
+            } else if hooks.accuracy_conflict(&views[i], &views[j]) {
+                conf.push((i, j));
+            }
+        }
+    }
+
+    let model = BenefitModel::new(dfg, round, target);
+    let mut selected: Vec<SimdGroup> = selected_so_far.to_vec();
+    let mut new_groups: Vec<SimdGroup> = Vec::new();
+
+    // Main loop: while conflicts remain among live candidates, pick the
+    // most beneficial candidate and eliminate everything conflicting.
+    loop {
+        let live_conflicts = conf
+            .iter()
+            .any(|&(i, j)| alive[i] && alive[j]);
+        let Some(best) = argmax_benefit(&model, &alive, &selected) else {
+            break;
+        };
+        if !live_conflicts {
+            // Conflict-free tail (paper: loop ends when conflicts are
+            // resolved; remaining compatible candidates are selected in
+            // benefit order, still subject to the selection hook).
+            try_select(best, &views, &mut alive, &mut selected, &mut new_groups, hooks);
+            kill_overlapping(round, best, &mut alive, &new_groups);
+            continue;
+        }
+        let accepted =
+            try_select(best, &views, &mut alive, &mut selected, &mut new_groups, hooks);
+        if accepted {
+            // Eliminate candidates in conflict with the selection.
+            for &(i, j) in &conf {
+                if i == best && alive[j] {
+                    alive[j] = false;
+                } else if j == best && alive[i] {
+                    alive[i] = false;
+                }
+            }
+        }
+    }
+    new_groups
+}
+
+fn try_select(
+    idx: usize,
+    views: &[CandidateView],
+    alive: &mut [bool],
+    selected: &mut Vec<SimdGroup>,
+    new_groups: &mut Vec<SimdGroup>,
+    hooks: &mut dyn SelectHooks,
+) -> bool {
+    alive[idx] = false;
+    if hooks.on_select(&views[idx]) {
+        selected.push(views[idx].group.clone());
+        new_groups.push(views[idx].group.clone());
+        true
+    } else {
+        false
+    }
+}
+
+/// Kills candidates overlapping any already-formed group (used in the
+/// conflict-free tail, where shared-item conflicts are gone but overlaps
+/// with fresh selections must still be respected).
+fn kill_overlapping(round: &Round, _idx: usize, alive: &mut [bool], new_groups: &[SimdGroup]) {
+    for (ci, c) in round.candidates.iter().enumerate() {
+        if !alive[ci] {
+            continue;
+        }
+        let g = round.items[c.left].concat(&round.items[c.right]);
+        if new_groups.iter().any(|s| s.overlaps(&g)) {
+            alive[ci] = false;
+        }
+    }
+}
+
+fn argmax_benefit(
+    model: &BenefitModel<'_>,
+    alive: &[bool],
+    selected: &[SimdGroup],
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &a) in alive.iter().enumerate() {
+        if !a {
+            continue;
+        }
+        let b = model.benefit(i, alive, selected);
+        match best {
+            Some((_, bb)) if bb >= b => {}
+            _ => best = Some((i, b)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Runs extraction rounds to fixpoint (the paper's outer `while not done`
+/// over one basic block): each round re-enumerates candidates over the
+/// updated item set, allowing group sizes to grow as long as the target
+/// supports them.
+pub fn extract_rounds(
+    dfg: &Dfg,
+    target: &TargetModel,
+    hooks: &mut dyn SelectHooks,
+) -> Vec<SimdGroup> {
+    let mut groups: Vec<SimdGroup> = Vec::new();
+    loop {
+        let round = Round::new(dfg, target, &groups);
+        let selected = run_selection(dfg, target, &round, &groups, hooks);
+        if selected.is_empty() {
+            return groups;
+        }
+        // A freshly selected wider group supersedes the narrower groups it
+        // absorbed (fig. 1a line 12).
+        groups.retain(|g| !selected.iter().any(|s| s.lanes() > g.lanes() && s.overlaps(g)));
+        groups.extend(selected);
+    }
+}
+
+/// Plain, accuracy-*unaware* SLP extraction for the `WLO-First` baseline:
+/// word lengths are already fixed, so a candidate is admissible iff every
+/// element's word length fits the sub-word the target grants the group.
+pub fn extract_plain(
+    dfg: &Dfg,
+    target: &TargetModel,
+    wl_of: &dyn Fn(NodeId) -> i32,
+) -> Vec<SimdGroup> {
+    struct FixedWlHooks<'a> {
+        target: &'a TargetModel,
+        wl_of: &'a dyn Fn(NodeId) -> i32,
+    }
+    impl SelectHooks for FixedWlHooks<'_> {
+        fn validate(&mut self, view: &CandidateView) -> bool {
+            view.group.elems.iter().all(|&e| {
+                match self.target.container_wl((self.wl_of)(e)) {
+                    Some(c) => c <= view.elem_wl,
+                    None => false,
+                }
+            })
+        }
+    }
+    let mut hooks = FixedWlHooks { target, wl_of };
+    extract_rounds(dfg, target, &mut hooks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::dfg::NodeKind;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_ir::Kernel;
+    use slpwlo_targets::{st240, vex, xentium};
+
+    fn fir4_block() -> (Kernel, Dfg) {
+        let src = r#"
+kernel f {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array dl[4];
+    var t0;
+    var t1;
+    shiftin dl <- x;
+    t0 = c[0] * dl[0] + c[1] * dl[1];
+    t1 = c[2] * dl[2] + c[3] * dl[3];
+    y = t0 + t1;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let blocks = collect_blocks(&k);
+        let dfg = Dfg::from_stmts(&k, &blocks[0].stmts);
+        (k, dfg)
+    }
+
+    #[test]
+    fn plain_extraction_finds_groups_at_16_bits() {
+        let (_, dfg) = fir4_block();
+        let groups = extract_plain(&dfg, &xentium(), &|_| 16);
+        assert!(!groups.is_empty(), "16-bit data must vectorize");
+        // The two multiplies with adjacent loads must be grouped.
+        let mul_groups: Vec<_> = groups
+            .iter()
+            .filter(|g| matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
+            .collect();
+        assert_eq!(mul_groups.len(), 2, "got {groups:?}");
+        // No group may contain dependent elements.
+        for g in &groups {
+            for (i, &a) in g.elems.iter().enumerate() {
+                for &b in &g.elems[i + 1..] {
+                    assert!(dfg.independent(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_extraction_finds_nothing_at_32_bits() {
+        let (_, dfg) = fir4_block();
+        let groups = extract_plain(&dfg, &xentium(), &|_| 32);
+        assert!(groups.is_empty(), "32-bit data cannot pack on a 32-bit SIMD datapath");
+    }
+
+    #[test]
+    fn extension_to_four_lanes_on_vex() {
+        let (_, dfg) = fir4_block();
+        let groups8 = extract_plain(&dfg, &vex(4), &|_| 8);
+        let max_lanes = groups8.iter().map(|g| g.lanes()).max().unwrap_or(0);
+        assert_eq!(max_lanes, 4, "8-bit data on VEX must form 4-lane groups: {groups8:?}");
+        // On ST240 (2x16 only) the same data stays in pairs.
+        let groups_st = extract_plain(&dfg, &st240(), &|_| 8);
+        let max_st = groups_st.iter().map(|g| g.lanes()).max().unwrap_or(0);
+        assert_eq!(max_st, 2);
+    }
+
+    #[test]
+    fn mixed_wl_blocks_grouping() {
+        let (_, dfg) = fir4_block();
+        // Give one multiply 32 bits: it cannot join a 2x16 group.
+        let muls: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
+            .map(|(i, _)| i)
+            .collect();
+        let wide = muls[0];
+        let groups = extract_plain(&dfg, &xentium(), &move |n| if n == wide { 32 } else { 16 });
+        for g in &groups {
+            assert!(!g.contains(wide), "the 32-bit op must stay scalar");
+        }
+    }
+
+    #[test]
+    fn no_group_member_repeats() {
+        let (_, dfg) = fir4_block();
+        let groups = extract_plain(&dfg, &vex(4), &|_| 16);
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for &e in &g.elems {
+                assert!(seen.insert(e), "node {e} appears in two groups");
+            }
+        }
+    }
+
+    #[test]
+    fn veto_hook_blocks_selection() {
+        struct VetoAll;
+        impl SelectHooks for VetoAll {
+            fn on_select(&mut self, _v: &CandidateView) -> bool {
+                false
+            }
+        }
+        let (_, dfg) = fir4_block();
+        let groups = extract_rounds(&dfg, &xentium(), &mut VetoAll);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn validate_hook_filters_candidates() {
+        struct OnlyMuls<'d> {
+            dfg: &'d Dfg,
+        }
+        impl SelectHooks for OnlyMuls<'_> {
+            fn validate(&mut self, view: &CandidateView) -> bool {
+                matches!(view.group.kind(self.dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul))
+            }
+        }
+        let (_, dfg) = fir4_block();
+        let groups = extract_rounds(&dfg, &xentium(), &mut OnlyMuls { dfg: &dfg });
+        assert!(!groups.is_empty());
+        for g in &groups {
+            assert!(matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Embedded processor models.
+//!
+//! Describes the four evaluation targets of the paper — Recore **XENTIUM**
+//! (12-issue ultra-low-power VLIW, 2x16 SIMD, no FPU), ST Microelectronics
+//! **ST240** (4-issue media VLIW, 2x16 SIMD, single-precision FPU) and the
+//! HP **VEX** architecture in 1- and 4-issue configurations (extended, as
+//! in the paper, with 16-bit and 8-bit SIMD instructions) — as data:
+//! issue width, functional-unit counts, instruction latencies/expansions,
+//! SIMD configurations and pack/unpack/soft-float costs.
+//!
+//! The original evaluation ran vendor cycle-accurate simulators; these
+//! models feed the `slpwlo-sim` VLIW list scheduler instead. Absolute
+//! cycle counts are approximations, but the *relative* behaviour the paper
+//! measures (SIMD benefit vs packing overhead, scalar multiply width
+//! effects, soft-float penalty) is represented faithfully.
+
+pub mod model;
+pub mod presets;
+
+pub use model::{FuSet, OpClass, OpCost, OpQuery, SimdConfig, TargetModel};
+pub use presets::{all_targets, st240, vex, xentium};

@@ -1,0 +1,365 @@
+//! The target description data model.
+
+use std::fmt;
+
+/// Functional-unit classes of the VLIW data-path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU (add/sub/logic/moves/packs).
+    Alu,
+    /// Multiplier.
+    Mul,
+    /// Memory port (loads/stores).
+    Mem,
+    /// Shifter.
+    Shift,
+    /// Floating-point unit (hardware-float targets only).
+    Fpu,
+}
+
+/// Per-cycle issue capacity of each functional-unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuSet {
+    /// Number of ALU issues per cycle.
+    pub alu: u32,
+    /// Number of multiplier issues per cycle.
+    pub mul: u32,
+    /// Number of memory accesses per cycle.
+    pub mem: u32,
+    /// Number of shift issues per cycle.
+    pub shift: u32,
+    /// Number of FP issues per cycle (zero without an FPU).
+    pub fpu: u32,
+}
+
+impl FuSet {
+    /// Capacity for one class.
+    pub fn of(&self, class: OpClass) -> u32 {
+        match class {
+            OpClass::Alu => self.alu,
+            OpClass::Mul => self.mul,
+            OpClass::Mem => self.mem,
+            OpClass::Shift => self.shift,
+            OpClass::Fpu => self.fpu,
+        }
+    }
+}
+
+/// One supported SIMD configuration (`lanes` sub-words of `elem_wl` bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdConfig {
+    /// Number of packed elements.
+    pub lanes: u32,
+    /// Element word length in bits.
+    pub elem_wl: i32,
+}
+
+/// Cost of issuing one (macro-)operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCost {
+    /// Functional unit consumed.
+    pub class: OpClass,
+    /// Cycles from issue to result availability.
+    pub latency: u32,
+    /// Number of unit issue slots consumed (macro-expansion for e.g.
+    /// 32-bit multiplies on a 16x16 multiplier).
+    pub slots: u32,
+    /// When `true` the operation occupies the entire machine for
+    /// `latency` cycles (soft-float library call — no ILP around calls).
+    pub serialize: bool,
+}
+
+impl OpCost {
+    fn unit(class: OpClass, latency: u32) -> Self {
+        OpCost { class, latency, slots: 1, serialize: false }
+    }
+}
+
+/// Abstract machine operations whose cost a target can be asked for.
+///
+/// The lowered machine program of `slpwlo-core` maps onto these queries;
+/// keeping them here avoids a dependency cycle between the target models
+/// and the lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpQuery {
+    /// Scalar add/sub/neg at the given word length.
+    Add(i32),
+    /// Scalar multiply at the given word length.
+    Mul(i32),
+    /// Scalar shift (scaling) at the given word length.
+    Shift(i32),
+    /// Scalar load of the given word length.
+    Load(i32),
+    /// Scalar store of the given word length.
+    Store(i32),
+    /// SIMD add/sub over `lanes` sub-words.
+    VAdd(u32),
+    /// SIMD multiply over `lanes` sub-words.
+    VMul(u32),
+    /// SIMD shift (same amount per lane) over `lanes` sub-words.
+    VShift(u32),
+    /// SIMD (contiguous, aligned) load of `lanes` sub-words.
+    VLoad(u32),
+    /// SIMD store of `lanes` sub-words.
+    VStore(u32),
+    /// Build one vector register from `lanes` scalar values.
+    Pack(u32),
+    /// Extract one scalar from a vector register.
+    Unpack,
+    /// Floating-point add (hardware or soft-float).
+    FAdd,
+    /// Floating-point multiply (hardware or soft-float).
+    FMul,
+    /// Float load.
+    FLoad,
+    /// Float store.
+    FStore,
+}
+
+/// A complete processor description.
+#[derive(Debug, Clone)]
+pub struct TargetModel {
+    /// Display name (e.g. `"XENTIUM"`).
+    pub name: String,
+    /// VLIW issue width (operations per cycle across all units).
+    pub issue_width: u32,
+    /// Scalar datapath width in bits (32 for all paper targets).
+    pub datapath: i32,
+    /// Natively supported scalar word lengths, descending.
+    pub scalar_wls: Vec<i32>,
+    /// Supported SIMD configurations.
+    pub simd: Vec<SimdConfig>,
+    /// Functional-unit capacities per cycle.
+    pub units: FuSet,
+    /// Latency of a native multiply (result width <= datapath).
+    pub mul_latency: u32,
+    /// Issue-slot expansion of a full-width (datapath-bit) multiply on
+    /// targets whose multiplier is narrower (e.g. 16x16): number of
+    /// multiplier slots consumed.
+    pub wide_mul_slots: u32,
+    /// Extra latency of a full-width multiply.
+    pub wide_mul_latency: u32,
+    /// Load-use latency.
+    pub load_latency: u32,
+    /// ALU ops needed to pack `lanes` scalars into one vector register is
+    /// `pack_ops_per_lane * lanes`.
+    pub pack_ops_per_lane: u32,
+    /// ALU ops needed to extract one scalar from a vector register.
+    pub unpack_ops: u32,
+    /// `true` when a single-cycle barrel shifter is available (otherwise
+    /// shifts cost one cycle per position — shift-register style).
+    pub barrel_shifter: bool,
+    /// Hardware floating point available.
+    pub hw_float: bool,
+    /// Latency of hardware FP add / serialized cost of soft-float add.
+    pub fadd_cycles: u32,
+    /// Latency of hardware FP mul / serialized cost of soft-float mul.
+    pub fmul_cycles: u32,
+    /// Per-iteration loop control overhead in issue slots (branch,
+    /// induction update).
+    pub loop_overhead_ops: u32,
+}
+
+impl TargetModel {
+    /// Maximum natively supported scalar word length.
+    pub fn max_wl(&self) -> i32 {
+        self.scalar_wls.iter().copied().max().unwrap_or(self.datapath)
+    }
+
+    /// Smallest natively supported scalar word length that can hold `wl`
+    /// bits; `None` if `wl` exceeds the datapath.
+    pub fn container_wl(&self, wl: i32) -> Option<i32> {
+        self.scalar_wls
+            .iter()
+            .copied()
+            .filter(|&c| c >= wl)
+            .min()
+    }
+
+    /// Equation (1) of the paper: the maximum supported element word
+    /// length `m` such that `m * n_elem <= SIMD size`, restricted to the
+    /// target's SIMD configurations. `None` when the target cannot
+    /// execute groups of `n_elem` elements.
+    pub fn simd_element_wl(&self, n_elem: u32) -> Option<i32> {
+        self.simd
+            .iter()
+            .filter(|c| c.lanes == n_elem && c.elem_wl * n_elem as i32 <= self.datapath)
+            .map(|c| c.elem_wl)
+            .max()
+    }
+
+    /// All group sizes the target supports (ascending).
+    pub fn group_sizes(&self) -> Vec<u32> {
+        let mut sizes: Vec<u32> = self.simd.iter().map(|c| c.lanes).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        sizes
+    }
+
+    /// Cost of one abstract machine operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a SIMD query names an unsupported lane count — callers
+    /// must consult [`simd_element_wl`](Self::simd_element_wl) first.
+    pub fn cost(&self, q: OpQuery) -> OpCost {
+        match q {
+            OpQuery::Add(_) => OpCost::unit(OpClass::Alu, 1),
+            OpQuery::Mul(wl) => {
+                if wl > self.native_mul_wl() {
+                    OpCost {
+                        class: OpClass::Mul,
+                        latency: self.wide_mul_latency,
+                        slots: self.wide_mul_slots,
+                        serialize: false,
+                    }
+                } else {
+                    OpCost::unit(OpClass::Mul, self.mul_latency)
+                }
+            }
+            OpQuery::Shift(_) => {
+                if self.barrel_shifter {
+                    OpCost::unit(OpClass::Shift, 1)
+                } else {
+                    // Shift-register style: a shift occupies the unit for
+                    // its amount; modelled as a 2-cycle average.
+                    OpCost { class: OpClass::Shift, latency: 2, slots: 1, serialize: false }
+                }
+            }
+            OpQuery::Load(_) | OpQuery::VLoad(_) | OpQuery::FLoad => {
+                OpCost::unit(OpClass::Mem, self.load_latency)
+            }
+            OpQuery::Store(_) | OpQuery::VStore(_) | OpQuery::FStore => {
+                OpCost::unit(OpClass::Mem, 1)
+            }
+            OpQuery::VAdd(l) => {
+                self.assert_lanes(l);
+                OpCost::unit(OpClass::Alu, 1)
+            }
+            OpQuery::VMul(l) => {
+                self.assert_lanes(l);
+                OpCost::unit(OpClass::Mul, self.mul_latency)
+            }
+            OpQuery::VShift(l) => {
+                self.assert_lanes(l);
+                OpCost::unit(OpClass::Shift, if self.barrel_shifter { 1 } else { 2 })
+            }
+            OpQuery::Pack(l) => OpCost {
+                class: OpClass::Alu,
+                latency: 1,
+                slots: self.pack_ops_per_lane * l,
+                serialize: false,
+            },
+            OpQuery::Unpack => OpCost {
+                class: OpClass::Alu,
+                latency: 1,
+                slots: self.unpack_ops,
+                serialize: false,
+            },
+            OpQuery::FAdd => self.float_cost(self.fadd_cycles),
+            OpQuery::FMul => self.float_cost(self.fmul_cycles),
+        }
+    }
+
+    /// Widest multiply executed natively in one multiplier slot.
+    pub fn native_mul_wl(&self) -> i32 {
+        if self.wide_mul_slots > 1 {
+            16
+        } else {
+            self.datapath
+        }
+    }
+
+    fn float_cost(&self, cycles: u32) -> OpCost {
+        if self.hw_float {
+            OpCost::unit(OpClass::Fpu, cycles)
+        } else {
+            // Soft-float library call: serializes the machine.
+            OpCost { class: OpClass::Alu, latency: cycles, slots: 1, serialize: true }
+        }
+    }
+
+    fn assert_lanes(&self, lanes: u32) {
+        assert!(
+            self.simd.iter().any(|c| c.lanes == lanes),
+            "target {} does not support {}-lane SIMD",
+            self.name,
+            lanes
+        );
+    }
+}
+
+impl fmt::Display for TargetModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}-issue", self.name, self.issue_width)?;
+        for c in &self.simd {
+            write!(f, ", {}x{}", c.lanes, c.elem_wl)?;
+        }
+        write!(f, "{})", if self.hw_float { ", hw-float" } else { ", soft-float" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{st240, vex, xentium};
+
+    #[test]
+    fn equation_one_on_2x16_targets() {
+        let x = xentium();
+        assert_eq!(x.simd_element_wl(2), Some(16));
+        assert_eq!(x.simd_element_wl(4), None, "XENTIUM has no 4x8 SIMD");
+        let v = vex(4);
+        assert_eq!(v.simd_element_wl(2), Some(16));
+        assert_eq!(v.simd_element_wl(4), Some(8));
+    }
+
+    #[test]
+    fn container_wl_rounds_up() {
+        let x = xentium();
+        assert_eq!(x.container_wl(13), Some(16));
+        assert_eq!(x.container_wl(16), Some(16));
+        assert_eq!(x.container_wl(17), Some(32));
+        assert_eq!(x.container_wl(33), None);
+    }
+
+    #[test]
+    fn wide_mul_expands_on_xentium_but_not_st240() {
+        let x = xentium();
+        let wide = x.cost(OpQuery::Mul(32));
+        let narrow = x.cost(OpQuery::Mul(16));
+        assert!(wide.slots > narrow.slots, "32-bit mul must expand on a 16x16 multiplier");
+        let s = st240();
+        assert_eq!(s.cost(OpQuery::Mul(32)).slots, 1, "ST240 multiplies 32-bit natively");
+    }
+
+    #[test]
+    fn soft_float_serializes_only_without_fpu() {
+        let x = xentium();
+        assert!(x.cost(OpQuery::FAdd).serialize);
+        assert!(x.cost(OpQuery::FAdd).latency >= 20);
+        let s = st240();
+        assert!(!s.cost(OpQuery::FAdd).serialize);
+        assert_eq!(s.cost(OpQuery::FAdd).class, OpClass::Fpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_lanes_panic() {
+        let x = xentium();
+        let _ = x.cost(OpQuery::VMul(4));
+    }
+
+    #[test]
+    fn display_format() {
+        let x = xentium();
+        let s = x.to_string();
+        assert!(s.contains("XENTIUM") && s.contains("2x16") && s.contains("soft-float"));
+    }
+
+    #[test]
+    fn group_sizes_sorted() {
+        assert_eq!(vex(1).group_sizes(), vec![2, 4]);
+        assert_eq!(st240().group_sizes(), vec![2]);
+    }
+}

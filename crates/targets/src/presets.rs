@@ -1,0 +1,146 @@
+//! The paper's four evaluation targets.
+
+use crate::model::{FuSet, SimdConfig, TargetModel};
+
+/// Recore XENTIUM: ultra-low-power 32-bit 12-issue VLIW DSP core.
+///
+/// No hardware floating point (the paper reports 15–45x speedups over
+/// soft-emulated float); supports 2x16-bit SIMD. The multiplier array is
+/// 16x16, so full 32-bit multiplies macro-expand.
+pub fn xentium() -> TargetModel {
+    TargetModel {
+        name: "XENTIUM".into(),
+        issue_width: 12,
+        datapath: 32,
+        scalar_wls: vec![32, 16, 8],
+        simd: vec![SimdConfig { lanes: 2, elem_wl: 16 }],
+        units: FuSet { alu: 4, mul: 2, mem: 2, shift: 2, fpu: 0 },
+        mul_latency: 2,
+        wide_mul_slots: 4,
+        wide_mul_latency: 6,
+        load_latency: 2,
+        pack_ops_per_lane: 1,
+        unpack_ops: 1,
+        barrel_shifter: true,
+        hw_float: false,
+        fadd_cycles: 38,
+        fmul_cycles: 32,
+        loop_overhead_ops: 2,
+    }
+}
+
+/// ST Microelectronics ST240: 32-bit 4-issue media VLIW (ST200 family).
+///
+/// Native 32x32 multiplier, single-precision hardware floating point,
+/// 2x16-bit integer SIMD.
+pub fn st240() -> TargetModel {
+    TargetModel {
+        name: "ST240".into(),
+        issue_width: 4,
+        datapath: 32,
+        scalar_wls: vec![32, 16, 8],
+        simd: vec![SimdConfig { lanes: 2, elem_wl: 16 }],
+        units: FuSet { alu: 4, mul: 2, mem: 1, shift: 2, fpu: 1 },
+        mul_latency: 3,
+        wide_mul_slots: 1,
+        wide_mul_latency: 3,
+        load_latency: 3,
+        pack_ops_per_lane: 1,
+        unpack_ops: 1,
+        barrel_shifter: true,
+        hw_float: true,
+        fadd_cycles: 3,
+        fmul_cycles: 3,
+        loop_overhead_ops: 2,
+    }
+}
+
+/// HP VEX VLIW with the paper's 16-bit and 8-bit SIMD instruction
+/// extensions, in a configurable issue width (the paper uses 1 and 4).
+///
+/// VEX has no FPU; floating point is soft-emulated. The default VEX
+/// multiplier is 16x32, so full 32-bit multiplies expand.
+///
+/// # Panics
+///
+/// Panics if `issue_width` is zero.
+pub fn vex(issue_width: u32) -> TargetModel {
+    assert!(issue_width > 0, "issue width must be positive");
+    TargetModel {
+        name: format!("VEX-{issue_width}"),
+        issue_width,
+        datapath: 32,
+        scalar_wls: vec![32, 16, 8],
+        simd: vec![
+            SimdConfig { lanes: 2, elem_wl: 16 },
+            SimdConfig { lanes: 4, elem_wl: 8 },
+        ],
+        units: FuSet {
+            alu: issue_width.max(1),
+            mul: (issue_width / 2).max(1),
+            mem: (issue_width / 4).max(1),
+            shift: issue_width.max(1),
+            fpu: 0,
+        },
+        mul_latency: 2,
+        wide_mul_slots: 2,
+        wide_mul_latency: 4,
+        load_latency: 3,
+        pack_ops_per_lane: 1,
+        unpack_ops: 1,
+        barrel_shifter: true,
+        hw_float: false,
+        fadd_cycles: 35,
+        fmul_cycles: 30,
+        loop_overhead_ops: if issue_width == 1 { 3 } else { 2 },
+    }
+}
+
+/// The four targets of the paper's evaluation, in figure order:
+/// XENTIUM, ST240, VEX-4, VEX-1.
+pub fn all_targets() -> Vec<TargetModel> {
+    vec![xentium(), st240(), vex(4), vex(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_targets_in_paper_order() {
+        let t = all_targets();
+        let names: Vec<&str> = t.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["XENTIUM", "ST240", "VEX-4", "VEX-1"]);
+    }
+
+    #[test]
+    fn only_st240_has_hw_float() {
+        for t in all_targets() {
+            assert_eq!(t.hw_float, t.name == "ST240", "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn vex_scales_units_with_issue_width() {
+        let narrow = vex(1);
+        let wide = vex(4);
+        assert!(narrow.units.alu < wide.units.alu);
+        assert_eq!(narrow.issue_width, 1);
+        assert!(narrow.loop_overhead_ops > wide.loop_overhead_ops);
+    }
+
+    #[test]
+    fn all_targets_support_2x16() {
+        for t in all_targets() {
+            assert_eq!(t.simd_element_wl(2), Some(16), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn only_vex_supports_4x8() {
+        for t in all_targets() {
+            let has = t.simd_element_wl(4).is_some();
+            assert_eq!(has, t.name.starts_with("VEX"), "{}", t.name);
+        }
+    }
+}

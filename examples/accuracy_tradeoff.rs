@@ -1,0 +1,31 @@
+//! The performance/accuracy trade-off on the order-10 IIR: sweep the
+//! constraint and watch the joint flow trade noise budget for SIMD
+//! cycles — the curve behind figure 4 of the paper.
+//!
+//! Run with: `cargo run --release --example accuracy_tradeoff`
+
+use slpwlo::core::{prepare, wlo_slp_flow};
+use slpwlo::kernels::iir10;
+use slpwlo::sim::total_cycles;
+use slpwlo::targets::{st240, xentium};
+
+fn main() {
+    let prep = prepare(iir10());
+    let n = 2048u64;
+    for target in [xentium(), st240()] {
+        println!("\nIIR-10 on {target} (N = {n})");
+        println!("{:>8} {:>12} {:>12} {:>8}", "dB", "SIMD cycles", "noise dB", "groups");
+        let mut last_cycles = 0u64;
+        for i in 1..=19 {
+            let db = -5.0 * i as f64;
+            let flow = wlo_slp_flow(&prep, &target, db);
+            let cycles = total_cycles(&target, &flow.simd, n);
+            let marker = if cycles != last_cycles { " <-" } else { "" };
+            println!(
+                "{:>8.0} {:>12} {:>12.1} {:>8}{marker}",
+                db, cycles, flow.noise_db, flow.group_count
+            );
+            last_cycles = cycles;
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: joint word-length optimization + SLP extraction on a tiny
+//! kernel written in the textual DSL.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
+use slpwlo::ir::parser::parse_kernel;
+use slpwlo::sim::{speedup, total_cycles};
+use slpwlo::targets::xentium;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-tap FIR in the kernel DSL; the paper's pragmas become `range`
+    // annotations, and the tap loop carries its unroll factor.
+    let kernel = parse_kernel(
+        r#"
+kernel demo {
+    input x range [-1, 1];
+    output y;
+    param c[8] = { 0.11, -0.23, 0.31, 0.17, -0.05, 0.27, -0.13, 0.07 };
+    array dl[8];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    for i in 0..8 unroll 4 {
+        acc = acc + c[i] * dl[i];
+    }
+    y = acc;
+}
+"#,
+    )?;
+
+    // Front end: range analysis + analytical accuracy model (once).
+    let prep = prepare(kernel);
+    let target = xentium();
+    let constraint_db = -40.0; // max tolerable output noise power
+
+    // The paper's joint flow vs the WLO-First baseline.
+    let joint = wlo_slp_flow(&prep, &target, constraint_db);
+    let first = wlo_first_flow(&prep, &target, constraint_db, &TabuOptions::default());
+
+    let n = 2048; // activations (input samples)
+    let base = total_cycles(&target, &first.scalar, n);
+    println!("target            : {target}");
+    println!("constraint        : {constraint_db} dB");
+    println!("baseline (scalar) : {base} cycles");
+    println!(
+        "WLO-First SIMD    : {} cycles (speedup {:.2}, {} groups, noise {:.1} dB)",
+        total_cycles(&target, &first.simd, n),
+        speedup(base, total_cycles(&target, &first.simd, n)),
+        first.group_count,
+        first.noise_db
+    );
+    println!(
+        "WLO-SLP   SIMD    : {} cycles (speedup {:.2}, {} groups, noise {:.1} dB)",
+        total_cycles(&target, &joint.simd, n),
+        speedup(base, total_cycles(&target, &joint.simd, n)),
+        joint.group_count,
+        joint.noise_db
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! # slpwlo — SLP-aware word-length optimization
+//!
+//! Facade crate re-exporting the whole `slpwlo` workspace: a reproduction
+//! of *"Superword Level Parallelism aware Word Length Optimization"*
+//! (El Moussawi & Derrien, DATE 2017).
+//!
+//! Most users want [`core`] (the joint WLO + SLP algorithms and end-to-end
+//! flows), [`kernels`] (the paper's FIR/IIR/CONV benchmarks) and [`sim`]
+//! (the VLIW cycle model). See the repository `README.md` and the
+//! `examples/` directory for end-to-end walkthroughs.
+
+pub use slpwlo_accuracy as accuracy;
+pub use slpwlo_codegen as codegen;
+pub use slpwlo_core as core;
+pub use slpwlo_fixedpoint as fixedpoint;
+pub use slpwlo_ir as ir;
+pub use slpwlo_kernels as kernels;
+pub use slpwlo_sim as sim;
+pub use slpwlo_slp as slp;
+pub use slpwlo_targets as targets;

@@ -1,0 +1,106 @@
+//! Cross-crate integration: complete flows on the paper's benchmarks.
+
+use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
+use slpwlo::kernels::all_benchmarks;
+use slpwlo::sim::{speedup, total_cycles};
+use slpwlo::targets::{all_targets, xentium};
+
+#[test]
+fn both_flows_meet_every_constraint_on_every_benchmark() {
+    for bench in all_benchmarks() {
+        let prep = prepare(bench.kernel.clone());
+        let target = xentium();
+        for db in [-15.0, -45.0, -75.0] {
+            let joint = wlo_slp_flow(&prep, &target, db);
+            let first = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
+            assert!(
+                joint.noise_db <= db,
+                "{} WLO-SLP at {db}: {:.1} dB",
+                bench.name,
+                joint.noise_db
+            );
+            assert!(
+                first.noise_db <= db,
+                "{} WLO-First at {db}: {:.1} dB",
+                bench.name,
+                first.noise_db
+            );
+        }
+    }
+}
+
+#[test]
+fn joint_flow_wins_on_average_across_the_grid() {
+    // The paper's headline: WLO-SLP consistently beats WLO-First.
+    let mut slp_total = 0.0;
+    let mut first_total = 0.0;
+    let mut points = 0usize;
+    let mut slp_wins = 0usize;
+    for bench in all_benchmarks() {
+        let prep = prepare(bench.kernel.clone());
+        for target in all_targets() {
+            for db in [-15.0, -45.0] {
+                let joint = wlo_slp_flow(&prep, &target, db);
+                let first = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
+                let base = total_cycles(&target, &first.scalar, bench.activations);
+                let s_slp = speedup(base, total_cycles(&target, &joint.simd, bench.activations));
+                let s_first = speedup(base, total_cycles(&target, &first.simd, bench.activations));
+                slp_total += s_slp;
+                first_total += s_first;
+                if s_slp >= s_first {
+                    slp_wins += 1;
+                }
+                points += 1;
+            }
+        }
+    }
+    assert!(
+        slp_total > first_total,
+        "mean speedup: slp {} vs first {}",
+        slp_total / points as f64,
+        first_total / points as f64
+    );
+    assert!(
+        slp_wins * 10 >= points * 9,
+        "WLO-SLP must win at least 90% of cells: {slp_wins}/{points}"
+    );
+}
+
+#[test]
+fn flows_are_deterministic_across_runs() {
+    let bench = &all_benchmarks()[0];
+    let prep1 = prepare(bench.kernel.clone());
+    let prep2 = prepare(bench.kernel.clone());
+    let t = xentium();
+    let a = wlo_slp_flow(&prep1, &t, -40.0);
+    let b = wlo_slp_flow(&prep2, &t, -40.0);
+    assert_eq!(a.group_count, b.group_count);
+    assert_eq!(
+        total_cycles(&t, &a.simd, 100),
+        total_cycles(&t, &b.simd, 100)
+    );
+    assert_eq!(a.noise_db, b.noise_db);
+}
+
+#[test]
+fn scalar_program_never_contains_vector_ops() {
+    use slpwlo::targets::OpQuery;
+    let bench = &all_benchmarks()[2]; // CONV
+    let prep = prepare(bench.kernel.clone());
+    let flow = wlo_slp_flow(&prep, &xentium(), -30.0);
+    for block in &flow.scalar.blocks {
+        for op in &block.ops {
+            assert!(
+                !matches!(
+                    op.query,
+                    OpQuery::VAdd(_)
+                        | OpQuery::VMul(_)
+                        | OpQuery::VLoad(_)
+                        | OpQuery::VStore(_)
+                        | OpQuery::VShift(_)
+                ),
+                "scalar lowering leaked a vector op"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Shape assertions against the paper's reported results: not absolute
+//! numbers (the substrate is a model, not the authors' testbed), but who
+//! wins, by roughly what factor, and how curves move.
+
+use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
+use slpwlo::core::lower_float;
+use slpwlo::kernels::all_benchmarks;
+use slpwlo::sim::{speedup, total_cycles};
+use slpwlo::targets::{st240, vex, xentium};
+
+/// Figure 6 shape: XENTIUM (soft float) speedups are one to two orders
+/// of magnitude; ST240 (hardware float) stays near 1x.
+#[test]
+fn fig6_shape_soft_float_vs_hw_float() {
+    for bench in all_benchmarks() {
+        let prep = prepare(bench.kernel.clone());
+        let float_prog = lower_float(&prep.kernel);
+        let db = -25.0;
+
+        let xent = xentium();
+        let fx = wlo_slp_flow(&prep, &xent, db);
+        let s_x = speedup(
+            total_cycles(&xent, &float_prog, bench.activations),
+            total_cycles(&xent, &fx.simd, bench.activations),
+        );
+        assert!(
+            (10.0..=60.0).contains(&s_x),
+            "{} on XENTIUM: float speedup {s_x:.1} outside the paper's band",
+            bench.name
+        );
+
+        let st = st240();
+        let fs = wlo_slp_flow(&prep, &st, db);
+        let s_s = speedup(
+            total_cycles(&st, &float_prog, bench.activations),
+            total_cycles(&st, &fs.simd, bench.activations),
+        );
+        assert!(
+            (0.7..=2.0).contains(&s_s),
+            "{} on ST240: float speedup {s_s:.2} outside the paper's band",
+            bench.name
+        );
+    }
+}
+
+/// Figure 4 shape: the joint flow achieves speedups above 1 at loose
+/// constraints, while the baseline frequently degrades below 1 on the
+/// narrow-issue targets.
+#[test]
+fn fig4_shape_joint_wins_baseline_degrades() {
+    let bench = &all_benchmarks()[0]; // FIR
+    let prep = prepare(bench.kernel.clone());
+    for target in [st240(), vex(1)] {
+        let mut first_below_one = false;
+        let mut best_joint = 0.0f64;
+        for db in [-10.0, -30.0, -50.0] {
+            let joint = wlo_slp_flow(&prep, &target, db);
+            let first = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
+            let base = total_cycles(&target, &first.scalar, bench.activations);
+            let s_joint = speedup(base, total_cycles(&target, &joint.simd, bench.activations));
+            let s_first = speedup(base, total_cycles(&target, &first.simd, bench.activations));
+            // The joint flow may dip where wide groups with pack overhead
+            // get selected (the paper keeps this behaviour deliberately —
+            // section V-D's CONV/XENTIUM discussion) but never collapses.
+            assert!(
+                s_joint >= 0.6,
+                "{}: joint speedup {s_joint:.2} at {db} dB",
+                target.name
+            );
+            best_joint = best_joint.max(s_joint);
+            if s_first < 1.0 {
+                first_below_one = true;
+            }
+        }
+        assert!(
+            best_joint > 1.0,
+            "{}: joint flow must beat the scalar baseline somewhere, best {best_joint:.2}",
+            target.name
+        );
+        assert!(
+            first_below_one,
+            "{}: WLO-First must degrade below 1x somewhere (paper's key claim)",
+            target.name
+        );
+    }
+}
+
+/// Table I shape: the joint flow's cycles never *decrease* by more than
+/// a small wobble as the constraint tightens across the precision
+/// transition (the paper's own VEX-4 column wobbles too), and the tight
+/// end is slower than the loose end.
+#[test]
+fn table1_shape_cycles_grow_with_tighter_constraints() {
+    let bench = &all_benchmarks()[0]; // FIR
+    let prep = prepare(bench.kernel.clone());
+    let target = xentium();
+    // The grid crosses this setup's 16-bit precision transition
+    // (about -100 dB for FIR-64; the paper's kernels transition within
+    // its -5..-70 axis).
+    let grid: Vec<f64> = vec![-10.0, -70.0, -90.0, -100.0, -110.0];
+    let cycles: Vec<u64> = grid
+        .iter()
+        .map(|&db| {
+            let f = wlo_slp_flow(&prep, &target, db);
+            total_cycles(&target, &f.simd, bench.activations)
+        })
+        .collect();
+    assert!(
+        *cycles.last().unwrap() > *cycles.first().unwrap(),
+        "tight constraints must cost cycles: {cycles:?}"
+    );
+    for w in cycles.windows(2) {
+        assert!(
+            w[1] as f64 >= w[0] as f64 * 0.9,
+            "cycles may wobble (the paper's VEX-4 column does too) but not collapse: {cycles:?}"
+        );
+    }
+}
+
+/// The number of *packed operations* decays as the constraint tightens
+/// through the precision transition. (Group count alone is not monotone:
+/// one 4-lane group replaces two pairs.)
+#[test]
+fn packed_lanes_decay_with_precision() {
+    let bench = &all_benchmarks()[2]; // CONV
+    let prep = prepare(bench.kernel.clone());
+    let target = vex(4);
+    let lanes = |db: f64| -> u32 {
+        // Count packed nodes through the lowered vector ops' lane sum.
+        let flow = wlo_slp_flow(&prep, &target, db);
+        let mut n = 0;
+        for b in &flow.simd.blocks {
+            for op in &b.ops {
+                if let slpwlo::targets::OpQuery::VAdd(l)
+                | slpwlo::targets::OpQuery::VMul(l)
+                | slpwlo::targets::OpQuery::VLoad(l) = op.query
+                {
+                    n += l;
+                }
+            }
+        }
+        n
+    };
+    let loose = lanes(-10.0);
+    let tight = lanes(-100.0);
+    assert!(
+        loose >= tight,
+        "packed lanes must not grow with tighter constraints: {loose} vs {tight}"
+    );
+    let impossible = wlo_slp_flow(&prep, &target, -160.0);
+    assert_eq!(impossible.group_count, 0, "nothing packs at -160 dB");
+}
