@@ -97,9 +97,10 @@ pub fn expr_executions(kernel: &Kernel) -> Vec<u64> {
     kernel.visit_stmts(&mut |s, stack| {
         let trips: u64 = stack.iter().map(|&(_, c)| c as u64).product();
         let root = match s {
-            Stmt::Assign(_, e) | Stmt::Store(_, _, e) | Stmt::ShiftIn(_, e) | Stmt::Output(_, e) => {
-                Some(*e)
-            }
+            Stmt::Assign(_, e)
+            | Stmt::Store(_, _, e)
+            | Stmt::ShiftIn(_, e)
+            | Stmt::Output(_, e) => Some(*e),
             Stmt::For { .. } => None,
         };
         if let Some(root) = root {
@@ -234,7 +235,13 @@ fn impulse_response_sums(
     opts: &GainOptions,
     baseline: &mut Baseline<'_>,
 ) -> (f64, f64) {
-    let sem = ImpulseSem { target: src, exec: k, activation: 0, amount: 1.0, inner: FloatSem };
+    let sem = ImpulseSem {
+        target: src,
+        exec: k,
+        activation: 0,
+        amount: 1.0,
+        inner: FloatSem,
+    };
     let mut ex = Executor::new(kernel, sem);
     let zero = vec![0.0; kernel.inputs().len()];
     let mut s1 = 0.0;

@@ -104,7 +104,11 @@ impl AnalyticalEvaluator {
     pub fn new(kernel: &Kernel, opts: &EvalOptions) -> Self {
         let gains = measure_gains(kernel, &opts.gains);
         let sources = enumerate_sources(kernel);
-        AnalyticalEvaluator { gains, sources, mode: opts.mode }
+        AnalyticalEvaluator {
+            gains,
+            sources,
+            mode: opts.mode,
+        }
     }
 
     /// Builds the evaluator with default options.
@@ -216,12 +220,16 @@ fn enumerate_sources(kernel: &Kernel) -> Vec<Source> {
                 a: delivered(kernel, *a, &reaching),
                 b: delivered(kernel, *b, &reaching),
             },
-            ExprNode::Unary(UnOp::Neg, a) => {
-                SourceKind::Neg { a: delivered(kernel, *a, &reaching) }
-            }
+            ExprNode::Unary(UnOp::Neg, a) => SourceKind::Neg {
+                a: delivered(kernel, *a, &reaching),
+            },
             _ => continue,
         };
-        sources.push(Source { expr: id, kind, store_array: store_roots.get(&id).copied() });
+        sources.push(Source {
+            expr: id,
+            kind,
+            store_array: store_roots.get(&id).copied(),
+        });
     }
     sources
 }
@@ -322,11 +330,7 @@ fn reaching_defs(kernel: &Kernel) -> HashMap<ExprId, Vec<ExprId>> {
 }
 
 /// Grids a value produced by `e` can be delivered on.
-fn delivered(
-    kernel: &Kernel,
-    e: ExprId,
-    reaching: &HashMap<ExprId, Vec<ExprId>>,
-) -> Vec<Deliver> {
+fn delivered(kernel: &Kernel, e: ExprId, reaching: &HashMap<ExprId, Vec<ExprId>>) -> Vec<Deliver> {
     let mut out = Vec::new();
     let mut stack = vec![e];
     let mut seen = Vec::new();
@@ -396,7 +400,10 @@ kernel fir4 {
         let n32 = eval.noise_db(&spec32);
         let n16 = eval.noise_db(&spec16);
         let n8 = eval.noise_db(&spec8);
-        assert!(n32 < n16 && n16 < n8, "noise must grow as WL shrinks: {n32} {n16} {n8}");
+        assert!(
+            n32 < n16 && n16 < n8,
+            "noise must grow as WL shrinks: {n32} {n16} {n8}"
+        );
     }
 
     #[test]
@@ -428,7 +435,10 @@ kernel fir4 {
             .unwrap();
         spec.set_wl(SpecKey::Expr(add), 8);
         let after = eval.noise_power(&spec);
-        assert!(after > before * 10.0, "8-bit accumulator must dominate: {before} -> {after}");
+        assert!(
+            after > before * 10.0,
+            "8-bit accumulator must dominate: {before} -> {after}"
+        );
     }
 
     #[test]

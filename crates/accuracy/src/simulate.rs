@@ -27,7 +27,11 @@ impl<'s> FixedSem<'s> {
     /// Creates the semantics with the paper's defaults (truncation,
     /// saturation).
     pub fn new(spec: &'s FixedPointSpec) -> Self {
-        FixedSem { spec, mode: QuantizeMode::Truncate, ovf: OverflowMode::Saturate }
+        FixedSem {
+            spec,
+            mode: QuantizeMode::Truncate,
+            ovf: OverflowMode::Saturate,
+        }
     }
 
     /// Overrides the signal-path quantization mode.
@@ -154,8 +158,17 @@ pub fn measure_noise(
         }
     }
     let power = if n == 0 { 0.0 } else { sum2 / n as f64 };
-    let db = if power > 0.0 { 10.0 * power.log10() } else { f64::NEG_INFINITY };
-    NoiseMeasurement { power, db, max_abs_error: max_abs, samples: n }
+    let db = if power > 0.0 {
+        10.0 * power.log10()
+    } else {
+        f64::NEG_INFINITY
+    };
+    NoiseMeasurement {
+        power,
+        db,
+        max_abs_error: max_abs,
+        samples: n,
+    }
 }
 
 #[cfg(test)]
@@ -225,10 +238,16 @@ kernel ma {
         let (k, s32) = setup(32);
         let (_, s16) = setup(16);
         let (_, s12) = setup(12);
-        let m32 = measure_noise(&k, &s32, &[xs.clone()]);
-        let m16 = measure_noise(&k, &s16, &[xs.clone()]);
+        let m32 = measure_noise(&k, &s32, std::slice::from_ref(&xs));
+        let m16 = measure_noise(&k, &s16, std::slice::from_ref(&xs));
         let m12 = measure_noise(&k, &s12, &[xs]);
-        assert!(m32.db < m16.db && m16.db < m12.db, "{} {} {}", m32.db, m16.db, m12.db);
+        assert!(
+            m32.db < m16.db && m16.db < m12.db,
+            "{} {} {}",
+            m32.db,
+            m16.db,
+            m12.db
+        );
     }
 
     #[test]
@@ -240,7 +259,7 @@ kernel ma {
             let (k, spec) = setup(wl);
             let eval = AnalyticalEvaluator::with_defaults(&k);
             let predicted = eval.noise_db(&spec);
-            let measured = measure_noise(&k, &spec, &[xs.clone()]).db;
+            let measured = measure_noise(&k, &spec, std::slice::from_ref(&xs)).db;
             let delta = (predicted - measured).abs();
             assert!(
                 delta < 4.0,
@@ -262,7 +281,10 @@ kernel ma {
         let xs = vec![1.0; 64];
         let out = simulate_fixed(&k, &spec, &[xs]);
         for &v in &out[0] {
-            assert!((-1.0..1.0).contains(&v), "saturated output {v} out of Q1.15 range");
+            assert!(
+                (-1.0..1.0).contains(&v),
+                "saturated output {v} out of Q1.15 range"
+            );
         }
     }
 
@@ -271,7 +293,7 @@ kernel ma {
         // With truncation the mean error must be negative (DC bias).
         let xs = white_noise(4096, 3);
         let (k, spec) = setup(12);
-        let fixed = simulate_fixed(&k, &spec, &[xs.clone()]);
+        let fixed = simulate_fixed(&k, &spec, std::slice::from_ref(&xs));
         let mut ex = Executor::new(&k, FloatSem);
         let reference = ex.run(&[xs]);
         let mean: f64 = fixed[0]

@@ -1,9 +1,11 @@
 //! Micro-benchmarks of the individual algorithm stages: accuracy
 //! evaluation (`EVALACC`), noise-gain analysis, SLP candidate rounds,
 //! Tabu WLO and the VLIW list scheduler.
+//!
+//! Run with: `cargo bench -p slpwlo-bench --bench algorithms`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator};
+use slpwlo_bench::Micro;
 use slpwlo_core::{lower_scalar, prepare, tabu_wlo, TabuOptions};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
@@ -13,63 +15,40 @@ use slpwlo_sim::cycles_per_activation;
 use slpwlo_slp::{extract_plain, Round};
 use slpwlo_targets::xentium;
 
-fn bench_evalacc(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::new();
+
     let prep = prepare(fir64());
     let spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, 32);
-    c.bench_function("evalacc_fir64", |b| b.iter(|| prep.eval.noise_db(&spec)));
-}
+    m.bench("evalacc_fir64", || prep.eval.noise_db(&spec));
 
-fn bench_gain_analysis(c: &mut Criterion) {
-    c.bench_function("gain_analysis_conv3x3", |b| {
-        b.iter(|| AnalyticalEvaluator::with_defaults(&conv3x3()))
+    m.bench("gain_analysis_conv3x3", || {
+        AnalyticalEvaluator::with_defaults(&conv3x3())
     });
-}
 
-fn bench_slp_round(c: &mut Criterion) {
     let kernel = conv3x3();
     let target = xentium();
     let blocks = blocks_by_priority(&kernel);
     let dfg = Dfg::from_block(&kernel, &blocks[0]);
-    c.bench_function("slp_round_conv3x3", |b| b.iter(|| Round::new(&dfg, &target, &[])));
-    c.bench_function("slp_extract_plain_conv3x3", |b| {
-        b.iter(|| extract_plain(&dfg, &target, &|_| 16))
+    m.bench("slp_round_conv3x3", || Round::new(&dfg, &target, &[]));
+    m.bench("slp_extract_plain_conv3x3", || {
+        extract_plain(&dfg, &target, &|_| 16)
     });
-}
 
-fn bench_tabu(c: &mut Criterion) {
-    let prep = prepare(fir64());
-    let target = xentium();
-    c.bench_function("tabu_wlo_fir64", |b| {
-        b.iter(|| {
-            let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, 32);
-            tabu_wlo(
-                &prep.kernel,
-                &mut spec,
-                &prep.eval,
-                -40.0,
-                &target.scalar_wls,
-                &TabuOptions::default(),
-            )
-        })
+    m.bench("tabu_wlo_fir64", || {
+        let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, 32);
+        tabu_wlo(
+            &prep.kernel,
+            &mut spec,
+            &prep.eval,
+            -40.0,
+            &target.scalar_wls,
+            &TabuOptions::default(),
+        )
     });
-}
 
-fn bench_scheduler(c: &mut Criterion) {
-    let prep = prepare(fir64());
-    let target = xentium();
-    let spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, 32);
     let prog = lower_scalar(&prep.kernel, &spec, &target);
-    c.bench_function("vliw_schedule_fir64", |b| {
-        b.iter(|| cycles_per_activation(&target, &prog))
+    m.bench("vliw_schedule_fir64", || {
+        cycles_per_activation(&target, &prog)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_evalacc,
-    bench_gain_analysis,
-    bench_slp_round,
-    bench_tabu,
-    bench_scheduler
-);
-criterion_main!(benches);

@@ -1,53 +1,50 @@
-//! Criterion bench regenerating Figure 4 data points.
+//! Bench regenerating Figure 4 data points.
 //!
 //! Prints the reproduced speedup series once (representative constraint
 //! grid), then benchmarks the cost of producing one figure cell — both
-//! flows end-to-end on one (kernel, target, constraint) triple.
+//! flows end-to-end on one (kernel, target, constraint) triple, with the
+//! per-kernel analyses amortized the way `Optimizer::sweep` amortizes
+//! them.
+//!
+//! Run with: `cargo bench -p slpwlo-bench --bench fig4_speedup`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use slpwlo_bench::harness::{run_point, PointOptions};
-use slpwlo_bench::report;
-use slpwlo_bench::sweep;
-use slpwlo_core::prepare;
+use slpwlo_bench::harness::{optimizer_for, sweep, PointOptions};
+use slpwlo_bench::{report, Micro};
+use slpwlo_driver::{Error, FlowKind};
 use slpwlo_kernels::all_benchmarks;
 use slpwlo_targets::{all_targets, xentium};
 
-fn print_reproduction() {
+fn print_reproduction() -> Result<(), Error> {
     let constraints: Vec<f64> = [-5.0, -20.0, -40.0, -60.0, -80.0, -95.0].to_vec();
     let targets = all_targets();
     let mut all = Vec::new();
     for bench in all_benchmarks() {
-        all.extend(sweep(&bench, &targets, &constraints, &PointOptions::default()));
+        all.extend(sweep(
+            &bench,
+            &targets,
+            &constraints,
+            &PointOptions::default(),
+        )?);
     }
     println!("\n--- Figure 4 reproduction (condensed grid) ---");
     println!("{}", report::fig4_text(&all));
+    Ok(())
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    print_reproduction();
-    let mut group = c.benchmark_group("fig4_point");
-    let target = xentium();
+fn main() -> Result<(), Error> {
+    print_reproduction()?;
+    let mut m = Micro::new();
     for bench in all_benchmarks() {
-        let prep = prepare(bench.kernel.clone());
-        group.bench_with_input(
-            BenchmarkId::new("both_flows", bench.name),
-            &prep,
-            |b, prep| {
-                b.iter(|| {
-                    run_point(
-                        prep,
-                        bench.name,
-                        &target,
-                        -40.0,
-                        bench.activations,
-                        &PointOptions::default(),
-                    )
-                })
-            },
-        );
+        // One Optimizer per benchmark: the once-per-kernel analyses run
+        // once; `run_with` switches the flow per call.
+        let opt = optimizer_for(&bench, &PointOptions::default())?
+            .target(xentium())
+            .constraint_db(-40.0);
+        m.bench(&format!("fig4_point_both_flows/{}", bench.name), || {
+            let a = opt.run_with(FlowKind::WloSlp).expect("feasible point");
+            let b = opt.run_with(FlowKind::WloFirst).expect("feasible point");
+            (a.cycles_simd, b.cycles_simd)
+        });
     }
-    group.finish();
+    Ok(())
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

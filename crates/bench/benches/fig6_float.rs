@@ -1,47 +1,51 @@
-//! Criterion bench regenerating Figure 6.
+//! Bench regenerating Figure 6.
 //!
 //! Prints the reproduced float-vs-fixed speedups once (soft-float XENTIUM
-//! and hardware-float ST240), then benchmarks float lowering plus cycle
-//! simulation.
+//! and hardware-float ST240), then benchmarks the float-baseline path
+//! (lowering plus cycle simulation) through the driver.
+//!
+//! Run with: `cargo bench -p slpwlo-bench --bench fig6_float`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use slpwlo_bench::harness::PointOptions;
-use slpwlo_bench::{report, sweep};
-use slpwlo_core::lower_float;
+use slpwlo_bench::harness::{optimizer_for, sweep, PointOptions};
+use slpwlo_bench::{report, Micro};
+use slpwlo_driver::{Error, FlowKind};
 use slpwlo_kernels::all_benchmarks;
-use slpwlo_sim::total_cycles;
 use slpwlo_targets::{st240, xentium};
 
-fn print_reproduction() {
+fn print_reproduction() -> Result<(), Error> {
     let constraints: Vec<f64> = vec![-5.0, -15.0, -25.0, -35.0, -45.0];
     let targets = vec![xentium(), st240()];
     let mut all = Vec::new();
     for bench in all_benchmarks() {
-        all.extend(sweep(&bench, &targets, &constraints, &PointOptions::default()));
+        all.extend(sweep(
+            &bench,
+            &targets,
+            &constraints,
+            &PointOptions::default(),
+        )?);
     }
     all.sort_by(|a, b| a.target.cmp(&b.target).then(a.bench.cmp(&b.bench)));
     println!("\n--- Figure 6 reproduction ---");
     println!("{}", report::fig6_text(&all));
+    Ok(())
 }
 
-fn bench_fig6(c: &mut Criterion) {
-    print_reproduction();
-    let mut group = c.benchmark_group("fig6_float_path");
+fn main() -> Result<(), Error> {
+    print_reproduction()?;
+    let mut m = Micro::new();
     for bench in all_benchmarks() {
-        group.bench_with_input(
-            BenchmarkId::new("lower_and_simulate_float", bench.name),
-            &bench,
-            |b, bench| {
-                let xent = xentium();
-                b.iter(|| {
-                    let prog = lower_float(&bench.kernel);
-                    total_cycles(&xent, &prog, bench.activations)
-                })
+        let float = optimizer_for(&bench, &PointOptions::default())?
+            .target(xentium())
+            .flow(FlowKind::Float);
+        m.bench(
+            &format!("fig6_lower_and_simulate_float/{}", bench.name),
+            || {
+                float
+                    .run()
+                    .expect("float flow cannot be infeasible")
+                    .cycles_simd
             },
         );
     }
-    group.finish();
+    Ok(())
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

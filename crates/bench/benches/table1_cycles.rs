@@ -1,42 +1,42 @@
-//! Criterion bench regenerating Table I.
+//! Bench regenerating Table I.
 //!
 //! Prints the reproduced FIR cycle-count table once, then benchmarks the
 //! per-cell cost on each of the three targets of the table.
+//!
+//! Run with: `cargo bench -p slpwlo-bench --bench table1_cycles`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use slpwlo_bench::harness::{run_point, PointOptions};
-use slpwlo_bench::{report, sweep};
-use slpwlo_core::prepare;
+use slpwlo_bench::harness::{optimizer_for, sweep, PointOptions};
+use slpwlo_bench::{report, Micro};
+use slpwlo_driver::{Error, FlowKind};
 use slpwlo_kernels::all_benchmarks;
 use slpwlo_targets::{st240, vex, xentium};
 
-fn print_reproduction() {
+fn print_reproduction() -> Result<(), Error> {
     let constraints: Vec<f64> = vec![-5.0, -15.0, -25.0, -35.0, -45.0, -55.0, -65.0];
     let targets = vec![xentium(), st240(), vex(4)];
     let fir = all_benchmarks().remove(0);
-    let pts = sweep(&fir, &targets, &constraints, &PointOptions::default());
-    println!("\n--- Table I reproduction (FIR SIMD cycles, N = {}) ---", fir.activations);
+    let pts = sweep(&fir, &targets, &constraints, &PointOptions::default())?;
+    println!(
+        "\n--- Table I reproduction (FIR SIMD cycles, N = {}) ---",
+        fir.activations
+    );
     println!("{}", report::table1_text(&pts));
+    Ok(())
 }
 
-fn bench_table1(c: &mut Criterion) {
-    print_reproduction();
+fn main() -> Result<(), Error> {
+    print_reproduction()?;
     let fir = all_benchmarks().remove(0);
-    let prep = prepare(fir.kernel.clone());
-    let mut group = c.benchmark_group("table1_cell");
+    let mut m = Micro::new();
+    let mut opt = optimizer_for(&fir, &PointOptions::default())?.constraint_db(-35.0);
     for target in [xentium(), st240(), vex(4)] {
-        group.bench_with_input(
-            BenchmarkId::new("fir_cell", &target.name),
-            &target,
-            |b, target| {
-                b.iter(|| {
-                    run_point(&prep, "FIR", target, -35.0, fir.activations, &PointOptions::default())
-                })
-            },
-        );
+        let name = target.name.clone();
+        opt = opt.target(target);
+        m.bench(&format!("table1_fir_cell/{name}"), || {
+            let a = opt.run_with(FlowKind::WloSlp).expect("feasible point");
+            let b = opt.run_with(FlowKind::WloFirst).expect("feasible point");
+            (a.cycles_simd, b.cycles_simd)
+        });
     }
-    group.finish();
+    Ok(())
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

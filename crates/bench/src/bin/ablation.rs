@@ -8,17 +8,23 @@
 //!   selection may paint itself into a corner and lose groups at the
 //!   `on_select` guard.
 //!
+//! Each variant is a custom [`CompilationFlow`] strategy plugged into the
+//! unified `Optimizer` driver — the extension point new flows register
+//! through.
+//!
 //! Usage: `cargo run --release -p slpwlo-bench --bin ablation`
 
 use slpwlo_core::hooks::AccuracyHooks;
-use slpwlo_core::{lower_fixed, lower_scalar, prepare, scaling_optimize, Prepared};
+use slpwlo_core::{lower_fixed, lower_scalar, scaling_optimize};
+use slpwlo_driver::{
+    required_constraint, CompilationFlow, Error, FlowContext, FlowKind, FlowOutput, Optimizer,
+};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
 use slpwlo_ir::dfg::Dfg;
 use slpwlo_kernels::all_benchmarks;
-use slpwlo_sim::total_cycles;
 use slpwlo_slp::{run_selection, CandidateView, Round, SelectHooks, SimdGroup};
-use slpwlo_targets::{xentium, TargetModel};
+use slpwlo_targets::xentium;
 
 /// Accuracy hooks with the pairwise conflict detection disabled.
 struct NoConflictHooks<'a>(AccuracyHooks<'a>);
@@ -35,69 +41,105 @@ impl SelectHooks for NoConflictHooks<'_> {
     }
 }
 
+/// Which ingredient the ablated joint flow drops.
 #[derive(Clone, Copy, PartialEq)]
-enum Variant {
-    Full,
-    NoScalopt,
-    NoAccConflicts,
+enum Ablate {
+    Scalopt,
+    AccConflicts,
 }
 
-fn run_variant(
-    prep: &Prepared,
-    target: &TargetModel,
-    db: f64,
-    variant: Variant,
-) -> (u64, usize) {
-    let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
-    let mut per_block = Vec::new();
-    for block in blocks_by_priority(&prep.kernel) {
-        let dfg = Dfg::from_block(&prep.kernel, &block);
-        let mut groups: Vec<SimdGroup> = Vec::new();
-        loop {
-            let round = Round::new(&dfg, target, &groups);
-            let selected = {
-                let inner = AccuracyHooks::new(&dfg, &mut spec, &prep.eval, db);
-                if variant == Variant::NoAccConflicts {
-                    let mut hooks = NoConflictHooks(inner);
-                    run_selection(&dfg, target, &round, &groups, &mut hooks)
-                } else {
-                    let mut hooks = inner;
-                    run_selection(&dfg, target, &round, &groups, &mut hooks)
-                }
-            };
-            if selected.is_empty() {
-                break;
-            }
-            groups.retain(|g| !selected.iter().any(|s| s.lanes() > g.lanes() && s.overlaps(g)));
-            groups.extend(selected);
+/// The joint `WLO-SLP` flow with one ingredient removed, expressed as a
+/// driver strategy.
+struct AblatedWloSlp(Ablate);
+
+impl CompilationFlow for AblatedWloSlp {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            Ablate::Scalopt => "wlo-slp/no-scalopt",
+            Ablate::AccConflicts => "wlo-slp/no-acc-conflicts",
         }
-        if variant != Variant::NoScalopt {
-            let _ = scaling_optimize(&mut spec, &dfg, &groups, &prep.eval, db);
-        }
-        per_block.push((block, dfg, groups));
     }
-    let n_groups = per_block.iter().map(|(_, _, g)| g.len()).sum();
-    let simd = lower_fixed(&prep.kernel, &spec, target, &per_block);
-    let _scalar = lower_scalar(&prep.kernel, &spec, target);
-    (total_cycles(target, &simd, 2048), n_groups)
+
+    fn run(&self, ctx: &FlowContext<'_>) -> Result<FlowOutput, Error> {
+        let db = required_constraint(ctx, self.name())?;
+        let prep = ctx.prep;
+        let target = ctx.target;
+        let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
+        let mut per_block = Vec::new();
+        for block in blocks_by_priority(&prep.kernel) {
+            let dfg = Dfg::from_block(&prep.kernel, &block);
+            let mut groups: Vec<SimdGroup> = Vec::new();
+            loop {
+                let round = Round::new(&dfg, target, &groups);
+                let selected = {
+                    let inner = AccuracyHooks::new(&dfg, &mut spec, &prep.eval, db);
+                    if self.0 == Ablate::AccConflicts {
+                        let mut hooks = NoConflictHooks(inner);
+                        run_selection(&dfg, target, &round, &groups, &mut hooks)
+                    } else {
+                        let mut hooks = inner;
+                        run_selection(&dfg, target, &round, &groups, &mut hooks)
+                    }
+                };
+                if selected.is_empty() {
+                    break;
+                }
+                groups.retain(|g| {
+                    !selected
+                        .iter()
+                        .any(|s| s.lanes() > g.lanes() && s.overlaps(g))
+                });
+                groups.extend(selected);
+            }
+            if self.0 != Ablate::Scalopt {
+                let _ = scaling_optimize(&mut spec, &dfg, &groups, &prep.eval, db);
+            }
+            per_block.push((block, dfg, groups));
+        }
+        let group_count = per_block.iter().map(|(_, _, g)| g.len()).sum();
+        let program = lower_fixed(&prep.kernel, &spec, target, &per_block);
+        let scalar = lower_scalar(&prep.kernel, &spec, target);
+        use slpwlo_accuracy::AccuracyEvaluator;
+        let noise_db = prep.eval.noise_db(&spec);
+        Ok(FlowOutput {
+            spec: Some(spec),
+            program,
+            scalar,
+            group_count,
+            noise_db: Some(noise_db),
+        })
+    }
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     let target = xentium();
     println!(
         "Ablation on {} (SIMD cycles, N=2048; lower is better)\n{:<8} {:>6} {:>12} {:>12} {:>16}",
         target.name, "bench", "dB", "full", "no-scalopt", "no-acc-conflicts"
     );
     for bench in all_benchmarks() {
-        let prep = prepare(bench.kernel.clone());
+        let mut opt = Optimizer::for_kernel(bench.kernel.clone())?
+            .target(target.clone())
+            .activations(2048);
         for db in [-20.0, -50.0, -80.0] {
-            let (full, gf) = run_variant(&prep, &target, db, Variant::Full);
-            let (nos, _) = run_variant(&prep, &target, db, Variant::NoScalopt);
-            let (noc, gc) = run_variant(&prep, &target, db, Variant::NoAccConflicts);
+            opt = opt.constraint_db(db);
+            opt = opt.flow(FlowKind::WloSlp);
+            let full = opt.run()?;
+            opt = opt.custom_flow(Box::new(AblatedWloSlp(Ablate::Scalopt)));
+            let nos = opt.run()?;
+            opt = opt.custom_flow(Box::new(AblatedWloSlp(Ablate::AccConflicts)));
+            let noc = opt.run()?;
             println!(
                 "{:<8} {:>6.0} {:>9} g={:<3} {:>12} {:>13} g={:<3}",
-                bench.name, db, full, gf, nos, noc, gc
+                bench.name,
+                db,
+                full.cycles_simd,
+                full.group_count,
+                nos.cycles_simd,
+                noc.cycles_simd,
+                noc.group_count
             );
         }
     }
+    Ok(())
 }

@@ -6,10 +6,11 @@
 
 use slpwlo_bench::harness::{sweep, PointOptions};
 use slpwlo_bench::report;
+use slpwlo_driver::Error;
 use slpwlo_kernels::all_benchmarks;
 use slpwlo_targets::all_targets;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let csv = std::env::args().any(|a| a == "--csv");
     // The paper sweeps -5..-70 dB. Our fixed-point noise floor for 16-bit
     // data sits near -100 dB (textbook Q15 SQNR for these kernels), so the
@@ -21,12 +22,12 @@ fn main() {
     let mut all = Vec::new();
     for bench in all_benchmarks() {
         eprintln!("fig4: sweeping {} ...", bench.name);
-        let pts = sweep(&bench, &targets, &constraints, &opts);
-        all.extend(pts);
+        all.extend(sweep(&bench, &targets, &constraints, &opts)?);
     }
     if csv {
         print!("{}", report::csv(&all));
     } else {
         print!("{}", report::fig4_text(&all));
     }
+    Ok(())
 }

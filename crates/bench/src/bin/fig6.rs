@@ -6,10 +6,11 @@
 
 use slpwlo_bench::harness::{sweep, PointOptions};
 use slpwlo_bench::report;
+use slpwlo_driver::Error;
 use slpwlo_kernels::all_benchmarks;
 use slpwlo_targets::{st240, xentium};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let csv = std::env::args().any(|a| a == "--csv");
     let constraints: Vec<f64> = (1..=9).map(|i| -5.0 * i as f64).collect(); // -5..-45
     let targets = vec![xentium(), st240()];
@@ -17,7 +18,7 @@ fn main() {
     let mut all = Vec::new();
     for bench in all_benchmarks() {
         eprintln!("fig6: sweeping {} ...", bench.name);
-        all.extend(sweep(&bench, &targets, &constraints, &opts));
+        all.extend(sweep(&bench, &targets, &constraints, &opts)?);
     }
     // Order by target first (figure 6 has one panel per target).
     all.sort_by(|a, b| a.target.cmp(&b.target).then(a.bench.cmp(&b.bench)));
@@ -26,4 +27,5 @@ fn main() {
     } else {
         print!("{}", report::fig6_text(&all));
     }
+    Ok(())
 }

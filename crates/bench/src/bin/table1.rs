@@ -5,10 +5,11 @@
 
 use slpwlo_bench::harness::{sweep, PointOptions};
 use slpwlo_bench::report;
+use slpwlo_driver::Error;
 use slpwlo_kernels::all_benchmarks;
 use slpwlo_targets::{st240, vex, xentium};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let csv = std::env::args().any(|a| a == "--csv");
     let constraints: Vec<f64> = vec![-5.0, -15.0, -25.0, -35.0, -45.0, -55.0, -65.0];
     // Our 16-bit noise floor sits deeper than the paper's (about -100 dB
@@ -18,16 +19,20 @@ fn main() {
     let targets = vec![xentium(), st240(), vex(4)];
     let fir = all_benchmarks().remove(0);
     assert_eq!(fir.name, "FIR");
-    let pts = sweep(&fir, &targets, &constraints, &PointOptions::default());
-    let deep_pts = sweep(&fir, &targets, &deep, &PointOptions::default());
+    let pts = sweep(&fir, &targets, &constraints, &PointOptions::default())?;
+    let deep_pts = sweep(&fir, &targets, &deep, &PointOptions::default())?;
     if csv {
         let mut all = pts;
         all.extend(deep_pts);
         print!("{}", report::csv(&all));
     } else {
-        println!("Table I: number of cycles of SIMD versions for FIR (N = {})", fir.activations);
+        println!(
+            "Table I: number of cycles of SIMD versions for FIR (N = {})",
+            fir.activations
+        );
         print!("{}", report::table1_text(&pts));
         println!("\nExtension: tight-constraint band (beyond the paper's axis)");
         print!("{}", report::table1_text(&deep_pts));
     }
+    Ok(())
 }

@@ -1,25 +1,21 @@
-//! Experiment execution.
+//! Experiment execution over the unified `Optimizer` driver.
+//!
+//! One [`ExperimentPoint`] corresponds to one (benchmark, target,
+//! accuracy-constraint) cell of the paper's figures. All three flows run
+//! through [`slpwlo_driver::Optimizer`]; the per-kernel analyses are
+//! amortized across every constraint point of a sweep.
 
-use slpwlo_core::{lower_float, prepare, wlo_first_flow, wlo_slp_flow, Prepared, TabuOptions};
+use slpwlo_core::TabuOptions;
+use slpwlo_driver::{Error, FlowKind, Optimizer};
 use slpwlo_kernels::Benchmark;
-use slpwlo_sim::{speedup, total_cycles};
+use slpwlo_sim::speedup;
 use slpwlo_targets::TargetModel;
 
-// Re-export the flow entry points under the harness namespace for the
-// binaries.
-pub use slpwlo_core::flow::{wlo_first_flow as first_flow, wlo_slp_flow as slp_flow};
-
 /// Options for one experiment point.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PointOptions {
     /// Tabu options for the baseline WLO.
     pub tabu: TabuOptions,
-}
-
-impl Default for PointOptions {
-    fn default() -> Self {
-        PointOptions { tabu: TabuOptions::default() }
-    }
 }
 
 /// One (benchmark, target, constraint) measurement.
@@ -70,52 +66,142 @@ impl ExperimentPoint {
     }
 }
 
-/// Runs both flows plus the float reference for one point.
-pub fn run_point(
-    prep: &Prepared,
-    bench_name: &str,
+/// Builds the driver for one benchmark (kernel validation + the
+/// once-per-kernel analyses).
+pub fn optimizer_for(bench: &Benchmark, opts: &PointOptions) -> Result<Optimizer, Error> {
+    Ok(Optimizer::for_kernel(bench.kernel.clone())?
+        .activations(bench.activations)
+        .tabu(opts.tabu))
+}
+
+/// Builds one grid cell from the three flow reports of a point.
+fn point_from(
+    bench: &Benchmark,
     target: &TargetModel,
-    constraint_db: f64,
-    activations: u64,
-    opts: &PointOptions,
+    first: &slpwlo_driver::Report,
+    slp: &slpwlo_driver::Report,
+    float: &slpwlo_driver::Report,
 ) -> ExperimentPoint {
-    let first = wlo_first_flow(prep, target, constraint_db, &opts.tabu);
-    let slp = wlo_slp_flow(prep, target, constraint_db);
-    let float_prog = lower_float(&prep.kernel);
     ExperimentPoint {
-        bench: bench_name.to_string(),
+        bench: bench.name.to_string(),
         target: target.name.clone(),
-        constraint_db,
-        activations,
-        cycles_baseline: total_cycles(target, &first.scalar, activations),
-        cycles_first: total_cycles(target, &first.simd, activations),
-        cycles_slp: total_cycles(target, &slp.simd, activations),
-        cycles_float: total_cycles(target, &float_prog, activations),
+        constraint_db: first
+            .constraint_db
+            .expect("fixed-point flows carry the constraint"),
+        activations: bench.activations,
+        cycles_baseline: first.cycles_scalar,
+        cycles_first: first.cycles_simd,
+        cycles_slp: slp.cycles_simd,
+        cycles_float: float.cycles_simd,
         groups_first: first.group_count,
         groups_slp: slp.group_count,
-        noise_first_db: first.noise_db,
-        noise_slp_db: slp.noise_db,
+        noise_first_db: first.noise_db.expect("fixed-point flow predicts noise"),
+        noise_slp_db: slp.noise_db.expect("fixed-point flow predicts noise"),
     }
 }
 
-/// Sweeps one benchmark over targets and constraints.
+/// Runs both fixed-point flows plus the float reference for one point.
+///
+/// Unlike [`sweep`], an infeasible constraint propagates as the driver's
+/// typed [`Error::Unsatisfiable`] (with the floor it missed) rather than
+/// being skipped.
+pub fn run_point(
+    bench: &Benchmark,
+    target: &TargetModel,
+    constraint_db: f64,
+    opts: &PointOptions,
+) -> Result<ExperimentPoint, Error> {
+    let opt = optimizer_for(bench, opts)?
+        .target(target.clone())
+        .constraint_db(constraint_db);
+    let first = opt.run_with(FlowKind::WloFirst)?;
+    let slp = opt.run_with(FlowKind::WloSlp)?;
+    let float = opt.run_with(FlowKind::Float)?;
+    Ok(point_from(bench, target, &first, &slp, &float))
+}
+
+/// Sweeps one benchmark over targets and constraints, reusing the
+/// per-kernel analyses for every cell.
+///
+/// Constraint points below a target's noise floor (reachable when a
+/// grid deliberately extends past the precision transition, as the
+/// paper's Fig. 4 axis does) are skipped with a note on stderr rather
+/// than failing the whole grid; all other errors propagate.
 pub fn sweep(
     bench: &Benchmark,
     targets: &[TargetModel],
     constraints_db: &[f64],
     opts: &PointOptions,
-) -> Vec<ExperimentPoint> {
-    let prep = prepare(bench.kernel.clone());
+) -> Result<Vec<ExperimentPoint>, Error> {
+    let mut opt = optimizer_for(bench, opts)?;
     let mut out = Vec::new();
     for target in targets {
-        for &db in constraints_db {
-            out.push(run_point(&prep, bench.name, target, db, bench.activations, opts));
+        opt = opt.target(target.clone());
+        let floor = opt.noise_floor_db();
+        let feasible: Vec<f64> = constraints_db
+            .iter()
+            .copied()
+            .filter(|&db| db >= floor)
+            .collect();
+        if feasible.len() < constraints_db.len() {
+            eprintln!(
+                "harness: {} on {}: skipping {} constraint point(s) below the {:.1} dB floor",
+                bench.name,
+                target.name,
+                constraints_db.len() - feasible.len(),
+                floor,
+            );
+        }
+        opt = opt.flow(FlowKind::Float);
+        let float = opt.run()?;
+        opt = opt.flow(FlowKind::WloFirst);
+        let firsts = opt.sweep(&feasible)?;
+        opt = opt.flow(FlowKind::WloSlp);
+        let slps = opt.sweep(&feasible)?;
+        for (first, slp) in firsts.iter().zip(&slps) {
+            out.push(point_from(bench, target, first, slp, &float));
         }
     }
-    out
+    Ok(out)
 }
 
-/// Re-exported preparation helper (range analysis + accuracy model).
-pub fn prepare_kernel(kernel: slpwlo_ir::Kernel) -> Prepared {
-    prepare(kernel)
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_kernels::all_benchmarks;
+    use slpwlo_targets::xentium;
+
+    #[test]
+    fn run_point_fills_every_field() {
+        let bench = &all_benchmarks()[0];
+        let p = run_point(bench, &xentium(), -30.0, &PointOptions::default()).unwrap();
+        assert_eq!(p.bench, "FIR");
+        assert_eq!(p.target, "XENTIUM");
+        assert!(p.cycles_baseline > 0 && p.cycles_first > 0 && p.cycles_slp > 0);
+        assert!(p.cycles_float > p.cycles_slp, "soft float must be slower");
+        assert!(p.noise_slp_db <= -30.0);
+        assert!(p.speedup_slp() > 0.0);
+    }
+
+    #[test]
+    fn run_point_surfaces_unsatisfiable_points() {
+        let bench = &all_benchmarks()[0];
+        let err = run_point(bench, &xentium(), -500.0, &PointOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Unsatisfiable { .. }), "{err}");
+    }
+
+    #[test]
+    fn sweep_skips_infeasible_points_instead_of_failing() {
+        let bench = &all_benchmarks()[0];
+        // -500 dB is below any floor; the grid must shrink, not error.
+        let pts = sweep(
+            bench,
+            &[xentium()],
+            &[-20.0, -500.0],
+            &PointOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].constraint_db, -20.0);
+    }
 }

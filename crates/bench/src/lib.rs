@@ -17,6 +17,8 @@
 //!   accuracy conflicts off).
 
 pub mod harness;
+pub mod micro;
 pub mod report;
 
-pub use harness::{run_point, sweep, ExperimentPoint, PointOptions};
+pub use harness::{optimizer_for, run_point, sweep, ExperimentPoint, PointOptions};
+pub use micro::{Micro, MicroOptions};

@@ -1,0 +1,130 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so `criterion` is unavailable;
+//! this module provides the small slice of it the `benches/` targets
+//! need: named benchmarks, warm-up, multiple timed samples, and a
+//! median-based report on stdout. Bench targets set `harness = false`
+//! and drive [`Micro`] from a plain `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench closures can defeat constant folding the same
+/// way criterion users do.
+pub use std::hint::black_box as bb;
+
+/// Options for one [`Micro`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroOptions {
+    /// Warm-up time per benchmark.
+    pub warmup: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Minimum time per sample (iterations are batched to reach it).
+    pub sample_time: Duration,
+}
+
+impl Default for MicroOptions {
+    fn default() -> Self {
+        MicroOptions {
+            warmup: Duration::from_millis(200),
+            samples: 11,
+            sample_time: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A micro-benchmark runner: times closures and prints one line per
+/// benchmark (`name ... median ns/iter (min .. max)`).
+#[derive(Debug, Default)]
+pub struct Micro {
+    opts: MicroOptions,
+}
+
+impl Micro {
+    /// Runner with default options.
+    pub fn new() -> Self {
+        Micro::default()
+    }
+
+    /// Runner with explicit options.
+    pub fn with_options(opts: MicroOptions) -> Self {
+        Micro { opts }
+    }
+
+    /// Times `f`, printing a one-line report. Returns the median
+    /// nanoseconds per iteration (also usable for assertions).
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> f64 {
+        // Warm-up: run until the budget is spent, measuring a rough
+        // per-iteration cost to size sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.opts.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.opts.sample_time.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64)
+            .clamp(1, 1_000_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.opts.samples);
+        for _ in 0..self.opts.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let (min, max) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
+        println!(
+            "{name:<40} {:>12}/iter  (min {:>12}, max {:>12}, {} x {batch} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.opts.samples,
+        );
+        median
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_sane_timings() {
+        let mut m = Micro::with_options(MicroOptions {
+            warmup: Duration::from_millis(1),
+            samples: 3,
+            sample_time: Duration::from_millis(1),
+        });
+        let mut acc = 0u64;
+        let ns = m.bench("noop_add", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(ns > 0.0 && ns < 1e7, "implausible timing {ns}");
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000s");
+    }
+}

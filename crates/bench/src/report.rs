@@ -11,7 +11,10 @@ pub fn fig4_text(points: &[ExperimentPoint]) -> String {
     for p in points {
         let key = format!("{} on {}", p.bench, p.target);
         if key != last_key {
-            let _ = writeln!(s, "\n== {key} (speedup over WLO-First scalar fixed-point) ==");
+            let _ = writeln!(
+                s,
+                "\n== {key} (speedup over WLO-First scalar fixed-point) =="
+            );
             let _ = writeln!(
                 s,
                 "{:>10} {:>12} {:>12} {:>8} {:>8}",
@@ -50,18 +53,27 @@ pub fn table1_text(points: &[ExperimentPoint]) -> String {
     }
     let _ = writeln!(s);
     for t in targets.iter() {
-        for (flow, pick) in [
-            ("WLO-First", 0usize),
-            ("WLO-SLP", 1usize),
-        ] {
+        for (flow, pick) in [("WLO-First", 0usize), ("WLO-SLP", 1usize)] {
             let _ = write!(s, "{t:<10} {flow:<10}");
             for c in &constraints {
-                let p = points
+                // Grids may be ragged: the harness skips points below a
+                // target's noise floor, so a missing cell renders as "-".
+                match points
                     .iter()
                     .find(|p| &p.target == t && p.constraint_db == *c)
-                    .expect("full grid");
-                let v = if pick == 0 { p.cycles_first } else { p.cycles_slp };
-                let _ = write!(s, "{v:>10}");
+                {
+                    Some(p) => {
+                        let v = if pick == 0 {
+                            p.cycles_first
+                        } else {
+                            p.cycles_slp
+                        };
+                        let _ = write!(s, "{v:>10}");
+                    }
+                    None => {
+                        let _ = write!(s, "{:>10}", "-");
+                    }
+                }
             }
             let _ = writeln!(s);
         }
@@ -76,7 +88,11 @@ pub fn fig6_text(points: &[ExperimentPoint]) -> String {
     let mut last_target = String::new();
     for p in points {
         if p.target != last_target {
-            let _ = writeln!(s, "\n== {} (WLO-SLP speedup over floating point) ==", p.target);
+            let _ = writeln!(
+                s,
+                "\n== {} (WLO-SLP speedup over floating point) ==",
+                p.target
+            );
             let _ = writeln!(s, "{:>6} {:>8} {:>10}", "dB", "bench", "speedup");
             last_target = p.target.clone();
         }
@@ -146,13 +162,31 @@ mod tests {
 
     #[test]
     fn fig4_groups_by_bench_and_target() {
-        let pts = vec![point("XENTIUM", -5.0, 100, 90, 70), point("ST240", -5.0, 100, 110, 80)];
+        let pts = vec![
+            point("XENTIUM", -5.0, 100, 90, 70),
+            point("ST240", -5.0, 100, 110, 80),
+        ];
         let t = fig4_text(&pts);
         assert!(t.contains("FIR on XENTIUM"));
         assert!(t.contains("FIR on ST240"));
         // speedups: 100/90 = 1.111, 100/70 = 1.429
         assert!(t.contains("1.111"));
         assert!(t.contains("1.429"));
+    }
+
+    #[test]
+    fn table1_renders_ragged_grids_with_dashes() {
+        // One target missing the -15 dB cell must render "-" there, not
+        // panic.
+        let pts = vec![
+            point("XENTIUM", -5.0, 100, 90, 70),
+            point("XENTIUM", -15.0, 100, 95, 75),
+            point("VEX-4", -5.0, 100, 85, 65),
+        ];
+        let t = table1_text(&pts);
+        assert!(t.contains('-'), "{t}");
+        let vex_first = t.lines().find(|l| l.starts_with("VEX-4")).unwrap();
+        assert!(vex_first.trim_end().ends_with('-'), "{vex_first}");
     }
 
     #[test]

@@ -44,11 +44,31 @@ pub fn emit_intrinsics_header(target: &TargetModel) -> String {
     for cfg in &target.simd {
         let l = cfg.lanes;
         let _ = writeln!(s, "/* {l}x{}-bit sub-word forms */", cfg.elem_wl);
-        let _ = writeln!(s, "#define VADD{l}(a, b)     {prefix}_add{l}x{}(a, b)", cfg.elem_wl);
-        let _ = writeln!(s, "#define VMUL{l}(a, b)     {prefix}_mul{l}x{}(a, b)", cfg.elem_wl);
-        let _ = writeln!(s, "#define VSHR{l}(a, s)     {prefix}_shr{l}x{}(a, s)", cfg.elem_wl);
-        let _ = writeln!(s, "#define VLOAD{l}(p)       {prefix}_ld{l}x{}(p)", cfg.elem_wl);
-        let _ = writeln!(s, "#define VSTORE{l}(p, v)   {prefix}_st{l}x{}(p, v)", cfg.elem_wl);
+        let _ = writeln!(
+            s,
+            "#define VADD{l}(a, b)     {prefix}_add{l}x{}(a, b)",
+            cfg.elem_wl
+        );
+        let _ = writeln!(
+            s,
+            "#define VMUL{l}(a, b)     {prefix}_mul{l}x{}(a, b)",
+            cfg.elem_wl
+        );
+        let _ = writeln!(
+            s,
+            "#define VSHR{l}(a, s)     {prefix}_shr{l}x{}(a, s)",
+            cfg.elem_wl
+        );
+        let _ = writeln!(
+            s,
+            "#define VLOAD{l}(p)       {prefix}_ld{l}x{}(p)",
+            cfg.elem_wl
+        );
+        let _ = writeln!(
+            s,
+            "#define VSTORE{l}(p, v)   {prefix}_st{l}x{}(p, v)",
+            cfg.elem_wl
+        );
         let _ = writeln!(s, "#define PACK{l}(...)      {prefix}_pack{l}(__VA_ARGS__)");
         let _ = writeln!(s);
     }
@@ -57,11 +77,22 @@ pub fn emit_intrinsics_header(target: &TargetModel) -> String {
 
     // Float forms: hardware instructions or soft-float library calls.
     if target.hw_float {
-        let _ = writeln!(s, "#define FADD(a, b)        ((a) + (b)) /* hardware FPU */");
+        let _ = writeln!(
+            s,
+            "#define FADD(a, b)        ((a) + (b)) /* hardware FPU */"
+        );
         let _ = writeln!(s, "#define FMUL(a, b)        ((a) * (b))");
     } else {
-        let _ = writeln!(s, "#define FADD(a, b)        __softfloat_add(a, b) /* ~{} cycles */", target.fadd_cycles);
-        let _ = writeln!(s, "#define FMUL(a, b)        __softfloat_mul(a, b) /* ~{} cycles */", target.fmul_cycles);
+        let _ = writeln!(
+            s,
+            "#define FADD(a, b)        __softfloat_add(a, b) /* ~{} cycles */",
+            target.fadd_cycles
+        );
+        let _ = writeln!(
+            s,
+            "#define FMUL(a, b)        __softfloat_mul(a, b) /* ~{} cycles */",
+            target.fmul_cycles
+        );
     }
     let _ = writeln!(s, "#define FLOAD(p)          (*(p))");
     let _ = writeln!(s, "#define FSTORE(p, v)      (*(p) = (v))\n");

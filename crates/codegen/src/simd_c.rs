@@ -14,7 +14,9 @@ use std::fmt::Write as _;
 fn render(op: &Mop, idx: usize) -> String {
     let args: Vec<String> = op.preds.iter().map(|p| format!("v{p}")).collect();
     let a = |i: usize| -> String {
-        args.get(i).cloned().unwrap_or_else(|| "/*mem*/0".to_string())
+        args.get(i)
+            .cloned()
+            .unwrap_or_else(|| "/*mem*/0".to_string())
     };
     match op.query {
         OpQuery::Add(wl) => format!("v{idx} = ADD{wl}({}, {});", a(0), a(1)),
@@ -43,9 +45,17 @@ fn render(op: &Mop, idx: usize) -> String {
 /// code inside.
 pub fn emit_simd_c(program: &MachineProgram, target_name: &str) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "/* {} — SIMD C over the abstract macro API */", program.name);
+    let _ = writeln!(
+        s,
+        "/* {} — SIMD C over the abstract macro API */",
+        program.name
+    );
     let _ = writeln!(s, "/* target: {target_name} */");
-    let _ = writeln!(s, "#include \"slpwlo_simd_{}.h\"\n", target_name.to_lowercase().replace('-', "_"));
+    let _ = writeln!(
+        s,
+        "#include \"slpwlo_simd_{}.h\"\n",
+        target_name.to_lowercase().replace('-', "_")
+    );
     for (bi, block) in program.blocks.iter().enumerate() {
         let _ = writeln!(
             s,
@@ -102,7 +112,10 @@ kernel f {
         let prog = program();
         let c = emit_simd_c(&prog, "XENTIUM");
         for bi in 0..prog.blocks.len() {
-            assert!(c.contains(&format!("_bb{bi}(void)")), "missing block {bi}:\n{c}");
+            assert!(
+                c.contains(&format!("_bb{bi}(void)")),
+                "missing block {bi}:\n{c}"
+            );
         }
     }
 

@@ -44,7 +44,11 @@ pub struct Prepared {
 pub fn prepare(kernel: Kernel) -> Prepared {
     let ranges = determine_ranges(&kernel, &RangeOptions::default());
     let eval = AnalyticalEvaluator::new(&kernel, &EvalOptions::default());
-    Prepared { kernel, ranges, eval }
+    Prepared {
+        kernel,
+        ranges,
+        eval,
+    }
 }
 
 /// Outcome of one flow on one kernel/target/constraint point.
@@ -64,7 +68,13 @@ pub struct FlowResult {
 
 /// The paper's joint flow (`WLO-SLP`, fig. 3).
 pub fn wlo_slp_flow(prep: &Prepared, target: &TargetModel, constraint_db: f64) -> FlowResult {
-    let res = wlo_slp(&prep.kernel, target, &prep.eval, constraint_db, &prep.ranges);
+    let res = wlo_slp(
+        &prep.kernel,
+        target,
+        &prep.eval,
+        constraint_db,
+        &prep.ranges,
+    );
     let blocks: Vec<_> = res
         .blocks
         .into_iter()
@@ -74,7 +84,13 @@ pub fn wlo_slp_flow(prep: &Prepared, target: &TargetModel, constraint_db: f64) -
     let simd = lower_fixed(&prep.kernel, &res.spec, target, &blocks);
     let scalar = lower_scalar(&prep.kernel, &res.spec, target);
     let noise_db = prep.eval.noise_db(&res.spec);
-    FlowResult { spec: res.spec, simd, scalar, group_count, noise_db }
+    FlowResult {
+        spec: res.spec,
+        simd,
+        scalar,
+        group_count,
+        noise_db,
+    }
 }
 
 /// The baseline flow (`WLO-First`, fig. 5): Tabu WLO first, SLP second,
@@ -85,8 +101,7 @@ pub fn wlo_first_flow(
     constraint_db: f64,
     tabu: &TabuOptions,
 ) -> FlowResult {
-    let mut spec =
-        FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
+    let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
     tabu_wlo(
         &prep.kernel,
         &mut spec,
@@ -112,7 +127,13 @@ pub fn wlo_first_flow(
     let simd = lower_fixed(&prep.kernel, &spec, target, &blocks);
     let scalar = lower_scalar(&prep.kernel, &spec, target);
     let noise_db = prep.eval.noise_db(&spec);
-    FlowResult { spec, simd, scalar, group_count, noise_db }
+    FlowResult {
+        spec,
+        simd,
+        scalar,
+        group_count,
+        noise_db,
+    }
 }
 
 #[cfg(test)]

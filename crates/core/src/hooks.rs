@@ -38,7 +38,12 @@ impl<'a> AccuracyHooks<'a> {
         eval: &'a dyn AccuracyEvaluator,
         constraint_db: f64,
     ) -> Self {
-        AccuracyHooks { dfg, spec, eval, constraint_db }
+        AccuracyHooks {
+            dfg,
+            spec,
+            eval,
+            constraint_db,
+        }
     }
 
     fn meets(&self) -> bool {
@@ -158,7 +163,9 @@ kernel f {
             .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
             .map(|(i, _)| i)
             .collect();
-        let g = SimdGroup { elems: vec![muls[0], muls[1]] };
+        let g = SimdGroup {
+            elems: vec![muls[0], muls[1]],
+        };
         set_max_wl(&mut spec, &dfg, &g, 16);
         // The muls themselves.
         for &m in &g.elems {
@@ -177,7 +184,10 @@ kernel f {
         let mut hooks = AccuracyHooks::new(&dfg, &mut spec, &eval, -40.0);
         let groups = extract_rounds(&dfg, &target, &mut hooks);
         assert!(!groups.is_empty(), "-40 dB must allow 16-bit SIMD groups");
-        assert!(eval.meets(&spec, -40.0), "constraint must hold after extraction");
+        assert!(
+            eval.meets(&spec, -40.0),
+            "constraint must hold after extraction"
+        );
 
         // Impossibly tight constraint: nothing packs (16-bit data cannot
         // reach -200 dB).
@@ -197,7 +207,10 @@ kernel f {
         let mut hooks = AccuracyHooks::new(&dfg, &mut spec, &eval, -40.0);
         let groups = extract_rounds(&dfg, &target, &mut hooks);
         for g in &groups {
-            if matches!(g.kind(&dfg), NodeKind::LoadArray(..) | NodeKind::LoadParam(..)) {
+            if matches!(
+                g.kind(&dfg),
+                NodeKind::LoadArray(..) | NodeKind::LoadParam(..)
+            ) {
                 assert_ne!(
                     mem_status(&dfg, g),
                     slpwlo_slp::MemStatus::Gather,

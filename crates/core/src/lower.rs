@@ -80,10 +80,17 @@ pub fn lower_fixed(
         .map(|(block, dfg, groups)| {
             let mut lw = FixedLowerer::new(kernel, spec, target, dfg, groups);
             lw.run();
-            MachineBlock { ops: lw.ops, trip: block.trip(), in_loop: block.in_loop() }
+            MachineBlock {
+                ops: lw.ops,
+                trip: block.trip(),
+                in_loop: block.in_loop(),
+            }
         })
         .collect();
-    MachineProgram { name: kernel.name().to_string(), blocks: lowered }
+    MachineProgram {
+        name: kernel.name().to_string(),
+        blocks: lowered,
+    }
 }
 
 /// Lowers the all-scalar fixed-point version of a kernel (the baseline
@@ -111,10 +118,17 @@ pub fn lower_float(kernel: &Kernel) -> MachineProgram {
         .map(|b| {
             let dfg = Dfg::from_block(kernel, &b);
             let ops = lower_float_block(&dfg);
-            MachineBlock { ops, trip: b.trip(), in_loop: b.in_loop() }
+            MachineBlock {
+                ops,
+                trip: b.trip(),
+                in_loop: b.in_loop(),
+            }
         })
         .collect();
-    MachineProgram { name: format!("{}_float", kernel.name()), blocks: lowered }
+    MachineProgram {
+        name: format!("{}_float", kernel.name()),
+        blocks: lowered,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -230,7 +244,9 @@ impl<'a> FixedLowerer<'a> {
 
     /// Container word length of a node's value.
     fn wl_of(&self, n: NodeId) -> i32 {
-        let wl = value_format(self.spec, self.dfg, n).wl().clamp(1, self.target.datapath);
+        let wl = value_format(self.spec, self.dfg, n)
+            .wl()
+            .clamp(1, self.target.datapath);
         self.target.container_wl(wl).unwrap_or(self.target.datapath)
     }
 
@@ -297,10 +313,7 @@ impl<'a> FixedLowerer<'a> {
                             let src = self.scalar_value(o);
                             let s = self.fwl_of(o) - out_fwl;
                             let dep = if s != 0 && !is_exact(self.dfg, o) {
-                                Some(self.push(
-                                    OpQuery::Shift(out_wl),
-                                    src.into_iter().collect(),
-                                ))
+                                Some(self.push(OpQuery::Shift(out_wl), src.into_iter().collect()))
                             } else {
                                 src
                             };
@@ -430,7 +443,7 @@ impl<'a> FixedLowerer<'a> {
                 let mut deps: Vec<usize> = operand_srcs.iter().flatten().copied().collect();
                 // Pre-scaling for additive ops.
                 if matches!(op, BinOp::Add | BinOp::Sub) {
-                    for pos in 0..arity {
+                    for (pos, &src) in operand_srcs.iter().enumerate() {
                         let amounts: Vec<i32> = group
                             .elems
                             .iter()
@@ -439,9 +452,7 @@ impl<'a> FixedLowerer<'a> {
                                 self.fwl_of(o) - self.fwl_of(e)
                             })
                             .collect();
-                        if let Some(d) =
-                            self.emit_vector_scaling(&amounts, operand_srcs[pos], lanes)
-                        {
+                        if let Some(d) = self.emit_vector_scaling(&amounts, src, lanes) {
                             deps.push(d);
                         }
                     }
@@ -858,8 +869,12 @@ kernel f {
             .map(|(i, _)| i)
             .collect();
         let groups = vec![
-            SimdGroup { elems: vec![muls[0], muls[1]] },
-            SimdGroup { elems: vec![adds[0], adds[1]] },
+            SimdGroup {
+                elems: vec![muls[0], muls[1]],
+            },
+            SimdGroup {
+                elems: vec![adds[0], adds[1]],
+            },
         ];
         (k, spec, dfg, groups, block)
     }

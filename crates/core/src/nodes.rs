@@ -11,9 +11,7 @@ use slpwlo_slp::resolve_producer;
 pub fn node_key(dfg: &Dfg, n: NodeId) -> Option<SpecKey> {
     let node = dfg.node(n);
     match &node.kind {
-        NodeKind::Bin(_) | NodeKind::Un(_) | NodeKind::ReadInput(_) => {
-            node.expr.map(SpecKey::Expr)
-        }
+        NodeKind::Bin(_) | NodeKind::Un(_) | NodeKind::ReadInput(_) => node.expr.map(SpecKey::Expr),
         NodeKind::LoadArray(a, _) => Some(SpecKey::Array(*a)),
         NodeKind::StoreArray(a, _) => Some(SpecKey::Array(*a)),
         NodeKind::LoadParam(p, _) => Some(SpecKey::Param(*p)),

@@ -64,11 +64,17 @@ pub fn superword_reuses(dfg: &Dfg, groups: &[SimdGroup]) -> Vec<Reuse> {
                 _ => 0,
             };
             for pos in 0..arity {
-                let feeds = p.elems.iter().zip(&c.elems).all(|(&prod, &cons)| {
-                    resolved_operands(dfg, cons).get(pos) == Some(&prod)
-                });
+                let feeds = p
+                    .elems
+                    .iter()
+                    .zip(&c.elems)
+                    .all(|(&prod, &cons)| resolved_operands(dfg, cons).get(pos) == Some(&prod));
                 if feeds {
-                    out.push(Reuse { producer: pi, consumer: ci, pos });
+                    out.push(Reuse {
+                        producer: pi,
+                        consumer: ci,
+                        pos,
+                    });
                 }
             }
         }
@@ -255,8 +261,12 @@ kernel f {
         // m0 = muls[0], m1 = muls[1] (c2*dl2 is muls[2], c3*dl3 muls[3]);
         // s0 = adds[0], s1 = adds[1]. Lane-wise: m_k feeds s_k at pos 0.
         (
-            SimdGroup { elems: vec![muls[0], muls[1]] },
-            SimdGroup { elems: vec![adds[0], adds[1]] },
+            SimdGroup {
+                elems: vec![muls[0], muls[1]],
+            },
+            SimdGroup {
+                elems: vec![adds[0], adds[1]],
+            },
         )
     }
 
@@ -273,12 +283,20 @@ kernel f {
             .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(BinOp::Add)))
             .map(|(i, _)| i)
             .collect();
-        let g_m = SimdGroup { elems: vec![muls[0], muls[1]] };
-        let g_a = SimdGroup { elems: vec![adds[0], adds[1]] };
+        let g_m = SimdGroup {
+            elems: vec![muls[0], muls[1]],
+        };
+        let g_a = SimdGroup {
+            elems: vec![adds[0], adds[1]],
+        };
         let groups = vec![g_m, g_a];
         let reuses = superword_reuses(&dfg, &groups);
         assert!(
-            reuses.contains(&Reuse { producer: 0, consumer: 1, pos: 0 }),
+            reuses.contains(&Reuse {
+                producer: 0,
+                consumer: 1,
+                pos: 0
+            }),
             "mul pair feeds add pair at position 0: {reuses:?}"
         );
     }
@@ -298,8 +316,12 @@ kernel f {
                 .map(|(i, _)| i)
                 .collect();
             (
-                SimdGroup { elems: vec![muls[0], muls[1]] },
-                SimdGroup { elems: vec![adds[0], adds[1]] },
+                SimdGroup {
+                    elems: vec![muls[0], muls[1]],
+                },
+                SimdGroup {
+                    elems: vec![adds[0], adds[1]],
+                },
             )
         };
         // Make formats uniform by hand.
@@ -404,8 +426,12 @@ kernel f {
             .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(BinOp::Mul)))
             .map(|(i, _)| i)
             .collect();
-        let g_load = SimdGroup { elems: loads.clone() };
-        let g_mul = SimdGroup { elems: muls.clone() };
+        let g_load = SimdGroup {
+            elems: loads.clone(),
+        };
+        let g_mul = SimdGroup {
+            elems: muls.clone(),
+        };
         // Force mismatched mul result shifts: different output fwls.
         let mk0 = node_key(&dfg, muls[0]).unwrap();
         let mk1 = node_key(&dfg, muls[1]).unwrap();

@@ -33,7 +33,12 @@ pub struct TabuOptions {
 
 impl Default for TabuOptions {
     fn default() -> Self {
-        TabuOptions { max_iters: 400, tenure: 8, patience: 60, seed: 0x7AB0 }
+        TabuOptions {
+            max_iters: 400,
+            tenure: 8,
+            patience: 60,
+            seed: 0x7AB0,
+        }
     }
 }
 
@@ -72,9 +77,8 @@ pub fn tabu_wlo(
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
     // Best-so-far bookkeeping works on explicit assignments.
-    let snapshot = |spec: &FixedPointSpec| -> Vec<i32> {
-        keys.iter().map(|&k| spec.wl(k)).collect()
-    };
+    let snapshot =
+        |spec: &FixedPointSpec| -> Vec<i32> { keys.iter().map(|&k| spec.wl(k)).collect() };
     let restore = |spec: &mut FixedPointSpec, snap: &[i32]| {
         for (&k, &w) in keys.iter().zip(snap) {
             if spec.wl(k) != w {
@@ -199,7 +203,14 @@ kernel f {
     #[test]
     fn loose_constraint_shrinks_everything() {
         let (k, mut spec, eval) = setup();
-        let cost = tabu_wlo(&k, &mut spec, &eval, -20.0, &[8, 16, 32], &TabuOptions::default());
+        let cost = tabu_wlo(
+            &k,
+            &mut spec,
+            &eval,
+            -20.0,
+            &[8, 16, 32],
+            &TabuOptions::default(),
+        );
         // At -20 dB even 8-bit often passes for this kernel; cost must be
         // far below the all-32 start.
         let execs = expr_executions(&k);
@@ -214,7 +225,14 @@ kernel f {
     #[test]
     fn tight_constraint_keeps_wide_words() {
         let (k, mut spec, eval) = setup();
-        let _ = tabu_wlo(&k, &mut spec, &eval, -170.0, &[8, 16, 32], &TabuOptions::default());
+        let _ = tabu_wlo(
+            &k,
+            &mut spec,
+            &eval,
+            -170.0,
+            &[8, 16, 32],
+            &TabuOptions::default(),
+        );
         assert!(eval.meets(&spec, -170.0), "result must stay feasible");
         // At -170 dB nothing meaningful can shrink below 32 bits.
         let narrow = spec
@@ -222,15 +240,32 @@ kernel f {
             .iter()
             .filter(|&&key| spec.wl(key) < 32)
             .count();
-        assert!(narrow <= 2, "only marginal nodes may shrink at -170 dB, got {narrow}");
+        assert!(
+            narrow <= 2,
+            "only marginal nodes may shrink at -170 dB, got {narrow}"
+        );
     }
 
     #[test]
     fn result_is_deterministic_for_a_seed() {
         let (k, mut s1, eval) = setup();
         let (_, mut s2, _) = setup();
-        let c1 = tabu_wlo(&k, &mut s1, &eval, -50.0, &[8, 16, 32], &TabuOptions::default());
-        let c2 = tabu_wlo(&k, &mut s2, &eval, -50.0, &[8, 16, 32], &TabuOptions::default());
+        let c1 = tabu_wlo(
+            &k,
+            &mut s1,
+            &eval,
+            -50.0,
+            &[8, 16, 32],
+            &TabuOptions::default(),
+        );
+        let c2 = tabu_wlo(
+            &k,
+            &mut s2,
+            &eval,
+            -50.0,
+            &[8, 16, 32],
+            &TabuOptions::default(),
+        );
         assert_eq!(c1, c2);
         for key in s1.optimizable_keys(&k) {
             assert_eq!(s1.wl(key), s2.wl(key));
@@ -249,7 +284,10 @@ kernel f {
         }
         let c16 = menard_cost(&k, &spec, &execs);
         assert!(c16 < c32);
-        assert!((c16 - c32 / 2.0).abs() < 1e-9, "16-bit ops cost exactly half");
+        assert!(
+            (c16 - c32 / 2.0).abs() < 1e-9,
+            "16-bit ops cost exactly half"
+        );
     }
 
     #[test]

@@ -84,15 +84,27 @@ pub fn wlo_slp(
                 break;
             }
             // Line 12: wider merges supersede the groups they absorbed.
-            groups.retain(|g| !selected.iter().any(|s| s.lanes() > g.lanes() && s.overlaps(g)));
+            groups.retain(|g| {
+                !selected
+                    .iter()
+                    .any(|s| s.lanes() > g.lanes() && s.overlaps(g))
+            });
             groups.extend(selected);
         }
 
         // Line 15: SLP-aware scaling optimization.
         let scalopt = scaling_optimize(&mut spec, &dfg, &groups, eval, constraint_db);
-        results.push(BlockResult { block, dfg, groups, scalopt });
+        results.push(BlockResult {
+            block,
+            dfg,
+            groups,
+            scalopt,
+        });
     }
-    WloSlpResult { spec, blocks: results }
+    WloSlpResult {
+        spec,
+        blocks: results,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +161,11 @@ kernel fir8 {
             loose.group_count(),
             tight.group_count()
         );
-        assert_eq!(tight.group_count(), 0, "no 16-bit grouping can reach -160 dB");
+        assert_eq!(
+            tight.group_count(),
+            0,
+            "no 16-bit grouping can reach -160 dB"
+        );
     }
 
     #[test]
@@ -192,7 +208,11 @@ kernel fir8 {
         let (res, _) = run(-40.0, &xentium());
         let spec = &res.spec;
         for b in &res.blocks {
-            let grouped: Vec<_> = b.groups.iter().flat_map(|g| g.elems.iter().copied()).collect();
+            let grouped: Vec<_> = b
+                .groups
+                .iter()
+                .flat_map(|g| g.elems.iter().copied())
+                .collect();
             for &n in &grouped {
                 if let Some(key) = node_key(&b.dfg, n) {
                     assert!(spec.wl(key) <= 16, "grouped node must be <= 16 bits");

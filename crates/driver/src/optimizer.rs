@@ -1,0 +1,466 @@
+//! The builder-pattern driver.
+
+use crate::error::Error;
+use crate::flow::{CompilationFlow, FlowContext, FlowKind};
+use crate::report::Report;
+use slpwlo_accuracy::AccuracyEvaluator;
+use slpwlo_core::{prepare, Prepared, TabuOptions};
+use slpwlo_fixedpoint::FixedPointSpec;
+use slpwlo_ir::parser::parse_kernel;
+use slpwlo_ir::Kernel;
+use slpwlo_sim::total_cycles;
+use slpwlo_targets::{xentium, TargetModel};
+
+/// Default activations for cycle reporting (the paper's FIR/IIR workload
+/// size).
+const DEFAULT_ACTIVATIONS: u64 = 2048;
+
+/// The unified driver: one kernel, one target, one flow, any number of
+/// constraint points.
+///
+/// Construction runs the expensive once-per-kernel analyses (range
+/// analysis, noise-gain measurement); [`Optimizer::run`] and
+/// [`Optimizer::sweep`] reuse them across constraint points, which is
+/// what makes Fig. 4/6-style experiments affordable.
+///
+/// ```
+/// use slpwlo_driver::{FlowKind, Optimizer};
+/// use slpwlo_targets::xentium;
+///
+/// let report = Optimizer::for_source(
+///     "kernel k { input x range [-1, 1]; output y; var t; t = 0.5 * x; y = t; }",
+/// )?
+/// .target(xentium())
+/// .constraint_db(-50.0)
+/// .flow(FlowKind::WloSlp)
+/// .run()?;
+/// assert!(report.noise_db.unwrap() <= -50.0);
+/// # Ok::<(), slpwlo_driver::Error>(())
+/// ```
+pub struct Optimizer {
+    prep: Prepared,
+    target: TargetModel,
+    constraint_db: Option<f64>,
+    flow: Box<dyn CompilationFlow + Send + Sync>,
+    tabu: TabuOptions,
+    activations: u64,
+    /// Memoized [`Optimizer::noise_floor_db`] for the current target
+    /// (one widest-spec noise evaluation); reset by `target()`.
+    /// `OnceLock` rather than `Cell` keeps the `Optimizer` `Sync` so
+    /// grids can be parallelized over one shared instance.
+    floor_db: std::sync::OnceLock<f64>,
+}
+
+impl std::fmt::Debug for Optimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Optimizer")
+            .field("kernel", &self.prep.kernel.name())
+            .field("target", &self.target.name)
+            .field("constraint_db", &self.constraint_db)
+            .field("flow", &self.flow.name())
+            .field("activations", &self.activations)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Optimizer {
+    /// Parses, validates and prepares a kernel written in the textual
+    /// DSL.
+    pub fn for_source(src: &str) -> Result<Self, Error> {
+        let kernel = parse_kernel(src).map_err(Error::Parse)?;
+        Self::for_kernel(kernel)
+    }
+
+    /// Validates and prepares an already-built kernel.
+    pub fn for_kernel(kernel: Kernel) -> Result<Self, Error> {
+        // `Kernel::validate` holds the single copy of the range-validity
+        // predicate; its range failure is lifted to the richer
+        // `Error::Range` here.
+        if let Err(e) = kernel.validate() {
+            if let slpwlo_ir::IrError::InvalidRange { ref input, .. } = e {
+                if let Some(i) = kernel.inputs().iter().find(|i| &i.name == input) {
+                    return Err(Error::Range {
+                        input: input.clone(),
+                        lo: i.lo,
+                        hi: i.hi,
+                    });
+                }
+            }
+            return Err(Error::InvalidKernel(e));
+        }
+        Ok(Optimizer {
+            prep: prepare(kernel),
+            target: xentium(),
+            constraint_db: None,
+            flow: FlowKind::WloSlp.instantiate(),
+            tabu: TabuOptions::default(),
+            activations: DEFAULT_ACTIVATIONS,
+            floor_db: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Sets the processor model to compile for (default: XENTIUM).
+    pub fn target(mut self, target: TargetModel) -> Self {
+        self.target = target;
+        self.floor_db = std::sync::OnceLock::new();
+        self
+    }
+
+    /// Sets the output-noise constraint in dB (required by quantizing
+    /// flows; validated at [`Optimizer::run`]).
+    pub fn constraint_db(mut self, db: f64) -> Self {
+        self.constraint_db = Some(db);
+        self
+    }
+
+    /// Selects a built-in flow (default: [`FlowKind::WloSlp`]).
+    pub fn flow(mut self, kind: FlowKind) -> Self {
+        self.flow = kind.instantiate();
+        self
+    }
+
+    /// Selects a built-in flow by its registry name (`"wlo-slp"`,
+    /// `"wlo-first"`, `"float"`).
+    pub fn flow_named(self, name: &str) -> Result<Self, Error> {
+        Ok(self.flow(FlowKind::from_name(name)?))
+    }
+
+    /// Installs a custom [`CompilationFlow`] strategy.
+    pub fn custom_flow(mut self, flow: Box<dyn CompilationFlow + Send + Sync>) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Sets Tabu-search options for flows that use them.
+    pub fn tabu(mut self, tabu: TabuOptions) -> Self {
+        self.tabu = tabu;
+        self
+    }
+
+    /// Sets the workload size used for reported cycle counts.
+    pub fn activations(mut self, n: u64) -> Self {
+        self.activations = n;
+        self
+    }
+
+    /// The kernel under optimization.
+    pub fn kernel(&self) -> &Kernel {
+        &self.prep.kernel
+    }
+
+    /// The shared per-kernel analyses (ranges + accuracy model).
+    pub fn prepared(&self) -> &Prepared {
+        &self.prep
+    }
+
+    /// The configured target model.
+    pub fn target_model(&self) -> &TargetModel {
+        &self.target
+    }
+
+    /// The lowest output noise (dB) any fixed-point specification can
+    /// reach on the configured target: every node at maximum word
+    /// length. Constraints below this are unsatisfiable. Memoized per
+    /// target, so repeated `run()` calls pay it once.
+    pub fn noise_floor_db(&self) -> f64 {
+        *self.floor_db.get_or_init(|| {
+            let widest = FixedPointSpec::from_ranges(
+                &self.prep.kernel,
+                &self.prep.ranges,
+                self.target.max_wl(),
+            );
+            self.prep.eval.noise_db(&widest)
+        })
+    }
+
+    /// One constraint point checked against finiteness and the target's
+    /// noise floor — the single copy of this validation.
+    fn check_point(&self, flow_name: &str, db: f64) -> Result<(), Error> {
+        if !db.is_finite() {
+            return Err(Error::Config {
+                field: "constraint_db",
+                message: format!("must be finite, got {db}"),
+            });
+        }
+        let floor = self.noise_floor_db();
+        if db < floor {
+            return Err(Error::Unsatisfiable {
+                flow: flow_name.to_string(),
+                constraint_db: db,
+                floor_db: floor,
+            });
+        }
+        Ok(())
+    }
+
+    fn validated_constraint(&self, flow: &dyn CompilationFlow) -> Result<Option<f64>, Error> {
+        match (flow.needs_constraint(), self.constraint_db) {
+            (false, _) => Ok(None),
+            (true, None) => Err(crate::flow::missing_constraint(flow.name())),
+            (true, Some(db)) => {
+                self.check_point(flow.name(), db)?;
+                Ok(Some(db))
+            }
+        }
+    }
+
+    fn run_checked(
+        &self,
+        flow: &dyn CompilationFlow,
+        constraint_db: Option<f64>,
+    ) -> Result<Report, Error> {
+        if self.activations == 0 {
+            return Err(Error::Config {
+                field: "activations",
+                message: "cycle reporting needs at least one activation".into(),
+            });
+        }
+        let ctx = FlowContext {
+            prep: &self.prep,
+            target: &self.target,
+            constraint_db,
+            tabu: &self.tabu,
+        };
+        let out = flow.run(&ctx)?;
+        Ok(Report {
+            kernel_name: self.prep.kernel.name().to_string(),
+            flow: flow.name().to_string(),
+            target: self.target.clone(),
+            kernel: self.prep.kernel.clone(),
+            constraint_db,
+            spec: out.spec,
+            cycles_simd: total_cycles(&self.target, &out.program, self.activations),
+            cycles_scalar: total_cycles(&self.target, &out.scalar, self.activations),
+            simd: out.program,
+            scalar: out.scalar,
+            group_count: out.group_count,
+            noise_db: out.noise_db,
+            activations: self.activations,
+        })
+    }
+
+    fn run_flow(&self, flow: &dyn CompilationFlow) -> Result<Report, Error> {
+        let constraint = self.validated_constraint(flow)?;
+        self.run_checked(flow, constraint)
+    }
+
+    /// Runs the configured flow at the configured constraint point.
+    pub fn run(&self) -> Result<Report, Error> {
+        self.run_flow(self.flow.as_ref())
+    }
+
+    /// Runs a built-in flow at the configured constraint point without
+    /// changing the configured strategy — the cheap way to compare flows
+    /// on one prepared kernel (the paper's whole evaluation does this).
+    pub fn run_with(&self, kind: FlowKind) -> Result<Report, Error> {
+        self.run_flow(kind.instantiate().as_ref())
+    }
+
+    /// Runs the configured flow once per constraint point, reusing the
+    /// per-kernel analyses (Fig. 4/6-style experiments). The feasibility
+    /// of every point is checked up front, so either all points run or
+    /// none do.
+    pub fn sweep(&self, constraints_db: &[f64]) -> Result<Vec<Report>, Error> {
+        let flow = self.flow.as_ref();
+        if !flow.needs_constraint() {
+            return Err(Error::Config {
+                field: "flow",
+                message: format!(
+                    "flow `{}` ignores constraints; use run() instead of sweep()",
+                    flow.name()
+                ),
+            });
+        }
+        for &db in constraints_db {
+            self.check_point(flow.name(), db)?;
+        }
+        constraints_db
+            .iter()
+            .map(|&db| self.run_checked(flow, Some(db)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+kernel tiny {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.25, -0.5, 0.125, 0.0625 };
+    array dl[4];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    for i in 0..4 unroll 4 {
+        acc = acc + c[i] * dl[i];
+    }
+    y = acc;
+}
+"#;
+
+    #[test]
+    fn builder_happy_path() {
+        let report = Optimizer::for_source(TINY)
+            .unwrap()
+            .constraint_db(-40.0)
+            .flow(FlowKind::WloSlp)
+            .run()
+            .unwrap();
+        assert_eq!(report.flow, "wlo-slp");
+        assert_eq!(report.kernel_name, "tiny");
+        assert!(report.noise_db.unwrap() <= -40.0);
+        assert!(report.cycles_simd > 0);
+        assert!(report.summary().contains("tiny"));
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        match Optimizer::for_source("kernel { nope") {
+            Err(Error::Parse(_)) => {}
+            other => panic!("expected Parse error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn missing_constraint_is_a_config_error() {
+        let err = Optimizer::for_source(TINY).unwrap().run().unwrap_err();
+        match err {
+            Error::Config { field, .. } => assert_eq!(field, "constraint_db"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_constraint_is_a_config_error() {
+        let err = Optimizer::for_source(TINY)
+            .unwrap()
+            .constraint_db(f64::NAN)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config {
+                field: "constraint_db",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_is_typed() {
+        let opt = Optimizer::for_source(TINY).unwrap();
+        let floor = opt.noise_floor_db();
+        let err = opt.constraint_db(floor - 30.0).run().unwrap_err();
+        match err {
+            Error::Unsatisfiable {
+                constraint_db,
+                floor_db,
+                ..
+            } => {
+                assert!(constraint_db < floor_db);
+            }
+            other => panic!("expected Unsatisfiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_flow_needs_no_constraint() {
+        let report = Optimizer::for_source(TINY)
+            .unwrap()
+            .flow(FlowKind::Float)
+            .run()
+            .unwrap();
+        assert!(report.spec.is_none());
+        assert!(report.noise_db.is_none());
+        assert_eq!(report.group_count, 0);
+    }
+
+    #[test]
+    fn sweep_amortizes_and_orders() {
+        let opt = Optimizer::for_source(TINY).unwrap().flow(FlowKind::WloSlp);
+        let reports = opt.sweep(&[-20.0, -40.0, -60.0]).unwrap();
+        assert_eq!(reports.len(), 3);
+        for (r, db) in reports.iter().zip([-20.0, -40.0, -60.0]) {
+            assert_eq!(r.constraint_db, Some(db));
+            assert!(r.noise_db.unwrap() <= db);
+        }
+    }
+
+    #[test]
+    fn run_with_matches_the_configured_flow() {
+        let opt = Optimizer::for_source(TINY).unwrap().constraint_db(-40.0);
+        // `run_with` must agree with running the same flow configured
+        // through the builder, without mutating the configured strategy.
+        let via_builder = Optimizer::for_source(TINY)
+            .unwrap()
+            .constraint_db(-40.0)
+            .flow(FlowKind::WloFirst)
+            .run()
+            .unwrap();
+        let via_run_with = opt.run_with(FlowKind::WloFirst).unwrap();
+        assert_eq!(via_run_with.flow, via_builder.flow);
+        assert_eq!(via_run_with.cycles_simd, via_builder.cycles_simd);
+        assert_eq!(via_run_with.noise_db, via_builder.noise_db);
+        // The configured flow (default wlo-slp) is untouched.
+        assert_eq!(opt.run().unwrap().flow, "wlo-slp");
+    }
+
+    #[test]
+    fn sweep_rejects_the_float_flow() {
+        let err = Optimizer::for_source(TINY)
+            .unwrap()
+            .flow(FlowKind::Float)
+            .sweep(&[-20.0])
+            .unwrap_err();
+        assert!(matches!(err, Error::Config { field: "flow", .. }));
+    }
+
+    #[test]
+    fn zero_activations_rejected() {
+        let err = Optimizer::for_source(TINY)
+            .unwrap()
+            .constraint_db(-30.0)
+            .activations(0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config {
+                field: "activations",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn custom_flows_plug_in() {
+        struct CountingFlow;
+        impl CompilationFlow for CountingFlow {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn needs_constraint(&self) -> bool {
+                false
+            }
+            fn run(&self, ctx: &FlowContext<'_>) -> Result<crate::flow::FlowOutput, Error> {
+                let program = slpwlo_core::lower_float(&ctx.prep.kernel);
+                Ok(crate::flow::FlowOutput {
+                    spec: None,
+                    scalar: program.clone(),
+                    program,
+                    group_count: 0,
+                    noise_db: None,
+                })
+            }
+        }
+        let report = Optimizer::for_source(TINY)
+            .unwrap()
+            .custom_flow(Box::new(CountingFlow))
+            .run()
+            .unwrap();
+        assert_eq!(report.flow, "counting");
+    }
+}

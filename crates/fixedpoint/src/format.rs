@@ -109,7 +109,10 @@ impl QFormat {
     /// range) and trading fractional bits — the adjustment performed when
     /// a node's word length is changed by WLO.
     pub fn with_wl(self, wl: i32) -> Self {
-        QFormat { iwl: self.iwl, fwl: wl - self.iwl }
+        QFormat {
+            iwl: self.iwl,
+            fwl: wl - self.iwl,
+        }
     }
 
     /// Returns a copy with the fractional length reduced by `delta`
@@ -121,7 +124,10 @@ impl QFormat {
     /// Panics if `delta` is negative.
     pub fn shrink_fwl(self, delta: i32) -> Self {
         assert!(delta >= 0, "shrink_fwl takes a non-negative delta");
-        QFormat { iwl: self.iwl + delta, fwl: self.fwl - delta }
+        QFormat {
+            iwl: self.iwl + delta,
+            fwl: self.fwl - delta,
+        }
     }
 
     /// Returns `true` if every value representable in `other` is exactly

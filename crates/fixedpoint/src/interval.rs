@@ -22,7 +22,10 @@ impl Interval {
     ///
     /// Panics if `lo > hi` or a bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
         Interval { lo, hi }
     }

@@ -41,7 +41,10 @@ pub enum OverflowMode {
 ///
 /// Panics if a grid step is negative.
 pub fn noise_stats(q_in: f64, q_out: f64, mode: QuantizeMode) -> (f64, f64) {
-    assert!(q_in >= 0.0 && q_out >= 0.0, "grid steps must be non-negative");
+    assert!(
+        q_in >= 0.0 && q_out >= 0.0,
+        "grid steps must be non-negative"
+    );
     if q_out <= q_in {
         return (0.0, 0.0);
     }
@@ -111,7 +114,13 @@ mod tests {
         let mean = sum / n as f64;
         let var = sum2 / n as f64 - mean * mean;
         let (m_model, v_model) = noise_stats(q_in, q_out, QuantizeMode::Truncate);
-        assert!((mean - m_model).abs() < q_out * 0.01, "mean {mean} vs {m_model}");
-        assert!((var - v_model).abs() < v_model * 0.05, "var {var} vs {v_model}");
+        assert!(
+            (mean - m_model).abs() < q_out * 0.01,
+            "mean {mean} vs {m_model}"
+        );
+        assert!(
+            (var - v_model).abs() < v_model * 0.05,
+            "var {var} vs {v_model}"
+        );
     }
 }

@@ -163,7 +163,10 @@ pub fn simulate_ranges(kernel: &Kernel, opts: &RangeOptions) -> Ranges {
             .map(|&iv| inflate(Some(iv)).expect("array range always present"))
             .collect(),
         params: param_ranges(kernel),
-        method: RangeMethod::Simulation { activations: opts.sim_activations, margin: opts.margin },
+        method: RangeMethod::Simulation {
+            activations: opts.sim_activations,
+            margin: opts.margin,
+        },
     }
 }
 
@@ -421,7 +424,10 @@ kernel iir1 {
         assert_eq!(r.method, RangeMethod::Interval);
         // Steady-state bound of y = 0.5x + 0.9 y is |y| <= 0.5/(1-0.9) = 5.
         let ymax = r.arrays[0].magnitude();
-        assert!((ymax - 5.0).abs() < 1e-6, "expected the exact bound 5, got {ymax}");
+        assert!(
+            (ymax - 5.0).abs() < 1e-6,
+            "expected the exact bound 5, got {ymax}"
+        );
     }
 
     #[test]
@@ -461,7 +467,10 @@ kernel iir1 {
         );
         let k = k.unwrap();
         let r = determine_ranges(&k, &RangeOptions::default());
-        assert!(r.exprs.iter().any(|e| e.is_none()), "expected dead arena nodes");
+        assert!(
+            r.exprs.iter().any(|e| e.is_none()),
+            "expected dead arena nodes"
+        );
         // And Ranges::expr defaults them to zero.
         let dead = r.exprs.iter().position(|e| e.is_none()).unwrap();
         assert_eq!(r.expr(slpwlo_ir::ExprId(dead as u32)), Interval::zero());

@@ -74,7 +74,13 @@ impl FixedPointSpec {
             .iter()
             .map(|iv| QFormat::for_range(iv.lo, iv.hi, max_wl))
             .collect();
-        FixedPointSpec { exprs, arrays, params, max_wl, journal: Vec::new() }
+        FixedPointSpec {
+            exprs,
+            arrays,
+            params,
+            max_wl,
+            journal: Vec::new(),
+        }
     }
 
     /// The maximum word length the specification was initialised with.

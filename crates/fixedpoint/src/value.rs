@@ -152,7 +152,7 @@ fn clamp_raw(v: i128, fmt: QFormat, ovf: OverflowMode) -> i64 {
     match ovf {
         OverflowMode::Saturate => v.clamp(min, max) as i64,
         OverflowMode::Wrap => {
-            let span = (max - min + 1) as i128;
+            let span = max - min + 1;
             (((v - min).rem_euclid(span)) + min) as i64
         }
     }

@@ -46,7 +46,10 @@ impl Block {
     pub fn priority(&self, kernel: &Kernel) -> u64 {
         let mut nodes = 0u64;
         for s in &self.stmts {
-            if let Stmt::Assign(_, e) | Stmt::Store(_, _, e) | Stmt::ShiftIn(_, e) | Stmt::Output(_, e) = s
+            if let Stmt::Assign(_, e)
+            | Stmt::Store(_, _, e)
+            | Stmt::ShiftIn(_, e)
+            | Stmt::Output(_, e) = s
             {
                 nodes += kernel.expr_tree_size(*e) as u64;
             }
@@ -64,12 +67,7 @@ impl Block {
 pub fn collect_blocks(kernel: &Kernel) -> Vec<Block> {
     let mut out = Vec::new();
     let mut next = 0u32;
-    fn go(
-        stmts: &[Stmt],
-        loops: &mut Vec<(LoopId, u32)>,
-        out: &mut Vec<Block>,
-        next: &mut u32,
-    ) {
+    fn go(stmts: &[Stmt], loops: &mut Vec<(LoopId, u32)>, out: &mut Vec<Block>, next: &mut u32) {
         let mut run: Vec<Stmt> = Vec::new();
         for s in stmts {
             match s {

@@ -2,9 +2,7 @@
 
 use crate::error::IrError;
 use crate::kernel::{Array, ExprNode, Input, Kernel, Output, Param, Stmt, Var};
-use crate::types::{
-    ArrayId, BinOp, ExprId, IndexExpr, InputId, LoopId, ParamId, UnOp, VarId,
-};
+use crate::types::{ArrayId, BinOp, ExprId, IndexExpr, InputId, LoopId, ParamId, UnOp, VarId};
 
 /// Incremental builder for [`Kernel`]s.
 ///
@@ -66,10 +64,20 @@ impl KernelBuilder {
     // ---- declarations ----------------------------------------------------
 
     /// Declares a per-activation input with value range `[lo, hi]`.
+    ///
+    /// Bounds are *not* checked here: malformed ranges (non-finite, or
+    /// `lo > hi`) are caught by [`Kernel::validate`] — i.e. by
+    /// [`KernelBuilder::try_finish`] as [`IrError::InvalidRange`] — so
+    /// programmatically-built kernels get a typed error at the same
+    /// boundary parsed ones do instead of a delayed panic inside range
+    /// analysis.
     pub fn input(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> InputId {
-        assert!(lo <= hi, "input range must satisfy lo <= hi");
         let id = InputId(self.kernel.inputs.len() as u32);
-        self.kernel.inputs.push(Input { name: name.into(), lo, hi });
+        self.kernel.inputs.push(Input {
+            name: name.into(),
+            lo,
+            hi,
+        });
         id
     }
 
@@ -88,7 +96,10 @@ impl KernelBuilder {
     pub fn param(&mut self, name: impl Into<String>, values: Vec<f64>) -> ParamId {
         assert!(!values.is_empty(), "parameter table must not be empty");
         let id = ParamId(self.kernel.params.len() as u32);
-        self.kernel.params.push(Param { name: name.into(), values });
+        self.kernel.params.push(Param {
+            name: name.into(),
+            values,
+        });
         id
     }
 
@@ -100,7 +111,10 @@ impl KernelBuilder {
     pub fn array(&mut self, name: impl Into<String>, len: usize) -> ArrayId {
         assert!(len > 0, "state array must have at least one element");
         let id = ArrayId(self.kernel.arrays.len() as u32);
-        self.kernel.arrays.push(Array { name: name.into(), len });
+        self.kernel.arrays.push(Array {
+            name: name.into(),
+            len,
+        });
         id
     }
 
@@ -205,7 +219,10 @@ impl KernelBuilder {
 
     /// Emits the value of output `index`.
     pub fn set_output(&mut self, index: usize, expr: ExprId) {
-        assert!(index < self.kernel.outputs.len(), "output index out of range");
+        assert!(
+            index < self.kernel.outputs.len(),
+            "output index out of range"
+        );
         self.push_stmt(Stmt::Output(index, expr));
     }
 

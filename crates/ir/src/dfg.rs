@@ -177,7 +177,10 @@ impl Dfg {
 
     /// Iterates over `(id, node)` pairs in topological order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &DfgNode)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// The node created for an expression, if the expression belongs to
@@ -291,7 +294,13 @@ impl<'k> Builder<'k> {
         for &op in &operands {
             self.nodes[op.index()].users.push(id);
         }
-        self.nodes.push(DfgNode { kind, expr, operands, deps, users: Vec::new() });
+        self.nodes.push(DfgNode {
+            kind,
+            expr,
+            operands,
+            deps,
+            users: Vec::new(),
+        });
         if let Some(e) = expr {
             self.expr_to_node.insert(e, id);
         }
@@ -299,12 +308,7 @@ impl<'k> Builder<'k> {
     }
 
     /// Memory-hazard predecessors for a new access.
-    fn hazards(
-        &self,
-        space: MemSpace,
-        ix: Option<&IndexExpr>,
-        access: MemAccess,
-    ) -> Vec<NodeId> {
+    fn hazards(&self, space: MemSpace, ix: Option<&IndexExpr>, access: MemAccess) -> Vec<NodeId> {
         let mut deps = Vec::new();
         for &m in &self.mem_nodes {
             let (pspace, pix, paccess) = self.nodes[m.index()]
@@ -433,7 +437,10 @@ mod tests {
     }
 
     fn find_kind(dfg: &Dfg, pred: impl Fn(&NodeKind) -> bool) -> Vec<NodeId> {
-        dfg.iter().filter(|(_, n)| pred(&n.kind)).map(|(i, _)| i).collect()
+        dfg.iter()
+            .filter(|(_, n)| pred(&n.kind))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     #[test]
@@ -456,7 +463,10 @@ mod tests {
         let shift = find_kind(&dfg, |k| matches!(k, NodeKind::ShiftIn(_)))[0];
         let loads = find_kind(&dfg, |k| matches!(k, NodeKind::LoadArray(..)));
         for l in loads {
-            assert!(dfg.reaches(shift, l), "load must be ordered after the delay-line push");
+            assert!(
+                dfg.reaches(shift, l),
+                "load must be ordered after the delay-line push"
+            );
         }
     }
 
@@ -517,8 +527,12 @@ mod tests {
         let ix = IndexExpr::constant(0);
         assert!(NodeKind::Bin(BinOp::Mul).isomorphic(&NodeKind::Bin(BinOp::Mul)));
         assert!(!NodeKind::Bin(BinOp::Mul).isomorphic(&NodeKind::Bin(BinOp::Add)));
-        assert!(NodeKind::LoadArray(a0, ix.clone()).isomorphic(&NodeKind::LoadArray(a0, ix.clone())));
-        assert!(!NodeKind::LoadArray(a0, ix.clone()).isomorphic(&NodeKind::LoadArray(a1, ix.clone())));
+        assert!(
+            NodeKind::LoadArray(a0, ix.clone()).isomorphic(&NodeKind::LoadArray(a0, ix.clone()))
+        );
+        assert!(
+            !NodeKind::LoadArray(a0, ix.clone()).isomorphic(&NodeKind::LoadArray(a1, ix.clone()))
+        );
         assert!(!NodeKind::LoadArray(a0, ix.clone()).isomorphic(&NodeKind::Bin(BinOp::Mul)));
     }
 

@@ -28,6 +28,15 @@ pub enum IrError {
     },
     /// A loop unrolling request was invalid (unknown loop, factor of zero).
     InvalidUnroll(String),
+    /// An input's declared value range is unusable (non-finite bound or
+    /// `lo > hi`). The bounds are carried pre-formatted so the error stays
+    /// `Eq`-comparable.
+    InvalidRange {
+        /// Name of the offending input.
+        input: String,
+        /// The declared range, formatted as `[lo, hi]`.
+        range: String,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -40,6 +49,9 @@ impl fmt::Display for IrError {
             IrError::UnknownName(n) => write!(f, "unknown name `{n}`"),
             IrError::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
             IrError::InvalidUnroll(msg) => write!(f, "invalid unroll request: {msg}"),
+            IrError::InvalidRange { input, range } => {
+                write!(f, "unusable value range {range} on input `{input}`")
+            }
         }
     }
 }
@@ -52,11 +64,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(IrError::InvalidExpr(3).to_string(), "expression id e3 out of bounds");
         assert_eq!(
-            IrError::Parse { line: 2, col: 5, msg: "expected `;`".into() }.to_string(),
+            IrError::InvalidExpr(3).to_string(),
+            "expression id e3 out of bounds"
+        );
+        assert_eq!(
+            IrError::Parse {
+                line: 2,
+                col: 5,
+                msg: "expected `;`".into()
+            }
+            .to_string(),
             "parse error at 2:5: expected `;`"
         );
-        assert!(IrError::DuplicateName("x".into()).to_string().contains("`x`"));
+        assert!(IrError::DuplicateName("x".into())
+            .to_string()
+            .contains("`x`"));
     }
 }

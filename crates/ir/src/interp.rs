@@ -221,11 +221,7 @@ impl<'k, S: Semantics> Executor<'k, S> {
         self.epoch = self.epoch.wrapping_add(1);
         let body: &[Stmt] = self.kernel.body();
         self.exec_stmts(body, input_vals);
-        let res = self
-            .outputs
-            .iter()
-            .map(|&v| self.sem.to_f64(v))
-            .collect();
+        let res = self.outputs.iter().map(|&v| self.sem.to_f64(v)).collect();
         self.activation += 1;
         res
     }
@@ -287,7 +283,10 @@ impl<'k, S: Semantics> Executor<'k, S> {
         }
         let exec = slot.1;
         slot.1 += 1;
-        ExecCtx { activation: self.activation, exec }
+        ExecCtx {
+            activation: self.activation,
+            exec,
+        }
     }
 
     fn index_env(&self, ix: &crate::types::IndexExpr) -> i64 {

@@ -204,7 +204,10 @@ impl Kernel {
 
     /// Iterates over all `(id, node)` pairs of the arena.
     pub fn exprs(&self) -> impl Iterator<Item = (ExprId, &ExprNode)> {
-        self.exprs.iter().enumerate().map(|(i, n)| (ExprId(i as u32), n))
+        self.exprs
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ExprId(i as u32), n))
     }
 
     /// Resolves a parameter value, wrapping the index into range.
@@ -221,6 +224,7 @@ impl Kernel {
 
     /// Walks every statement (depth-first), invoking `f` with the loop
     /// nesting stack active at that statement.
+    #[allow(clippy::type_complexity)]
     pub fn visit_stmts<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt, &[(LoopId, u32)])) {
         fn go<'a>(
             stmts: &'a [Stmt],
@@ -272,16 +276,24 @@ impl Kernel {
 
     /// Validates arena invariants; used by tests and after transformations.
     ///
-    /// Checks that every expression id referenced by the statement tree is
-    /// in-bounds and that no expression node is used as an operand or
-    /// statement root more than once (single-use arena discipline).
+    /// Checks that every input's declared value range is usable (finite,
+    /// `lo <= hi`), that every expression id referenced by the statement
+    /// tree is in-bounds, and that no expression node is used as an
+    /// operand or statement root more than once (single-use arena
+    /// discipline).
     pub fn validate(&self) -> Result<(), crate::error::IrError> {
         use crate::error::IrError;
+        for input in &self.inputs {
+            if !input.lo.is_finite() || !input.hi.is_finite() || input.lo > input.hi {
+                return Err(IrError::InvalidRange {
+                    input: input.name.clone(),
+                    range: format!("[{}, {}]", input.lo, input.hi),
+                });
+            }
+        }
         let mut uses = vec![0u32; self.exprs.len()];
         let mut mark = |id: ExprId| -> Result<(), IrError> {
-            let slot = uses
-                .get_mut(id.index())
-                .ok_or(IrError::InvalidExpr(id.0))?;
+            let slot = uses.get_mut(id.index()).ok_or(IrError::InvalidExpr(id.0))?;
             *slot += 1;
             if *slot > 1 {
                 return Err(IrError::ExprReused(id.0));
@@ -301,7 +313,10 @@ impl Kernel {
         }
         let mut roots = Vec::new();
         self.visit_stmts(&mut |s, _| {
-            if let Stmt::Assign(_, e) | Stmt::Store(_, _, e) | Stmt::ShiftIn(_, e) | Stmt::Output(_, e) = s
+            if let Stmt::Assign(_, e)
+            | Stmt::Store(_, _, e)
+            | Stmt::ShiftIn(_, e)
+            | Stmt::Output(_, e) = s
             {
                 roots.push(*e);
             }

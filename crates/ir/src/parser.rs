@@ -128,7 +128,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IrError> {
                 }
                 continue;
             }
-            return Err(IrError::Parse { line: tl, col: tc, msg: "unexpected `/`".into() });
+            return Err(IrError::Parse {
+                line: tl,
+                col: tc,
+                msg: "unexpected `/`".into(),
+            });
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let mut s = String::new();
@@ -139,7 +143,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IrError> {
                     break;
                 }
             }
-            out.push(Spanned { tok: Tok::Ident(s), line: tl, col: tc });
+            out.push(Spanned {
+                tok: Tok::Ident(s),
+                line: tl,
+                col: tc,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -180,7 +188,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IrError> {
                     msg: format!("bad integer `{s}`"),
                 })?)
             };
-            out.push(Spanned { tok, line: tl, col: tc });
+            out.push(Spanned {
+                tok,
+                line: tl,
+                col: tc,
+            });
             continue;
         }
         let tok = match c {
@@ -198,28 +210,52 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IrError> {
             '-' => {
                 bump(&mut chars);
                 if chars.peek() == Some(&'-') {
-                    return Err(IrError::Parse { line: tl, col: tc, msg: "unexpected `--`".into() });
+                    return Err(IrError::Parse {
+                        line: tl,
+                        col: tc,
+                        msg: "unexpected `--`".into(),
+                    });
                 }
-                out.push(Spanned { tok: Tok::Minus, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    line: tl,
+                    col: tc,
+                });
                 continue;
             }
             '.' => {
                 bump(&mut chars);
                 if chars.peek() == Some(&'.') {
                     bump(&mut chars);
-                    out.push(Spanned { tok: Tok::DotDot, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::DotDot,
+                        line: tl,
+                        col: tc,
+                    });
                     continue;
                 }
-                return Err(IrError::Parse { line: tl, col: tc, msg: "unexpected `.`".into() });
+                return Err(IrError::Parse {
+                    line: tl,
+                    col: tc,
+                    msg: "unexpected `.`".into(),
+                });
             }
             '<' => {
                 bump(&mut chars);
                 if chars.peek() == Some(&'-') {
                     bump(&mut chars);
-                    out.push(Spanned { tok: Tok::Arrow, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        line: tl,
+                        col: tc,
+                    });
                     continue;
                 }
-                return Err(IrError::Parse { line: tl, col: tc, msg: "unexpected `<`".into() });
+                return Err(IrError::Parse {
+                    line: tl,
+                    col: tc,
+                    msg: "unexpected `<`".into(),
+                });
             }
             other => {
                 return Err(IrError::Parse {
@@ -230,7 +266,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IrError> {
             }
         };
         bump(&mut chars);
-        out.push(Spanned { tok, line: tl, col: tc });
+        out.push(Spanned {
+            tok,
+            line: tl,
+            col: tc,
+        });
     }
     Ok(out)
 }
@@ -272,7 +312,11 @@ impl Parser {
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
             .map(|s| (s.line, s.col))
             .unwrap_or((0, 0));
-        IrError::Parse { line, col, msg: msg.into() }
+        IrError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -361,6 +405,13 @@ impl Parser {
                 let lo = self.number()?;
                 self.expect(Tok::Comma, "`,`")?;
                 let hi = self.number()?;
+                // Checked before the `]`/`;` are consumed so the error
+                // location points at the offending range, not past it.
+                if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                    return Err(self.err(format!(
+                        "unusable range [{lo}, {hi}] on input `{n}` (need finite lo <= hi)"
+                    )));
+                }
                 self.expect(Tok::RBrack, "`]`")?;
                 self.expect(Tok::Semi, "`;`")?;
                 self.declare(&n)?;

@@ -17,7 +17,13 @@ pub fn kernel_to_string(k: &Kernel) -> String {
     }
     for p in k.params() {
         let vals: Vec<String> = p.values.iter().map(|v| format!("{v}")).collect();
-        let _ = writeln!(s, "    param {}[{}] = {{ {} }};", p.name, p.values.len(), vals.join(", "));
+        let _ = writeln!(
+            s,
+            "    param {}[{}] = {{ {} }};",
+            p.name,
+            p.values.len(),
+            vals.join(", ")
+        );
     }
     for a in k.arrays() {
         let _ = writeln!(s, "    array {}[{}];", a.name, a.len);
@@ -41,7 +47,12 @@ fn write_stmts(s: &mut String, k: &Kernel, stmts: &[Stmt], level: usize) {
         indent(s, level);
         match st {
             Stmt::Assign(v, e) => {
-                let _ = writeln!(s, "{} = {};", k.vars()[v.index()].name, expr_to_string(k, *e));
+                let _ = writeln!(
+                    s,
+                    "{} = {};",
+                    k.vars()[v.index()].name,
+                    expr_to_string(k, *e)
+                );
             }
             Stmt::Store(a, ix, e) => {
                 let _ = writeln!(
@@ -53,7 +64,12 @@ fn write_stmts(s: &mut String, k: &Kernel, stmts: &[Stmt], level: usize) {
                 );
             }
             Stmt::ShiftIn(a, e) => {
-                let _ = writeln!(s, "shiftin {} <- {};", k.arrays()[a.index()].name, expr_to_string(k, *e));
+                let _ = writeln!(
+                    s,
+                    "shiftin {} <- {};",
+                    k.arrays()[a.index()].name,
+                    expr_to_string(k, *e)
+                );
             }
             Stmt::Output(i, e) => {
                 let _ = writeln!(s, "{} = {};", k.outputs()[*i].name, expr_to_string(k, *e));

@@ -152,7 +152,10 @@ pub struct IndexExpr {
 impl IndexExpr {
     /// A constant index.
     pub fn constant(offset: i64) -> Self {
-        IndexExpr { terms: Vec::new(), offset }
+        IndexExpr {
+            terms: Vec::new(),
+            offset,
+        }
     }
 
     /// The single-term affine index `coeff * var + offset`.

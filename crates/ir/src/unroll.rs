@@ -101,7 +101,12 @@ fn expand(kernel: &mut Kernel, var: LoopId, count: u32, body: &[Stmt], factor: u
     let mut out = Vec::new();
     if full {
         for k in 0..count {
-            let subst = Subst { var, new_var: None, factor: 0, add: k as i64 };
+            let subst = Subst {
+                var,
+                new_var: None,
+                factor: 0,
+                add: k as i64,
+            };
             for s in body {
                 out.push(clone_stmt(kernel, s, subst));
             }
@@ -115,15 +120,29 @@ fn expand(kernel: &mut Kernel, var: LoopId, count: u32, body: &[Stmt], factor: u
     kernel.n_loops += 1;
     let mut main_body = Vec::new();
     for k in 0..factor {
-        let subst = Subst { var, new_var: Some(v2), factor: factor as i64, add: k as i64 };
+        let subst = Subst {
+            var,
+            new_var: Some(v2),
+            factor: factor as i64,
+            add: k as i64,
+        };
         for s in body {
             main_body.push(clone_stmt(kernel, s, subst));
         }
     }
-    out.push(Stmt::For { var: v2, count: q, body: main_body });
+    out.push(Stmt::For {
+        var: v2,
+        count: q,
+        body: main_body,
+    });
     // Remainder: straight-line copies at var := q*factor + k.
     for k in 0..r {
-        let subst = Subst { var, new_var: None, factor: 0, add: (q * factor + k) as i64 };
+        let subst = Subst {
+            var,
+            new_var: None,
+            factor: 0,
+            add: (q * factor + k) as i64,
+        };
         for s in body {
             out.push(clone_stmt(kernel, s, subst));
         }
@@ -151,27 +170,32 @@ fn clone_stmt(kernel: &mut Kernel, s: &Stmt, subst: Subst) -> Stmt {
                 .map(|s| {
                     // First rename the nested induction variable, then apply
                     // the outer substitution.
-                    let renamed = rename_loop_in_stmt(kernel, s, *var, fresh);
+                    let renamed = rename_loop_in_stmt(s, *var, fresh);
                     clone_stmt(kernel, &renamed, subst)
                 })
                 .collect();
-            Stmt::For { var: fresh, count: *count, body: inner }
+            Stmt::For {
+                var: fresh,
+                count: *count,
+                body: inner,
+            }
         }
     }
 }
 
 /// Rewrites index expressions replacing `old` by `new` (coefficient kept).
-fn rename_loop_in_stmt(kernel: &Kernel, s: &Stmt, old: LoopId, new: LoopId) -> Stmt {
+fn rename_loop_in_stmt(s: &Stmt, old: LoopId, new: LoopId) -> Stmt {
     // Renaming only affects IndexExprs syntactically; expression ids are
     // handled by the caller's clone. We piggyback on `substitute`.
     match s {
-        Stmt::Store(a, ix, e) => {
-            Stmt::Store(*a, ix.substitute(old, Some(new), 1, 0), *e)
-        }
+        Stmt::Store(a, ix, e) => Stmt::Store(*a, ix.substitute(old, Some(new), 1, 0), *e),
         Stmt::For { var, count, body } => Stmt::For {
             var: *var,
             count: *count,
-            body: body.iter().map(|s| rename_loop_in_stmt(kernel, s, old, new)).collect(),
+            body: body
+                .iter()
+                .map(|s| rename_loop_in_stmt(s, old, new))
+                .collect(),
         },
         other => other.clone(),
     }
@@ -241,7 +265,7 @@ mod tests {
     }
 
     fn run(k: &Kernel, xs: &[f64]) -> Vec<f64> {
-        let mut ex = Executor::new(k, FloatSem::default());
+        let mut ex = Executor::new(k, FloatSem);
         let inputs = vec![xs.to_vec()];
         let outs = ex.run(&inputs);
         outs[0].clone()

@@ -15,9 +15,15 @@ use slpwlo_ir::Kernel;
 /// row-major. `sum = 1`, so pixel ranges are preserved.
 pub fn gaussian3x3() -> Vec<f64> {
     vec![
-        1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
-        2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0,
-        1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
+        1.0 / 16.0,
+        2.0 / 16.0,
+        1.0 / 16.0,
+        2.0 / 16.0,
+        4.0 / 16.0,
+        2.0 / 16.0,
+        1.0 / 16.0,
+        2.0 / 16.0,
+        1.0 / 16.0,
     ]
 }
 
@@ -124,6 +130,9 @@ mod tests {
             }
         }
         assert_eq!(muls, 9);
-        assert_eq!(adds, 9, "nine accumulator adds (one per MAC, first adds to zero)");
+        assert_eq!(
+            adds, 9,
+            "nine accumulator adds (one per MAC, first adds to zero)"
+        );
     }
 }

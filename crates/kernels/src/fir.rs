@@ -122,10 +122,15 @@ mod tests {
     fn bounded_output_for_bounded_input() {
         let k = fir64();
         let mut ex = Executor::new(&k, FloatSem);
-        let xs: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..256)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = ex.run(&[xs]);
         for &v in &out[0] {
-            assert!(v.abs() <= 1.0 + 1e-12, "L1-normalized FIR stays in [-1,1]: {v}");
+            assert!(
+                v.abs() <= 1.0 + 1e-12,
+                "L1-normalized FIR stays in [-1,1]: {v}"
+            );
         }
     }
 }

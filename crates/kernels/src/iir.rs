@@ -68,7 +68,12 @@ pub fn iir10_coeffs() -> (Vec<f64>, Vec<f64>) {
 /// # Panics
 ///
 /// Panics if `a` is empty, `a[0] != 1`, or `b` is empty.
-pub fn iir_kernel(name: &str, b_coeffs: Vec<f64>, a_coeffs: Vec<f64>, unroll_factor: u32) -> Kernel {
+pub fn iir_kernel(
+    name: &str,
+    b_coeffs: Vec<f64>,
+    a_coeffs: Vec<f64>,
+    unroll_factor: u32,
+) -> Kernel {
     assert!(!b_coeffs.is_empty() && !a_coeffs.is_empty());
     assert!((a_coeffs[0] - 1.0).abs() < 1e-12, "a[0] must be 1");
     let nb = b_coeffs.len();

@@ -43,9 +43,21 @@ pub struct Benchmark {
 /// The paper's three benchmarks in presentation order.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "FIR", kernel: fir64(), activations: 2048 },
-        Benchmark { name: "IIR", kernel: iir10(), activations: 2048 },
-        Benchmark { name: "CONV", kernel: conv3x3(), activations: 64 * 64 },
+        Benchmark {
+            name: "FIR",
+            kernel: fir64(),
+            activations: 2048,
+        },
+        Benchmark {
+            name: "IIR",
+            kernel: iir10(),
+            activations: 2048,
+        },
+        Benchmark {
+            name: "CONV",
+            kernel: conv3x3(),
+            activations: 64 * 64,
+        },
     ]
 }
 

@@ -37,9 +37,7 @@ impl Workload {
                         let v: f64 = freqs
                             .iter()
                             .enumerate()
-                            .map(|(k, f)| {
-                                ((2.0 * std::f64::consts::PI * f * t) + k as f64).sin()
-                            })
+                            .map(|(k, f)| ((2.0 * std::f64::consts::PI * f * t) + k as f64).sin())
                             .sum();
                         v / freqs.len() as f64
                     })
@@ -61,7 +59,7 @@ impl Workload {
             (2.0 * gx - 1.0) * 0.4 + (2.0 * gy - 1.0) * 0.3 + texture
         };
         let n = width * height;
-        let mut rows = vec![Vec::with_capacity(n); 3];
+        let mut rows: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
         for y in 0..height {
             for x in 0..width {
                 // Row streams: the line above, the line itself, the line

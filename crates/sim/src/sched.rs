@@ -89,12 +89,14 @@ impl<'t> Resources<'t> {
     fn take_serialized(&mut self, from: u64, len: u64) -> u64 {
         let mut t = from;
         'outer: loop {
-            for c in t..t + len {
+            let mut c = t;
+            while c < t + len {
                 self.grow(c as usize);
                 if self.issue[c as usize] > 0 || self.blocked[c as usize] {
                     t = c + 1;
                     continue 'outer;
                 }
+                c += 1;
             }
             for c in t..t + len {
                 self.blocked[c as usize] = true;
@@ -114,12 +116,7 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
     let mut makespan = 0u64;
 
     for (i, op) in block.ops.iter().enumerate() {
-        let est = op
-            .preds
-            .iter()
-            .map(|&p| finish[p])
-            .max()
-            .unwrap_or(0);
+        let est = op.preds.iter().map(|&p| finish[p]).max().unwrap_or(0);
         let cost = target.cost(op.query);
         if cost.serialize {
             let t = res.take_serialized(est, cost.latency as u64);
@@ -153,7 +150,11 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
         }
         makespan = makespan.max(finish[i]);
     }
-    Schedule { start, finish, makespan }
+    Schedule {
+        start,
+        finish,
+        makespan,
+    }
 }
 
 /// Cycles for one execution of a block, including loop control overhead
@@ -190,7 +191,11 @@ mod tests {
     use slpwlo_targets::{st240, vex, xentium, OpQuery};
 
     fn block(ops: Vec<Mop>, in_loop: bool) -> MachineBlock {
-        MachineBlock { ops, trip: 1, in_loop }
+        MachineBlock {
+            ops,
+            trip: 1,
+            in_loop,
+        }
     }
 
     fn op(query: OpQuery, preds: Vec<usize>) -> Mop {
@@ -232,7 +237,10 @@ mod tests {
             ops.push(op(OpQuery::Add(32), vec![i - 1]));
         }
         let s = schedule_block(&target, &block(ops, false));
-        assert_eq!(s.makespan, 10, "a 10-add chain takes 10 cycles regardless of width");
+        assert_eq!(
+            s.makespan, 10,
+            "a 10-add chain takes 10 cycles regardless of width"
+        );
     }
 
     #[test]
@@ -277,8 +285,22 @@ mod tests {
     fn loop_overhead_added_per_iteration() {
         let target = vex(1);
         let ops = vec![op(OpQuery::Add(32), vec![])];
-        let inside = block_cycles(&target, &MachineBlock { ops: ops.clone(), trip: 4, in_loop: true });
-        let outside = block_cycles(&target, &MachineBlock { ops, trip: 1, in_loop: false });
+        let inside = block_cycles(
+            &target,
+            &MachineBlock {
+                ops: ops.clone(),
+                trip: 4,
+                in_loop: true,
+            },
+        );
+        let outside = block_cycles(
+            &target,
+            &MachineBlock {
+                ops,
+                trip: 1,
+                in_loop: false,
+            },
+        );
         assert!(inside > outside);
     }
 
@@ -290,12 +312,19 @@ mod tests {
             trip: 16,
             in_loop: true,
         };
-        let prog = MachineProgram { name: "t".into(), blocks: vec![b1] };
+        let prog = MachineProgram {
+            name: "t".into(),
+            blocks: vec![b1],
+        };
         let per_act = cycles_per_activation(&target, &prog);
         assert_eq!(total_cycles(&target, &prog, 10), per_act * 10);
         let single = block_cycles(
             &target,
-            &MachineBlock { ops: vec![op(OpQuery::Add(32), vec![])], trip: 1, in_loop: true },
+            &MachineBlock {
+                ops: vec![op(OpQuery::Add(32), vec![])],
+                trip: 1,
+                in_loop: true,
+            },
         );
         assert_eq!(per_act, single * 16);
     }

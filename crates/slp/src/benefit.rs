@@ -21,9 +21,7 @@
 //! strictly positive so ties break on candidate order.
 
 use crate::candidate::Round;
-use crate::group::{
-    effective_users, mem_status, resolved_operands, MemStatus, SimdGroup,
-};
+use crate::group::{effective_users, mem_status, resolved_operands, MemStatus, SimdGroup};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
 use slpwlo_targets::TargetModel;
 
@@ -62,7 +60,13 @@ impl<'a> BenefitModel<'a> {
             NodeKind::Bin(_) => {
                 for pos in 0..2 {
                     self.operand_contribution(
-                        &g, pos, idx, alive, selected, &mut reuse, &mut pack_ops,
+                        &g,
+                        pos,
+                        idx,
+                        alive,
+                        selected,
+                        &mut reuse,
+                        &mut pack_ops,
                     );
                 }
             }
@@ -88,6 +92,7 @@ impl<'a> BenefitModel<'a> {
     }
 
     /// Contribution of the operand superword at position `pos`.
+    #[allow(clippy::too_many_arguments)]
     fn operand_contribution(
         &self,
         g: &SimdGroup,
@@ -122,7 +127,11 @@ impl<'a> BenefitModel<'a> {
         }
         // Whole superword already packed as an item (e.g. a prior-round
         // group feeding an extension candidate).
-        if self.round.item_of(&sw).is_some_and(|i| self.round.items[i].lanes() > 1) {
+        if self
+            .round
+            .item_of(&sw)
+            .is_some_and(|i| self.round.items[i].lanes() > 1)
+        {
             *reuse += 1.0;
             return;
         }
@@ -147,11 +156,13 @@ impl<'a> BenefitModel<'a> {
         // candidate uses lane i's value in its lane i (any operand
         // position).
         let consumed_by = |cons: &SimdGroup| -> bool {
-            g.elems.iter().zip(&cons.elems).all(|(&prod, &user)| {
-                resolved_operands(self.dfg, user).contains(&prod)
-            }) && cons.lanes() == g.lanes()
+            g.elems
+                .iter()
+                .zip(&cons.elems)
+                .all(|(&prod, &user)| resolved_operands(self.dfg, user).contains(&prod))
+                && cons.lanes() == g.lanes()
         };
-        if selected.iter().any(|s| consumed_by(s)) {
+        if selected.iter().any(&consumed_by) {
             *reuse += 1.0;
             return;
         }
@@ -183,9 +194,10 @@ impl<'a> BenefitModel<'a> {
             return false;
         }
         let half = sw.len() / 2;
-        let (Some(li), Some(ri)) =
-            (self.round.item_of(&sw[..half]), self.round.item_of(&sw[half..]))
-        else {
+        let (Some(li), Some(ri)) = (
+            self.round.item_of(&sw[..half]),
+            self.round.item_of(&sw[half..]),
+        ) else {
             // Items may also match as singletons for lanes()==2.
             if sw.len() == 2 {
                 return false;
@@ -247,7 +259,10 @@ kernel f {
                 }
             }
         }
-        assert!(best_adjacent > best_gather, "{best_adjacent} vs {best_gather}");
+        assert!(
+            best_adjacent > best_gather,
+            "{best_adjacent} vs {best_gather}"
+        );
     }
 
     #[test]
@@ -299,10 +314,7 @@ kernel f {
                 .iter()
                 .map(|&e| resolved_operands(&dfg, e)[1])
                 .collect();
-            let selected = vec![
-                SimdGroup { elems: param_sw },
-                SimdGroup { elems: array_sw },
-            ];
+            let selected = vec![SimdGroup { elems: param_sw }, SimdGroup { elems: array_sw }];
             let b_sel = model.benefit(idx, &alive, &selected);
             let b_cand = model.benefit(idx, &alive, &[]);
             assert!(b_sel > b_cand, "{b_sel} vs {b_cand}");

@@ -66,7 +66,12 @@ impl Round {
             .enumerate()
             .map(|(i, g)| (g.elems.clone(), i))
             .collect();
-        Round { items, candidates, by_pair, by_elems }
+        Round {
+            items,
+            candidates,
+            by_pair,
+            by_elems,
+        }
     }
 
     /// Materialises the merged view of a candidate.
@@ -77,7 +82,11 @@ impl Round {
         let elem_wl = target
             .simd_element_wl(lanes)
             .expect("enumerate() only keeps supported lane counts");
-        CandidateView { group, lanes, elem_wl }
+        CandidateView {
+            group,
+            lanes,
+            elem_wl,
+        }
     }
 
     /// Candidate index for an ordered item pair.
@@ -149,7 +158,10 @@ fn canonical_order(dfg: &Dfg, a: &SimdGroup, b: &SimdGroup, i: usize, j: usize) 
 }
 
 fn contiguous(s: MemStatus) -> bool {
-    matches!(s, MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned)
+    matches!(
+        s,
+        MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned
+    )
 }
 
 #[cfg(test)]
@@ -224,8 +236,12 @@ kernel c {
             .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
             .map(|(i, _)| i)
             .collect();
-        let g1 = SimdGroup { elems: vec![muls[0], muls[1]] };
-        let g2 = SimdGroup { elems: vec![muls[2], muls[3]] };
+        let g1 = SimdGroup {
+            elems: vec![muls[0], muls[1]],
+        };
+        let g2 = SimdGroup {
+            elems: vec![muls[2], muls[3]],
+        };
         let r2 = Round::new(&dfg, &vex(4), &[g1.clone(), g2.clone()]);
         // On VEX a 4x8 merge of the two pairs must be a candidate.
         let i1 = r2.item_of(&g1.elems).unwrap();
@@ -237,7 +253,11 @@ kernel c {
         // On XENTIUM (2x16 only) no group-pair candidate may appear.
         let r2x = Round::new(&dfg, &xentium(), &[g1, g2]);
         for c in &r2x.candidates {
-            assert_eq!(r2x.items[c.left].lanes(), 1, "no 4-lane candidates on XENTIUM");
+            assert_eq!(
+                r2x.items[c.left].lanes(),
+                1,
+                "no 4-lane candidates on XENTIUM"
+            );
         }
         let _ = r1;
     }
@@ -250,13 +270,18 @@ kernel c {
             .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(slpwlo_ir::BinOp::Mul)))
             .map(|(i, _)| i)
             .collect();
-        let g = SimdGroup { elems: vec![muls[0], muls[1]] };
+        let g = SimdGroup {
+            elems: vec![muls[0], muls[1]],
+        };
         let round = Round::new(&dfg, &xentium(), &[g]);
         let singleton_muls = round
             .items
             .iter()
             .filter(|it| it.lanes() == 1 && it.contains(muls[0]))
             .count();
-        assert_eq!(singleton_muls, 0, "grouped node must not reappear as a singleton");
+        assert_eq!(
+            singleton_muls, 0,
+            "grouped node must not reappear as a singleton"
+        );
     }
 }

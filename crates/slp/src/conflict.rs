@@ -106,8 +106,14 @@ kernel cy {
         // The two muls are dependent (m0 -> s0 -> m1), so the mul pair is
         // not even a candidate; the adds likewise. This block instead
         // verifies that dependent operations never become candidates.
-        assert!(mul_cand.is_none(), "dependent muls must not form a candidate");
-        assert!(add_cand.is_none(), "dependent adds must not form a candidate");
+        assert!(
+            mul_cand.is_none(),
+            "dependent muls must not form a candidate"
+        );
+        assert!(
+            add_cand.is_none(),
+            "dependent adds must not form a candidate"
+        );
     }
 
     /// Independent mul pairs but crossed dependencies through adds:
@@ -147,11 +153,17 @@ kernel sh {
         let mut mul_cands = Vec::new();
         for (idx, c) in round.candidates.iter().enumerate() {
             let g = round.items[c.left].concat(&round.items[c.right]);
-            if matches!(g.kind(&dfg), slpwlo_ir::NodeKind::Bin(slpwlo_ir::BinOp::Mul)) {
+            if matches!(
+                g.kind(&dfg),
+                slpwlo_ir::NodeKind::Bin(slpwlo_ir::BinOp::Mul)
+            ) {
                 mul_cands.push(idx);
             }
         }
-        assert!(mul_cands.len() >= 3, "three muls give at least three pair orders");
+        assert!(
+            mul_cands.len() >= 3,
+            "three muls give at least three pair orders"
+        );
         for (i, &a) in mul_cands.iter().enumerate() {
             for &b in &mul_cands[i + 1..] {
                 let ca = round.candidates[a];

@@ -199,7 +199,10 @@ kernel f {
     }
 
     fn nodes_of(dfg: &Dfg, pred: impl Fn(&NodeKind) -> bool) -> Vec<NodeId> {
-        dfg.iter().filter(|(_, n)| pred(&n.kind)).map(|(i, _)| i).collect()
+        dfg.iter()
+            .filter(|(_, n)| pred(&n.kind))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     #[test]
@@ -207,8 +210,12 @@ kernel f {
         let (_, dfg) = fir_block();
         let muls = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
         assert_eq!(muls.len(), 4);
-        let g1 = SimdGroup { elems: vec![muls[0], muls[1]] };
-        let g2 = SimdGroup { elems: vec![muls[2], muls[3]] };
+        let g1 = SimdGroup {
+            elems: vec![muls[0], muls[1]],
+        };
+        let g2 = SimdGroup {
+            elems: vec![muls[2], muls[3]],
+        };
         assert!(fully_independent(&dfg, &g1, &g2));
     }
 
@@ -247,20 +254,30 @@ kernel f {
         let loads = nodes_of(&dfg, |k| matches!(k, NodeKind::LoadArray(..)));
         assert_eq!(loads.len(), 4);
         // dl[0], dl[1]: contiguous, offset 0 => aligned.
-        let a = SimdGroup { elems: vec![loads[0], loads[1]] };
+        let a = SimdGroup {
+            elems: vec![loads[0], loads[1]],
+        };
         assert_eq!(mem_status(&dfg, &a), MemStatus::ContiguousAligned);
         // dl[1], dl[2]: contiguous but offset 1 => unaligned.
-        let b = SimdGroup { elems: vec![loads[1], loads[2]] };
+        let b = SimdGroup {
+            elems: vec![loads[1], loads[2]],
+        };
         assert_eq!(mem_status(&dfg, &b), MemStatus::ContiguousUnaligned);
         // dl[0], dl[2]: gap => gather.
-        let c = SimdGroup { elems: vec![loads[0], loads[2]] };
+        let c = SimdGroup {
+            elems: vec![loads[0], loads[2]],
+        };
         assert_eq!(mem_status(&dfg, &c), MemStatus::Gather);
         // reversed order: distance -1 => gather (no reversing loads).
-        let d = SimdGroup { elems: vec![loads[1], loads[0]] };
+        let d = SimdGroup {
+            elems: vec![loads[1], loads[0]],
+        };
         assert_eq!(mem_status(&dfg, &d), MemStatus::Gather);
         // a mul is not a memory group
         let muls = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
-        let e = SimdGroup { elems: vec![muls[0], muls[1]] };
+        let e = SimdGroup {
+            elems: vec![muls[0], muls[1]],
+        };
         assert_eq!(mem_status(&dfg, &e), MemStatus::NotMemory);
     }
 
@@ -268,12 +285,19 @@ kernel f {
     fn concat_and_overlap() {
         let (_, dfg) = fir_block();
         let muls = nodes_of(&dfg, |k| matches!(k, NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
-        let g1 = SimdGroup { elems: vec![muls[0], muls[1]] };
-        let g2 = SimdGroup { elems: vec![muls[2], muls[3]] };
+        let g1 = SimdGroup {
+            elems: vec![muls[0], muls[1]],
+        };
+        let g2 = SimdGroup {
+            elems: vec![muls[2], muls[3]],
+        };
         let g4 = g1.concat(&g2);
         assert_eq!(g4.lanes(), 4);
         assert!(g4.overlaps(&g1) && g4.overlaps(&g2));
         assert!(!g1.overlaps(&g2));
-        assert_eq!(g4.to_string(), format!("{{{},{},{},{}}}", muls[0], muls[1], muls[2], muls[3]));
+        assert_eq!(
+            g4.to_string(),
+            format!("{{{},{},{},{}}}", muls[0], muls[1], muls[2], muls[3])
+        );
     }
 }

@@ -77,9 +77,7 @@ pub fn run_selection(
             if !alive[j] {
                 continue;
             }
-            if conflicts(dfg, round, i, j) {
-                conf.push((i, j));
-            } else if hooks.accuracy_conflict(&views[i], &views[j]) {
+            if conflicts(dfg, round, i, j) || hooks.accuracy_conflict(&views[i], &views[j]) {
                 conf.push((i, j));
             }
         }
@@ -92,9 +90,7 @@ pub fn run_selection(
     // Main loop: while conflicts remain among live candidates, pick the
     // most beneficial candidate and eliminate everything conflicting.
     loop {
-        let live_conflicts = conf
-            .iter()
-            .any(|&(i, j)| alive[i] && alive[j]);
+        let live_conflicts = conf.iter().any(|&(i, j)| alive[i] && alive[j]);
         let Some(best) = argmax_benefit(&model, &alive, &selected) else {
             break;
         };
@@ -102,12 +98,25 @@ pub fn run_selection(
             // Conflict-free tail (paper: loop ends when conflicts are
             // resolved; remaining compatible candidates are selected in
             // benefit order, still subject to the selection hook).
-            try_select(best, &views, &mut alive, &mut selected, &mut new_groups, hooks);
+            try_select(
+                best,
+                &views,
+                &mut alive,
+                &mut selected,
+                &mut new_groups,
+                hooks,
+            );
             kill_overlapping(round, best, &mut alive, &new_groups);
             continue;
         }
-        let accepted =
-            try_select(best, &views, &mut alive, &mut selected, &mut new_groups, hooks);
+        let accepted = try_select(
+            best,
+            &views,
+            &mut alive,
+            &mut selected,
+            &mut new_groups,
+            hooks,
+        );
         if accepted {
             // Eliminate candidates in conflict with the selection.
             for &(i, j) in &conf {
@@ -192,7 +201,11 @@ pub fn extract_rounds(
         }
         // A freshly selected wider group supersedes the narrower groups it
         // absorbed (fig. 1a line 12).
-        groups.retain(|g| !selected.iter().any(|s| s.lanes() > g.lanes() && s.overlaps(g)));
+        groups.retain(|g| {
+            !selected
+                .iter()
+                .any(|s| s.lanes() > g.lanes() && s.overlaps(g))
+        });
         groups.extend(selected);
     }
 }
@@ -211,12 +224,13 @@ pub fn extract_plain(
     }
     impl SelectHooks for FixedWlHooks<'_> {
         fn validate(&mut self, view: &CandidateView) -> bool {
-            view.group.elems.iter().all(|&e| {
-                match self.target.container_wl((self.wl_of)(e)) {
+            view.group
+                .elems
+                .iter()
+                .all(|&e| match self.target.container_wl((self.wl_of)(e)) {
                     Some(c) => c <= view.elem_wl,
                     None => false,
-                }
-            })
+                })
         }
     }
     let mut hooks = FixedWlHooks { target, wl_of };
@@ -278,7 +292,10 @@ kernel f {
     fn plain_extraction_finds_nothing_at_32_bits() {
         let (_, dfg) = fir4_block();
         let groups = extract_plain(&dfg, &xentium(), &|_| 32);
-        assert!(groups.is_empty(), "32-bit data cannot pack on a 32-bit SIMD datapath");
+        assert!(
+            groups.is_empty(),
+            "32-bit data cannot pack on a 32-bit SIMD datapath"
+        );
     }
 
     #[test]
@@ -286,7 +303,10 @@ kernel f {
         let (_, dfg) = fir4_block();
         let groups8 = extract_plain(&dfg, &vex(4), &|_| 8);
         let max_lanes = groups8.iter().map(|g| g.lanes()).max().unwrap_or(0);
-        assert_eq!(max_lanes, 4, "8-bit data on VEX must form 4-lane groups: {groups8:?}");
+        assert_eq!(
+            max_lanes, 4,
+            "8-bit data on VEX must form 4-lane groups: {groups8:?}"
+        );
         // On ST240 (2x16 only) the same data stays in pairs.
         let groups_st = extract_plain(&dfg, &st240(), &|_| 8);
         let max_st = groups_st.iter().map(|g| g.lanes()).max().unwrap_or(0);
@@ -341,7 +361,10 @@ kernel f {
         }
         impl SelectHooks for OnlyMuls<'_> {
             fn validate(&mut self, view: &CandidateView) -> bool {
-                matches!(view.group.kind(self.dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul))
+                matches!(
+                    view.group.kind(self.dfg),
+                    NodeKind::Bin(slpwlo_ir::BinOp::Mul)
+                )
             }
         }
         let (_, dfg) = fir4_block();

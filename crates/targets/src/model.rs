@@ -71,7 +71,12 @@ pub struct OpCost {
 
 impl OpCost {
     fn unit(class: OpClass, latency: u32) -> Self {
-        OpCost { class, latency, slots: 1, serialize: false }
+        OpCost {
+            class,
+            latency,
+            slots: 1,
+            serialize: false,
+        }
     }
 }
 
@@ -163,17 +168,17 @@ pub struct TargetModel {
 impl TargetModel {
     /// Maximum natively supported scalar word length.
     pub fn max_wl(&self) -> i32 {
-        self.scalar_wls.iter().copied().max().unwrap_or(self.datapath)
+        self.scalar_wls
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(self.datapath)
     }
 
     /// Smallest natively supported scalar word length that can hold `wl`
     /// bits; `None` if `wl` exceeds the datapath.
     pub fn container_wl(&self, wl: i32) -> Option<i32> {
-        self.scalar_wls
-            .iter()
-            .copied()
-            .filter(|&c| c >= wl)
-            .min()
+        self.scalar_wls.iter().copied().filter(|&c| c >= wl).min()
     }
 
     /// Equation (1) of the paper: the maximum supported element word
@@ -223,7 +228,12 @@ impl TargetModel {
                 } else {
                     // Shift-register style: a shift occupies the unit for
                     // its amount; modelled as a 2-cycle average.
-                    OpCost { class: OpClass::Shift, latency: 2, slots: 1, serialize: false }
+                    OpCost {
+                        class: OpClass::Shift,
+                        latency: 2,
+                        slots: 1,
+                        serialize: false,
+                    }
                 }
             }
             OpQuery::Load(_) | OpQuery::VLoad(_) | OpQuery::FLoad => {
@@ -275,7 +285,12 @@ impl TargetModel {
             OpCost::unit(OpClass::Fpu, cycles)
         } else {
             // Soft-float library call: serializes the machine.
-            OpCost { class: OpClass::Alu, latency: cycles, slots: 1, serialize: true }
+            OpCost {
+                class: OpClass::Alu,
+                latency: cycles,
+                slots: 1,
+                serialize: true,
+            }
         }
     }
 
@@ -295,7 +310,15 @@ impl fmt::Display for TargetModel {
         for c in &self.simd {
             write!(f, ", {}x{}", c.lanes, c.elem_wl)?;
         }
-        write!(f, "{})", if self.hw_float { ", hw-float" } else { ", soft-float" })
+        write!(
+            f,
+            "{})",
+            if self.hw_float {
+                ", hw-float"
+            } else {
+                ", soft-float"
+            }
+        )
     }
 }
 
@@ -328,9 +351,16 @@ mod tests {
         let x = xentium();
         let wide = x.cost(OpQuery::Mul(32));
         let narrow = x.cost(OpQuery::Mul(16));
-        assert!(wide.slots > narrow.slots, "32-bit mul must expand on a 16x16 multiplier");
+        assert!(
+            wide.slots > narrow.slots,
+            "32-bit mul must expand on a 16x16 multiplier"
+        );
         let s = st240();
-        assert_eq!(s.cost(OpQuery::Mul(32)).slots, 1, "ST240 multiplies 32-bit natively");
+        assert_eq!(
+            s.cost(OpQuery::Mul(32)).slots,
+            1,
+            "ST240 multiplies 32-bit natively"
+        );
     }
 
     #[test]

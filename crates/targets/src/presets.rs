@@ -13,8 +13,17 @@ pub fn xentium() -> TargetModel {
         issue_width: 12,
         datapath: 32,
         scalar_wls: vec![32, 16, 8],
-        simd: vec![SimdConfig { lanes: 2, elem_wl: 16 }],
-        units: FuSet { alu: 4, mul: 2, mem: 2, shift: 2, fpu: 0 },
+        simd: vec![SimdConfig {
+            lanes: 2,
+            elem_wl: 16,
+        }],
+        units: FuSet {
+            alu: 4,
+            mul: 2,
+            mem: 2,
+            shift: 2,
+            fpu: 0,
+        },
         mul_latency: 2,
         wide_mul_slots: 4,
         wide_mul_latency: 6,
@@ -39,8 +48,17 @@ pub fn st240() -> TargetModel {
         issue_width: 4,
         datapath: 32,
         scalar_wls: vec![32, 16, 8],
-        simd: vec![SimdConfig { lanes: 2, elem_wl: 16 }],
-        units: FuSet { alu: 4, mul: 2, mem: 1, shift: 2, fpu: 1 },
+        simd: vec![SimdConfig {
+            lanes: 2,
+            elem_wl: 16,
+        }],
+        units: FuSet {
+            alu: 4,
+            mul: 2,
+            mem: 1,
+            shift: 2,
+            fpu: 1,
+        },
         mul_latency: 3,
         wide_mul_slots: 1,
         wide_mul_latency: 3,
@@ -72,8 +90,14 @@ pub fn vex(issue_width: u32) -> TargetModel {
         datapath: 32,
         scalar_wls: vec![32, 16, 8],
         simd: vec![
-            SimdConfig { lanes: 2, elem_wl: 16 },
-            SimdConfig { lanes: 4, elem_wl: 8 },
+            SimdConfig {
+                lanes: 2,
+                elem_wl: 16,
+            },
+            SimdConfig {
+                lanes: 4,
+                elem_wl: 8,
+            },
         ],
         units: FuSet {
             alu: issue_width.max(1),

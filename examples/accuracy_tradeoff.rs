@@ -4,28 +4,40 @@
 //!
 //! Run with: `cargo run --release --example accuracy_tradeoff`
 
-use slpwlo::core::{prepare, wlo_slp_flow};
 use slpwlo::kernels::iir10;
-use slpwlo::sim::total_cycles;
 use slpwlo::targets::{st240, xentium};
+use slpwlo::{FlowKind, Optimizer};
 
-fn main() {
-    let prep = prepare(iir10());
+fn main() -> Result<(), slpwlo::Error> {
     let n = 2048u64;
+    let constraints: Vec<f64> = (1..=19).map(|i| -5.0 * i as f64).collect();
     for target in [xentium(), st240()] {
-        println!("\nIIR-10 on {target} (N = {n})");
-        println!("{:>8} {:>12} {:>12} {:>8}", "dB", "SIMD cycles", "noise dB", "groups");
+        let optimizer = Optimizer::for_kernel(iir10())?
+            .target(target)
+            .activations(n)
+            .flow(FlowKind::WloSlp);
+        let reports = optimizer.sweep(&constraints)?;
+        println!("\nIIR-10 on {} (N = {n})", reports[0].target);
+        println!(
+            "{:>8} {:>12} {:>12} {:>8}",
+            "dB", "SIMD cycles", "noise dB", "groups"
+        );
         let mut last_cycles = 0u64;
-        for i in 1..=19 {
-            let db = -5.0 * i as f64;
-            let flow = wlo_slp_flow(&prep, &target, db);
-            let cycles = total_cycles(&target, &flow.simd, n);
-            let marker = if cycles != last_cycles { " <-" } else { "" };
+        for report in &reports {
+            let marker = if report.cycles_simd != last_cycles {
+                " <-"
+            } else {
+                ""
+            };
             println!(
                 "{:>8.0} {:>12} {:>12.1} {:>8}{marker}",
-                db, cycles, flow.noise_db, flow.group_count
+                report.constraint_db.expect("sweep sets the constraint"),
+                report.cycles_simd,
+                report.noise_db.expect("fixed-point flow predicts noise"),
+                report.group_count
             );
-            last_cycles = cycles;
+            last_cycles = report.cycles_simd;
         }
     }
+    Ok(())
 }

@@ -1,14 +1,13 @@
 //! Generates the paper's final artifacts for the 3x3 convolution on
 //! VEX-4: scalar fixed-point C, SIMD C over the abstract macro API, and
-//! the target's macro-implementation header.
+//! the target's macro-implementation header — all through
+//! `Report::export_c`, which returns a structured error on I/O failure.
 //!
 //! Run with: `cargo run --release --example codegen_export [out_dir]`
 
-use slpwlo::codegen::{emit_fixed_c, emit_intrinsics_header, emit_simd_c};
-use slpwlo::core::{prepare, wlo_slp_flow};
 use slpwlo::kernels::conv3x3;
 use slpwlo::targets::vex;
-use std::fs;
+use slpwlo::{FlowKind, Optimizer};
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,34 +15,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/generated"));
-    fs::create_dir_all(&out_dir)?;
 
-    let target = vex(4);
-    let prep = prepare(conv3x3());
-    let flow = wlo_slp_flow(&prep, &target, -40.0);
+    let report = Optimizer::for_kernel(conv3x3())?
+        .target(vex(4))
+        .constraint_db(-40.0)
+        .flow(FlowKind::WloSlp)
+        .run()?;
+    let exported = report.export_c(&out_dir)?;
 
-    let fixed = emit_fixed_c(&prep.kernel, &flow.spec);
-    let simd = emit_simd_c(&flow.simd, &target.name);
-    let header = emit_intrinsics_header(&target);
-
-    let fixed_path = out_dir.join("conv3x3_fixed.c");
-    let simd_path = out_dir.join("conv3x3_simd.c");
-    let header_path = out_dir.join("slpwlo_simd_vex_4.h");
-    fs::write(&fixed_path, &fixed)?;
-    fs::write(&simd_path, &simd)?;
-    fs::write(&header_path, &header)?;
-
-    println!("spec noise   : {:.1} dB ({} SIMD groups)", flow.noise_db, flow.group_count);
-    println!("fixed-point C: {} ({} bytes)", fixed_path.display(), fixed.len());
-    println!("SIMD C       : {} ({} bytes)", simd_path.display(), simd.len());
-    println!("intrinsics   : {} ({} bytes)", header_path.display(), header.len());
-    println!("\n--- fixed-point C preview ---");
-    for line in fixed.lines().take(12) {
-        println!("{line}");
+    println!(
+        "spec noise   : {:.1} dB ({} SIMD groups)",
+        report.noise_db.expect("fixed-point flow predicts noise"),
+        report.group_count
+    );
+    for (label, path) in [
+        ("fixed-point C", &exported.fixed_c),
+        ("SIMD C", &exported.simd_c),
+        ("intrinsics", &exported.intrinsics_h),
+    ] {
+        let bytes = std::fs::metadata(path)?.len();
+        println!("{label:<13}: {} ({bytes} bytes)", path.display());
     }
-    println!("\n--- SIMD C preview ---");
-    for line in simd.lines().take(12) {
-        println!("{line}");
+    for (label, path) in [
+        ("fixed-point C", &exported.fixed_c),
+        ("SIMD C", &exported.simd_c),
+    ] {
+        println!("\n--- {label} preview ---");
+        for line in std::fs::read_to_string(path)?.lines().take(12) {
+            println!("{line}");
+        }
     }
     Ok(())
 }

@@ -1,39 +1,48 @@
-//! End-to-end walkthrough on the paper's FIR-64 benchmark: run both
-//! flows across constraints, then *validate* the produced fixed-point
-//! specification with the bit-accurate simulator against the
-//! double-precision reference.
+//! End-to-end walkthrough on the paper's FIR-64 benchmark: sweep both
+//! flows across constraints with the driver API, then *validate* the
+//! produced fixed-point specification with the bit-accurate simulator
+//! against the double-precision reference.
 //!
 //! Run with: `cargo run --release --example fir_pipeline`
 
 use slpwlo::accuracy::measure_noise;
-use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
 use slpwlo::kernels::{fir64, Workload};
-use slpwlo::sim::{speedup, total_cycles};
 use slpwlo::targets::xentium;
+use slpwlo::{FlowKind, Optimizer};
 
-fn main() {
-    let prep = prepare(fir64());
-    let target = xentium();
+fn main() -> Result<(), slpwlo::Error> {
     let n = 2048u64;
     let workload = Workload::white(1, n as usize, 0xF1B);
+    let constraints = [-20.0, -40.0, -60.0, -80.0];
 
-    println!("FIR-64 on {target}, N = {n}");
+    // One Optimizer, both flows: `sweep` amortizes the range analysis
+    // and noise-gain measurement across all constraint points, and
+    // switching `.flow(...)` keeps the same prepared kernel.
+    let mut opt = Optimizer::for_kernel(fir64())?
+        .target(xentium())
+        .activations(n)
+        .flow(FlowKind::WloSlp);
+    let joints = opt.sweep(&constraints)?;
+    opt = opt.flow(FlowKind::WloFirst);
+    let firsts = opt.sweep(&constraints)?;
+
+    println!("FIR-64 on {}, N = {n}", joints[0].target);
     println!(
         "{:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>12} {:>12}",
         "dB", "first spd", "slp spd", "pred dB", "meas dB", "first grps", "slp grps"
     );
-    for db in [-20.0, -40.0, -60.0, -80.0] {
-        let first = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
-        let joint = wlo_slp_flow(&prep, &target, db);
-        let base = total_cycles(&target, &first.scalar, n);
+    for (joint, first) in joints.iter().zip(&firsts) {
+        let db = joint.constraint_db.expect("sweep sets the constraint");
+        let base = first.cycles_scalar;
         // Bit-accurate validation of the joint flow's specification.
-        let measured = measure_noise(&prep.kernel, &joint.spec, &workload.inputs);
+        let spec = joint.spec.as_ref().expect("fixed-point flow has a spec");
+        let measured = measure_noise(&joint.kernel, spec, &workload.inputs);
         println!(
             "{:>6.0} | {:>9.3} {:>9.3} | {:>9.1} {:>9.1} | {:>12} {:>12}",
             db,
-            speedup(base, total_cycles(&target, &first.simd, n)),
-            speedup(base, total_cycles(&target, &joint.simd, n)),
-            joint.noise_db,
+            first.speedup_over(base),
+            joint.speedup_over(base),
+            joint.noise_db.expect("fixed-point flow predicts noise"),
             measured.db,
             first.group_count,
             joint.group_count,
@@ -45,4 +54,5 @@ fn main() {
         );
     }
     println!("\nAll specifications validated bit-accurately within 3 dB of the model.");
+    Ok(())
 }

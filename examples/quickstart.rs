@@ -1,18 +1,16 @@
 //! Quickstart: joint word-length optimization + SLP extraction on a tiny
-//! kernel written in the textual DSL.
+//! kernel written in the textual DSL, through the unified `Optimizer`
+//! driver.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
-use slpwlo::ir::parser::parse_kernel;
-use slpwlo::sim::{speedup, total_cycles};
 use slpwlo::targets::xentium;
+use slpwlo::{FlowKind, Optimizer};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), slpwlo::Error> {
     // An 8-tap FIR in the kernel DSL; the paper's pragmas become `range`
     // annotations, and the tap loop carries its unroll factor.
-    let kernel = parse_kernel(
-        r#"
+    let src = r#"
 kernel demo {
     input x range [-1, 1];
     output y;
@@ -26,36 +24,37 @@ kernel demo {
     }
     y = acc;
 }
-"#,
-    )?;
+"#;
 
-    // Front end: range analysis + analytical accuracy model (once).
-    let prep = prepare(kernel);
-    let target = xentium();
-    let constraint_db = -40.0; // max tolerable output noise power
+    // One Optimizer = one kernel with its analyses; flows are strategies
+    // selected per run. `?` propagates structured errors (bad DSL,
+    // unsatisfiable constraint, ...) instead of panicking.
+    let optimizer = Optimizer::for_source(src)?
+        .target(xentium())
+        .constraint_db(-40.0);
 
     // The paper's joint flow vs the WLO-First baseline.
-    let joint = wlo_slp_flow(&prep, &target, constraint_db);
-    let first = wlo_first_flow(&prep, &target, constraint_db, &TabuOptions::default());
+    let joint = optimizer.run()?;
+    let optimizer = optimizer.flow(FlowKind::WloFirst);
+    let first = optimizer.run()?;
 
-    let n = 2048; // activations (input samples)
-    let base = total_cycles(&target, &first.scalar, n);
-    println!("target            : {target}");
-    println!("constraint        : {constraint_db} dB");
+    // Equation (2): speedups against WLO-First's scalar fixed-point code.
+    let base = first.cycles_scalar;
+    println!("target            : {}", joint.target);
+    println!(
+        "constraint        : {} dB",
+        joint.constraint_db.expect("configured above")
+    );
     println!("baseline (scalar) : {base} cycles");
-    println!(
-        "WLO-First SIMD    : {} cycles (speedup {:.2}, {} groups, noise {:.1} dB)",
-        total_cycles(&target, &first.simd, n),
-        speedup(base, total_cycles(&target, &first.simd, n)),
-        first.group_count,
-        first.noise_db
-    );
-    println!(
-        "WLO-SLP   SIMD    : {} cycles (speedup {:.2}, {} groups, noise {:.1} dB)",
-        total_cycles(&target, &joint.simd, n),
-        speedup(base, total_cycles(&target, &joint.simd, n)),
-        joint.group_count,
-        joint.noise_db
-    );
+    for report in [&first, &joint] {
+        println!(
+            "{:<10} SIMD    : {} cycles (speedup {:.2}, {} groups, noise {:.1} dB)",
+            report.flow,
+            report.cycles_simd,
+            report.speedup_over(base),
+            report.group_count,
+            report.noise_db.expect("fixed-point flows predict noise"),
+        );
+    }
     Ok(())
 }

@@ -1,11 +1,11 @@
 //! The scientific core check: specifications produced by the flows,
 //! when executed **bit-accurately**, honour the accuracy constraint the
-//! analytical model promised.
+//! analytical model promised. Runs through the `Optimizer` driver.
 
 use slpwlo::accuracy::measure_noise;
-use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
 use slpwlo::kernels::{all_benchmarks, Workload};
 use slpwlo::targets::xentium;
+use slpwlo::{Error, FlowKind, Optimizer};
 
 /// Model-vs-silicon margin: the analytical noise model linearises
 /// quantization; 4 dB covers its bias on these kernels (validated per
@@ -20,40 +20,50 @@ fn workload_for(name: &str, n: usize) -> Workload {
 }
 
 #[test]
-fn wlo_slp_specs_validate_bit_accurately() {
+fn wlo_slp_specs_validate_bit_accurately() -> Result<(), Error> {
     for bench in all_benchmarks() {
-        let prep = prepare(bench.kernel.clone());
         let workload = workload_for(bench.name, bench.activations as usize);
-        for db in [-25.0, -55.0] {
-            let flow = wlo_slp_flow(&prep, &xentium(), db);
-            let measured = measure_noise(&prep.kernel, &flow.spec, &workload.inputs);
+        let reports = Optimizer::for_kernel(bench.kernel.clone())?
+            .target(xentium())
+            .flow(FlowKind::WloSlp)
+            .sweep(&[-25.0, -55.0])?;
+        for report in reports {
+            let db = report.constraint_db.expect("sweep sets the constraint");
+            let spec = report.spec.as_ref().expect("fixed-point flow has a spec");
+            let measured = measure_noise(&report.kernel, spec, &workload.inputs);
             assert!(
                 measured.db <= db + MARGIN_DB,
                 "{} at {db} dB: measured {:.1} dB (predicted {:.1})",
                 bench.name,
                 measured.db,
-                flow.noise_db
+                report.noise_db.expect("fixed-point flow predicts noise")
             );
         }
     }
+    Ok(())
 }
 
 #[test]
-fn wlo_first_specs_validate_bit_accurately() {
+fn wlo_first_specs_validate_bit_accurately() -> Result<(), Error> {
     for bench in all_benchmarks() {
-        let prep = prepare(bench.kernel.clone());
         let workload = workload_for(bench.name, bench.activations as usize);
         let db = -35.0;
-        let flow = wlo_first_flow(&prep, &xentium(), db, &TabuOptions::default());
-        let measured = measure_noise(&prep.kernel, &flow.spec, &workload.inputs);
+        let report = Optimizer::for_kernel(bench.kernel.clone())?
+            .target(xentium())
+            .constraint_db(db)
+            .flow(FlowKind::WloFirst)
+            .run()?;
+        let spec = report.spec.as_ref().expect("fixed-point flow has a spec");
+        let measured = measure_noise(&report.kernel, spec, &workload.inputs);
         assert!(
             measured.db <= db + MARGIN_DB,
             "{}: measured {:.1} dB (predicted {:.1})",
             bench.name,
             measured.db,
-            flow.noise_db
+            report.noise_db.expect("fixed-point flow predicts noise")
         );
     }
+    Ok(())
 }
 
 #[test]

@@ -1,50 +1,53 @@
-//! Cross-crate integration: complete flows on the paper's benchmarks.
+//! Cross-crate integration: complete flows on the paper's benchmarks,
+//! driven through the unified `Optimizer` API.
 
-use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
 use slpwlo::kernels::all_benchmarks;
-use slpwlo::sim::{speedup, total_cycles};
-use slpwlo::targets::{all_targets, xentium};
+use slpwlo::targets::{all_targets, xentium, OpQuery};
+use slpwlo::{Error, FlowKind, Optimizer};
 
 #[test]
-fn both_flows_meet_every_constraint_on_every_benchmark() {
+fn both_flows_meet_every_constraint_on_every_benchmark() -> Result<(), Error> {
     for bench in all_benchmarks() {
-        let prep = prepare(bench.kernel.clone());
-        let target = xentium();
-        for db in [-15.0, -45.0, -75.0] {
-            let joint = wlo_slp_flow(&prep, &target, db);
-            let first = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
-            assert!(
-                joint.noise_db <= db,
-                "{} WLO-SLP at {db}: {:.1} dB",
-                bench.name,
-                joint.noise_db
-            );
-            assert!(
-                first.noise_db <= db,
-                "{} WLO-First at {db}: {:.1} dB",
-                bench.name,
-                first.noise_db
-            );
+        let constraints = [-15.0, -45.0, -75.0];
+        let mut opt = Optimizer::for_kernel(bench.kernel.clone())?.target(xentium());
+        for kind in [FlowKind::WloSlp, FlowKind::WloFirst] {
+            opt = opt.flow(kind);
+            for report in opt.sweep(&constraints)? {
+                let db = report.constraint_db.expect("sweep sets the constraint");
+                let noise = report.noise_db.expect("fixed-point flow predicts noise");
+                assert!(
+                    noise <= db,
+                    "{} {} at {db}: {noise:.1} dB",
+                    bench.name,
+                    report.flow
+                );
+            }
         }
     }
+    Ok(())
 }
 
 #[test]
-fn joint_flow_wins_on_average_across_the_grid() {
+fn joint_flow_wins_on_average_across_the_grid() -> Result<(), Error> {
     // The paper's headline: WLO-SLP consistently beats WLO-First.
     let mut slp_total = 0.0;
     let mut first_total = 0.0;
     let mut points = 0usize;
     let mut slp_wins = 0usize;
     for bench in all_benchmarks() {
-        let prep = prepare(bench.kernel.clone());
+        let mut opt = Optimizer::for_kernel(bench.kernel.clone())?.activations(bench.activations);
         for target in all_targets() {
+            opt = opt.target(target);
             for db in [-15.0, -45.0] {
-                let joint = wlo_slp_flow(&prep, &target, db);
-                let first = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
-                let base = total_cycles(&target, &first.scalar, bench.activations);
-                let s_slp = speedup(base, total_cycles(&target, &joint.simd, bench.activations));
-                let s_first = speedup(base, total_cycles(&target, &first.simd, bench.activations));
+                opt = opt.constraint_db(db).flow(FlowKind::WloSlp);
+                let joint = opt.run()?;
+                opt = opt.flow(FlowKind::WloFirst);
+                let first = opt.run()?;
+                // Equation (2): the baseline denominator is WLO-First's
+                // scalar fixed-point code.
+                let base = first.cycles_scalar;
+                let s_slp = joint.speedup_over(base);
+                let s_first = first.speedup_over(base);
                 slp_total += s_slp;
                 first_total += s_first;
                 if s_slp >= s_first {
@@ -64,31 +67,37 @@ fn joint_flow_wins_on_average_across_the_grid() {
         slp_wins * 10 >= points * 9,
         "WLO-SLP must win at least 90% of cells: {slp_wins}/{points}"
     );
+    Ok(())
 }
 
 #[test]
-fn flows_are_deterministic_across_runs() {
+fn flows_are_deterministic_across_runs() -> Result<(), Error> {
     let bench = &all_benchmarks()[0];
-    let prep1 = prepare(bench.kernel.clone());
-    let prep2 = prepare(bench.kernel.clone());
-    let t = xentium();
-    let a = wlo_slp_flow(&prep1, &t, -40.0);
-    let b = wlo_slp_flow(&prep2, &t, -40.0);
+    let run = || -> Result<_, Error> {
+        Optimizer::for_kernel(bench.kernel.clone())?
+            .target(xentium())
+            .constraint_db(-40.0)
+            .flow(FlowKind::WloSlp)
+            .activations(100)
+            .run()
+    };
+    let a = run()?;
+    let b = run()?;
     assert_eq!(a.group_count, b.group_count);
-    assert_eq!(
-        total_cycles(&t, &a.simd, 100),
-        total_cycles(&t, &b.simd, 100)
-    );
+    assert_eq!(a.cycles_simd, b.cycles_simd);
     assert_eq!(a.noise_db, b.noise_db);
+    Ok(())
 }
 
 #[test]
-fn scalar_program_never_contains_vector_ops() {
-    use slpwlo::targets::OpQuery;
+fn scalar_program_never_contains_vector_ops() -> Result<(), Error> {
     let bench = &all_benchmarks()[2]; // CONV
-    let prep = prepare(bench.kernel.clone());
-    let flow = wlo_slp_flow(&prep, &xentium(), -30.0);
-    for block in &flow.scalar.blocks {
+    let report = Optimizer::for_kernel(bench.kernel.clone())?
+        .target(xentium())
+        .constraint_db(-30.0)
+        .flow(FlowKind::WloSlp)
+        .run()?;
+    for block in &report.scalar.blocks {
         for op in &block.ops {
             assert!(
                 !matches!(
@@ -103,4 +112,5 @@ fn scalar_program_never_contains_vector_ops() {
             );
         }
     }
+    Ok(())
 }

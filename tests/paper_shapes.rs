@@ -1,71 +1,71 @@
 //! Shape assertions against the paper's reported results: not absolute
 //! numbers (the substrate is a model, not the authors' testbed), but who
-//! wins, by roughly what factor, and how curves move.
+//! wins, by roughly what factor, and how curves move. All points run
+//! through the unified `Optimizer` driver.
 
-use slpwlo::core::{prepare, wlo_first_flow, wlo_slp_flow, TabuOptions};
-use slpwlo::core::lower_float;
 use slpwlo::kernels::all_benchmarks;
-use slpwlo::sim::{speedup, total_cycles};
 use slpwlo::targets::{st240, vex, xentium};
+use slpwlo::{Error, FlowKind, Optimizer};
 
 /// Figure 6 shape: XENTIUM (soft float) speedups are one to two orders
 /// of magnitude; ST240 (hardware float) stays near 1x.
 #[test]
-fn fig6_shape_soft_float_vs_hw_float() {
+fn fig6_shape_soft_float_vs_hw_float() -> Result<(), Error> {
     for bench in all_benchmarks() {
-        let prep = prepare(bench.kernel.clone());
-        let float_prog = lower_float(&prep.kernel);
         let db = -25.0;
+        let mut opt = Optimizer::for_kernel(bench.kernel.clone())?.activations(bench.activations);
 
-        let xent = xentium();
-        let fx = wlo_slp_flow(&prep, &xent, db);
-        let s_x = speedup(
-            total_cycles(&xent, &float_prog, bench.activations),
-            total_cycles(&xent, &fx.simd, bench.activations),
-        );
+        opt = opt.target(xentium()).flow(FlowKind::Float);
+        let float_x = opt.run()?;
+        opt = opt.constraint_db(db).flow(FlowKind::WloSlp);
+        let fx = opt.run()?;
+        let s_x = fx.speedup_over(float_x.cycles_simd);
         assert!(
             (10.0..=60.0).contains(&s_x),
             "{} on XENTIUM: float speedup {s_x:.1} outside the paper's band",
             bench.name
         );
 
-        let st = st240();
-        let fs = wlo_slp_flow(&prep, &st, db);
-        let s_s = speedup(
-            total_cycles(&st, &float_prog, bench.activations),
-            total_cycles(&st, &fs.simd, bench.activations),
-        );
+        opt = opt.target(st240()).flow(FlowKind::Float);
+        let float_s = opt.run()?;
+        opt = opt.flow(FlowKind::WloSlp);
+        let fs = opt.run()?;
+        let s_s = fs.speedup_over(float_s.cycles_simd);
         assert!(
             (0.7..=2.0).contains(&s_s),
             "{} on ST240: float speedup {s_s:.2} outside the paper's band",
             bench.name
         );
     }
+    Ok(())
 }
 
 /// Figure 4 shape: the joint flow achieves speedups above 1 at loose
 /// constraints, while the baseline frequently degrades below 1 on the
 /// narrow-issue targets.
 #[test]
-fn fig4_shape_joint_wins_baseline_degrades() {
+fn fig4_shape_joint_wins_baseline_degrades() -> Result<(), Error> {
     let bench = &all_benchmarks()[0]; // FIR
-    let prep = prepare(bench.kernel.clone());
+    let mut opt = Optimizer::for_kernel(bench.kernel.clone())?.activations(bench.activations);
     for target in [st240(), vex(1)] {
+        let name = target.name.clone();
+        opt = opt.target(target);
         let mut first_below_one = false;
         let mut best_joint = 0.0f64;
         for db in [-10.0, -30.0, -50.0] {
-            let joint = wlo_slp_flow(&prep, &target, db);
-            let first = wlo_first_flow(&prep, &target, db, &TabuOptions::default());
-            let base = total_cycles(&target, &first.scalar, bench.activations);
-            let s_joint = speedup(base, total_cycles(&target, &joint.simd, bench.activations));
-            let s_first = speedup(base, total_cycles(&target, &first.simd, bench.activations));
+            opt = opt.constraint_db(db).flow(FlowKind::WloSlp);
+            let joint = opt.run()?;
+            opt = opt.flow(FlowKind::WloFirst);
+            let first = opt.run()?;
+            let base = first.cycles_scalar;
+            let s_joint = joint.speedup_over(base);
+            let s_first = first.speedup_over(base);
             // The joint flow may dip where wide groups with pack overhead
             // get selected (the paper keeps this behaviour deliberately —
             // section V-D's CONV/XENTIUM discussion) but never collapses.
             assert!(
                 s_joint >= 0.6,
-                "{}: joint speedup {s_joint:.2} at {db} dB",
-                target.name
+                "{name}: joint speedup {s_joint:.2} at {db} dB"
             );
             best_joint = best_joint.max(s_joint);
             if s_first < 1.0 {
@@ -74,15 +74,14 @@ fn fig4_shape_joint_wins_baseline_degrades() {
         }
         assert!(
             best_joint > 1.0,
-            "{}: joint flow must beat the scalar baseline somewhere, best {best_joint:.2}",
-            target.name
+            "{name}: joint flow must beat the scalar baseline somewhere, best {best_joint:.2}"
         );
         assert!(
             first_below_one,
-            "{}: WLO-First must degrade below 1x somewhere (paper's key claim)",
-            target.name
+            "{name}: WLO-First must degrade below 1x somewhere (paper's key claim)"
         );
     }
+    Ok(())
 }
 
 /// Table I shape: the joint flow's cycles never *decrease* by more than
@@ -90,21 +89,18 @@ fn fig4_shape_joint_wins_baseline_degrades() {
 /// transition (the paper's own VEX-4 column wobbles too), and the tight
 /// end is slower than the loose end.
 #[test]
-fn table1_shape_cycles_grow_with_tighter_constraints() {
+fn table1_shape_cycles_grow_with_tighter_constraints() -> Result<(), Error> {
+    // The grid crosses this setup's 16-bit precision transition (about
+    // -100 dB for FIR-64; the paper's kernels transition within its
+    // -5..-70 axis).
     let bench = &all_benchmarks()[0]; // FIR
-    let prep = prepare(bench.kernel.clone());
-    let target = xentium();
-    // The grid crosses this setup's 16-bit precision transition
-    // (about -100 dB for FIR-64; the paper's kernels transition within
-    // its -5..-70 axis).
-    let grid: Vec<f64> = vec![-10.0, -70.0, -90.0, -100.0, -110.0];
-    let cycles: Vec<u64> = grid
-        .iter()
-        .map(|&db| {
-            let f = wlo_slp_flow(&prep, &target, db);
-            total_cycles(&target, &f.simd, bench.activations)
-        })
-        .collect();
+    let grid = [-10.0, -70.0, -90.0, -100.0, -110.0];
+    let reports = Optimizer::for_kernel(bench.kernel.clone())?
+        .target(xentium())
+        .activations(bench.activations)
+        .flow(FlowKind::WloSlp)
+        .sweep(&grid)?;
+    let cycles: Vec<u64> = reports.iter().map(|r| r.cycles_simd).collect();
     assert!(
         *cycles.last().unwrap() > *cycles.first().unwrap(),
         "tight constraints must cost cycles: {cycles:?}"
@@ -115,21 +111,23 @@ fn table1_shape_cycles_grow_with_tighter_constraints() {
             "cycles may wobble (the paper's VEX-4 column does too) but not collapse: {cycles:?}"
         );
     }
+    Ok(())
 }
 
 /// The number of *packed operations* decays as the constraint tightens
 /// through the precision transition. (Group count alone is not monotone:
-/// one 4-lane group replaces two pairs.)
+/// one 4-lane group replaces two pairs.) Constraints below the target's
+/// noise floor are a typed error, not a silent empty result.
 #[test]
-fn packed_lanes_decay_with_precision() {
+fn packed_lanes_decay_with_precision() -> Result<(), Error> {
     let bench = &all_benchmarks()[2]; // CONV
-    let prep = prepare(bench.kernel.clone());
-    let target = vex(4);
-    let lanes = |db: f64| -> u32 {
+    let opt = Optimizer::for_kernel(bench.kernel.clone())?
+        .target(vex(4))
+        .flow(FlowKind::WloSlp);
+    let lanes = |r: &slpwlo::Report| -> u32 {
         // Count packed nodes through the lowered vector ops' lane sum.
-        let flow = wlo_slp_flow(&prep, &target, db);
         let mut n = 0;
-        for b in &flow.simd.blocks {
+        for b in &r.simd.blocks {
             for op in &b.ops {
                 if let slpwlo::targets::OpQuery::VAdd(l)
                 | slpwlo::targets::OpQuery::VMul(l)
@@ -141,12 +139,31 @@ fn packed_lanes_decay_with_precision() {
         }
         n
     };
-    let loose = lanes(-10.0);
-    let tight = lanes(-100.0);
+    let reports = opt.sweep(&[-10.0, -100.0])?;
+    let (loose, tight) = (lanes(&reports[0]), lanes(&reports[1]));
     assert!(
         loose >= tight,
         "packed lanes must not grow with tighter constraints: {loose} vs {tight}"
     );
-    let impossible = wlo_slp_flow(&prep, &target, -160.0);
+    // -160 dB is still (barely) satisfiable at full word length, but
+    // nothing packs there.
+    let opt = opt.constraint_db(-160.0);
+    let impossible = opt.run()?;
     assert_eq!(impossible.group_count, 0, "nothing packs at -160 dB");
+    // Below the widest specification's noise floor the driver refuses
+    // with a structured error instead of emitting a program that
+    // silently violates the constraint.
+    let floor = opt.noise_floor_db();
+    match opt.constraint_db(floor - 10.0).run() {
+        Err(Error::Unsatisfiable {
+            constraint_db,
+            floor_db,
+            ..
+        }) => {
+            assert!((floor_db - floor).abs() < 1e-9);
+            assert!(constraint_db < floor_db);
+        }
+        other => panic!("expected Unsatisfiable below the {floor:.1} dB floor, got {other:?}"),
+    }
+    Ok(())
 }
