@@ -30,9 +30,11 @@
 //! WLO/SLP algorithms affordable.
 
 pub mod gains;
+pub mod incremental;
 pub mod model;
 pub mod simulate;
 
 pub use gains::{GainOptions, NoiseGains};
+pub use incremental::IncrementalEvaluator;
 pub use model::{AccuracyEvaluator, AnalyticalEvaluator, EvalOptions};
 pub use simulate::{measure_noise, simulate_fixed, NoiseMeasurement};

@@ -31,17 +31,37 @@ pub struct EvalOptions {
     pub gains: GainOptions,
 }
 
-impl EvalOptions {
-    fn new_default() -> Self {
-        Self::default()
-    }
-}
-
 /// Oracle deciding whether a specification meets an accuracy constraint.
 ///
 /// The WLO algorithms are written against this trait so alternative
 /// accuracy evaluators can be plugged in, mirroring the paper's remark
 /// that its WLO is "completely decoupled" from the accuracy evaluation.
+///
+/// # Trial protocol
+///
+/// The WLO search loops are "set, evaluate, maybe revert" loops over a
+/// [`FixedPointSpec`] transaction. The `trial_*`/`commit_trial`/
+/// `rollback_trial` methods expose that shape to the evaluator so a
+/// stateful implementation (e.g. [`crate::IncrementalEvaluator`]) can
+/// re-evaluate only the noise sources the transaction touched. The
+/// default implementations fall back to a stateless full recompute, so
+/// plain evaluators keep working unchanged.
+///
+/// Callers must keep spec transactions and evaluator trials in lockstep:
+///
+/// ```text
+/// eval.begin(&spec);                    // once, before the first trial
+/// let mark = spec.mark();
+/// spec.set_wl(key, wl);                 // any number of journaled writes
+/// if eval.trial_meets(&spec, mark, a_db) {
+///     spec.commit(mark); eval.commit_trial();
+/// } else {
+///     spec.rollback(mark); eval.rollback_trial();
+/// }
+/// ```
+///
+/// Writes that bypass a trial (e.g. restoring a saved snapshot) must be
+/// reported through [`AccuracyEvaluator::observe`] before the next trial.
 pub trait AccuracyEvaluator {
     /// Output noise power of the specification, in dB (`10·log10 P`).
     /// `-inf` when the specification introduces no error.
@@ -51,6 +71,41 @@ pub trait AccuracyEvaluator {
     /// constraint `a_db` (maximum tolerable noise power in dB).
     fn meets(&self, spec: &FixedPointSpec, a_db: f64) -> bool {
         self.noise_db(spec) <= a_db
+    }
+
+    /// Synchronizes internal caches with `spec` before a search loop
+    /// starts issuing trials. Stateless evaluators ignore it.
+    fn begin(&self, spec: &FixedPointSpec) {
+        let _ = spec;
+    }
+
+    /// Noise power (dB) of `spec` with an open transaction whose writes
+    /// started at `mark` ([`FixedPointSpec::mark`]). At most one trial may
+    /// be outstanding; resolve it with [`AccuracyEvaluator::commit_trial`]
+    /// or [`AccuracyEvaluator::rollback_trial`].
+    fn trial_noise_db(&self, spec: &FixedPointSpec, mark: usize) -> f64 {
+        let _ = mark;
+        self.noise_db(spec)
+    }
+
+    /// [`AccuracyEvaluator::trial_noise_db`] against a constraint.
+    fn trial_meets(&self, spec: &FixedPointSpec, mark: usize, a_db: f64) -> bool {
+        self.trial_noise_db(spec, mark) <= a_db
+    }
+
+    /// Accepts the outstanding trial: the journaled writes it evaluated
+    /// are now part of the committed state.
+    fn commit_trial(&self) {}
+
+    /// Discards the outstanding trial; the caller rolls the spec back to
+    /// the trial's mark.
+    fn rollback_trial(&self) {}
+
+    /// Notifies the evaluator of journaled writes since `mark` that were
+    /// applied *without* a trial (snapshot restores, forced moves) and are
+    /// permanent. Stateless evaluators ignore it.
+    fn observe(&self, spec: &FixedPointSpec, mark: usize) {
+        let _ = (spec, mark);
     }
 }
 
@@ -113,65 +168,118 @@ impl AnalyticalEvaluator {
 
     /// Builds the evaluator with default options.
     pub fn with_defaults(kernel: &Kernel) -> Self {
-        Self::new(kernel, &EvalOptions::new_default())
+        Self::new(kernel, &EvalOptions::default())
     }
 
     /// Linear output noise power for a specification.
+    ///
+    /// Accumulation contract: per-source `(bias, var)` contributions are
+    /// computed by [`Self::contribution_at`] and summed in source order —
+    /// the *same* per-source values and the *same* total fold the
+    /// incremental engine uses, so both produce bit-identical powers.
     pub fn noise_power(&self, spec: &FixedPointSpec) -> f64 {
         let mut bias = 0.0; // Σ mean · G1
         let mut var = 0.0; // Σ var · G2
-        for src in &self.sources {
-            let (g1, g2) = self.gains.get(src.expr);
-            if g1 == 0.0 && g2 == 0.0 {
-                continue;
-            }
-            let out_fmt = spec.format(SpecKey::Expr(src.expr));
-            let mut q_out = out_fmt.step();
-            if let Some(a) = src.store_array {
-                q_out = q_out.max(spec.format(SpecKey::Array(a)).step());
-            }
-            let mut push = |q_in: f64, q_out: f64| {
-                let (m, v) = noise_stats(q_in.min(q_out), q_out, self.mode);
-                bias += m * g1;
+        for i in 0..self.sources.len() {
+            let (b, v) = self.contribution_at(i, spec);
+            bias += b;
+            var += v;
+        }
+        bias * bias + var
+    }
+
+    /// Number of potential noise sources the evaluator tracks.
+    pub(crate) fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The `(bias, var)` contribution of source `i` under `spec` — the
+    /// shared single copy of the per-source noise model. Local pushes
+    /// accumulate in a fixed order so repeated calls are bit-identical.
+    pub(crate) fn contribution_at(&self, i: usize, spec: &FixedPointSpec) -> (f64, f64) {
+        let src = &self.sources[i];
+        let (g1, g2) = self.gains.get(src.expr);
+        if g1 == 0.0 && g2 == 0.0 {
+            return (0.0, 0.0);
+        }
+        let out_fmt = spec.format(SpecKey::Expr(src.expr));
+        let mut q_out = out_fmt.step();
+        if let Some(a) = src.store_array {
+            q_out = q_out.max(spec.format(SpecKey::Array(a)).step());
+        }
+        let mut bias = 0.0;
+        let mut var = 0.0;
+        let mut push = |q_in: f64, q_out: f64| {
+            let (m, v) = noise_stats(q_in.min(q_out), q_out, self.mode);
+            bias += m * g1;
+            var += v * g2;
+        };
+        match &src.kind {
+            SourceKind::Input => push(0.0, q_out),
+            SourceKind::Param(p) => {
+                // Unbiased (round-to-nearest at compile time); only
+                // the variance term contributes.
+                let q = spec.format(SpecKey::Param(*p)).step();
+                let (_, v) = noise_stats(0.0, q, QuantizeMode::Round);
                 var += v * g2;
-            };
-            match &src.kind {
-                SourceKind::Input => push(0.0, q_out),
-                SourceKind::Param(p) => {
-                    // Unbiased (round-to-nearest at compile time); only
-                    // the variance term contributes.
-                    let q = spec.format(SpecKey::Param(*p)).step();
-                    let (_, v) = noise_stats(0.0, q, QuantizeMode::Round);
-                    var += v * g2;
+            }
+            SourceKind::AddSub { a, b } => {
+                // One source per pre-aligned operand shift. Operands
+                // that can only carry exact values (literal constants,
+                // initial zeros) truncate without error and contribute
+                // no source.
+                if let Some(q) = min_key_step(spec, a) {
+                    push(q, q_out);
                 }
-                SourceKind::AddSub { a, b } => {
-                    // One source per pre-aligned operand shift. Operands
-                    // that can only carry exact values (literal constants,
-                    // initial zeros) truncate without error and contribute
-                    // no source.
-                    if let Some(q) = min_key_step(spec, a) {
-                        push(q, q_out);
-                    }
-                    if let Some(q) = min_key_step(spec, b) {
-                        push(q, q_out);
-                    }
+                if let Some(q) = min_key_step(spec, b) {
+                    push(q, q_out);
                 }
-                SourceKind::Mul { a, b } => {
-                    // Exact operands scale the other grid by a non-power-
-                    // of-two factor; treat the product grid as continuous
-                    // (conservative).
-                    let qa = min_key_step(spec, a).unwrap_or(0.0);
-                    let qb = min_key_step(spec, b).unwrap_or(0.0);
-                    push(qa * qb, q_out);
-                }
-                SourceKind::Neg { a } => {
-                    if let Some(q) = min_key_step(spec, a) {
-                        push(q, q_out);
-                    }
+            }
+            SourceKind::Mul { a, b } => {
+                // Exact operands scale the other grid by a non-power-
+                // of-two factor; treat the product grid as continuous
+                // (conservative).
+                let qa = min_key_step(spec, a).unwrap_or(0.0);
+                let qb = min_key_step(spec, b).unwrap_or(0.0);
+                push(qa * qb, q_out);
+            }
+            SourceKind::Neg { a } => {
+                if let Some(q) = min_key_step(spec, a) {
+                    push(q, q_out);
                 }
             }
         }
-        bias * bias + var
+        (bias, var)
+    }
+
+    /// Every [`SpecKey`] whose format can change source `i`'s
+    /// contribution — the edge set of the inverted index the incremental
+    /// engine builds. Conservative: a listed key may leave the value
+    /// unchanged (re-evaluation is then a no-op), but no key outside the
+    /// list can affect it.
+    pub(crate) fn source_keys(&self, i: usize, out: &mut Vec<SpecKey>) {
+        let src = &self.sources[i];
+        out.clear();
+        out.push(SpecKey::Expr(src.expr));
+        if let Some(a) = src.store_array {
+            out.push(SpecKey::Array(a));
+        }
+        fn push_delivered(out: &mut Vec<SpecKey>, keys: &[Deliver]) {
+            for d in keys {
+                if let Deliver::Key(k) = d {
+                    out.push(*k);
+                }
+            }
+        }
+        match &src.kind {
+            SourceKind::Input => {}
+            SourceKind::Param(p) => out.push(SpecKey::Param(*p)),
+            SourceKind::AddSub { a, b } | SourceKind::Mul { a, b } => {
+                push_delivered(out, a);
+                push_delivered(out, b);
+            }
+            SourceKind::Neg { a } => push_delivered(out, a),
+        }
     }
 }
 

@@ -16,7 +16,7 @@ use slpwlo_slp::{extract_plain, Round};
 use slpwlo_targets::xentium;
 
 fn main() {
-    let mut m = Micro::new();
+    let mut m = Micro::for_bench("algorithms");
 
     let prep = prepare(fir64());
     let spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, 32);
@@ -51,4 +51,6 @@ fn main() {
     m.bench("vliw_schedule_fir64", || {
         cycles_per_activation(&target, &prog)
     });
+
+    m.finish().expect("write bench JSON");
 }

@@ -1,0 +1,109 @@
+//! Micro-benchmark of the incremental accuracy engine and the parallel
+//! constraint sweep: full recompute vs `trial()` per move, and serial vs
+//! parallel `Optimizer::sweep`.
+//!
+//! Emits `BENCH_eval.json` (override with `--json <path>` or
+//! `SLPWLO_BENCH_JSON`) so the evaluator's perf trajectory is tracked
+//! per PR; the CI smoke step runs this with `--samples 1`.
+//!
+//! Run with: `cargo bench -p slpwlo-bench --bench eval_incremental`
+
+use slpwlo_accuracy::{AccuracyEvaluator, IncrementalEvaluator};
+use slpwlo_bench::Micro;
+use slpwlo_core::prepare;
+use slpwlo_driver::{FlowKind, Optimizer};
+use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
+use slpwlo_ir::{BinOp, ExprNode};
+use slpwlo_kernels::{all_benchmarks, fir64};
+
+fn main() {
+    let mut m = Micro::for_bench("eval");
+
+    for bench in all_benchmarks() {
+        let name = bench.name.to_lowercase();
+        let prep = prepare(bench.kernel);
+        let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, 32);
+
+        // Baseline: the pre-existing full recompute per query.
+        let full_ns = m.bench(&format!("eval_full/{name}"), || prep.eval.noise_db(&spec));
+
+        // A representative single-key WLO move: shrink one multiply.
+        let (mul, _) = prep
+            .kernel
+            .exprs()
+            .find(|(_, n)| matches!(n, ExprNode::Bin(BinOp::Mul, _, _)))
+            .expect("every paper kernel multiplies");
+        let key = SpecKey::Expr(mul);
+        let inc = IncrementalEvaluator::with_spec(&prep.eval, &spec);
+        {
+            // Differential sanity before timing anything.
+            let mark = spec.mark();
+            spec.set_wl(key, 16);
+            let trial = inc.trial_noise_db(&spec, mark);
+            let full = prep.eval.noise_db(&spec);
+            assert_eq!(trial.to_bits(), full.to_bits(), "engine diverged");
+            spec.rollback(mark);
+            inc.rollback_trial();
+        }
+        let trial_ns = m.bench(&format!("eval_trial_1key/{name}"), || {
+            let mark = spec.mark();
+            spec.set_wl(key, 16);
+            let db = inc.trial_noise_db(&spec, mark);
+            spec.rollback(mark);
+            inc.rollback_trial();
+            db
+        });
+        m.metric(&format!("speedup_trial_1key/{name}"), full_ns / trial_ns);
+
+        // A SETMAXWL-sized move: a 4-lane group's worth of keys.
+        let keys = spec.optimizable_keys(&prep.kernel);
+        let group: Vec<SpecKey> = keys.iter().copied().take(4).collect();
+        let group_ns = m.bench(&format!("eval_trial_4keys/{name}"), || {
+            let mark = spec.mark();
+            for &k in &group {
+                spec.set_wl(k, 16);
+            }
+            let db = inc.trial_noise_db(&spec, mark);
+            spec.rollback(mark);
+            inc.rollback_trial();
+            db
+        });
+        m.metric(&format!("speedup_trial_4keys/{name}"), full_ns / group_ns);
+
+        // Worst-case write set: every optimizable key in one trial (the
+        // incremental engine degrades to a full walk plus bookkeeping).
+        let all_ns = m.bench(&format!("eval_trial_allkeys/{name}"), || {
+            let mark = spec.mark();
+            for &k in &keys {
+                spec.set_wl(k, 16);
+            }
+            let db = inc.trial_noise_db(&spec, mark);
+            spec.rollback(mark);
+            inc.rollback_trial();
+            db
+        });
+        m.metric(&format!("speedup_trial_allkeys/{name}"), full_ns / all_ns);
+    }
+
+    // Constraint sweeps: the Fig. 4/6 workload shape. One prepared
+    // kernel, several constraint points, serial vs parallel.
+    let grid = [-20.0, -35.0, -50.0, -65.0];
+    let opt = Optimizer::for_kernel(fir64())
+        .expect("fir64 is valid")
+        .flow(FlowKind::WloSlp);
+    let serial_ns = m.bench("sweep_serial/fir64_x4", || {
+        grid.iter()
+            .map(|&db| opt.run_at(db).expect("feasible point").cycles_simd)
+            .sum::<u64>()
+    });
+    let parallel_ns = m.bench("sweep_parallel/fir64_x4", || {
+        opt.sweep(&grid)
+            .expect("feasible grid")
+            .iter()
+            .map(|r| r.cycles_simd)
+            .sum::<u64>()
+    });
+    m.metric("speedup_parallel_sweep/fir64_x4", serial_ns / parallel_ns);
+
+    m.finish().expect("write bench JSON");
+}

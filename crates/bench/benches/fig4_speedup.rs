@@ -33,7 +33,7 @@ fn print_reproduction() -> Result<(), Error> {
 
 fn main() -> Result<(), Error> {
     print_reproduction()?;
-    let mut m = Micro::new();
+    let mut m = Micro::for_bench("fig4");
     for bench in all_benchmarks() {
         // One Optimizer per benchmark: the once-per-kernel analyses run
         // once; `run_with` switches the flow per call.
@@ -46,5 +46,6 @@ fn main() -> Result<(), Error> {
             (a.cycles_simd, b.cycles_simd)
         });
     }
+    m.finish().expect("write bench JSON");
     Ok(())
 }

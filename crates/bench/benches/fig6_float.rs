@@ -32,7 +32,7 @@ fn print_reproduction() -> Result<(), Error> {
 
 fn main() -> Result<(), Error> {
     print_reproduction()?;
-    let mut m = Micro::new();
+    let mut m = Micro::for_bench("fig6");
     for bench in all_benchmarks() {
         let float = optimizer_for(&bench, &PointOptions::default())?
             .target(xentium())
@@ -47,5 +47,6 @@ fn main() -> Result<(), Error> {
             },
         );
     }
+    m.finish().expect("write bench JSON");
     Ok(())
 }

@@ -27,7 +27,7 @@ fn print_reproduction() -> Result<(), Error> {
 fn main() -> Result<(), Error> {
     print_reproduction()?;
     let fir = all_benchmarks().remove(0);
-    let mut m = Micro::new();
+    let mut m = Micro::for_bench("table1");
     let mut opt = optimizer_for(&fir, &PointOptions::default())?.constraint_db(-35.0);
     for target in [xentium(), st240(), vex(4)] {
         let name = target.name.clone();
@@ -38,5 +38,6 @@ fn main() -> Result<(), Error> {
             (a.cycles_simd, b.cycles_simd)
         });
     }
+    m.finish().expect("write bench JSON");
     Ok(())
 }

@@ -21,4 +21,4 @@ pub mod micro;
 pub mod report;
 
 pub use harness::{optimizer_for, run_point, sweep, ExperimentPoint, PointOptions};
-pub use micro::{Micro, MicroOptions};
+pub use micro::{BenchRecord, Micro, MicroOptions};

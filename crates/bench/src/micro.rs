@@ -5,8 +5,21 @@
 //! need: named benchmarks, warm-up, multiple timed samples, and a
 //! median-based report on stdout. Bench targets set `harness = false`
 //! and drive [`Micro`] from a plain `main`.
+//!
+//! # Machine-readable output
+//!
+//! Every benchmark result (and any derived [`Micro::metric`], e.g. a
+//! speedup) is recorded; [`Micro::finish`] writes them as JSON so CI can
+//! track the perf trajectory. The output path comes from, in precedence
+//! order, the `--json <path>` argument (after `cargo bench ... --`), the
+//! `SLPWLO_BENCH_JSON` environment variable, or the per-bench default
+//! `BENCH_<name>.json` passed to [`Micro::for_bench`]. Sampling options
+//! are likewise overridable via `--samples`, `--warmup-ms` and
+//! `--sample-ms` (env: `SLPWLO_BENCH_SAMPLES`), which is how the CI
+//! smoke step runs every bench with one cheap sample.
 
 use std::hint::black_box;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Re-exported so bench closures can defeat constant folding the same
@@ -34,11 +47,56 @@ impl Default for MicroOptions {
     }
 }
 
-/// A micro-benchmark runner: times closures and prints one line per
-/// benchmark (`name ... median ns/iter (min .. max)`).
+impl MicroOptions {
+    /// Default options overridden by `--samples`, `--warmup-ms` and
+    /// `--sample-ms` arguments and the `SLPWLO_BENCH_SAMPLES` environment
+    /// variable (arguments win). Unknown arguments are ignored so the
+    /// harness coexists with whatever cargo forwards.
+    pub fn from_env_args() -> Self {
+        let mut opts = MicroOptions::default();
+        if let Some(n) = env_parse::<usize>("SLPWLO_BENCH_SAMPLES") {
+            opts.samples = n.max(1);
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if let Some(n) = arg_parse::<usize>(&args, "--samples") {
+            opts.samples = n.max(1);
+        }
+        if let Some(ms) = arg_parse::<u64>(&args, "--warmup-ms") {
+            opts.warmup = Duration::from_millis(ms);
+        }
+        if let Some(ms) = arg_parse::<u64>(&args, "--sample-ms") {
+            opts.sample_time = Duration::from_millis(ms);
+        }
+        opts
+    }
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub batch: u64,
+}
+
+/// A micro-benchmark runner: times closures, prints one line per
+/// benchmark (`name ... median ns/iter (min .. max)`), and records every
+/// result for the JSON report.
 #[derive(Debug, Default)]
 pub struct Micro {
     opts: MicroOptions,
+    records: Vec<BenchRecord>,
+    metrics: Vec<(String, f64)>,
+    json_path: Option<PathBuf>,
 }
 
 impl Micro {
@@ -49,7 +107,32 @@ impl Micro {
 
     /// Runner with explicit options.
     pub fn with_options(opts: MicroOptions) -> Self {
-        Micro { opts }
+        Micro {
+            opts,
+            ..Micro::default()
+        }
+    }
+
+    /// Runner for a named bench target: options from the environment and
+    /// argv ([`MicroOptions::from_env_args`]), JSON output defaulting to
+    /// `BENCH_<name>.json` unless `--json`/`SLPWLO_BENCH_JSON` override
+    /// it (`--json -` disables the file).
+    pub fn for_bench(name: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let path = arg_parse::<String>(&args, "--json")
+            .or_else(|| std::env::var("SLPWLO_BENCH_JSON").ok())
+            .unwrap_or_else(|| format!("BENCH_{name}.json"));
+        let json_path = (path != "-").then(|| PathBuf::from(path));
+        Micro {
+            opts: MicroOptions::from_env_args(),
+            json_path,
+            ..Micro::default()
+        }
+    }
+
+    /// The configured options (for deriving loop counts in benches).
+    pub fn options(&self) -> MicroOptions {
+        self.opts
     }
 
     /// Times `f`, printing a one-line report. Returns the median
@@ -85,8 +168,114 @@ impl Micro {
             fmt_ns(max),
             self.opts.samples,
         );
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: self.opts.samples,
+            batch,
+        });
         median
     }
+
+    /// Records a derived scalar (speedup, count, ...) for the JSON
+    /// report, printing it alongside the timings.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        println!("{name:<40} {value:>12.3}  (metric)");
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Everything recorded so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes the JSON report to the configured path, if any. Call once
+    /// at the end of a bench `main`.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let Some(path) = &self.json_path else {
+            return Ok(());
+        };
+        self.write_json(path)?;
+        println!("wrote {}", path.display());
+        Ok(())
+    }
+
+    /// Writes the recorded results as JSON to an explicit path.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The recorded results as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"slpwlo-bench-v1\",\n");
+        s.push_str(&format!("  \"samples\": {},\n", self.opts.samples));
+        s.push_str("  \"benchmarks\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"samples\": {}, \"batch\": {}}}",
+                json_string(&r.name),
+                json_number(r.median_ns),
+                json_number(r.min_ns),
+                json_number(r.max_ns),
+                r.samples,
+                r.batch,
+            ));
+        }
+        s.push_str("\n  ],\n  \"metrics\": [");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": {}, \"value\": {}}}",
+                json_string(name),
+                json_number(*value),
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats render via `Display` (valid JSON numbers); anything
+/// else degrades to `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok()?.parse().ok()
+}
+
+fn arg_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1)?.parse().ok()
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -105,13 +294,17 @@ fn fmt_ns(ns: f64) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn reports_sane_timings() {
-        let mut m = Micro::with_options(MicroOptions {
+    fn tiny_options() -> MicroOptions {
+        MicroOptions {
             warmup: Duration::from_millis(1),
             samples: 3,
             sample_time: Duration::from_millis(1),
-        });
+        }
+    }
+
+    #[test]
+    fn reports_sane_timings() {
+        let mut m = Micro::with_options(tiny_options());
         let mut acc = 0u64;
         let ns = m.bench("noop_add", || {
             acc = acc.wrapping_add(1);
@@ -126,5 +319,43 @@ mod tests {
         assert_eq!(fmt_ns(1_500.0), "1.50us");
         assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
         assert_eq!(fmt_ns(3_000_000_000.0), "3.000s");
+    }
+
+    #[test]
+    fn json_report_contains_records_and_metrics() {
+        let mut m = Micro::with_options(tiny_options());
+        m.bench("alpha", || 1u64);
+        m.metric("speedup/alpha", 7.25);
+        let json = m.to_json();
+        assert!(json.contains("\"schema\": \"slpwlo-bench-v1\""));
+        assert!(json.contains("\"name\": \"alpha\""));
+        assert!(json.contains("\"median_ns\": "));
+        assert!(json.contains("\"name\": \"speedup/alpha\", \"value\": 7.25"));
+        // Structure sanity: balanced braces/brackets, no trailing commas.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(!json.contains(",\n  ]"), "no trailing commas");
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite_values() {
+        let mut m = Micro::new();
+        m.metric("weird\"name\\", f64::INFINITY);
+        let json = m.to_json();
+        assert!(json.contains("\"weird\\\"name\\\\\""));
+        assert!(json.contains("\"value\": null"));
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut m = Micro::with_options(tiny_options());
+        m.bench("a", || 1u64);
+        m.bench("b", || 2u64);
+        assert_eq!(m.records().len(), 2);
+        assert_eq!(m.records()[0].name, "a");
+        assert!(m.records()[1].batch >= 1);
     }
 }

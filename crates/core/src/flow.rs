@@ -16,7 +16,7 @@ use crate::lower::{lower_fixed, lower_scalar, MachineProgram};
 use crate::nodes::value_wl;
 use crate::tabu::{tabu_wlo, TabuOptions};
 use crate::wlo_slp::wlo_slp;
-use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator, EvalOptions};
+use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator, EvalOptions, IncrementalEvaluator};
 use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions, Ranges};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::collect_blocks;
@@ -67,14 +67,13 @@ pub struct FlowResult {
 }
 
 /// The paper's joint flow (`WLO-SLP`, fig. 3).
+///
+/// The search runs over an [`IncrementalEvaluator`] layered on the
+/// prepared analytical model, so each accuracy trial re-walks only the
+/// touched noise sources; final reporting still uses the full evaluator.
 pub fn wlo_slp_flow(prep: &Prepared, target: &TargetModel, constraint_db: f64) -> FlowResult {
-    let res = wlo_slp(
-        &prep.kernel,
-        target,
-        &prep.eval,
-        constraint_db,
-        &prep.ranges,
-    );
+    let eval = IncrementalEvaluator::new(&prep.eval);
+    let res = wlo_slp(&prep.kernel, target, &eval, constraint_db, &prep.ranges);
     let blocks: Vec<_> = res
         .blocks
         .into_iter()
@@ -102,10 +101,11 @@ pub fn wlo_first_flow(
     tabu: &TabuOptions,
 ) -> FlowResult {
     let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
+    let eval = IncrementalEvaluator::new(&prep.eval);
     tabu_wlo(
         &prep.kernel,
         &mut spec,
-        &prep.eval,
+        &eval,
         constraint_db,
         &target.scalar_wls,
         tabu,

@@ -31,13 +31,15 @@ pub struct AccuracyHooks<'a> {
 }
 
 impl<'a> AccuracyHooks<'a> {
-    /// Creates the hooks over the working specification.
+    /// Creates the hooks over the working specification and synchronizes
+    /// the evaluator's incremental caches with it.
     pub fn new(
         dfg: &'a Dfg,
         spec: &'a mut FixedPointSpec,
         eval: &'a dyn AccuracyEvaluator,
         constraint_db: f64,
     ) -> Self {
+        eval.begin(spec);
         AccuracyHooks {
             dfg,
             spec,
@@ -46,8 +48,10 @@ impl<'a> AccuracyHooks<'a> {
         }
     }
 
-    fn meets(&self) -> bool {
-        self.eval.meets(self.spec, self.constraint_db)
+    /// One `SETMAXWL` trial: evaluates the spec with the writes since
+    /// `mark` open, via the evaluator's incremental trial path.
+    fn trial_meets(&self, mark: usize) -> bool {
+        self.eval.trial_meets(self.spec, mark, self.constraint_db)
     }
 }
 
@@ -55,8 +59,9 @@ impl SelectHooks for AccuracyHooks<'_> {
     fn validate(&mut self, view: &CandidateView) -> bool {
         let mark = self.spec.mark();
         set_max_wl(self.spec, self.dfg, &view.group, view.elem_wl);
-        let ok = self.meets();
+        let ok = self.trial_meets(mark);
         self.spec.rollback(mark);
+        self.eval.rollback_trial();
         ok
     }
 
@@ -64,19 +69,22 @@ impl SelectHooks for AccuracyHooks<'_> {
         let mark = self.spec.mark();
         set_max_wl(self.spec, self.dfg, &a.group, a.elem_wl);
         set_max_wl(self.spec, self.dfg, &b.group, b.elem_wl);
-        let ok = self.meets();
+        let ok = self.trial_meets(mark);
         self.spec.rollback(mark);
+        self.eval.rollback_trial();
         !ok
     }
 
     fn on_select(&mut self, view: &CandidateView) -> bool {
         let mark = self.spec.mark();
         set_max_wl(self.spec, self.dfg, &view.group, view.elem_wl);
-        if self.meets() {
+        if self.trial_meets(mark) {
             self.spec.commit(mark);
+            self.eval.commit_trial();
             true
         } else {
             self.spec.rollback(mark);
+            self.eval.rollback_trial();
             false
         }
     }

@@ -134,6 +134,9 @@ pub fn scaling_optimize(
     constraint_db: f64,
 ) -> ScalOptReport {
     let mut report = ScalOptReport::default();
+    // Each equalization attempt is one trial over the lane keys it
+    // shrinks; incremental evaluators re-walk only those keys' sources.
+    eval.begin(spec);
     for reuse in superword_reuses(dfg, groups) {
         report.reuses += 1;
         let p = &groups[reuse.producer];
@@ -173,11 +176,13 @@ pub fn scaling_optimize(
             spec.rollback(mark);
             continue;
         }
-        if eval.meets(spec, constraint_db) {
+        if eval.trial_meets(spec, mark, constraint_db) {
             spec.commit(mark);
+            eval.commit_trial();
             report.equalized += 1;
         } else {
             spec.rollback(mark);
+            eval.rollback_trial();
             report.reverted += 1;
         }
     }

@@ -93,6 +93,10 @@ pub fn tabu_wlo(
     let mut tabu: HashMap<SpecKey, usize> = HashMap::new();
     let mut stall = 0usize;
 
+    // The neighbourhood scan evaluates one single-key move per trial; an
+    // incremental evaluator re-walks only that key's noise sources.
+    eval.begin(spec);
+
     for iter in 0..opts.max_iters {
         // Enumerate neighbour moves: one key one step down or up.
         let mut best_move: Option<(SpecKey, i32, f64)> = None;
@@ -107,9 +111,15 @@ pub fn tabu_wlo(
             for &next in neighbours(&wls, cur) {
                 let mark = spec.mark();
                 spec.set_wl(key, next);
-                let feasible = eval.meets(spec, constraint_db);
-                let cost = menard_cost(kernel, spec, &execs);
+                let feasible = eval.trial_meets(spec, mark, constraint_db);
+                // Only feasible moves pay the O(kernel) cost walk.
+                let cost = if feasible {
+                    menard_cost(kernel, spec, &execs)
+                } else {
+                    f64::INFINITY
+                };
                 spec.rollback(mark);
+                eval.rollback_trial();
                 if !feasible {
                     continue;
                 }
@@ -123,7 +133,7 @@ pub fn tabu_wlo(
         }
         match best_move {
             Some((key, wl, cost)) if cost < cur_cost => {
-                spec.set_wl(key, wl);
+                apply_move(spec, eval, key, wl);
                 cur_cost = cost;
                 tabu.insert(key, iter + opts.tenure);
                 if cost < best_cost {
@@ -136,7 +146,7 @@ pub fn tabu_wlo(
             }
             Some((key, wl, cost)) => {
                 // Uphill/sideways move (diversification).
-                spec.set_wl(key, wl);
+                apply_move(spec, eval, key, wl);
                 cur_cost = cost;
                 tabu.insert(key, iter + opts.tenure);
                 stall += 1;
@@ -149,8 +159,18 @@ pub fn tabu_wlo(
             break;
         }
     }
+    let mark = spec.mark();
     restore(spec, &best_snap);
+    eval.observe(spec, mark);
     best_cost
+}
+
+/// Applies an accepted move permanently, keeping incremental evaluators
+/// in sync with the untrialed write.
+fn apply_move(spec: &mut FixedPointSpec, eval: &dyn AccuracyEvaluator, key: SpecKey, wl: i32) {
+    let mark = spec.mark();
+    spec.set_wl(key, wl);
+    eval.observe(spec, mark);
 }
 
 /// Word lengths one step below and above `cur` in the supported set.

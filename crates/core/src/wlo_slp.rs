@@ -57,6 +57,13 @@ impl WloSlpResult {
 ///
 /// `constraint_db` is the accuracy constraint: the maximum tolerable
 /// output quantization-noise power in dB.
+///
+/// Every accuracy query inside — candidate validation, pairwise
+/// conflicts, `SETMAXWL` selections, scaling equalization — goes through
+/// the [`AccuracyEvaluator`] trial protocol, so passing an
+/// [`slpwlo_accuracy::IncrementalEvaluator`] makes each query O(touched
+/// keys) instead of O(kernel); a plain evaluator falls back to full
+/// recomputes with identical results.
 pub fn wlo_slp(
     kernel: &Kernel,
     target: &TargetModel,
@@ -66,6 +73,7 @@ pub fn wlo_slp(
 ) -> WloSlpResult {
     // Lines 1-3: all nodes at the maximum supported word length.
     let mut spec = FixedPointSpec::from_ranges(kernel, ranges, target.max_wl());
+    eval.begin(&spec);
     let mut results = Vec::new();
 
     // Line 4: visit blocks in priority order.

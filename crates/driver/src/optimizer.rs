@@ -44,6 +44,9 @@ pub struct Optimizer {
     flow: Box<dyn CompilationFlow + Send + Sync>,
     tabu: TabuOptions,
     activations: u64,
+    /// Worker-thread override for [`Optimizer::sweep`]; `None` follows
+    /// the machine's available parallelism.
+    sweep_threads: Option<usize>,
     /// Memoized [`Optimizer::noise_floor_db`] for the current target
     /// (one widest-spec noise evaluation); reset by `target()`.
     /// `OnceLock` rather than `Cell` keeps the `Optimizer` `Sync` so
@@ -95,6 +98,7 @@ impl Optimizer {
             flow: FlowKind::WloSlp.instantiate(),
             tabu: TabuOptions::default(),
             activations: DEFAULT_ACTIVATIONS,
+            sweep_threads: None,
             floor_db: std::sync::OnceLock::new(),
         })
     }
@@ -140,6 +144,14 @@ impl Optimizer {
     /// Sets the workload size used for reported cycle counts.
     pub fn activations(mut self, n: u64) -> Self {
         self.activations = n;
+        self
+    }
+
+    /// Caps (or forces) the number of worker threads [`Optimizer::sweep`]
+    /// uses. Defaults to the machine's available parallelism; `1` makes
+    /// sweeps fully serial.
+    pub fn sweep_threads(mut self, n: usize) -> Self {
+        self.sweep_threads = Some(n.max(1));
         self
     }
 
@@ -256,27 +268,87 @@ impl Optimizer {
         self.run_flow(kind.instantiate().as_ref())
     }
 
+    /// Runs the configured flow at one explicit constraint point, leaving
+    /// the builder-configured constraint untouched. This is the serial
+    /// unit [`Optimizer::sweep`] parallelizes over.
+    pub fn run_at(&self, db: f64) -> Result<Report, Error> {
+        let flow = self.flow.as_ref();
+        if !flow.needs_constraint() {
+            return Err(Self::constraint_free_flow_error(flow.name()));
+        }
+        self.check_point(flow.name(), db)?;
+        self.run_checked(flow, Some(db))
+    }
+
+    fn constraint_free_flow_error(flow: &str) -> Error {
+        Error::Config {
+            field: "flow",
+            message: format!("flow `{flow}` ignores constraints; use run() instead of sweep()"),
+        }
+    }
+
     /// Runs the configured flow once per constraint point, reusing the
     /// per-kernel analyses (Fig. 4/6-style experiments). The feasibility
     /// of every point is checked up front, so either all points run or
     /// none do.
+    ///
+    /// Points are independent and every flow is deterministic, so they
+    /// run **in parallel** across OS threads, sharing the once-per-kernel
+    /// [`Prepared`] analyses immutably; reports come back in constraint
+    /// order, identical to running each point serially with
+    /// [`Optimizer::run_at`]. On any per-point error the first failing
+    /// point (in constraint order) is returned.
     pub fn sweep(&self, constraints_db: &[f64]) -> Result<Vec<Report>, Error> {
         let flow = self.flow.as_ref();
         if !flow.needs_constraint() {
-            return Err(Error::Config {
-                field: "flow",
-                message: format!(
-                    "flow `{}` ignores constraints; use run() instead of sweep()",
-                    flow.name()
-                ),
-            });
+            return Err(Self::constraint_free_flow_error(flow.name()));
         }
         for &db in constraints_db {
             self.check_point(flow.name(), db)?;
         }
-        constraints_db
-            .iter()
-            .map(|&db| self.run_checked(flow, Some(db)))
+        let n = constraints_db.len();
+        let workers = self
+            .sweep_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .min(n);
+        if workers <= 1 {
+            return constraints_db
+                .iter()
+                .map(|&db| self.run_checked(flow, Some(db)))
+                .collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<Report, Error>>> = Vec::new();
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let next = &next;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                return done;
+                            }
+                            done.push((i, self.run_checked(flow, Some(constraints_db[i]))));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, report) in handle.join().expect("sweep worker panicked") {
+                    slots[i] = Some(report);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every sweep point was claimed by a worker"))
             .collect()
     }
 }
@@ -406,6 +478,60 @@ kernel tiny {
         assert_eq!(via_run_with.noise_db, via_builder.noise_db);
         // The configured flow (default wlo-slp) is untouched.
         assert_eq!(opt.run().unwrap().flow, "wlo-slp");
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_run_at() {
+        // The parallel sweep must return reports in constraint order,
+        // indistinguishable from running each point serially. Forcing
+        // three workers exercises the threaded path even on one CPU.
+        let opt = Optimizer::for_source(TINY)
+            .unwrap()
+            .flow(FlowKind::WloSlp)
+            .sweep_threads(3);
+        let grid = [-20.0, -30.0, -40.0, -50.0, -60.0];
+        let swept = opt.sweep(&grid).unwrap();
+        assert_eq!(swept.len(), grid.len());
+        for (parallel, &db) in swept.iter().zip(&grid) {
+            assert_eq!(parallel.constraint_db, Some(db), "constraint order");
+            let serial = opt.run_at(db).unwrap();
+            assert_eq!(parallel.cycles_simd, serial.cycles_simd);
+            assert_eq!(parallel.cycles_scalar, serial.cycles_scalar);
+            assert_eq!(parallel.group_count, serial.group_count);
+            assert_eq!(
+                parallel.noise_db.unwrap().to_bits(),
+                serial.noise_db.unwrap().to_bits(),
+                "noise must be bit-identical at {db} dB"
+            );
+            // The full spec and both lowered programs must match exactly.
+            assert_eq!(format!("{:?}", parallel.spec), format!("{:?}", serial.spec));
+            assert_eq!(format!("{:?}", parallel.simd), format!("{:?}", serial.simd));
+            assert_eq!(
+                format!("{:?}", parallel.scalar),
+                format!("{:?}", serial.scalar)
+            );
+        }
+    }
+
+    #[test]
+    fn run_at_leaves_the_configured_constraint_alone() {
+        let opt = Optimizer::for_source(TINY)
+            .unwrap()
+            .constraint_db(-40.0)
+            .flow(FlowKind::WloSlp);
+        let at = opt.run_at(-60.0).unwrap();
+        assert_eq!(at.constraint_db, Some(-60.0));
+        assert_eq!(opt.run().unwrap().constraint_db, Some(-40.0));
+    }
+
+    #[test]
+    fn run_at_rejects_the_float_flow() {
+        let err = Optimizer::for_source(TINY)
+            .unwrap()
+            .flow(FlowKind::Float)
+            .run_at(-20.0)
+            .unwrap_err();
+        assert!(matches!(err, Error::Config { field: "flow", .. }));
     }
 
     #[test]

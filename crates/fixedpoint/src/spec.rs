@@ -152,6 +152,16 @@ impl FixedPointSpec {
         self.journal.truncate(mark);
     }
 
+    /// The keys journaled since `mark`, oldest first — the write set of an
+    /// open transaction. Incremental accuracy evaluators consume this to
+    /// re-evaluate only the noise sources a trial actually touched; a key
+    /// appears once per mutation, so consumers should deduplicate.
+    pub fn changed_since(&self, mark: usize) -> impl Iterator<Item = SpecKey> + '_ {
+        self.journal[mark.min(self.journal.len())..]
+            .iter()
+            .map(|(key, _)| *key)
+    }
+
     /// The keys WLO is allowed to optimize: operation expressions,
     /// input-conversion sites, state arrays and parameter tables.
     ///
@@ -254,6 +264,27 @@ kernel k {
         assert_eq!(s.wl(key), 8);
         s.rollback(outer); // outer rollback reverts to the pre-outer state
         assert_eq!(s.format(key), orig);
+    }
+
+    #[test]
+    fn changed_since_reports_the_write_set() {
+        let (_, mut s) = spec_for(SRC);
+        let a = SpecKey::Array(ArrayId(0));
+        let p = SpecKey::Param(ParamId(0));
+        let mark = s.mark();
+        assert_eq!(s.changed_since(mark).count(), 0);
+        s.set_wl(a, 16);
+        s.set_wl(p, 16);
+        s.set_wl(a, 8);
+        let keys: Vec<SpecKey> = s.changed_since(mark).collect();
+        assert_eq!(keys, vec![a, p, a], "oldest first, one entry per write");
+        // Inner marks slice the journal; rollback shrinks the write set.
+        let inner = s.mark();
+        s.set_wl(p, 8);
+        assert_eq!(s.changed_since(inner).collect::<Vec<_>>(), vec![p]);
+        s.rollback(inner);
+        assert_eq!(s.changed_since(inner).count(), 0);
+        assert_eq!(s.changed_since(mark).count(), 3);
     }
 
     #[test]

@@ -23,6 +23,15 @@ use slpwlo_targets::TargetModel;
 
 /// Hooks through which accuracy awareness (or any other policy) is
 /// injected into the selection loop.
+///
+/// Each callback is one self-contained speculative probe: implementations
+/// that mutate shared state (the fixed-point spec, an incremental
+/// accuracy evaluator's caches) must leave it resolved — committed or
+/// rolled back — before returning, because the loop interleaves
+/// `validate`, `accuracy_conflict` and `on_select` calls in benefit order
+/// with no cleanup pass of its own. `slpwlo-core`'s `AccuracyHooks`
+/// realises each probe as one `SETMAXWL` trial against the evaluator's
+/// incremental trial/commit/rollback protocol.
 pub trait SelectHooks {
     /// Candidate admission check, called once per candidate before
     /// conflict analysis. Return `false` to discard the candidate.
