@@ -84,14 +84,22 @@ impl Semantics for FixedSem<'_> {
             BinOp::Add | BinOp::Sub => {
                 // Pre-align each operand to the result grid, keeping its
                 // own integer bits (a narrow result IWL must clamp only
-                // after the arithmetic).
+                // after the arithmetic). The integer width is capped so
+                // the intermediate format stays within a 63-bit raw
+                // container: the cap is bookkeeping only — values are
+                // bounded by their (<= datapath-wide) producing formats
+                // and can never reach it, but without the cap a spec
+                // with a large IWL (scaling optimization trades FWL for
+                // IWL) overflows the format's raw-bound computation.
+                let pre_align =
+                    |iwl: i32, fwl: i32| QFormat::new(iwl.clamp(1 - fwl, 62 - fwl), fwl);
                 let aa = a.requantize(
-                    QFormat::new(a.format().iwl, out.fwl),
+                    pre_align(a.format().iwl, out.fwl),
                     self.mode,
                     OverflowMode::Saturate,
                 );
                 let bb = b.requantize(
-                    QFormat::new(b.format().iwl, out.fwl),
+                    pre_align(b.format().iwl, out.fwl),
                     self.mode,
                     OverflowMode::Saturate,
                 );

@@ -1,0 +1,33 @@
+//! Structured errors of the C back-ends.
+
+use std::fmt;
+
+/// Errors raised while emitting C from a machine program.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// A storage or value format has a word length no C integer type
+    /// can hold (non-positive, or wider than 64 bits).
+    InvalidWordLength {
+        /// What carried the format (array/param/value name).
+        context: String,
+        /// The offending total word length.
+        wl: i32,
+    },
+    /// The program contains a construct the C back-end cannot express
+    /// (cost-model-only operations, intermediates beyond 63 bits).
+    Unsupported(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::InvalidWordLength { context, wl } => {
+                write!(f, "no C integer type holds {wl} bit(s) for {context}")
+            }
+            CodegenError::Unsupported(what) => write!(f, "cannot emit C: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}

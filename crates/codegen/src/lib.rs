@@ -5,21 +5,32 @@
 //! fixed-point specification") and a **SIMD C back-end** that "implements
 //! the SIMD groups using an abstract C macros API and generates the API's
 //! implementation for the specified target processor using its
-//! corresponding SIMD intrinsics". This crate emits both artifacts:
+//! corresponding SIMD intrinsics". This crate emits both artifacts from
+//! the *same* lowered machine program, on one shared emission core, so
+//! every emitted register is declared, every scaling amount and
+//! saturation bound is a compile-time immediate, and both programs are
+//! executable — and bit-exact against the reference fixed-point
+//! simulation (see the `exec_differential` / `c_differential` test
+//! suites):
 //!
-//! * [`fixed_c::emit_fixed_c`] — readable scalar fixed-point C with the
-//!   kernel's loop structure, integer storage at the specification's
-//!   container widths, and explicit alignment shifts;
-//! * [`simd_c::emit_simd_c`] — three-address code over the abstract macro
-//!   API (`VLOAD2`, `VMUL2`, `VSHR2`, `PACK2`, ...) generated from the
-//!   lowered machine program;
+//! * [`fixed_c::emit_fixed_c`] — self-contained scalar fixed-point C99
+//!   with the kernel's loop structure, integer storage at the
+//!   specification's container widths, and explicit well-defined
+//!   alignment shifts;
+//! * [`simd_c::emit_simd_c`] — C99 over the abstract macro API
+//!   (`VLOAD2`, `VMUL2`, `VSH2`, `VSAT2`, `PACK2`, ...) generated from
+//!   the lowered machine program;
 //! * [`intrinsics::emit_intrinsics_header`] — the per-target macro
-//!   implementations.
+//!   implementations, with a portable-C fallback (default) and a
+//!   vendor-intrinsic mapping behind `SLPWLO_NATIVE_SIMD`.
 
+mod emit;
+pub mod error;
 pub mod fixed_c;
 pub mod intrinsics;
 pub mod simd_c;
 
+pub use error::CodegenError;
 pub use fixed_c::emit_fixed_c;
 pub use intrinsics::emit_intrinsics_header;
 pub use simd_c::emit_simd_c;

@@ -34,7 +34,11 @@ pub mod wlo_slp;
 
 pub use flow::{prepare, wlo_first_flow, wlo_slp_flow, FlowResult, Prepared};
 pub use hooks::AccuracyHooks;
-pub use lower::{lower_fixed, lower_float, lower_scalar, MachineBlock, MachineProgram, Mop};
+pub use lower::{
+    align_fmt, block_result_fmts, broadcast_lane, lower_fixed, lower_float, lower_scalar,
+    operand_fmts, product_fmt, quantize_const, ArrayDecl, Loc, MachineBlock, MachineProgram, Mop,
+    MopKind, Operand, ParamDecl, ProgramStorage, VarDecl,
+};
 pub use scalopt::scaling_optimize;
 pub use tabu::{tabu_wlo, TabuOptions};
 pub use wlo_slp::{wlo_slp, BlockResult, WloSlpResult};

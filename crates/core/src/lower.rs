@@ -1,9 +1,10 @@
 //! Lowering to a machine program.
 //!
 //! Turns (kernel, fixed-point specification, SIMD groups) into per-block
-//! operation lists with explicit dependences — the form both the
-//! `slpwlo-sim` VLIW cycle model and the C back-ends consume. This stage
-//! materialises everything the paper's performance discussion hinges on:
+//! operation lists with explicit dependences — the form the `slpwlo-sim`
+//! VLIW cycle model, the `slpwlo-sim` bit-accurate interpreter and the C
+//! back-ends all consume. This stage materialises everything the paper's
+//! performance discussion hinges on:
 //!
 //! * **scaling operations** (alignment shifts) derived from the formats,
 //! * **vectorized scalings** when all lanes shift by the same amount,
@@ -14,16 +15,218 @@
 //! * vector loads for contiguous aligned access, gathers otherwise,
 //! * the soft-float/hardware-float split for the original floating-point
 //!   code (fig. 6's baseline).
+//!
+//! Every operation carries two views:
+//!
+//! * [`Mop::query`] — the abstract cost query answered by the target
+//!   model (scheduling / cycle counting);
+//! * [`Mop::kind`] — the executable semantics: which storage location is
+//!   accessed, which operands flow in (previous results, quantized
+//!   immediates, live-in variables), and the **absolute** fixed-point
+//!   format every requantization lands on. The [`slpwlo-sim`]
+//!   interpreter and the C back-ends are driven entirely by this view,
+//!   so emitted code never has to invent undeclared symbols.
 
 use crate::nodes::value_format;
-use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
+use slpwlo_fixedpoint::quantize::{OverflowMode, QuantizeMode};
+use slpwlo_fixedpoint::{FixedPointSpec, FxValue, QFormat, SpecKey};
 use slpwlo_ir::blocks::{collect_blocks, Block};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
-use slpwlo_ir::types::BinOp;
+use slpwlo_ir::kernel::Stmt;
+use slpwlo_ir::types::{ArrayId, BinOp, IndexExpr, InputId, LoopId, ParamId, VarId};
 use slpwlo_ir::Kernel;
 use slpwlo_slp::{mem_status, resolve_producer, MemStatus, SimdGroup};
 use slpwlo_targets::{OpQuery, TargetModel};
 use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// The executable machine-program data model
+// ---------------------------------------------------------------------------
+
+/// A storage location addressed by a memory operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Loc {
+    /// `array[index]` — a state-array element.
+    Array(ArrayId, IndexExpr),
+    /// `param[index]` — a coefficient-table element.
+    Param(ParamId, IndexExpr),
+}
+
+/// A value operand of a machine operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Result of an earlier operation in the same block.
+    Op(usize),
+    /// A compile-time constant, already quantized onto its grid.
+    Imm {
+        /// Raw two's-complement integer on the `fmt` grid.
+        raw: i64,
+        /// The constant's fixed-point format.
+        fmt: QFormat,
+    },
+    /// Current value of a kernel variable at block entry (live-in).
+    Var(VarId),
+}
+
+/// Executable semantics of one machine operation.
+///
+/// All formats are **absolute** targets: a requantization lands on `to`
+/// no matter which grid its operand currently sits on, which is what
+/// makes interpreter and generated C agree bit-for-bit with the
+/// reference fixed-point simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MopKind {
+    /// Converts an incoming sample (f64) onto the `to` grid
+    /// (truncation + saturation — the paper's input conversion site).
+    ReadInput {
+        /// Which input stream is read.
+        input: InputId,
+        /// Conversion target format.
+        to: QFormat,
+    },
+    /// Scalar load; the value arrives on the location's storage format.
+    Load {
+        /// Accessed location.
+        loc: Loc,
+    },
+    /// Scalar store: requantizes `src` to `to` (the storage format) and
+    /// writes it.
+    Store {
+        /// Accessed location.
+        loc: Loc,
+        /// Stored value.
+        src: Operand,
+        /// Storage format of the location.
+        to: QFormat,
+    },
+    /// Delay-line push: requantizes `src` to `to`, shifts the array by
+    /// one and writes element 0.
+    ShiftIn {
+        /// The delay-line array.
+        array: ArrayId,
+        /// Pushed value.
+        src: Operand,
+        /// Storage format of the array.
+        to: QFormat,
+    },
+    /// Emits the activation's value for an output.
+    Output {
+        /// Output index.
+        index: usize,
+        /// Emitted value.
+        src: Operand,
+    },
+    /// Scalar arithmetic. Additive ops align both operands onto
+    /// `to.fwl`, add exactly, and saturate to `to`. A multiply computes
+    /// the exact product; `to = None` leaves it on its natural grid
+    /// (a separate scaling op follows), `Some` requantizes in place.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Result format (`None` only for multiplies whose scaling is a
+        /// separate operation).
+        to: Option<QFormat>,
+    },
+    /// Scalar negation: negates exactly, then requantizes to `to`.
+    Un {
+        /// Operand.
+        src: Operand,
+        /// Result format.
+        to: QFormat,
+    },
+    /// Explicit scaling: requantizes `src` onto `to` (truncation toward
+    /// negative infinity, saturation at the format bounds).
+    Requant {
+        /// Operand.
+        src: Operand,
+        /// Target format.
+        to: QFormat,
+    },
+    /// Value pass-through (realignment copies, the ALU half of a
+    /// shift+negate pair).
+    Copy {
+        /// Operand.
+        src: Operand,
+    },
+    /// No dataflow effect (pointer bookkeeping charged by the cost
+    /// model).
+    Nop,
+    /// Vector load of one lane per location.
+    VLoad {
+        /// Per-lane locations (contiguous by construction).
+        locs: Vec<Loc>,
+    },
+    /// Vector store: per lane, requantize to `to` and write.
+    VStore {
+        /// Per-lane locations.
+        locs: Vec<Loc>,
+        /// Stored superword.
+        src: Operand,
+        /// Storage format of the array.
+        to: QFormat,
+    },
+    /// Lane-wise arithmetic; `to` as in [`MopKind::Bin`], per lane.
+    VBin {
+        /// Operation.
+        op: BinOp,
+        /// Left superword.
+        a: Operand,
+        /// Right superword.
+        b: Operand,
+        /// Per-lane result formats (`None` only for multiplies whose
+        /// scaling follows separately).
+        to: Option<Vec<QFormat>>,
+    },
+    /// Lane-wise negation then requantization to the per-lane formats.
+    VUn {
+        /// Operand superword.
+        src: Operand,
+        /// Per-lane result formats.
+        to: Vec<QFormat>,
+    },
+    /// Lane-wise scaling (one shift amount — the amounts are uniform —
+    /// but per-lane saturation bounds). With `negate`, lanes are negated
+    /// exactly before requantization (vectorized negation).
+    VRequant {
+        /// Operand superword.
+        src: Operand,
+        /// Per-lane target formats.
+        to: Vec<QFormat>,
+        /// Negate lanes before requantizing.
+        negate: bool,
+    },
+    /// Builds a superword from scalar operands (lane 0 first).
+    Pack {
+        /// Lane values.
+        lanes: Vec<Operand>,
+    },
+    /// Broadcasts one scalar into every lane.
+    Splat {
+        /// The scalar.
+        src: Operand,
+        /// Lane count.
+        lanes: u32,
+    },
+    /// Extracts one lane as a scalar; optionally negates exactly and/or
+    /// requantizes to `to` on the way out (fig. 2 lane scaling).
+    Extract {
+        /// Source superword.
+        src: Operand,
+        /// Lane index.
+        lane: u32,
+        /// Negate the extracted value.
+        negate: bool,
+        /// Requantization target, if any.
+        to: Option<QFormat>,
+    },
+    /// Cost-model-only operation with no executable semantics
+    /// (floating-point lowering).
+    Opaque,
+}
 
 /// One machine operation with its dependence predecessors.
 #[derive(Debug, Clone)]
@@ -32,6 +235,19 @@ pub struct Mop {
     pub query: OpQuery,
     /// Indices of operations this one must wait for.
     pub preds: Vec<usize>,
+    /// Executable semantics (see [`MopKind`]).
+    pub kind: MopKind,
+}
+
+impl Mop {
+    /// A cost-model-only operation without executable semantics.
+    pub fn opaque(query: OpQuery, preds: Vec<usize>) -> Self {
+        Mop {
+            query,
+            preds,
+            kind: MopKind::Opaque,
+        }
+    }
 }
 
 /// A lowered basic block.
@@ -44,6 +260,76 @@ pub struct MachineBlock {
     /// Whether the block body sits inside a loop (loop control overhead
     /// applies per execution).
     pub in_loop: bool,
+    /// Enclosing loops, outermost first, with trip counts; index
+    /// expressions inside [`Loc`]s refer to these variables.
+    pub loops: Vec<(LoopId, u32)>,
+    /// Final per-variable definitions of the block, in first-definition
+    /// order: after the ops execute, each variable takes the value of
+    /// its operand (evaluated against this execution's results and the
+    /// block-entry variable snapshot).
+    pub var_defs: Vec<(VarId, Operand)>,
+}
+
+/// A quantized coefficient table of the program.
+#[derive(Debug, Clone)]
+pub struct ParamDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Storage format.
+    pub fmt: QFormat,
+    /// Values quantized onto `fmt` (round-half-up at compile time).
+    pub raws: Vec<i64>,
+}
+
+/// A state array of the program.
+#[derive(Debug, Clone)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Storage format.
+    pub fmt: QFormat,
+    /// Element count.
+    pub len: usize,
+}
+
+/// A scalar variable of the program.
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Canonical storage format: covers the format of every definition,
+    /// so storing any definition in it is an exact left alignment and
+    /// all downstream requantizations agree bit-for-bit with the
+    /// dynamic-format reference semantics.
+    pub fmt: QFormat,
+}
+
+/// Everything a machine program owns besides its code: inputs, outputs,
+/// quantized coefficient storage, state arrays and variables. Makes the
+/// program a self-contained executable artifact for the interpreter and
+/// the C back-ends.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramStorage {
+    /// Input stream names, in declaration order.
+    pub inputs: Vec<String>,
+    /// Output names, in declaration order.
+    pub outputs: Vec<String>,
+    /// Coefficient tables.
+    pub params: Vec<ParamDecl>,
+    /// State arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Scalar variables.
+    pub vars: Vec<VarDecl>,
+}
+
+impl ProgramStorage {
+    /// Storage format of a location.
+    pub fn loc_fmt(&self, loc: &Loc) -> QFormat {
+        match loc {
+            Loc::Array(a, _) => self.arrays[a.index()].fmt,
+            Loc::Param(p, _) => self.params[p.index()].fmt,
+        }
+    }
 }
 
 /// A lowered kernel.
@@ -51,8 +337,10 @@ pub struct MachineBlock {
 pub struct MachineProgram {
     /// Kernel name, for reports.
     pub name: String,
-    /// Lowered blocks.
+    /// Lowered blocks, in document (execution) order.
     pub blocks: Vec<MachineBlock>,
+    /// The program's storage declarations.
+    pub storage: ProgramStorage,
 }
 
 impl MachineProgram {
@@ -65,31 +353,160 @@ impl MachineProgram {
     }
 }
 
+/// A wide-integer-range format on the `2^-fwl` grid: alignment shifts
+/// land here, where saturation is unreachable for any value a lowered
+/// program produces (pre-alignment before an addition never overflows —
+/// truncation cannot grow a value's magnitude).
+pub fn align_fmt(fwl: i32) -> QFormat {
+    QFormat::new(62 - fwl, fwl)
+}
+
+/// Joins two formats into the finest common cover.
+fn join_fmt(a: QFormat, b: QFormat) -> QFormat {
+    let mut iwl = a.iwl.max(b.iwl);
+    let fwl = a.fwl.max(b.fwl);
+    // Keep raw values representable in 63 bits; the integer range is
+    // bookkeeping only (variable stores never saturate).
+    if iwl + fwl > 62 {
+        iwl = 62 - fwl;
+    }
+    QFormat::new(iwl, fwl)
+}
+
+/// Exact product format of two operand formats (capped to a 62-bit
+/// container; the cap is bookkeeping only, products of in-range values
+/// never reach it).
+pub fn product_fmt(a: QFormat, b: QFormat) -> QFormat {
+    let fwl = a.fwl + b.fwl;
+    let iwl = (a.iwl + b.iwl).min(62 - fwl);
+    QFormat::new(iwl, fwl)
+}
+
+/// Static per-lane result formats of every operation in a block
+/// (an empty vector for operations producing no value). Variable
+/// operands read their canonical storage format from `storage`.
+pub fn block_result_fmts(block: &MachineBlock, storage: &ProgramStorage) -> Vec<Vec<QFormat>> {
+    let mut out: Vec<Vec<QFormat>> = Vec::with_capacity(block.ops.len());
+    for op in &block.ops {
+        let f = result_fmt_of(&op.kind, &out, storage);
+        out.push(f);
+    }
+    out
+}
+
+/// Static per-lane formats of one operand given the formats of earlier
+/// results.
+pub fn operand_fmts(o: &Operand, fmts: &[Vec<QFormat>], storage: &ProgramStorage) -> Vec<QFormat> {
+    match o {
+        Operand::Op(i) => fmts[*i].clone(),
+        Operand::Imm { fmt, .. } => vec![*fmt],
+        Operand::Var(v) => vec![storage.vars[v.index()].fmt],
+    }
+}
+
+/// The lane-broadcast rule shared by every consumer of per-lane data:
+/// single-lane slots (splats) broadcast their only lane to any index.
+pub fn broadcast_lane<T: Copy>(lanes: &[T], lane: usize) -> T {
+    lanes[lane.min(lanes.len().saturating_sub(1))]
+}
+
+fn lane_of(fmts: &[QFormat], lane: usize) -> QFormat {
+    broadcast_lane(fmts, lane)
+}
+
+fn result_fmt_of(kind: &MopKind, fmts: &[Vec<QFormat>], storage: &ProgramStorage) -> Vec<QFormat> {
+    let opnd = |o: &Operand| operand_fmts(o, fmts, storage);
+    match kind {
+        MopKind::ReadInput { to, .. } => vec![*to],
+        MopKind::Load { loc } => vec![storage.loc_fmt(loc)],
+        MopKind::VLoad { locs } => locs.iter().map(|l| storage.loc_fmt(l)).collect(),
+        MopKind::Bin { a, b, to, .. } => match to {
+            Some(t) => vec![*t],
+            None => vec![product_fmt(opnd(a)[0], opnd(b)[0])],
+        },
+        MopKind::VBin { a, b, to, .. } => match to {
+            Some(t) => t.clone(),
+            None => {
+                let fa = opnd(a);
+                let fb = opnd(b);
+                let lanes = fa.len().max(fb.len());
+                (0..lanes)
+                    .map(|l| product_fmt(lane_of(&fa, l), lane_of(&fb, l)))
+                    .collect()
+            }
+        },
+        MopKind::Un { to, .. } | MopKind::Requant { to, .. } => vec![*to],
+        MopKind::VUn { to, .. } | MopKind::VRequant { to, .. } => to.clone(),
+        MopKind::Copy { src } => opnd(src),
+        MopKind::Extract { src, lane, to, .. } => match to {
+            Some(t) => vec![*t],
+            None => vec![lane_of(&opnd(src), *lane as usize)],
+        },
+        MopKind::Pack { lanes } => lanes.iter().map(|o| opnd(o)[0]).collect(),
+        MopKind::Splat { src, lanes } => vec![opnd(src)[0]; *lanes as usize],
+        MopKind::Store { .. }
+        | MopKind::VStore { .. }
+        | MopKind::ShiftIn { .. }
+        | MopKind::Output { .. }
+        | MopKind::Nop
+        | MopKind::Opaque => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
 /// Lowers a kernel with its specification and per-block SIMD groups.
 ///
-/// `groups_of` returns the groups of a block (empty slice for pure scalar
-/// code).
+/// `blocks` pairs each basic block with its DFG and the groups realised
+/// in it (empty slice for pure scalar code).
 pub fn lower_fixed(
     kernel: &Kernel,
     spec: &FixedPointSpec,
     target: &TargetModel,
     blocks: &[(Block, Dfg, Vec<SimdGroup>)],
 ) -> MachineProgram {
-    let lowered = blocks
+    // Variables consumed outside their defining block (or across loop
+    // iterations) appear as `LiveIn` nodes somewhere; only those need
+    // cross-block state — dead definitions would otherwise materialise
+    // unpacks the cost model never charged.
+    let live_vars: std::collections::HashSet<VarId> = blocks
+        .iter()
+        .flat_map(|(_, dfg, _)| {
+            dfg.iter().filter_map(|(_, n)| match n.kind {
+                NodeKind::LiveIn(v) => Some(v),
+                _ => None,
+            })
+        })
+        .collect();
+    // Callers may hand blocks over in priority order (the WLO-SLP visit
+    // order); the machine program executes in document order.
+    let mut lowered: Vec<(slpwlo_ir::blocks::BlockId, MachineBlock)> = blocks
         .iter()
         .map(|(block, dfg, groups)| {
             let mut lw = FixedLowerer::new(kernel, spec, target, dfg, groups);
             lw.run();
-            MachineBlock {
-                ops: lw.ops,
-                trip: block.trip(),
-                in_loop: block.in_loop(),
-            }
+            let var_defs = lw.collect_var_defs(&block.stmts, &live_vars);
+            (
+                block.id,
+                MachineBlock {
+                    ops: lw.ops,
+                    trip: block.trip(),
+                    in_loop: block.in_loop(),
+                    loops: block.loops.clone(),
+                    var_defs,
+                },
+            )
         })
         .collect();
+    lowered.sort_by_key(|(id, _)| *id);
+    let lowered: Vec<MachineBlock> = lowered.into_iter().map(|(_, b)| b).collect();
+    let storage = build_storage(kernel, spec, &lowered);
     MachineProgram {
         name: kernel.name().to_string(),
         blocks: lowered,
+        storage,
     }
 }
 
@@ -111,6 +528,9 @@ pub fn lower_scalar(
 }
 
 /// Lowers the original floating-point version (fig. 6's reference).
+///
+/// Floating-point programs drive the cycle model only; their operations
+/// carry no executable semantics ([`MopKind::Opaque`]).
 pub fn lower_float(kernel: &Kernel) -> MachineProgram {
     let blocks = collect_blocks(kernel);
     let lowered = blocks
@@ -122,18 +542,150 @@ pub fn lower_float(kernel: &Kernel) -> MachineProgram {
                 ops,
                 trip: b.trip(),
                 in_loop: b.in_loop(),
+                loops: b.loops.clone(),
+                var_defs: Vec::new(),
             }
         })
         .collect();
     MachineProgram {
         name: format!("{}_float", kernel.name()),
         blocks: lowered,
+        storage: float_storage(kernel),
+    }
+}
+
+/// Quantizes a coefficient/constant at compile time: round-half-up with
+/// saturation, exactly as the bit-accurate simulation does.
+pub fn quantize_const(v: f64, fmt: QFormat) -> i64 {
+    FxValue::from_f64(v, fmt, QuantizeMode::Round, OverflowMode::Saturate).raw()
+}
+
+fn build_storage(
+    kernel: &Kernel,
+    spec: &FixedPointSpec,
+    blocks: &[MachineBlock],
+) -> ProgramStorage {
+    let params = kernel
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            let fmt = spec.format(SpecKey::Param(ParamId(pi as u32)));
+            ParamDecl {
+                name: p.name.clone(),
+                fmt,
+                raws: p.values.iter().map(|&v| quantize_const(v, fmt)).collect(),
+            }
+        })
+        .collect();
+    let arrays = kernel
+        .arrays()
+        .iter()
+        .enumerate()
+        .map(|(ai, a)| ArrayDecl {
+            name: a.name.clone(),
+            fmt: spec.format(SpecKey::Array(ArrayId(ai as u32))),
+            len: a.len,
+        })
+        .collect();
+    let mut storage = ProgramStorage {
+        inputs: kernel.inputs().iter().map(|i| i.name.clone()).collect(),
+        outputs: kernel.outputs().iter().map(|o| o.name.clone()).collect(),
+        params,
+        arrays,
+        vars: kernel
+            .vars()
+            .iter()
+            .map(|v| VarDecl {
+                name: v.name.clone(),
+                // The interpreter's zero-initialization format; refined
+                // below to cover every definition.
+                fmt: QFormat::new(1, 30),
+            })
+            .collect(),
+    };
+    // Fixpoint over the canonical variable formats: a definition's
+    // format may itself depend on variable formats (through live-in
+    // operands), so iterate until the joins stabilise. Joins are
+    // monotone (non-decreasing iwl/fwl, both capped at 62 total bits)
+    // on a finite lattice, so convergence is guaranteed — two rounds in
+    // practice; running to convergence (not a fixed round count)
+    // preserves the "canonical covers every definition" invariant the
+    // emitters rely on even for long variable-to-variable chains.
+    loop {
+        let mut next: Vec<QFormat> = storage.vars.iter().map(|v| v.fmt).collect();
+        for block in blocks {
+            let fmts = block_result_fmts(block, &storage);
+            for (v, def) in &block.var_defs {
+                let f = operand_fmts(def, &fmts, &storage)[0];
+                next[v.index()] = join_fmt(next[v.index()], f);
+            }
+        }
+        let changed = storage
+            .vars
+            .iter()
+            .zip(&next)
+            .any(|(cur, &new)| cur.fmt != new);
+        for (decl, f) in storage.vars.iter_mut().zip(next) {
+            decl.fmt = f;
+        }
+        if !changed {
+            break;
+        }
+    }
+    storage
+}
+
+fn float_storage(kernel: &Kernel) -> ProgramStorage {
+    let wide = QFormat::new(1, 30);
+    ProgramStorage {
+        inputs: kernel.inputs().iter().map(|i| i.name.clone()).collect(),
+        outputs: kernel.outputs().iter().map(|o| o.name.clone()).collect(),
+        params: kernel
+            .params()
+            .iter()
+            .map(|p| ParamDecl {
+                name: p.name.clone(),
+                fmt: wide,
+                raws: p.values.iter().map(|&v| quantize_const(v, wide)).collect(),
+            })
+            .collect(),
+        arrays: kernel
+            .arrays()
+            .iter()
+            .map(|a| ArrayDecl {
+                name: a.name.clone(),
+                fmt: wide,
+                len: a.len,
+            })
+            .collect(),
+        vars: kernel
+            .vars()
+            .iter()
+            .map(|v| VarDecl {
+                name: v.name.clone(),
+                fmt: wide,
+            })
+            .collect(),
     }
 }
 
 // ---------------------------------------------------------------------------
 // Fixed-point lowering
 // ---------------------------------------------------------------------------
+
+/// Which semantics the per-lane scaling of a superword carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScaleSem {
+    /// Pre-alignment of an additive operand: pure grid change, no
+    /// saturation (an [`align_fmt`] target).
+    Align,
+    /// Full requantization (multiply results, store conversions):
+    /// truncate and saturate at the target format.
+    Requant,
+    /// Negate exactly, then requantize (vectorized negation).
+    Neg,
+}
 
 struct FixedLowerer<'a> {
     spec: &'a FixedPointSpec,
@@ -236,9 +788,9 @@ impl<'a> FixedLowerer<'a> {
         assert_eq!(emitted, total_units, "coarsened graph must be acyclic");
     }
 
-    fn push(&mut self, query: OpQuery, preds: Vec<usize>) -> usize {
+    fn push(&mut self, query: OpQuery, preds: Vec<usize>, kind: MopKind) -> usize {
         let idx = self.ops.len();
-        self.ops.push(Mop { query, preds });
+        self.ops.push(Mop { query, preds, kind });
         idx
     }
 
@@ -254,6 +806,12 @@ impl<'a> FixedLowerer<'a> {
         value_format(self.spec, self.dfg, n).fwl
     }
 
+    /// The specification format of a node's own value (the format the
+    /// bit-accurate simulation assigns to it).
+    fn fmt_of(&self, n: NodeId) -> QFormat {
+        value_format(self.spec, self.dfg, n)
+    }
+
     /// Op index producing the scalar value of `n` (resolving variable
     /// wiring and unpacking grouped values). `None` for free values.
     fn scalar_value(&mut self, n: NodeId) -> Option<usize> {
@@ -266,11 +824,48 @@ impl<'a> FixedLowerer<'a> {
                 .group_result
                 .get(&gi)
                 .expect("group result emitted before scalar consumers (topo order)");
-            let u = self.push(OpQuery::Unpack, vec![src]);
+            let lane = self.groups[gi]
+                .elems
+                .iter()
+                .position(|&e| e == p)
+                .expect("node_group points into its group") as u32;
+            let u = self.push(
+                OpQuery::Unpack,
+                vec![src],
+                MopKind::Extract {
+                    src: Operand::Op(src),
+                    lane,
+                    negate: false,
+                    to: None,
+                },
+            );
             self.unpacked.insert(p, u);
             return Some(u);
         }
         self.produced.get(&p).copied()
+    }
+
+    /// The executable operand delivering `n`'s value: a prior op, a
+    /// quantized immediate, or a live-in variable.
+    fn operand_of(&mut self, n: NodeId) -> Operand {
+        if let Some(idx) = self.scalar_value(n) {
+            return Operand::Op(idx);
+        }
+        let p = resolve_producer(self.dfg, n);
+        match &self.dfg.node(p).kind {
+            NodeKind::Const(v) => {
+                let fmt = match self.dfg.node(p).expr {
+                    Some(e) => self.spec.format(SpecKey::Expr(e)),
+                    None => QFormat::new(2, 30),
+                };
+                Operand::Imm {
+                    raw: quantize_const(*v, fmt),
+                    fmt,
+                }
+            }
+            NodeKind::LiveIn(v) => Operand::Var(*v),
+            other => unreachable!("node {other:?} produces no value and no op"),
+        }
     }
 
     /// Memory-order predecessors of a node.
@@ -283,22 +878,64 @@ impl<'a> FixedLowerer<'a> {
             .collect()
     }
 
+    /// The location accessed by a memory node.
+    fn loc_of(&self, n: NodeId) -> Loc {
+        match &self.dfg.node(n).kind {
+            NodeKind::LoadArray(a, ix) | NodeKind::StoreArray(a, ix) => Loc::Array(*a, ix.clone()),
+            NodeKind::LoadParam(p, ix) => Loc::Param(*p, ix.clone()),
+            other => unreachable!("{other:?} accesses no location"),
+        }
+    }
+
+    /// Final definitions of the block's live variables, as executable
+    /// operands (appends unpacks for grouped definitions if needed).
+    fn collect_var_defs(
+        &mut self,
+        stmts: &[Stmt],
+        live: &std::collections::HashSet<VarId>,
+    ) -> Vec<(VarId, Operand)> {
+        let mut defs: Vec<(VarId, Operand)> = Vec::new();
+        for s in stmts {
+            if let Stmt::Assign(v, e) = s {
+                if !live.contains(v) {
+                    continue;
+                }
+                let n = self
+                    .dfg
+                    .node_of_expr(*e)
+                    .expect("assigned expression lowered with its block");
+                let opnd = self.operand_of(n);
+                match defs.iter_mut().find(|(w, _)| w == v) {
+                    Some(slot) => slot.1 = opnd,
+                    None => defs.push((*v, opnd)),
+                }
+            }
+        }
+        defs
+    }
+
     fn emit_scalar(&mut self, n: NodeId) {
         let kind = self.dfg.node(n).kind.clone();
         match kind {
             NodeKind::Const(_) | NodeKind::LiveIn(_) | NodeKind::VarUse(_) => {
                 // Free: immediates and register wiring.
             }
-            NodeKind::ReadInput(_) => {
+            NodeKind::ReadInput(i) => {
                 let wl = self.wl_of(n);
-                let idx = self.push(OpQuery::Load(wl), vec![]);
+                let to = self.fmt_of(n);
+                let idx = self.push(
+                    OpQuery::Load(wl),
+                    vec![],
+                    MopKind::ReadInput { input: i, to },
+                );
                 self.produced.insert(n, idx);
                 self.main_op.insert(n, idx);
             }
             NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => {
                 let wl = self.wl_of(n);
                 let deps = self.mem_deps(n);
-                let idx = self.push(OpQuery::Load(wl), deps);
+                let loc = self.loc_of(n);
+                let idx = self.push(OpQuery::Load(wl), deps, MopKind::Load { loc });
                 self.produced.insert(n, idx);
                 self.main_op.insert(n, idx);
             }
@@ -306,35 +943,79 @@ impl<'a> FixedLowerer<'a> {
                 let operands = self.dfg.node(n).operands.clone();
                 let out_fwl = self.fwl_of(n);
                 let out_wl = self.wl_of(n);
+                let out_fmt = self.fmt_of(n);
                 let mut deps = Vec::new();
                 match op {
                     BinOp::Add | BinOp::Sub => {
+                        let mut ins: Vec<Operand> = Vec::new();
                         for &o in &operands {
                             let src = self.scalar_value(o);
+                            let opnd = self.operand_of(o);
                             let s = self.fwl_of(o) - out_fwl;
-                            let dep = if s != 0 && !is_exact(self.dfg, o) {
-                                Some(self.push(OpQuery::Shift(out_wl), src.into_iter().collect()))
+                            let (dep, opnd) = if s != 0 && !is_exact(self.dfg, o) {
+                                let sh = self.push(
+                                    OpQuery::Shift(out_wl),
+                                    src.into_iter().collect(),
+                                    MopKind::Requant {
+                                        src: opnd,
+                                        to: align_fmt(out_fwl),
+                                    },
+                                );
+                                (Some(sh), Operand::Op(sh))
                             } else {
-                                src
+                                (src, opnd)
                             };
                             deps.extend(dep);
+                            ins.push(opnd);
                         }
-                        let idx = self.push(OpQuery::Add(out_wl), deps);
+                        let b = ins.pop().expect("binary op has two operands");
+                        let a = ins.pop().expect("binary op has two operands");
+                        let idx = self.push(
+                            OpQuery::Add(out_wl),
+                            deps,
+                            MopKind::Bin {
+                                op,
+                                a,
+                                b,
+                                to: Some(out_fmt),
+                            },
+                        );
                         self.produced.insert(n, idx);
                         self.main_op.insert(n, idx);
                     }
                     BinOp::Mul => {
                         let mut in_wl = 0;
                         let mut full_fwl = 0;
+                        let mut ins: Vec<Operand> = Vec::new();
                         for &o in &operands {
                             deps.extend(self.scalar_value(o));
+                            ins.push(self.operand_of(o));
                             in_wl = in_wl.max(self.wl_of(o));
                             full_fwl += self.fwl_of(o);
                         }
-                        let idx = self.push(OpQuery::Mul(in_wl), deps);
                         let exact = operands.iter().all(|&o| is_exact(self.dfg, o));
-                        let idx = if full_fwl != out_fwl && !exact {
-                            self.push(OpQuery::Shift(out_wl), vec![idx])
+                        let scaled = full_fwl != out_fwl && !exact;
+                        let b = ins.pop().expect("binary op has two operands");
+                        let a = ins.pop().expect("binary op has two operands");
+                        let idx = self.push(
+                            OpQuery::Mul(in_wl),
+                            deps,
+                            MopKind::Bin {
+                                op,
+                                a,
+                                b,
+                                to: if scaled { None } else { Some(out_fmt) },
+                            },
+                        );
+                        let idx = if scaled {
+                            self.push(
+                                OpQuery::Shift(out_wl),
+                                vec![idx],
+                                MopKind::Requant {
+                                    src: Operand::Op(idx),
+                                    to: out_fmt,
+                                },
+                            )
                         } else {
                             idx
                         };
@@ -346,61 +1027,128 @@ impl<'a> FixedLowerer<'a> {
             NodeKind::Un(_) => {
                 let o = self.dfg.node(n).operands[0];
                 let src = self.scalar_value(o);
+                let opnd = self.operand_of(o);
                 let out_wl = self.wl_of(n);
+                let out_fmt = self.fmt_of(n);
                 let s = self.fwl_of(o) - self.fwl_of(n);
-                let mut dep = src;
-                if s != 0 && !is_exact(self.dfg, o) {
-                    dep = Some(self.push(OpQuery::Shift(out_wl), src.into_iter().collect()));
-                }
-                let idx = self.push(OpQuery::Add(out_wl), dep.into_iter().collect());
+                let idx = if s != 0 && !is_exact(self.dfg, o) {
+                    // The shifter negates-and-requantizes; the ALU op is
+                    // the cost model's move.
+                    let sh = self.push(
+                        OpQuery::Shift(out_wl),
+                        src.into_iter().collect(),
+                        MopKind::Un {
+                            src: opnd,
+                            to: out_fmt,
+                        },
+                    );
+                    self.push(
+                        OpQuery::Add(out_wl),
+                        vec![sh],
+                        MopKind::Copy {
+                            src: Operand::Op(sh),
+                        },
+                    )
+                } else {
+                    self.push(
+                        OpQuery::Add(out_wl),
+                        src.into_iter().collect(),
+                        MopKind::Un {
+                            src: opnd,
+                            to: out_fmt,
+                        },
+                    )
+                };
                 self.produced.insert(n, idx);
                 self.main_op.insert(n, idx);
             }
-            NodeKind::StoreArray(a, _) => {
+            NodeKind::StoreArray(a, ref ix) => {
                 let o = self.dfg.node(n).operands[0];
                 let src = self.scalar_value(o);
+                let opnd = self.operand_of(o);
                 let arr_fmt = self.spec.format(SpecKey::Array(a));
                 let wl = self
                     .target
                     .container_wl(arr_fmt.wl().clamp(1, self.target.datapath))
                     .unwrap_or(self.target.datapath);
                 let s = self.fwl_of(o) - arr_fmt.fwl;
-                let val = if s != 0 && !is_exact(self.dfg, o) {
-                    Some(self.push(OpQuery::Shift(wl), src.into_iter().collect()))
+                let (val, opnd) = if s != 0 && !is_exact(self.dfg, o) {
+                    let sh = self.push(
+                        OpQuery::Shift(wl),
+                        src.into_iter().collect(),
+                        MopKind::Requant {
+                            src: opnd,
+                            to: arr_fmt,
+                        },
+                    );
+                    (Some(sh), Operand::Op(sh))
                 } else {
-                    src
+                    (src, opnd)
                 };
                 let mut deps: Vec<usize> = val.into_iter().collect();
                 deps.extend(self.mem_deps(n));
-                let idx = self.push(OpQuery::Store(wl), deps);
+                let idx = self.push(
+                    OpQuery::Store(wl),
+                    deps,
+                    MopKind::Store {
+                        loc: Loc::Array(a, ix.clone()),
+                        src: opnd,
+                        to: arr_fmt,
+                    },
+                );
                 self.main_op.insert(n, idx);
             }
             NodeKind::ShiftIn(a) => {
                 let o = self.dfg.node(n).operands[0];
                 let src = self.scalar_value(o);
+                let opnd = self.operand_of(o);
                 let arr_fmt = self.spec.format(SpecKey::Array(a));
                 let wl = self
                     .target
                     .container_wl(arr_fmt.wl().clamp(1, self.target.datapath))
                     .unwrap_or(self.target.datapath);
                 let s = self.fwl_of(o) - arr_fmt.fwl;
-                let val = if s != 0 && !is_exact(self.dfg, o) {
-                    Some(self.push(OpQuery::Shift(wl), src.into_iter().collect()))
+                let (val, opnd) = if s != 0 && !is_exact(self.dfg, o) {
+                    let sh = self.push(
+                        OpQuery::Shift(wl),
+                        src.into_iter().collect(),
+                        MopKind::Requant {
+                            src: opnd,
+                            to: arr_fmt,
+                        },
+                    );
+                    (Some(sh), Operand::Op(sh))
                 } else {
-                    src
+                    (src, opnd)
                 };
                 let mut deps: Vec<usize> = val.into_iter().collect();
                 deps.extend(self.mem_deps(n));
                 // Circular buffer: one store plus one pointer update.
-                let st = self.push(OpQuery::Store(wl), deps);
-                let _ptr = self.push(OpQuery::Add(32), vec![]);
+                let st = self.push(
+                    OpQuery::Store(wl),
+                    deps,
+                    MopKind::ShiftIn {
+                        array: a,
+                        src: opnd,
+                        to: arr_fmt,
+                    },
+                );
+                let _ptr = self.push(OpQuery::Add(32), vec![], MopKind::Nop);
                 self.main_op.insert(n, st);
             }
-            NodeKind::Output(_) => {
+            NodeKind::Output(o_idx) => {
                 let o = self.dfg.node(n).operands[0];
                 let src = self.scalar_value(o);
+                let opnd = self.operand_of(o);
                 let wl = self.wl_of(o);
-                let idx = self.push(OpQuery::Store(wl), src.into_iter().collect());
+                let idx = self.push(
+                    OpQuery::Store(wl),
+                    src.into_iter().collect(),
+                    MopKind::Output {
+                        index: o_idx,
+                        src: opnd,
+                    },
+                );
                 self.main_op.insert(n, idx);
             }
         }
@@ -416,20 +1164,35 @@ impl<'a> FixedLowerer<'a> {
                 for &e in &group.elems {
                     deps.extend(self.mem_deps(e));
                 }
+                let locs: Vec<Loc> = group.elems.iter().map(|&e| self.loc_of(e)).collect();
                 let idx = match mem_status(self.dfg, &group) {
-                    MemStatus::ContiguousAligned => self.push(OpQuery::VLoad(lanes), deps),
+                    MemStatus::ContiguousAligned => {
+                        self.push(OpQuery::VLoad(lanes), deps, MopKind::VLoad { locs })
+                    }
                     MemStatus::ContiguousUnaligned => {
-                        let l = self.push(OpQuery::VLoad(lanes), deps);
-                        self.push(OpQuery::Add(32), vec![l]) // realign
+                        let l = self.push(OpQuery::VLoad(lanes), deps, MopKind::VLoad { locs });
+                        // Realign: cost only, the value passes through.
+                        self.push(
+                            OpQuery::Add(32),
+                            vec![l],
+                            MopKind::Copy {
+                                src: Operand::Op(l),
+                            },
+                        )
                     }
                     _ => {
                         // Gather: scalar loads plus a pack.
                         let mut loaded = Vec::new();
-                        for &e in &group.elems {
+                        for (&e, loc) in group.elems.iter().zip(locs) {
                             let d = self.mem_deps(e);
-                            loaded.push(self.push(OpQuery::Load(16), d));
+                            loaded.push(self.push(OpQuery::Load(16), d, MopKind::Load { loc }));
                         }
-                        self.push(OpQuery::Pack(lanes), loaded)
+                        let lane_ops = loaded.iter().map(|&l| Operand::Op(l)).collect();
+                        self.push(
+                            OpQuery::Pack(lanes),
+                            loaded,
+                            MopKind::Pack { lanes: lane_ops },
+                        )
                     }
                 };
                 self.finish_group(gi, &group, idx);
@@ -440,7 +1203,8 @@ impl<'a> FixedLowerer<'a> {
                 for pos in 0..arity {
                     operand_srcs.push(self.vector_operand(&group, pos));
                 }
-                let mut deps: Vec<usize> = operand_srcs.iter().flatten().copied().collect();
+                let mut deps: Vec<usize> = operand_srcs.to_vec();
+                let mut ins: Vec<Operand> = operand_srcs.iter().map(|&s| Operand::Op(s)).collect();
                 // Pre-scaling for additive ops.
                 if matches!(op, BinOp::Add | BinOp::Sub) {
                     for (pos, &src) in operand_srcs.iter().enumerate() {
@@ -452,14 +1216,59 @@ impl<'a> FixedLowerer<'a> {
                                 self.fwl_of(o) - self.fwl_of(e)
                             })
                             .collect();
-                        if let Some(d) = self.emit_vector_scaling(&amounts, src, lanes) {
+                        let targets: Vec<QFormat> = group
+                            .elems
+                            .iter()
+                            .map(|&e| align_fmt(self.fwl_of(e)))
+                            .collect();
+                        if let Some(d) = self.emit_vector_scaling(
+                            &amounts,
+                            src,
+                            lanes,
+                            ScaleSem::Align,
+                            &targets,
+                        ) {
                             deps.push(d);
+                            ins[pos] = Operand::Op(d);
                         }
                     }
                 }
+                let lane_fmts: Vec<QFormat> = group.elems.iter().map(|&e| self.fmt_of(e)).collect();
+                let b_in = ins.pop().expect("binary group has two operands");
+                let a_in = ins.pop().expect("binary group has two operands");
+                let mul_scaled = matches!(op, BinOp::Mul) && {
+                    // A result scaling follows iff some lane amount is
+                    // non-zero (mirrors emit_vector_scaling's decision).
+                    group.elems.iter().any(|&e| {
+                        let ops = &self.dfg.node(e).operands;
+                        self.fwl_of(ops[0]) + self.fwl_of(ops[1]) - self.fwl_of(e) != 0
+                    })
+                };
                 let main = match op {
-                    BinOp::Add | BinOp::Sub => self.push(OpQuery::VAdd(lanes), deps),
-                    BinOp::Mul => self.push(OpQuery::VMul(lanes), deps),
+                    BinOp::Add | BinOp::Sub => self.push(
+                        OpQuery::VAdd(lanes),
+                        deps,
+                        MopKind::VBin {
+                            op,
+                            a: a_in,
+                            b: b_in,
+                            to: Some(lane_fmts.clone()),
+                        },
+                    ),
+                    BinOp::Mul => self.push(
+                        OpQuery::VMul(lanes),
+                        deps,
+                        MopKind::VBin {
+                            op,
+                            a: a_in,
+                            b: b_in,
+                            to: if mul_scaled {
+                                None
+                            } else {
+                                Some(lane_fmts.clone())
+                            },
+                        },
+                    ),
                 };
                 // Result scaling for multiplies.
                 let mut result = main;
@@ -472,7 +1281,13 @@ impl<'a> FixedLowerer<'a> {
                             self.fwl_of(ops[0]) + self.fwl_of(ops[1]) - self.fwl_of(e)
                         })
                         .collect();
-                    if let Some(d) = self.emit_vector_scaling(&amounts, Some(main), lanes) {
+                    if let Some(d) = self.emit_vector_scaling(
+                        &amounts,
+                        main,
+                        lanes,
+                        ScaleSem::Requant,
+                        &lane_fmts,
+                    ) {
                         result = d;
                     }
                 }
@@ -488,41 +1303,91 @@ impl<'a> FixedLowerer<'a> {
                         self.fwl_of(o) - self.fwl_of(e)
                     })
                     .collect();
-                let mut deps: Vec<usize> = src.into_iter().collect();
-                if let Some(d) = self.emit_vector_scaling(&amounts, src, lanes) {
-                    deps.push(d);
-                }
-                let idx = self.push(OpQuery::VAdd(lanes), deps);
+                let lane_fmts: Vec<QFormat> = group.elems.iter().map(|&e| self.fmt_of(e)).collect();
+                let mut deps: Vec<usize> = vec![src];
+                let idx =
+                    match self.emit_vector_scaling(&amounts, src, lanes, ScaleSem::Neg, &lane_fmts)
+                    {
+                        Some(d) => {
+                            // The scaling already negated and requantized;
+                            // the VAdd is the cost model's move.
+                            deps.push(d);
+                            self.push(
+                                OpQuery::VAdd(lanes),
+                                deps,
+                                MopKind::Copy {
+                                    src: Operand::Op(d),
+                                },
+                            )
+                        }
+                        None => self.push(
+                            OpQuery::VAdd(lanes),
+                            deps,
+                            MopKind::VUn {
+                                src: Operand::Op(src),
+                                to: lane_fmts,
+                            },
+                        ),
+                    };
                 self.finish_group(gi, &group, idx);
             }
             NodeKind::StoreArray(a, _) => {
                 let src = self.vector_operand(&group, 0);
-                let arr_fwl = self.spec.format(SpecKey::Array(a)).fwl;
+                let arr_fmt = self.spec.format(SpecKey::Array(a));
                 let amounts: Vec<i32> = group
                     .elems
                     .iter()
                     .map(|&e| {
                         let o = self.dfg.node(e).operands[0];
-                        self.fwl_of(o) - arr_fwl
+                        self.fwl_of(o) - arr_fmt.fwl
                     })
                     .collect();
-                let mut deps: Vec<usize> = src.into_iter().collect();
-                if let Some(d) = self.emit_vector_scaling(&amounts, src, lanes) {
+                let targets = vec![arr_fmt; lanes as usize];
+                let mut deps: Vec<usize> = vec![src];
+                let mut value = Operand::Op(src);
+                if let Some(d) =
+                    self.emit_vector_scaling(&amounts, src, lanes, ScaleSem::Requant, &targets)
+                {
                     deps.push(d);
+                    value = Operand::Op(d);
                 }
                 for &e in &group.elems {
                     deps.extend(self.mem_deps(e));
                 }
+                let locs: Vec<Loc> = group.elems.iter().map(|&e| self.loc_of(e)).collect();
                 let idx = match mem_status(self.dfg, &group) {
-                    MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned => {
-                        self.push(OpQuery::VStore(lanes), deps)
-                    }
+                    MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned => self.push(
+                        OpQuery::VStore(lanes),
+                        deps,
+                        MopKind::VStore {
+                            locs,
+                            src: value,
+                            to: arr_fmt,
+                        },
+                    ),
                     _ => {
                         // Scatter: per-lane extract + store.
                         let mut last = None;
-                        for _ in 0..lanes {
-                            let u = self.push(OpQuery::Unpack, deps.clone());
-                            last = Some(self.push(OpQuery::Store(16), vec![u]));
+                        for (lane, loc) in locs.into_iter().enumerate() {
+                            let u = self.push(
+                                OpQuery::Unpack,
+                                deps.clone(),
+                                MopKind::Extract {
+                                    src: value.clone(),
+                                    lane: lane as u32,
+                                    negate: false,
+                                    to: None,
+                                },
+                            );
+                            last = Some(self.push(
+                                OpQuery::Store(16),
+                                vec![u],
+                                MopKind::Store {
+                                    loc,
+                                    src: Operand::Op(u),
+                                    to: arr_fmt,
+                                },
+                            ));
                         }
                         last.expect("lanes >= 2")
                     }
@@ -541,36 +1406,72 @@ impl<'a> FixedLowerer<'a> {
     /// Uniform non-zero amounts become a single vector shift; mismatched
     /// amounts pay the fig. 2 penalty (unpack each lane, shift, repack).
     /// Returns the op to depend on, or `None` when no scaling is needed.
+    /// `targets[lane]` is the absolute format lane `lane` lands on, and
+    /// `sem` selects pure alignment, saturating requantization, or
+    /// negate-then-requantize semantics.
     fn emit_vector_scaling(
         &mut self,
         amounts: &[i32],
-        src: Option<usize>,
+        src: usize,
         lanes: u32,
+        sem: ScaleSem,
+        targets: &[QFormat],
     ) -> Option<usize> {
         if amounts.iter().all(|&a| a == 0) {
             return None;
         }
-        let deps: Vec<usize> = src.into_iter().collect();
         if amounts.iter().all(|&a| a == amounts[0]) {
-            return Some(self.push(OpQuery::VShift(lanes), deps));
+            return Some(self.push(
+                OpQuery::VShift(lanes),
+                vec![src],
+                MopKind::VRequant {
+                    src: Operand::Op(src),
+                    to: targets.to_vec(),
+                    negate: sem == ScaleSem::Neg,
+                },
+            ));
         }
         // Fig. 2: unpack, shift lanes individually, repack.
         let mut shifted = Vec::new();
-        for &a in amounts {
-            let u = self.push(OpQuery::Unpack, deps.clone());
+        for (lane, &a) in amounts.iter().enumerate() {
+            let u = self.push(
+                OpQuery::Unpack,
+                vec![src],
+                MopKind::Extract {
+                    src: Operand::Op(src),
+                    lane: lane as u32,
+                    negate: sem == ScaleSem::Neg && a == 0,
+                    to: if a == 0 { Some(targets[lane]) } else { None },
+                },
+            );
             let s = if a != 0 {
-                self.push(OpQuery::Shift(16), vec![u])
+                let kind = match sem {
+                    ScaleSem::Neg => MopKind::Un {
+                        src: Operand::Op(u),
+                        to: targets[lane],
+                    },
+                    _ => MopKind::Requant {
+                        src: Operand::Op(u),
+                        to: targets[lane],
+                    },
+                };
+                self.push(OpQuery::Shift(16), vec![u], kind)
             } else {
                 u
             };
             shifted.push(s);
         }
-        Some(self.push(OpQuery::Pack(lanes), shifted))
+        let lane_ops = shifted.iter().map(|&s| Operand::Op(s)).collect();
+        Some(self.push(
+            OpQuery::Pack(lanes),
+            shifted,
+            MopKind::Pack { lanes: lane_ops },
+        ))
     }
 
-    /// Materialises the operand superword of a group at `pos`; returns the
-    /// producing op, or `None` when the operand is free (constants).
-    fn vector_operand(&mut self, group: &SimdGroup, pos: usize) -> Option<usize> {
+    /// Materialises the operand superword of a group at `pos`; returns
+    /// the producing op.
+    fn vector_operand(&mut self, group: &SimdGroup, pos: usize) -> usize {
         let sw: Vec<NodeId> = group
             .elems
             .iter()
@@ -579,20 +1480,37 @@ impl<'a> FixedLowerer<'a> {
         // Produced by another emitted group with identical lanes?
         for (gi, g) in self.groups.iter().enumerate() {
             if g.elems == sw {
-                return self.group_result.get(&gi).copied();
+                return *self
+                    .group_result
+                    .get(&gi)
+                    .expect("producing group emitted before consumers (topo order)");
             }
         }
         // Splat: broadcast one scalar.
         if sw.iter().all(|&n| n == sw[0]) {
-            let src = self.scalar_value(sw[0]);
-            return Some(self.push(OpQuery::Pack(1), src.into_iter().collect()));
+            let deps: Vec<usize> = self.scalar_value(sw[0]).into_iter().collect();
+            let src = self.operand_of(sw[0]);
+            return self.push(
+                OpQuery::Pack(1),
+                deps,
+                MopKind::Splat {
+                    src,
+                    lanes: group.lanes(),
+                },
+            );
         }
         // General case: gather scalars and pack.
         let mut deps = Vec::new();
+        let mut lane_ops = Vec::new();
         for &n in &sw {
             deps.extend(self.scalar_value(n));
+            lane_ops.push(self.operand_of(n));
         }
-        Some(self.push(OpQuery::Pack(group.lanes()), deps))
+        self.push(
+            OpQuery::Pack(group.lanes()),
+            deps,
+            MopKind::Pack { lanes: lane_ops },
+        )
     }
 
     fn finish_group(&mut self, gi: usize, group: &SimdGroup, result: usize) {
@@ -621,7 +1539,7 @@ fn lower_float_block(dfg: &Dfg) -> Vec<Mop> {
     let mut produced: HashMap<NodeId, usize> = HashMap::new();
     let mut main_op: HashMap<NodeId, usize> = HashMap::new();
     let push = |ops: &mut Vec<Mop>, query: OpQuery, preds: Vec<usize>| -> usize {
-        ops.push(Mop { query, preds });
+        ops.push(Mop::opaque(query, preds));
         ops.len() - 1
     };
     for (id, node) in dfg.iter() {
@@ -816,6 +1734,117 @@ kernel fir8 {
             scalar.ops_per_activation(),
             "no groups at -160 dB: identical programs"
         );
+    }
+
+    #[test]
+    fn every_fixed_op_carries_executable_semantics() {
+        let (simd, scalar) = lowered(-40.0);
+        for prog in [&simd, &scalar] {
+            for b in &prog.blocks {
+                for op in &b.ops {
+                    assert!(
+                        !matches!(op.kind, MopKind::Opaque),
+                        "fixed-point lowering must attach semantics to {:?}",
+                        op.query
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operands_reference_declared_values_only() {
+        // Every Operand::Op points at an earlier op that produces a
+        // value; every Var points at a declared variable.
+        let (simd, scalar) = lowered(-40.0);
+        for prog in [&simd, &scalar] {
+            for b in &prog.blocks {
+                let fmts = block_result_fmts(b, &prog.storage);
+                for (i, op) in b.ops.iter().enumerate() {
+                    let mut check = |o: &Operand| match o {
+                        Operand::Op(p) => {
+                            assert!(*p < i, "operand {p} of op {i} must precede it");
+                            assert!(
+                                !fmts[*p].is_empty(),
+                                "operand {p} of op {i} produces no value"
+                            );
+                        }
+                        Operand::Var(v) => {
+                            assert!(v.index() < prog.storage.vars.len());
+                        }
+                        Operand::Imm { .. } => {}
+                    };
+                    match &op.kind {
+                        MopKind::Bin { a, b, .. } | MopKind::VBin { a, b, .. } => {
+                            check(a);
+                            check(b);
+                        }
+                        MopKind::Un { src, .. }
+                        | MopKind::VUn { src, .. }
+                        | MopKind::Requant { src, .. }
+                        | MopKind::VRequant { src, .. }
+                        | MopKind::Copy { src }
+                        | MopKind::Splat { src, .. }
+                        | MopKind::Extract { src, .. }
+                        | MopKind::Store { src, .. }
+                        | MopKind::VStore { src, .. }
+                        | MopKind::ShiftIn { src, .. }
+                        | MopKind::Output { src, .. } => check(src),
+                        MopKind::Pack { lanes } => lanes.iter().for_each(&mut check),
+                        MopKind::ReadInput { .. }
+                        | MopKind::Load { .. }
+                        | MopKind::VLoad { .. }
+                        | MopKind::Nop
+                        | MopKind::Opaque => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_quantizes_coefficients_round_half_up() {
+        let (_, scalar) = lowered(-40.0);
+        let c = &scalar.storage.params[0];
+        assert_eq!(c.raws.len(), 8);
+        for (&raw, &v) in c
+            .raws
+            .iter()
+            .zip([0.11, -0.23, 0.31, 0.17, -0.05, 0.27, -0.13, 0.07].iter())
+        {
+            let expected = quantize_const(v, c.fmt);
+            assert_eq!(raw, expected);
+        }
+    }
+
+    #[test]
+    fn canonical_var_format_covers_definitions() {
+        let (simd, scalar) = lowered(-40.0);
+        for prog in [&simd, &scalar] {
+            for b in &prog.blocks {
+                let fmts = block_result_fmts(b, &prog.storage);
+                for (v, def) in &b.var_defs {
+                    let f = operand_fmts(def, &fmts, &prog.storage)[0];
+                    let canon = prog.storage.vars[v.index()].fmt;
+                    assert!(
+                        canon.covers(f),
+                        "canonical {canon} must cover definition {f} of {}",
+                        prog.storage.vars[v.index()].name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_blocks_carry_their_nest() {
+        let (_, scalar) = lowered(-40.0);
+        let hot: Vec<_> = scalar.blocks.iter().filter(|b| b.trip > 1).collect();
+        assert!(!hot.is_empty());
+        for b in hot {
+            let product: u64 = b.loops.iter().map(|&(_, c)| c as u64).product();
+            assert_eq!(product, b.trip, "loop nest must explain the trip count");
+        }
     }
 }
 

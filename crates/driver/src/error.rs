@@ -55,6 +55,8 @@ pub enum Error {
         /// The underlying I/O failure.
         source: std::io::Error,
     },
+    /// A C back-end could not render the program.
+    Codegen(slpwlo_codegen::CodegenError),
 }
 
 impl fmt::Display for Error {
@@ -86,6 +88,7 @@ impl fmt::Display for Error {
             Error::Export { path, source } => {
                 write!(f, "failed to export `{}`: {source}", path.display())
             }
+            Error::Codegen(e) => write!(f, "code generation failed: {e}"),
         }
     }
 }
@@ -95,6 +98,7 @@ impl std::error::Error for Error {
         match self {
             Error::Parse(e) | Error::InvalidKernel(e) => Some(e),
             Error::Export { source, .. } => Some(source),
+            Error::Codegen(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +107,12 @@ impl std::error::Error for Error {
 impl From<IrError> for Error {
     fn from(e: IrError) -> Self {
         Error::Parse(e)
+    }
+}
+
+impl From<slpwlo_codegen::CodegenError> for Error {
+    fn from(e: slpwlo_codegen::CodegenError) -> Self {
+        Error::Codegen(e)
     }
 }
 

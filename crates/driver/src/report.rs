@@ -94,10 +94,12 @@ impl Report {
     /// specification (float flow) and [`Error::Export`] on I/O failure.
     pub fn export_c(&self, dir: impl AsRef<Path>) -> Result<ExportedC, Error> {
         let dir = dir.as_ref();
-        let spec = self.spec.as_ref().ok_or(Error::Config {
-            field: "flow",
-            message: "the float flow has no fixed-point specification to export".into(),
-        })?;
+        if self.spec.is_none() {
+            return Err(Error::Config {
+                field: "flow",
+                message: "the float flow has no fixed-point specification to export".into(),
+            });
+        }
         let write = |path: PathBuf, contents: String| -> Result<PathBuf, Error> {
             std::fs::write(&path, contents).map_err(|source| Error::Export {
                 path: path.clone(),
@@ -114,11 +116,11 @@ impl Report {
         Ok(ExportedC {
             fixed_c: write(
                 dir.join(format!("{stem}_fixed.c")),
-                emit_fixed_c(&self.kernel, spec),
+                emit_fixed_c(&self.scalar)?,
             )?,
             simd_c: write(
                 dir.join(format!("{stem}_simd.c")),
-                emit_simd_c(&self.simd, &self.target.name),
+                emit_simd_c(&self.simd, &self.target.name)?,
             )?,
             intrinsics_h: write(
                 dir.join(format!("slpwlo_simd_{target_tag}.h")),

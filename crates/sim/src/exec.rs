@@ -1,0 +1,512 @@
+//! Bit-accurate execution of lowered machine programs.
+//!
+//! The [`Machine`] interprets the [`MopKind`] view of a
+//! [`MachineProgram`] — scalar *and* vector — with exactly the
+//! fixed-point semantics of the reference simulation
+//! (`slpwlo-accuracy`'s `simulate_fixed`): truncation toward negative
+//! infinity when bits are discarded, saturation at every result format,
+//! exact integer intermediates. This makes the interpreter the golden
+//! reference for any code-generation back-end: whatever a backend emits
+//! for a program must reproduce the interpreter's outputs bit for bit.
+//!
+//! Values are `(raw, format)` pairs. Superwords are lane vectors of
+//! such pairs — formats may legitimately differ between lanes (the
+//! whole point of the fig. 2 scaling discussion), and the per-lane
+//! formats recorded by the lowering drive every requantization.
+
+use slpwlo_core::{
+    broadcast_lane, product_fmt, Loc, MachineBlock, MachineProgram, MopKind, Operand,
+};
+use slpwlo_fixedpoint::quantize::{OverflowMode, QuantizeMode};
+use slpwlo_fixedpoint::{FxValue, QFormat};
+use slpwlo_ir::types::{BinOp, LoopId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while executing a machine program.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The program contains an operation without executable semantics
+    /// (floating-point lowerings are cost-model-only).
+    Opaque,
+    /// The number of input streams does not match the program.
+    InputCount {
+        /// Streams the program declares.
+        expected: usize,
+        /// Streams supplied.
+        got: usize,
+    },
+    /// Input streams have unequal lengths.
+    RaggedInputs,
+    /// An exact intermediate (a full-precision product kept on its
+    /// natural grid) does not fit the 64-bit value representation.
+    Overflow,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Opaque => {
+                write!(f, "program contains cost-model-only (opaque) operations")
+            }
+            ExecError::InputCount { expected, got } => {
+                write!(f, "program expects {expected} input stream(s), got {got}")
+            }
+            ExecError::RaggedInputs => write!(f, "input streams must have equal lengths"),
+            ExecError::Overflow => {
+                write!(
+                    f,
+                    "exact intermediate exceeds the 64-bit value representation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A fixed-point value: raw two's-complement integer on a format grid.
+#[derive(Debug, Clone, Copy)]
+struct Fx {
+    raw: i64,
+    fmt: QFormat,
+}
+
+impl Fx {
+    fn zero(fmt: QFormat) -> Self {
+        Fx { raw: 0, fmt }
+    }
+
+    fn to_f64(self) -> f64 {
+        self.raw as f64 * f64::powi(2.0, -self.fmt.fwl)
+    }
+}
+
+/// Truncating (floor) grid change without saturation — the
+/// pre-alignment of additive operands, where overflow is impossible.
+fn grid_align(v: Fx, fwl: i32) -> i128 {
+    let s = v.fmt.fwl - fwl;
+    if s > 0 {
+        (v.raw as i128) >> s.min(126)
+    } else {
+        (v.raw as i128) << (-s).min(126)
+    }
+}
+
+/// Requantizes a raw value on grid `2^-from_fwl` onto `to`: truncation
+/// toward negative infinity, then saturation at the format bounds.
+fn requant(raw: i128, from_fwl: i32, to: QFormat) -> Fx {
+    let shift = from_fwl - to.fwl;
+    let v = if shift > 0 {
+        raw >> shift.min(126) as u32
+    } else {
+        raw << (-shift).min(126) as u32
+    };
+    let raw = v.clamp(to.min_raw() as i128, to.max_raw() as i128) as i64;
+    Fx { raw, fmt: to }
+}
+
+/// Quantizes an incoming f64 sample — the reference simulation's input
+/// conversion, delegated to `FxValue` so the two can never drift.
+fn quantize_input(x: f64, to: QFormat) -> Fx {
+    let v = FxValue::from_f64(x, to, QuantizeMode::Truncate, OverflowMode::Saturate);
+    Fx {
+        raw: v.raw(),
+        fmt: to,
+    }
+}
+
+/// One register value: a vector of lanes (scalars have one lane).
+type Slot = Vec<Fx>;
+
+fn lane_of(slot: &Slot, lane: usize) -> Fx {
+    broadcast_lane(slot, lane)
+}
+
+/// Interprets a lowered [`MachineProgram`] bit-accurately.
+///
+/// State arrays and variables persist across activations, mirroring the
+/// kernel execution model (delay lines, feedback).
+#[derive(Debug)]
+pub struct Machine<'p> {
+    prog: &'p MachineProgram,
+    arrays: Vec<Vec<Fx>>,
+    vars: Vec<Fx>,
+    outputs: Vec<Fx>,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine with zeroed state.
+    pub fn new(prog: &'p MachineProgram) -> Self {
+        let arrays = prog
+            .storage
+            .arrays
+            .iter()
+            .map(|a| vec![Fx::zero(a.fmt); a.len])
+            .collect();
+        let vars = prog
+            .storage
+            .vars
+            .iter()
+            .map(|_| Fx::zero(QFormat::new(1, 30)))
+            .collect();
+        let outputs = prog
+            .storage
+            .outputs
+            .iter()
+            .map(|_| Fx::zero(QFormat::new(1, 30)))
+            .collect();
+        Machine {
+            prog,
+            arrays,
+            vars,
+            outputs,
+        }
+    }
+
+    /// Resets arrays, variables and outputs to the initial state.
+    pub fn reset(&mut self) {
+        for arr in &mut self.arrays {
+            for v in arr.iter_mut() {
+                v.raw = 0;
+            }
+        }
+        for v in &mut self.vars {
+            *v = Fx::zero(QFormat::new(1, 30));
+        }
+        for o in &mut self.outputs {
+            *o = Fx::zero(QFormat::new(1, 30));
+        }
+    }
+
+    /// Runs the program over `inputs[i][n]` (stream `i`, activation `n`)
+    /// and returns `outputs[o][n]`.
+    pub fn run(&mut self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, ExecError> {
+        let expected = self.prog.storage.inputs.len();
+        if inputs.len() != expected {
+            return Err(ExecError::InputCount {
+                expected,
+                got: inputs.len(),
+            });
+        }
+        let n = inputs.first().map_or(0, |v| v.len());
+        if inputs.iter().any(|v| v.len() != n) {
+            return Err(ExecError::RaggedInputs);
+        }
+        let mut out = vec![Vec::with_capacity(n); self.prog.storage.outputs.len()];
+        let mut sample = vec![0.0; inputs.len()];
+        for a in 0..n {
+            for (i, s) in inputs.iter().enumerate() {
+                sample[i] = s[a];
+            }
+            let vals = self.step(&sample)?;
+            for (o, v) in vals.into_iter().enumerate() {
+                out[o].push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Executes one activation and returns the output values.
+    pub fn step(&mut self, sample: &[f64]) -> Result<Vec<f64>, ExecError> {
+        for block in &self.prog.blocks {
+            self.exec_block(block, sample)?;
+        }
+        Ok(self.outputs.iter().map(|v| v.to_f64()).collect())
+    }
+
+    fn exec_block(&mut self, block: &MachineBlock, sample: &[f64]) -> Result<(), ExecError> {
+        // Iterate the loop nest row-major (outermost slowest), exactly
+        // like the statement interpreter's nested `for`s.
+        let counts: Vec<u32> = block.loops.iter().map(|&(_, c)| c).collect();
+        if counts.contains(&0) {
+            return Ok(());
+        }
+        let mut idx = vec![0u32; counts.len()];
+        loop {
+            let mut env: HashMap<LoopId, i64> = HashMap::new();
+            for (&(var, _), &i) in block.loops.iter().zip(&idx) {
+                env.insert(var, i as i64);
+            }
+            self.exec_block_once(block, &env, sample)?;
+            // Odometer increment, innermost fastest.
+            let mut k = counts.len();
+            loop {
+                if k == 0 {
+                    return Ok(());
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < counts[k] {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    }
+
+    fn exec_block_once(
+        &mut self,
+        block: &MachineBlock,
+        env: &HashMap<LoopId, i64>,
+        sample: &[f64],
+    ) -> Result<(), ExecError> {
+        // Live-in reads see the variable state at iteration entry.
+        let snapshot = self.vars.clone();
+        let mut regs: Vec<Option<Slot>> = Vec::with_capacity(block.ops.len());
+        let value_of = |regs: &[Option<Slot>], snapshot: &[Fx], o: &Operand| -> Slot {
+            match o {
+                Operand::Op(i) => regs[*i].clone().expect("operand op produces a value"),
+                Operand::Imm { raw, fmt } => vec![Fx {
+                    raw: *raw,
+                    fmt: *fmt,
+                }],
+                Operand::Var(v) => vec![snapshot[v.index()]],
+            }
+        };
+        for op in &block.ops {
+            let result: Option<Slot> = match &op.kind {
+                MopKind::Opaque => return Err(ExecError::Opaque),
+                MopKind::Nop => None,
+                MopKind::ReadInput { input, to } => {
+                    Some(vec![quantize_input(sample[input.index()], *to)])
+                }
+                MopKind::Load { loc } => Some(vec![self.load(loc, env)]),
+                MopKind::VLoad { locs } => Some(locs.iter().map(|l| self.load(l, env)).collect()),
+                MopKind::Store { loc, src, to } => {
+                    let v = lane_of(&value_of(&regs, &snapshot, src), 0);
+                    self.store(loc, env, requant(v.raw as i128, v.fmt.fwl, *to));
+                    None
+                }
+                MopKind::VStore { locs, src, to } => {
+                    let v = value_of(&regs, &snapshot, src);
+                    for (lane, loc) in locs.iter().enumerate() {
+                        let x = lane_of(&v, lane);
+                        self.store(loc, env, requant(x.raw as i128, x.fmt.fwl, *to));
+                    }
+                    None
+                }
+                MopKind::ShiftIn { array, src, to } => {
+                    let v = lane_of(&value_of(&regs, &snapshot, src), 0);
+                    let q = requant(v.raw as i128, v.fmt.fwl, *to);
+                    let arr = &mut self.arrays[array.index()];
+                    for i in (1..arr.len()).rev() {
+                        arr[i] = arr[i - 1];
+                    }
+                    arr[0] = q;
+                    None
+                }
+                MopKind::Output { index, src } => {
+                    let v = lane_of(&value_of(&regs, &snapshot, src), 0);
+                    self.outputs[*index] = v;
+                    None
+                }
+                MopKind::Bin { op, a, b, to } => {
+                    let av = lane_of(&value_of(&regs, &snapshot, a), 0);
+                    let bv = lane_of(&value_of(&regs, &snapshot, b), 0);
+                    Some(vec![exec_bin(*op, av, bv, to.as_ref().copied())?])
+                }
+                MopKind::VBin { op, a, b, to } => {
+                    let av = value_of(&regs, &snapshot, a);
+                    let bv = value_of(&regs, &snapshot, b);
+                    let lanes = av.len().max(bv.len());
+                    Some(
+                        (0..lanes)
+                            .map(|l| {
+                                let t = to.as_ref().map(|t| t[l]);
+                                exec_bin(*op, lane_of(&av, l), lane_of(&bv, l), t)
+                            })
+                            .collect::<Result<_, _>>()?,
+                    )
+                }
+                MopKind::Un { src, to } => {
+                    let v = lane_of(&value_of(&regs, &snapshot, src), 0);
+                    Some(vec![requant(-(v.raw as i128), v.fmt.fwl, *to)])
+                }
+                MopKind::VUn { src, to } => {
+                    let v = value_of(&regs, &snapshot, src);
+                    Some(
+                        to.iter()
+                            .enumerate()
+                            .map(|(l, t)| {
+                                let x = lane_of(&v, l);
+                                requant(-(x.raw as i128), x.fmt.fwl, *t)
+                            })
+                            .collect(),
+                    )
+                }
+                MopKind::Requant { src, to } => {
+                    let v = lane_of(&value_of(&regs, &snapshot, src), 0);
+                    Some(vec![requant(v.raw as i128, v.fmt.fwl, *to)])
+                }
+                MopKind::VRequant { src, to, negate } => {
+                    let v = value_of(&regs, &snapshot, src);
+                    Some(
+                        to.iter()
+                            .enumerate()
+                            .map(|(l, t)| {
+                                let x = lane_of(&v, l);
+                                let raw = if *negate {
+                                    -(x.raw as i128)
+                                } else {
+                                    x.raw as i128
+                                };
+                                requant(raw, x.fmt.fwl, *t)
+                            })
+                            .collect(),
+                    )
+                }
+                MopKind::Copy { src } => Some(value_of(&regs, &snapshot, src)),
+                MopKind::Pack { lanes } => Some(
+                    lanes
+                        .iter()
+                        .map(|o| lane_of(&value_of(&regs, &snapshot, o), 0))
+                        .collect(),
+                ),
+                MopKind::Splat { src, lanes } => {
+                    let v = lane_of(&value_of(&regs, &snapshot, src), 0);
+                    Some(vec![v; *lanes as usize])
+                }
+                MopKind::Extract {
+                    src,
+                    lane,
+                    negate,
+                    to,
+                } => {
+                    let v = lane_of(&value_of(&regs, &snapshot, src), *lane as usize);
+                    let raw = if *negate {
+                        -(v.raw as i128)
+                    } else {
+                        v.raw as i128
+                    };
+                    Some(vec![match to {
+                        Some(t) => requant(raw, v.fmt.fwl, *t),
+                        None => Fx {
+                            raw: i64::try_from(raw).map_err(|_| ExecError::Overflow)?,
+                            fmt: v.fmt,
+                        },
+                    }])
+                }
+            };
+            regs.push(result);
+        }
+        // Commit the iteration's variable definitions (last write wins,
+        // reads above saw the entry snapshot — live-in semantics).
+        for (v, def) in &block.var_defs {
+            let val = lane_of(&value_of(&regs, &snapshot, def), 0);
+            self.vars[v.index()] = val;
+        }
+        Ok(())
+    }
+
+    fn load(&self, loc: &Loc, env: &HashMap<LoopId, i64>) -> Fx {
+        match loc {
+            Loc::Array(a, ix) => {
+                let arr = &self.arrays[a.index()];
+                let idx = ix
+                    .eval(&|l| env.get(&l).copied().unwrap_or(0))
+                    .rem_euclid(arr.len() as i64) as usize;
+                arr[idx]
+            }
+            Loc::Param(p, ix) => {
+                let decl = &self.prog.storage.params[p.index()];
+                let idx = ix
+                    .eval(&|l| env.get(&l).copied().unwrap_or(0))
+                    .rem_euclid(decl.raws.len() as i64) as usize;
+                Fx {
+                    raw: decl.raws[idx],
+                    fmt: decl.fmt,
+                }
+            }
+        }
+    }
+
+    fn store(&mut self, loc: &Loc, env: &HashMap<LoopId, i64>, v: Fx) {
+        match loc {
+            Loc::Array(a, ix) => {
+                let arr = &mut self.arrays[a.index()];
+                let idx = ix
+                    .eval(&|l| env.get(&l).copied().unwrap_or(0))
+                    .rem_euclid(arr.len() as i64) as usize;
+                arr[idx] = v;
+            }
+            Loc::Param(..) => unreachable!("parameter tables are read-only"),
+        }
+    }
+}
+
+/// Scalar arithmetic with the reference fixed-point semantics.
+fn exec_bin(op: BinOp, a: Fx, b: Fx, to: Option<QFormat>) -> Result<Fx, ExecError> {
+    match op {
+        BinOp::Add | BinOp::Sub => {
+            let t = to.expect("additive ops always carry a result format");
+            let aa = grid_align(a, t.fwl);
+            let bb = grid_align(b, t.fwl);
+            let sum = if matches!(op, BinOp::Sub) {
+                aa - bb
+            } else {
+                aa + bb
+            };
+            Ok(requant(sum, t.fwl, t))
+        }
+        BinOp::Mul => {
+            let prod = a.raw as i128 * b.raw as i128;
+            let from = a.fmt.fwl + b.fmt.fwl;
+            match to {
+                Some(t) => Ok(requant(prod, from, t)),
+                // Full-precision product kept on its natural grid: must
+                // fit the 64-bit value representation, as in the C
+                // back-ends (which refuse such programs too).
+                None => Ok(Fx {
+                    raw: i64::try_from(prod).map_err(|_| ExecError::Overflow)?,
+                    fmt: product_fmt(a.fmt, b.fmt),
+                }),
+            }
+        }
+    }
+}
+
+/// Executes a fixed-point machine program over input streams and
+/// returns `outputs[o][n]` — the bit-accurate golden reference for any
+/// backend consuming the same program.
+pub fn execute_fixed(
+    prog: &MachineProgram,
+    inputs: &[Vec<f64>],
+) -> Result<Vec<Vec<f64>>, ExecError> {
+    Machine::new(prog).run(inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_core::lower_float;
+    use slpwlo_ir::parser::parse_kernel;
+
+    #[test]
+    fn float_programs_are_opaque() {
+        let k = parse_kernel(
+            "kernel k { input x range [-1, 1]; output y; var t; t = 0.5 * x; y = t; }",
+        )
+        .unwrap();
+        let prog = lower_float(&k);
+        let err = execute_fixed(&prog, &[vec![0.5]]).unwrap_err();
+        assert!(matches!(err, ExecError::Opaque), "{err}");
+    }
+
+    #[test]
+    fn input_shape_is_checked() {
+        let k = parse_kernel(
+            "kernel k { input x range [-1, 1]; output y; var t; t = 0.5 * x; y = t; }",
+        )
+        .unwrap();
+        let prog = lower_float(&k);
+        let err = execute_fixed(&prog, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::InputCount {
+                expected: 1,
+                got: 0
+            }
+        ));
+    }
+}

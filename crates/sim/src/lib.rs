@@ -12,8 +12,10 @@
 //! by the two flows, fixed-point vs floating point) are what this model
 //! preserves.
 
+pub mod exec;
 pub mod sched;
 
+pub use exec::{execute_fixed, ExecError, Machine};
 pub use sched::{block_cycles, cycles_per_activation, schedule_block, total_cycles, Schedule};
 
 /// Speedup of `cycles` relative to `baseline` (equation (2) of the

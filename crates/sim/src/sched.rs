@@ -191,15 +191,21 @@ mod tests {
     use slpwlo_targets::{st240, vex, xentium, OpQuery};
 
     fn block(ops: Vec<Mop>, in_loop: bool) -> MachineBlock {
+        block_t(ops, 1, in_loop)
+    }
+
+    fn block_t(ops: Vec<Mop>, trip: u64, in_loop: bool) -> MachineBlock {
         MachineBlock {
             ops,
-            trip: 1,
+            trip,
             in_loop,
+            loops: Vec::new(),
+            var_defs: Vec::new(),
         }
     }
 
     fn op(query: OpQuery, preds: Vec<usize>) -> Mop {
-        Mop { query, preds }
+        Mop::opaque(query, preds)
     }
 
     #[test]
@@ -285,46 +291,25 @@ mod tests {
     fn loop_overhead_added_per_iteration() {
         let target = vex(1);
         let ops = vec![op(OpQuery::Add(32), vec![])];
-        let inside = block_cycles(
-            &target,
-            &MachineBlock {
-                ops: ops.clone(),
-                trip: 4,
-                in_loop: true,
-            },
-        );
-        let outside = block_cycles(
-            &target,
-            &MachineBlock {
-                ops,
-                trip: 1,
-                in_loop: false,
-            },
-        );
+        let inside = block_cycles(&target, &block_t(ops.clone(), 4, true));
+        let outside = block_cycles(&target, &block_t(ops, 1, false));
         assert!(inside > outside);
     }
 
     #[test]
     fn trips_multiply_cycles() {
         let target = xentium();
-        let b1 = MachineBlock {
-            ops: vec![op(OpQuery::Add(32), vec![])],
-            trip: 16,
-            in_loop: true,
-        };
+        let b1 = block_t(vec![op(OpQuery::Add(32), vec![])], 16, true);
         let prog = MachineProgram {
             name: "t".into(),
             blocks: vec![b1],
+            storage: slpwlo_core::ProgramStorage::default(),
         };
         let per_act = cycles_per_activation(&target, &prog);
         assert_eq!(total_cycles(&target, &prog, 10), per_act * 10);
         let single = block_cycles(
             &target,
-            &MachineBlock {
-                ops: vec![op(OpQuery::Add(32), vec![])],
-                trip: 1,
-                in_loop: true,
-            },
+            &block_t(vec![op(OpQuery::Add(32), vec![])], 1, true),
         );
         assert_eq!(per_act, single * 16);
     }

@@ -1,0 +1,57 @@
+/* fir8 — SIMD C over the abstract macro API */
+/* target: XENTIUM */
+#include "slpwlo_simd_xentium.h"
+
+/* c format <0,16> (quantized at compile time) */
+static const int16_t c[8] = { 7209, -15073, 20316, 11141, -3277, 17695, -8520, 4588 };
+/* dl format <1,15> */
+static int16_t dl[8];
+/* acc canonical format <2,31> */
+static int64_t acc = 0;
+
+void fir8_step(double x_in, double *y_out)
+{
+    /* bb0: 4 ops, executes 1x per activation */
+    {
+        int64_t v0_0 = slpwlo_quant(x_in, 31, INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v0_1 = slpwlo_shr(v0_0, 16);
+        for (int k = 7; k > 0; k--) dl[k] = dl[k-1]; /* delay line */
+        dl[0] = (int16_t)v0_1;
+        /* variable commits (live-in snapshot semantics) */
+        int64_t v0_def0 = INT64_C(0);
+        acc = v0_def0;
+    }
+    /* bb1: 21 ops, executes 2x per activation, loop body */
+    for (int i1 = 0; i1 < 2; i1++) {
+        slpwlo_vec_t v1_0 = VLOAD2(&c[4*i1]);
+        slpwlo_vec_t v1_1 = VLOAD2(&dl[4*i1]);
+        slpwlo_vec_t v1_2 = VMUL2(v1_0, v1_1);
+        slpwlo_vec_t v1_3_q = VSH2(v1_2, 15, 15);
+        slpwlo_vec_t v1_3 = VSAT2(v1_3_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_4 = UNPACK(v1_3, 0);
+        int64_t v1_5 = slpwlo_shl(v1_4, 15);
+        int64_t v1_6 = slpwlo_sat((acc) + (v1_5), INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v1_7 = slpwlo_shr(v1_6, 1);
+        int64_t v1_8 = UNPACK(v1_3, 1);
+        int64_t v1_9 = slpwlo_shl(v1_8, 14);
+        int64_t v1_10 = slpwlo_sat((v1_7) + (v1_9), INT64_C(-2147483648), INT64_C(2147483647));
+        slpwlo_vec_t v1_11 = VLOAD2(&c[4*i1 + 2]);
+        slpwlo_vec_t v1_12 = VLOAD2(&dl[4*i1 + 2]);
+        slpwlo_vec_t v1_13 = VMUL2(v1_11, v1_12);
+        slpwlo_vec_t v1_14_q = VSH2(v1_13, 15, 15);
+        slpwlo_vec_t v1_14 = VSAT2(v1_14_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_15 = UNPACK(v1_14, 0);
+        int64_t v1_16 = slpwlo_shl(v1_15, 14);
+        int64_t v1_17 = slpwlo_sat((v1_10) + (v1_16), INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v1_18 = UNPACK(v1_14, 1);
+        int64_t v1_19 = slpwlo_shl(v1_18, 14);
+        int64_t v1_20 = slpwlo_sat((v1_17) + (v1_19), INT64_C(-2147483648), INT64_C(2147483647));
+        /* variable commits (live-in snapshot semantics) */
+        int64_t v1_def0 = slpwlo_shl(v1_20, 1);
+        acc = v1_def0;
+    }
+    /* bb2: 1 ops, executes 1x per activation */
+    {
+        *y_out = ldexp((double)(acc), -31);
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden-file snapshots of the emitted C for the FIR-8 kernel.
+//!
+//! The emitted artifacts are stable across refactors; any intentional
+//! change to the back-ends shows up as a reviewable diff of
+//! `tests/golden/fir8_fixed.c` / `tests/golden/fir8_simd.c`.
+//! Regenerate with:
+//!
+//! ```sh
+//! SLPWLO_UPDATE_GOLDEN=1 cargo test --test golden_c
+//! ```
+
+use slpwlo::codegen::{emit_fixed_c, emit_simd_c};
+use slpwlo::core::{lower_scalar, prepare, wlo_slp_flow};
+use slpwlo::ir::parser::parse_kernel;
+use slpwlo::targets::xentium;
+use std::path::Path;
+
+const FIR8: &str = r#"
+kernel fir8 {
+    input x range [-1, 1];
+    output y;
+    param c[8] = { 0.11, -0.23, 0.31, 0.17, -0.05, 0.27, -0.13, 0.07 };
+    array dl[8];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    for i in 0..8 unroll 4 {
+        acc = acc + c[i] * dl[i];
+    }
+    y = acc;
+}
+"#;
+
+fn check_golden(name: &str, produced: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("SLPWLO_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, produced).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); run with SLPWLO_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        expected, produced,
+        "emitted {name} drifted from its golden snapshot; if the change \
+         is intentional, regenerate with SLPWLO_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn fir8_scalar_c_matches_golden() {
+    let prep = prepare(parse_kernel(FIR8).unwrap());
+    let flow = wlo_slp_flow(&prep, &xentium(), -40.0);
+    let scalar = lower_scalar(&prep.kernel, &flow.spec, &xentium());
+    let c = emit_fixed_c(&scalar).expect("scalar C emits");
+    check_golden("fir8_fixed.c", &c);
+}
+
+#[test]
+fn fir8_simd_c_matches_golden() {
+    let prep = prepare(parse_kernel(FIR8).unwrap());
+    let flow = wlo_slp_flow(&prep, &xentium(), -40.0);
+    let c = emit_simd_c(&flow.simd, "XENTIUM").expect("SIMD C emits");
+    check_golden("fir8_simd.c", &c);
+}
