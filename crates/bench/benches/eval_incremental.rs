@@ -14,12 +14,12 @@ use slpwlo_core::prepare;
 use slpwlo_driver::{FlowKind, Optimizer};
 use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
 use slpwlo_ir::{BinOp, ExprNode};
-use slpwlo_kernels::{all_benchmarks, fir64};
+use slpwlo_kernels::{fir64, paper_benchmarks};
 
 fn main() {
     let mut m = Micro::for_bench("eval");
 
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         let name = bench.name.to_lowercase();
         let prep = prepare(bench.kernel);
         let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, 32);

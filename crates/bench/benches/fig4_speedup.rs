@@ -11,14 +11,14 @@
 use slpwlo_bench::harness::{optimizer_for, sweep, PointOptions};
 use slpwlo_bench::{report, Micro};
 use slpwlo_driver::{Error, FlowKind};
-use slpwlo_kernels::all_benchmarks;
+use slpwlo_kernels::paper_benchmarks;
 use slpwlo_targets::{all_targets, xentium};
 
 fn print_reproduction() -> Result<(), Error> {
     let constraints: Vec<f64> = [-5.0, -20.0, -40.0, -60.0, -80.0, -95.0].to_vec();
     let targets = all_targets();
     let mut all = Vec::new();
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         all.extend(sweep(
             &bench,
             &targets,
@@ -34,7 +34,7 @@ fn print_reproduction() -> Result<(), Error> {
 fn main() -> Result<(), Error> {
     print_reproduction()?;
     let mut m = Micro::for_bench("fig4");
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         // One Optimizer per benchmark: the once-per-kernel analyses run
         // once; `run_with` switches the flow per call.
         let opt = optimizer_for(&bench, &PointOptions::default())?

@@ -9,14 +9,14 @@
 use slpwlo_bench::harness::{optimizer_for, sweep, PointOptions};
 use slpwlo_bench::{report, Micro};
 use slpwlo_driver::{Error, FlowKind};
-use slpwlo_kernels::all_benchmarks;
+use slpwlo_kernels::paper_benchmarks;
 use slpwlo_targets::{st240, xentium};
 
 fn print_reproduction() -> Result<(), Error> {
     let constraints: Vec<f64> = vec![-5.0, -15.0, -25.0, -35.0, -45.0];
     let targets = vec![xentium(), st240()];
     let mut all = Vec::new();
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         all.extend(sweep(
             &bench,
             &targets,
@@ -33,7 +33,7 @@ fn print_reproduction() -> Result<(), Error> {
 fn main() -> Result<(), Error> {
     print_reproduction()?;
     let mut m = Micro::for_bench("fig6");
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         let float = optimizer_for(&bench, &PointOptions::default())?
             .target(xentium())
             .flow(FlowKind::Float);

@@ -8,13 +8,13 @@
 use slpwlo_bench::harness::{optimizer_for, sweep, PointOptions};
 use slpwlo_bench::{report, Micro};
 use slpwlo_driver::{Error, FlowKind};
-use slpwlo_kernels::all_benchmarks;
+use slpwlo_kernels::paper_benchmarks;
 use slpwlo_targets::{st240, vex, xentium};
 
 fn print_reproduction() -> Result<(), Error> {
     let constraints: Vec<f64> = vec![-5.0, -15.0, -25.0, -35.0, -45.0, -55.0, -65.0];
     let targets = vec![xentium(), st240(), vex(4)];
-    let fir = all_benchmarks().remove(0);
+    let fir = paper_benchmarks().remove(0);
     let pts = sweep(&fir, &targets, &constraints, &PointOptions::default())?;
     println!(
         "\n--- Table I reproduction (FIR SIMD cycles, N = {}) ---",
@@ -26,7 +26,7 @@ fn print_reproduction() -> Result<(), Error> {
 
 fn main() -> Result<(), Error> {
     print_reproduction()?;
-    let fir = all_benchmarks().remove(0);
+    let fir = paper_benchmarks().remove(0);
     let mut m = Micro::for_bench("table1");
     let mut opt = optimizer_for(&fir, &PointOptions::default())?.constraint_db(-35.0);
     for target in [xentium(), st240(), vex(4)] {

@@ -22,7 +22,7 @@ use slpwlo_driver::{
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
 use slpwlo_ir::dfg::Dfg;
-use slpwlo_kernels::all_benchmarks;
+use slpwlo_kernels::paper_benchmarks;
 use slpwlo_slp::{run_selection, CandidateView, Round, SelectHooks, SimdGroup};
 use slpwlo_targets::xentium;
 
@@ -117,7 +117,7 @@ fn main() -> Result<(), Error> {
         "Ablation on {} (SIMD cycles, N=2048; lower is better)\n{:<8} {:>6} {:>12} {:>12} {:>16}",
         target.name, "bench", "dB", "full", "no-scalopt", "no-acc-conflicts"
     );
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         let mut opt = Optimizer::for_kernel(bench.kernel.clone())?
             .target(target.clone())
             .activations(2048);

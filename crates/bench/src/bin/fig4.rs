@@ -7,7 +7,7 @@
 use slpwlo_bench::harness::{sweep, PointOptions};
 use slpwlo_bench::report;
 use slpwlo_driver::Error;
-use slpwlo_kernels::all_benchmarks;
+use slpwlo_kernels::paper_benchmarks;
 use slpwlo_targets::all_targets;
 
 fn main() -> Result<(), Error> {
@@ -20,7 +20,7 @@ fn main() -> Result<(), Error> {
     let targets = all_targets();
     let opts = PointOptions::default();
     let mut all = Vec::new();
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         eprintln!("fig4: sweeping {} ...", bench.name);
         all.extend(sweep(&bench, &targets, &constraints, &opts)?);
     }

@@ -7,7 +7,7 @@
 use slpwlo_bench::harness::{sweep, PointOptions};
 use slpwlo_bench::report;
 use slpwlo_driver::Error;
-use slpwlo_kernels::all_benchmarks;
+use slpwlo_kernels::paper_benchmarks;
 use slpwlo_targets::{st240, xentium};
 
 fn main() -> Result<(), Error> {
@@ -16,7 +16,7 @@ fn main() -> Result<(), Error> {
     let targets = vec![xentium(), st240()];
     let opts = PointOptions::default();
     let mut all = Vec::new();
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         eprintln!("fig6: sweeping {} ...", bench.name);
         all.extend(sweep(&bench, &targets, &constraints, &opts)?);
     }

@@ -6,7 +6,7 @@
 use slpwlo_bench::harness::{sweep, PointOptions};
 use slpwlo_bench::report;
 use slpwlo_driver::Error;
-use slpwlo_kernels::all_benchmarks;
+use slpwlo_kernels::paper_benchmarks;
 use slpwlo_targets::{st240, vex, xentium};
 
 fn main() -> Result<(), Error> {
@@ -17,7 +17,7 @@ fn main() -> Result<(), Error> {
     // grouping progressively disappears.
     let deep: Vec<f64> = vec![-85.0, -95.0, -100.0, -105.0, -110.0];
     let targets = vec![xentium(), st240(), vex(4)];
-    let fir = all_benchmarks().remove(0);
+    let fir = paper_benchmarks().remove(0);
     assert_eq!(fir.name, "FIR");
     let pts = sweep(&fir, &targets, &constraints, &PointOptions::default())?;
     let deep_pts = sweep(&fir, &targets, &deep, &PointOptions::default())?;

@@ -168,12 +168,12 @@ pub fn sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slpwlo_kernels::all_benchmarks;
+    use slpwlo_kernels::paper_benchmarks;
     use slpwlo_targets::xentium;
 
     #[test]
     fn run_point_fills_every_field() {
-        let bench = &all_benchmarks()[0];
+        let bench = &paper_benchmarks()[0];
         let p = run_point(bench, &xentium(), -30.0, &PointOptions::default()).unwrap();
         assert_eq!(p.bench, "FIR");
         assert_eq!(p.target, "XENTIUM");
@@ -185,14 +185,14 @@ mod tests {
 
     #[test]
     fn run_point_surfaces_unsatisfiable_points() {
-        let bench = &all_benchmarks()[0];
+        let bench = &paper_benchmarks()[0];
         let err = run_point(bench, &xentium(), -500.0, &PointOptions::default()).unwrap_err();
         assert!(matches!(err, Error::Unsatisfiable { .. }), "{err}");
     }
 
     #[test]
     fn sweep_skips_infeasible_points_instead_of_failing() {
-        let bench = &all_benchmarks()[0];
+        let bench = &paper_benchmarks()[0];
         // -500 dB is below any floor; the grid must shrink, not error.
         let pts = sweep(
             bench,

@@ -25,8 +25,8 @@
 
 use crate::error::CodegenError;
 use slpwlo_core::{
-    block_result_fmts, broadcast_lane, product_fmt, Loc, MachineBlock, MachineProgram, MopKind,
-    Operand, ProgramStorage,
+    block_result_fmts, broadcast_lane, ix_bounds, loop_forest, product_fmt, Loc, LoopNest,
+    MachineBlock, MachineProgram, MopKind, Operand, ProgramStorage,
 };
 use slpwlo_fixedpoint::QFormat;
 use slpwlo_ir::types::{IndexExpr, LoopId};
@@ -93,6 +93,31 @@ static inline int64_t slpwlo_quant(double x, int fwl, int64_t lo, int64_t hi)
     if (s < (double)lo) return lo;
     if (s > (double)hi) return hi;
     return (int64_t)s;
+}
+/* Exact floor((a * b) / 2^n) for 0 <= n <= 63, without 128-bit types:
+ * the full 128-bit two's-complement product is assembled from 32-bit
+ * limbs (the classic mulh decomposition), then arithmetically shifted.
+ * Used when the operand formats are wider than 32 bits each, so the
+ * exact product no longer fits a 64-bit register (a covering variable
+ * format times a covering variable format, for instance). The emitter
+ * guarantees the *shifted* result fits int64_t. */
+static inline int64_t slpwlo_mul_shr(int64_t a, int64_t b, int n)
+{
+    uint64_t ua = (uint64_t)a, ub = (uint64_t)b;
+    uint64_t a_lo = ua & 0xffffffffu, a_hi = ua >> 32;
+    uint64_t b_lo = ub & 0xffffffffu, b_hi = ub >> 32;
+    uint64_t p0 = a_lo * b_lo;
+    uint64_t p1 = a_lo * b_hi;
+    uint64_t p2 = a_hi * b_lo;
+    uint64_t p3 = a_hi * b_hi;
+    uint64_t mid = p1 + (p0 >> 32);                  /* cannot overflow */
+    uint64_t mid2 = p2 + (mid & 0xffffffffu);        /* cannot overflow */
+    uint64_t lo = (mid2 << 32) | (p0 & 0xffffffffu);
+    uint64_t hi = p3 + (mid >> 32) + (mid2 >> 32);
+    if (a < 0) hi -= ub;                             /* signed correction */
+    if (b < 0) hi -= ua;
+    if (n == 0) return (int64_t)lo;
+    return (int64_t)((lo >> n) | (hi << (64 - n)));
 }
 "#;
 
@@ -387,40 +412,54 @@ pub(crate) fn emit_step(s: &mut String, prog: &MachineProgram) -> Result<(), Cod
             let _ = writeln!(s, "    (void){inp}_in;");
         }
     }
-    for (bi, block) in prog.blocks.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    /* bb{bi}: {} ops, executes {}x per activation{} */",
-            block.ops.len(),
-            block.trip,
-            if block.in_loop { ", loop body" } else { "" }
-        );
-        let mut indent = 1usize;
-        if block.loops.is_empty() {
-            let _ = writeln!(s, "    {{");
-        } else {
-            for &(var, count) in &block.loops {
-                let pad = "    ".repeat(indent);
+    // Blocks may share enclosing loops (an unrolled inner loop and its
+    // remainder under one outer loop): walk the reconstructed loop
+    // forest so each shared loop is emitted exactly once and sibling
+    // blocks interleave per iteration, as in the source program.
+    emit_forest(s, prog, &loop_forest(&prog.blocks), 1)?;
+    let _ = writeln!(s, "}}");
+    Ok(())
+}
+
+fn emit_forest(
+    s: &mut String,
+    prog: &MachineProgram,
+    nests: &[LoopNest],
+    indent: usize,
+) -> Result<(), CodegenError> {
+    let pad = "    ".repeat(indent);
+    for nest in nests {
+        match nest {
+            LoopNest::Block(bi) => {
+                let block = &prog.blocks[*bi];
+                let _ = writeln!(
+                    s,
+                    "{pad}/* bb{bi}: {} ops, executes {}x per activation{} */",
+                    block.ops.len(),
+                    block.trip,
+                    if block.in_loop { ", loop body" } else { "" }
+                );
+                let braced = block.loops.is_empty();
+                if braced {
+                    let _ = writeln!(s, "{pad}{{");
+                }
+                let body_indent = if braced { indent + 1 } else { indent };
+                emit_block_body(s, prog, block, *bi, body_indent)?;
+                if braced {
+                    let _ = writeln!(s, "{pad}}}");
+                }
+            }
+            LoopNest::Loop { var, count, body } => {
                 let _ = writeln!(
                     s,
                     "{pad}for (int i{0} = 0; i{0} < {count}; i{0}++) {{",
                     var.0
                 );
-                indent += 1;
-            }
-        }
-        let body_indent = if block.loops.is_empty() { 2 } else { indent };
-        emit_block_body(s, prog, block, bi, body_indent)?;
-        if block.loops.is_empty() {
-            let _ = writeln!(s, "    }}");
-        } else {
-            for k in (1..indent).rev() {
-                let pad = "    ".repeat(k);
+                emit_forest(s, prog, body, indent + 1)?;
                 let _ = writeln!(s, "{pad}}}");
             }
         }
     }
-    let _ = writeln!(s, "}}");
     Ok(())
 }
 
@@ -558,25 +597,99 @@ impl BlockEmitter<'_> {
         ))
     }
 
-    /// Static bounds of an affine index over this block's loop nest.
-    fn ix_bounds(&self, ix: &IndexExpr) -> (i64, i64) {
-        let mut lo = ix.offset();
-        let mut hi = ix.offset();
-        for &(var, c) in ix.terms() {
-            let count = self
-                .loops
-                .iter()
-                .find(|&&(v, _)| v == var)
-                .map(|&(_, n)| n as i64)
-                .unwrap_or(1);
-            let span = (count - 1).max(0);
-            if c >= 0 {
-                hi += c * span;
+    /// The exact product of two scalar operands on `product_fmt`'s
+    /// grid. A plain 64-bit multiply when the operand widths allow it;
+    /// otherwise the 128-bit helper floor-shifts the exact product down
+    /// to the capped grid (the format every consumer tracks for this
+    /// operation).
+    fn mul_grid_expr(
+        &self,
+        ea: &str,
+        eb: &str,
+        fa: QFormat,
+        fb: QFormat,
+    ) -> Result<String, CodegenError> {
+        // Consumers track this value on `product_fmt`'s grid, which is
+        // coarser than the natural product grid whenever the capped
+        // container bites — the emitted value must land on that same
+        // grid in every case.
+        let shift = fa.fwl + fb.fwl - product_fmt(fa, fb).fwl;
+        if fa.wl() + fb.wl() <= 64 {
+            let prod = format!("({ea}) * ({eb})");
+            return Ok(if shift == 0 {
+                prod
             } else {
-                lo += c * span;
-            }
+                format!("slpwlo_shr({prod}, {shift})")
+            });
         }
-        (lo, hi)
+        if !(0..=63).contains(&shift) {
+            return Err(CodegenError::Unsupported(format!(
+                "product of <{},{}> and <{},{}> exceeds 64 bits and cannot be \
+                 floor-shifted into range",
+                fa.iwl, fa.fwl, fb.iwl, fb.fwl
+            )));
+        }
+        Ok(format!("slpwlo_mul_shr({ea}, {eb}, {shift})"))
+    }
+
+    /// The exact product of two scalar operands, requantized to `to`.
+    ///
+    /// Narrow products (combined operand width <= 64 bits) multiply
+    /// directly in a 64-bit register; wider ones — covering variable
+    /// storage formats can exceed the target word length, so two of
+    /// them can multiply past 64 bits — go through `slpwlo_mul_shr`,
+    /// which assembles the exact 128-bit product from 32-bit limbs and
+    /// floor-shifts it onto the result grid (bit-identical to the
+    /// reference's `i128` arithmetic). The saturation decision uses the
+    /// *true* product integer width `fa.iwl + fb.iwl`: `product_fmt`
+    /// caps its IWL for raw-bound bookkeeping, and deciding on the
+    /// capped value would skip a saturation the reference performs.
+    fn mul_requant_expr(
+        &self,
+        ea: &str,
+        eb: &str,
+        fa: QFormat,
+        fb: QFormat,
+        to: QFormat,
+    ) -> Result<String, CodegenError> {
+        let true_iwl = fa.iwl + fb.iwl;
+        let grid_fwl = fa.fwl + fb.fwl;
+        let shift = grid_fwl - to.fwl;
+        let base = if fa.wl() + fb.wl() <= 64 {
+            self.grid_expr(
+                format!("({ea}) * ({eb})"),
+                QFormat::new(true_iwl, grid_fwl),
+                to.fwl,
+            )?
+        } else if (0..=63).contains(&shift) && true_iwl + to.fwl <= 63 {
+            // The shifted exact product spans at most
+            // `true_iwl + to.fwl` magnitude bits — the second conjunct
+            // guarantees it fits the int64 register *before* the
+            // saturation below, mirroring the interpreter's exact i128
+            // clamp (slpwlo_mul_shr would otherwise wrap).
+            format!("slpwlo_mul_shr({ea}, {eb}, {shift})")
+        } else {
+            return Err(CodegenError::Unsupported(format!(
+                "product of <{},{}> and <{},{}> exceeds 64 bits and cannot be \
+                 floor-shifted onto the 2^-{} grid",
+                fa.iwl, fa.fwl, fb.iwl, fb.fwl, to.fwl
+            )));
+        };
+        if to.iwl >= true_iwl {
+            return Ok(base);
+        }
+        Ok(format!(
+            "slpwlo_sat({base}, {}, {})",
+            int64c(to.min_raw()),
+            int64c(to.max_raw())
+        ))
+    }
+
+    /// Static bounds of an affine index over this block's loop nest
+    /// (the shared `slpwlo_core::ix_bounds`, so the wrap analysis here
+    /// can never disagree with the lowering's gather/scatter decision).
+    fn ix_bounds(&self, ix: &IndexExpr) -> (i64, i64) {
+        ix_bounds(ix, self.loops)
     }
 
     /// Renders a location access; indices that can leave `[0, len)` are
@@ -694,19 +807,12 @@ impl BlockEmitter<'_> {
                         vec![format!("int64_t {reg} = {e};")]
                     }
                     BinOp::Mul => {
-                        // |a| < 2^(wl_a-1), |b| < 2^(wl_b-1): the exact
-                        // product fits a 64-bit register iff
-                        // wl_a + wl_b <= 64.
-                        if fa.wl() + fb.wl() > 64 {
-                            return Err(CodegenError::Unsupported(format!(
-                                "product of <{},{}> and <{},{}> exceeds 64 bits",
-                                fa.iwl, fa.fwl, fb.iwl, fb.fwl
-                            )));
-                        }
-                        let prod = format!("({ea}) * ({eb})");
                         let e = match to {
-                            None => prod,
-                            Some(t) => self.requant_expr(prod, product_fmt(fa, fb), *t, false)?,
+                            // Unrequantized product, kept on the (possibly
+                            // capped) `product_fmt` grid; the follow-up
+                            // Requant floor-shifts the rest of the way.
+                            None => self.mul_grid_expr(&ea, &eb, fa, fb)?,
+                            Some(t) => self.mul_requant_expr(&ea, &eb, fa, fb, *t)?,
                         };
                         vec![format!("int64_t {reg} = {e};")]
                     }
@@ -817,39 +923,80 @@ impl BlockEmitter<'_> {
                         lines.push(format!("slpwlo_vec_t {reg} = {e};"));
                     }
                     BinOp::Mul => {
-                        for l in 0..n {
-                            let fa = Self::lane_fmt(&fas, l);
-                            let fb = Self::lane_fmt(&fbs, l);
-                            if fa.wl() + fb.wl() > 64 {
-                                return Err(CodegenError::Unsupported(format!(
-                                    "lane {l} product of <{},{}> and <{},{}> exceeds 64 bits",
-                                    fa.iwl, fa.fwl, fb.iwl, fb.fwl
-                                )));
+                        let wide = (0..n).any(|l| {
+                            Self::lane_fmt(&fas, l).wl() + Self::lane_fmt(&fbs, l).wl() > 64
+                        });
+                        match (wide, to) {
+                            (true, to) => {
+                                // Wide operand lanes (covering variable
+                                // storage formats) cannot multiply inside
+                                // a 64-bit lane: scalarize through the
+                                // exact 128-bit helper — requantized to
+                                // the carried lane formats, or onto the
+                                // capped `product_fmt` grid when the
+                                // scaling follows separately — then
+                                // repack.
+                                let mut lanes = Vec::with_capacity(n);
+                                for l in 0..n {
+                                    let fa = Self::lane_fmt(&fas, l);
+                                    let fb = Self::lane_fmt(&fbs, l);
+                                    let la = format!("UNPACK({ea}, {l})");
+                                    let lb = format!("UNPACK({eb}, {l})");
+                                    let e = match to {
+                                        Some(t) => self.mul_requant_expr(&la, &lb, fa, fb, t[l])?,
+                                        None => self.mul_grid_expr(&la, &lb, fa, fb)?,
+                                    };
+                                    let lane = format!("{reg}_l{l}");
+                                    lines.push(format!("int64_t {lane} = {e};"));
+                                    lanes.push(lane);
+                                }
+                                lines.push(format!(
+                                    "slpwlo_vec_t {reg} = PACK{n}({});",
+                                    lanes.join(", ")
+                                ));
                             }
-                        }
-                        let core = format!("VMUL{n}({ea}, {eb})");
-                        match to {
-                            None => lines.push(format!("slpwlo_vec_t {reg} = {core};")),
-                            Some(t) => {
-                                let tmp = format!("{reg}_m");
-                                lines.push(format!("slpwlo_vec_t {tmp} = {core};"));
-                                let prod_fmts: Vec<QFormat> = (0..n)
+                            (false, to) => {
+                                let core = format!("VMUL{n}({ea}, {eb})");
+                                // VMUL leaves lanes on the *natural*
+                                // product grid with the true integer
+                                // width — requantization (to the carried
+                                // formats, or onto the capped
+                                // `product_fmt` grid consumers track)
+                                // starts from there, so shift amounts
+                                // and saturation decisions stay honest.
+                                let natural: Vec<QFormat> = (0..n)
                                     .map(|l| {
-                                        product_fmt(
-                                            Self::lane_fmt(&fas, l),
-                                            Self::lane_fmt(&fbs, l),
-                                        )
+                                        let fa = Self::lane_fmt(&fas, l);
+                                        let fb = Self::lane_fmt(&fbs, l);
+                                        QFormat::new(fa.iwl + fb.iwl, fa.fwl + fb.fwl)
                                     })
                                     .collect();
-                                let val = self.vector_requant(
-                                    &format!("{reg}_q"),
-                                    tmp,
-                                    &prod_fmts,
-                                    t,
-                                    false,
-                                    &mut lines,
-                                )?;
-                                lines.push(format!("slpwlo_vec_t {reg} = {val};"));
+                                let target: Vec<QFormat> = match to {
+                                    Some(t) => t.clone(),
+                                    None => (0..n)
+                                        .map(|l| {
+                                            product_fmt(
+                                                Self::lane_fmt(&fas, l),
+                                                Self::lane_fmt(&fbs, l),
+                                            )
+                                        })
+                                        .collect(),
+                                };
+                                if natural == target {
+                                    lines.push(format!("slpwlo_vec_t {reg} = {core};"));
+                                } else {
+                                    let tmp = format!("{reg}_m");
+                                    lines.push(format!("slpwlo_vec_t {tmp} = {core};"));
+                                    let val = self.vector_requant(
+                                        &format!("{reg}_q"),
+                                        tmp,
+                                        &natural,
+                                        &target,
+                                        false,
+                                        &mut lines,
+                                    )?;
+                                    lines.push(format!("slpwlo_vec_t {reg} = {val};"));
+                                }
                             }
                         }
                     }

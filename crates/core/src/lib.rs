@@ -35,9 +35,9 @@ pub mod wlo_slp;
 pub use flow::{prepare, wlo_first_flow, wlo_slp_flow, FlowResult, Prepared};
 pub use hooks::AccuracyHooks;
 pub use lower::{
-    align_fmt, block_result_fmts, broadcast_lane, lower_fixed, lower_float, lower_scalar,
-    operand_fmts, product_fmt, quantize_const, ArrayDecl, Loc, MachineBlock, MachineProgram, Mop,
-    MopKind, Operand, ParamDecl, ProgramStorage, VarDecl,
+    align_fmt, block_result_fmts, broadcast_lane, ix_bounds, loop_forest, lower_fixed, lower_float,
+    lower_scalar, operand_fmts, product_fmt, quantize_const, ArrayDecl, Loc, LoopNest,
+    MachineBlock, MachineProgram, Mop, MopKind, Operand, ParamDecl, ProgramStorage, VarDecl,
 };
 pub use scalopt::scaling_optimize;
 pub use tabu::{tabu_wlo, TabuOptions};

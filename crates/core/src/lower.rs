@@ -373,13 +373,112 @@ fn join_fmt(a: QFormat, b: QFormat) -> QFormat {
     QFormat::new(iwl, fwl)
 }
 
-/// Exact product format of two operand formats (capped to a 62-bit
-/// container; the cap is bookkeeping only, products of in-range values
-/// never reach it).
+/// Format of an *unrequantized* product of two operand formats: the
+/// true integer width `a.iwl + b.iwl`, with the fractional length
+/// capped so the whole format fits a 62-bit container. When the cap
+/// bites (two covering variable formats can multiply past 64 bits),
+/// every backend floor-shifts the exact product onto this coarser grid;
+/// the following requantization is another floor shift, and
+/// `floor(floor(x / 2^a) / 2^b) = floor(x / 2^(a+b))`, so the two-step
+/// result stays bit-identical to the reference's single-step `i128`
+/// requantization. Keeping the IWL honest (rather than capping it, as
+/// this function once did) also makes downstream saturation decisions
+/// sound.
 pub fn product_fmt(a: QFormat, b: QFormat) -> QFormat {
-    let fwl = a.fwl + b.fwl;
-    let iwl = (a.iwl + b.iwl).min(62 - fwl);
+    let iwl = a.iwl + b.iwl;
+    let fwl = (a.fwl + b.fwl).min(62 - iwl);
     QFormat::new(iwl, fwl)
+}
+
+/// One node of a program's reconstructed loop structure.
+///
+/// A [`MachineBlock`] records the full loop stack it executes under,
+/// but consecutive blocks may *share* enclosing loops (an unrolled
+/// inner loop and its remainder inside a common outer loop). Executing
+/// each block's nest independently would run the first block's outer
+/// iterations to completion before the second block starts — the wrong
+/// interleaving whenever state or variables flow across iterations, and
+/// order-sensitive quantization makes even pure reductions diverge
+/// bitwise. Backends must instead walk this forest, entering each
+/// shared loop exactly once.
+#[derive(Debug, Clone)]
+pub enum LoopNest {
+    /// A leaf: index of a block in the program's document-order list,
+    /// executed once per enclosing-iteration.
+    Block(usize),
+    /// A loop whose body (blocks and nested loops) executes `count`
+    /// times.
+    Loop {
+        /// The induction variable.
+        var: slpwlo_ir::LoopId,
+        /// Trip count.
+        count: u32,
+        /// Loop body in document order.
+        body: Vec<LoopNest>,
+    },
+}
+
+/// Reconstructs the shared loop structure of document-order blocks by
+/// merging the longest common prefixes of consecutive blocks' loop
+/// stacks (loops are contiguous in document order, so a prefix match on
+/// induction variables is exact).
+pub fn loop_forest(blocks: &[MachineBlock]) -> Vec<LoopNest> {
+    let mut roots: Vec<LoopNest> = Vec::new();
+    // Stack of open loops as (var, count); children accumulate in the
+    // deepest open node reachable through `roots`.
+    let mut open: Vec<(slpwlo_ir::LoopId, u32)> = Vec::new();
+    fn children_at(roots: &mut Vec<LoopNest>, depth: usize) -> &mut Vec<LoopNest> {
+        let mut cur = roots;
+        for _ in 0..depth {
+            let Some(LoopNest::Loop { body, .. }) = cur.last_mut() else {
+                unreachable!("open stack tracks Loop nodes");
+            };
+            cur = body;
+        }
+        cur
+    }
+    for (bi, block) in blocks.iter().enumerate() {
+        let common = open
+            .iter()
+            .zip(&block.loops)
+            .take_while(|(a, b)| a == b)
+            .count();
+        open.truncate(common);
+        for &(var, count) in &block.loops[common..] {
+            children_at(&mut roots, open.len()).push(LoopNest::Loop {
+                var,
+                count,
+                body: Vec::new(),
+            });
+            open.push((var, count));
+        }
+        children_at(&mut roots, open.len()).push(LoopNest::Block(bi));
+    }
+    roots
+}
+
+/// Static bounds of an affine index over a block's loop nest
+/// (`loops` as carried by [`MachineBlock::loops`]): the smallest and
+/// largest value the index can take across all iterations. Shared by
+/// the lowering's gather/scatter decision and the C emitters' wrap
+/// analysis so the two can never disagree.
+pub fn ix_bounds(ix: &slpwlo_ir::IndexExpr, loops: &[(slpwlo_ir::LoopId, u32)]) -> (i64, i64) {
+    let mut lo = ix.offset();
+    let mut hi = ix.offset();
+    for &(var, c) in ix.terms() {
+        let count = loops
+            .iter()
+            .find(|&&(v, _)| v == var)
+            .map(|&(_, n)| n as i64)
+            .unwrap_or(1);
+        let span = (count - 1).max(0);
+        if c >= 0 {
+            hi += c * span;
+        } else {
+            lo += c * span;
+        }
+    }
+    (lo, hi)
 }
 
 /// Static per-lane result formats of every operation in a block
@@ -485,7 +584,7 @@ pub fn lower_fixed(
     let mut lowered: Vec<(slpwlo_ir::blocks::BlockId, MachineBlock)> = blocks
         .iter()
         .map(|(block, dfg, groups)| {
-            let mut lw = FixedLowerer::new(kernel, spec, target, dfg, groups);
+            let mut lw = FixedLowerer::new(kernel, &block.loops, spec, target, dfg, groups);
             lw.run();
             let var_defs = lw.collect_var_defs(&block.stmts, &live_vars);
             (
@@ -688,6 +787,11 @@ enum ScaleSem {
 }
 
 struct FixedLowerer<'a> {
+    kernel: &'a Kernel,
+    /// Enclosing loops of the block being lowered (for static index
+    /// bounds: a vector access whose lane indices may wrap must fall
+    /// back to gather/scatter form).
+    loops: &'a [(slpwlo_ir::LoopId, u32)],
     spec: &'a FixedPointSpec,
     target: &'a TargetModel,
     dfg: &'a Dfg,
@@ -707,7 +811,8 @@ struct FixedLowerer<'a> {
 
 impl<'a> FixedLowerer<'a> {
     fn new(
-        _kernel: &'a Kernel,
+        kernel: &'a Kernel,
+        loops: &'a [(slpwlo_ir::LoopId, u32)],
         spec: &'a FixedPointSpec,
         target: &'a TargetModel,
         dfg: &'a Dfg,
@@ -720,6 +825,8 @@ impl<'a> FixedLowerer<'a> {
             }
         }
         FixedLowerer {
+            kernel,
+            loops,
             spec,
             target,
             dfg,
@@ -884,6 +991,37 @@ impl<'a> FixedLowerer<'a> {
             NodeKind::LoadArray(a, ix) | NodeKind::StoreArray(a, ix) => Loc::Array(*a, ix.clone()),
             NodeKind::LoadParam(p, ix) => Loc::Param(*p, ix.clone()),
             other => unreachable!("{other:?} accesses no location"),
+        }
+    }
+
+    /// [`mem_status`], downgraded to [`MemStatus::Gather`] when any lane
+    /// index may leave `[0, len)`. Out-of-range indices wrap with
+    /// Euclidean semantics, which a single-base-pointer vector access
+    /// cannot express — such groups must go through the scalar
+    /// gather/scatter path every backend implements with wrapped
+    /// per-lane accesses.
+    fn wrap_aware_mem_status(&self, group: &SimdGroup) -> MemStatus {
+        let status = mem_status(self.dfg, group);
+        if matches!(status, MemStatus::Gather | MemStatus::NotMemory) {
+            return status;
+        }
+        let wraps = group.elems.iter().any(|&e| {
+            let (len, ix) = match &self.dfg.node(e).kind {
+                NodeKind::LoadArray(a, ix) | NodeKind::StoreArray(a, ix) => {
+                    (self.kernel.arrays()[a.index()].len as i64, ix)
+                }
+                NodeKind::LoadParam(p, ix) => {
+                    (self.kernel.params()[p.index()].values.len() as i64, ix)
+                }
+                _ => return false,
+            };
+            let (lo, hi) = ix_bounds(ix, self.loops);
+            lo < 0 || hi >= len
+        });
+        if wraps {
+            MemStatus::Gather
+        } else {
+            status
         }
     }
 
@@ -1165,7 +1303,7 @@ impl<'a> FixedLowerer<'a> {
                     deps.extend(self.mem_deps(e));
                 }
                 let locs: Vec<Loc> = group.elems.iter().map(|&e| self.loc_of(e)).collect();
-                let idx = match mem_status(self.dfg, &group) {
+                let idx = match self.wrap_aware_mem_status(&group) {
                     MemStatus::ContiguousAligned => {
                         self.push(OpQuery::VLoad(lanes), deps, MopKind::VLoad { locs })
                     }
@@ -1355,7 +1493,7 @@ impl<'a> FixedLowerer<'a> {
                     deps.extend(self.mem_deps(e));
                 }
                 let locs: Vec<Loc> = group.elems.iter().map(|&e| self.loc_of(e)).collect();
-                let idx = match mem_status(self.dfg, &group) {
+                let idx = match self.wrap_aware_mem_status(&group) {
                     MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned => self.push(
                         OpQuery::VStore(lanes),
                         deps,

@@ -98,13 +98,17 @@ pub fn determine_ranges(kernel: &Kernel, opts: &RangeOptions) -> Ranges {
     }
 }
 
+/// One fix-point snapshot: per-expression intervals plus the
+/// per-element array state (see the convergence comment below).
+type SweepState = (Vec<Option<Interval>>, Vec<Vec<Interval>>);
+
 /// Pure interval propagation; `None` when no fix-point is reached within
 /// `opts.max_sweeps` or magnitudes exceed `opts.divergence_bound`.
 pub fn interval_ranges(kernel: &Kernel, opts: &RangeOptions) -> Option<Ranges> {
     let sem = IntervalSem::new(kernel);
     let mut ex = Executor::new(kernel, sem);
     let inputs: Vec<f64> = vec![0.0; kernel.inputs().len()];
-    let mut prev: Option<Vec<Option<Interval>>> = None;
+    let mut prev: Option<SweepState> = None;
     let mut stable = 0;
     for _ in 0..opts.max_sweeps {
         let _ = ex.step(&inputs);
@@ -117,10 +121,18 @@ pub fn interval_ranges(kernel: &Kernel, opts: &RangeOptions) -> Option<Ranges> {
         {
             return None;
         }
-        if prev.as_ref() == Some(&sem.exprs) {
+        // Convergence needs expression intervals *and* the per-element
+        // array state: a stored interval travels through a delay line
+        // one slot per sweep without widening any expression until it
+        // reaches a read index, so expression stability alone declares
+        // victory several sweeps too early (dl[k] reads of a line still
+        // filling up).
+        let state = (ex.semantics().exprs.clone(), ex.array_state().to_vec());
+        if prev.as_ref() == Some(&state) {
             stable += 1;
-            // Two consecutive stable sweeps: array contents can no longer
-            // introduce new behaviour (all updates are monotone unions).
+            // Two consecutive fully-stable sweeps: every update is a
+            // monotone union of already-seen state, so nothing new can
+            // appear.
             if stable >= 2 {
                 let sem = ex.semantics();
                 return Some(Ranges {
@@ -132,7 +144,7 @@ pub fn interval_ranges(kernel: &Kernel, opts: &RangeOptions) -> Option<Ranges> {
             }
         } else {
             stable = 0;
-            prev = Some(ex.semantics().exprs.clone());
+            prev = Some(state);
         }
     }
     None

@@ -1,0 +1,44 @@
+//! Shape knobs for the kernel generator.
+
+/// Configurable shape bounds for [`KernelGen`](crate::KernelGen).
+///
+/// The defaults are tuned for fuzzing: kernels stay small enough that a
+/// 64-seed corpus runs the whole differential pipeline in seconds, while
+/// still covering every structural feature the paper's benchmarks use
+/// (and several they do not).
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum number of live-in input streams (at least 1 is always
+    /// generated).
+    pub max_inputs: usize,
+    /// Maximum number of outputs (at least 1).
+    pub max_outputs: usize,
+    /// Maximum number of top-level constructs drawn per kernel (at least
+    /// 2).
+    pub max_constructs: usize,
+    /// Maximum expression-tree depth for free-form statements.
+    pub max_depth: usize,
+    /// Maximum delay-line length.
+    pub max_line_len: usize,
+    /// Maximum trip count for generated loops.
+    pub max_trips: u32,
+    /// Allow nested (depth-2) loop nests.
+    pub nested_loops: bool,
+    /// Allow one contractive IIR-like feedback section per kernel.
+    pub feedback: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_inputs: 3,
+            max_outputs: 2,
+            max_constructs: 5,
+            max_depth: 3,
+            max_line_len: 8,
+            max_trips: 10,
+            nested_loops: true,
+            feedback: true,
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! The shrinkable kernel recipe.
+//!
+//! A [`Plan`] is a tree-shaped blueprint for a kernel: unlike the arena
+//! [`Kernel`] (whose single-use expression discipline makes structural
+//! edits awkward), a plan can be freely mutated — remove a statement,
+//! replace a subtree by one of its operands, halve a trip count — and
+//! rebuilt through [`Plan::build`], which funnels every candidate through
+//! the ordinary [`KernelBuilder`] + [`Kernel::validate`] path.
+
+use slpwlo_ir::builder::KernelBuilder;
+use slpwlo_ir::error::IrError;
+use slpwlo_ir::types::{BinOp, ExprId, IndexExpr, LoopId};
+use slpwlo_ir::unroll::unroll;
+use slpwlo_ir::Kernel;
+
+/// An expression tree of the plan.
+///
+/// Leaf memory accesses carry `stride`/`offset` pairs: inside a loop the
+/// index is `stride * i + offset` over the innermost induction variable,
+/// outside loops it is the constant `offset`. Out-of-range indices are
+/// legal — they wrap with the Euclidean semantics shared by the reference
+/// interpreter, the machine interpreter and the C back-ends, so the
+/// generator deliberately produces them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// A (quantized) floating-point literal.
+    Const(f64),
+    /// Reads live-in input stream `i`.
+    Input(usize),
+    /// Reads variable slot `v` (fan-out: any number of reads per slot).
+    Var(usize),
+    /// Loads parameter table `table` at `stride * i + offset`.
+    Param {
+        /// Table index into [`Plan::params`].
+        table: usize,
+        /// Index coefficient on the innermost loop variable.
+        stride: i64,
+        /// Index offset.
+        offset: i64,
+    },
+    /// Loads delay line `line` at `stride * i + offset`.
+    Delay {
+        /// Line index into [`Plan::lines`].
+        line: usize,
+        /// Index coefficient on the innermost loop variable.
+        stride: i64,
+        /// Index offset.
+        offset: i64,
+    },
+    /// Negation.
+    Neg(Box<PExpr>),
+    /// Binary add/sub/mul.
+    Bin(BinOp, Box<PExpr>, Box<PExpr>),
+}
+
+impl PExpr {
+    /// Number of nodes in this expression tree.
+    pub fn size(&self) -> usize {
+        match self {
+            PExpr::Neg(a) => 1 + a.size(),
+            PExpr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            _ => 1,
+        }
+    }
+}
+
+/// One statement of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PStmt {
+    /// `v<var> = expr`.
+    Let {
+        /// Variable slot written.
+        var: usize,
+        /// Right-hand side.
+        expr: PExpr,
+    },
+    /// Pushes `expr` into delay line `line`.
+    Shift {
+        /// Line index into [`Plan::lines`].
+        line: usize,
+        /// Pushed value.
+        expr: PExpr,
+    },
+    /// A counted loop, optionally unrolled after construction.
+    Loop {
+        /// Trip count (must be positive to build).
+        trips: u32,
+        /// Unroll factor: `1` = none, `0` = full, otherwise partial.
+        /// Ignored for loops containing nested loops (only innermost
+        /// loops are unrolled, as in the paper's benchmarks).
+        unroll: u32,
+        /// Loop body.
+        body: Vec<PStmt>,
+    },
+    /// Emits output `index`.
+    Output {
+        /// Output index.
+        index: usize,
+        /// Emitted value.
+        expr: PExpr,
+    },
+}
+
+/// A complete kernel recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Kernel name (carries the generating seed for reproducibility).
+    pub name: String,
+    /// Number of live-in input streams, each ranged `[-1, 1]`.
+    pub inputs: usize,
+    /// Number of outputs.
+    pub outputs: usize,
+    /// Constant parameter tables.
+    pub params: Vec<Vec<f64>>,
+    /// Delay-line lengths.
+    pub lines: Vec<usize>,
+    /// The statement sequence.
+    pub stmts: Vec<PStmt>,
+}
+
+impl Plan {
+    /// Highest variable slot referenced anywhere, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        fn expr_max(e: &PExpr, m: &mut Option<usize>) {
+            match e {
+                PExpr::Var(v) => *m = Some(m.map_or(*v, |c| c.max(*v))),
+                PExpr::Neg(a) => expr_max(a, m),
+                PExpr::Bin(_, a, b) => {
+                    expr_max(a, m);
+                    expr_max(b, m);
+                }
+                _ => {}
+            }
+        }
+        fn stmt_max(s: &PStmt, m: &mut Option<usize>) {
+            match s {
+                PStmt::Let { var, expr } => {
+                    *m = Some(m.map_or(*var, |c| c.max(*var)));
+                    expr_max(expr, m);
+                }
+                PStmt::Shift { expr, .. } | PStmt::Output { expr, .. } => expr_max(expr, m),
+                PStmt::Loop { body, .. } => body.iter().for_each(|s| stmt_max(s, m)),
+            }
+        }
+        let mut m = None;
+        self.stmts.iter().for_each(|s| stmt_max(s, &mut m));
+        m
+    }
+
+    /// Total number of statements (loop bodies included).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[PStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    PStmt::Loop { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// Builds and validates the kernel this plan describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`IrError`] of the first invalid construct (empty
+    /// table, zero-trip loop, out-of-range output index, unset output,
+    /// ...). The shrinker relies on this to discard structurally invalid
+    /// shrink candidates.
+    pub fn build(&self) -> Result<Kernel, IrError> {
+        let mut b = KernelBuilder::new(self.name.clone());
+        let input_ids: Vec<_> = (0..self.inputs)
+            .map(|i| b.input(format!("x{i}"), -1.0, 1.0))
+            .collect();
+        for o in 0..self.outputs {
+            b.output(format!("y{o}"));
+        }
+        let param_ids = self
+            .params
+            .iter()
+            .enumerate()
+            .map(|(t, values)| b.try_param(format!("c{t}"), values.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let line_ids = self
+            .lines
+            .iter()
+            .enumerate()
+            .map(|(l, &len)| b.try_array(format!("dl{l}"), len))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n_vars = self.max_var().map_or(0, |m| m + 1);
+        let var_ids: Vec<_> = (0..n_vars).map(|v| b.var(format!("v{v}"))).collect();
+
+        struct Ctx {
+            input_ids: Vec<slpwlo_ir::InputId>,
+            param_ids: Vec<slpwlo_ir::ParamId>,
+            line_ids: Vec<slpwlo_ir::ArrayId>,
+            var_ids: Vec<slpwlo_ir::VarId>,
+            /// Innermost-first stack of open loops, for affine indices.
+            loop_stack: Vec<LoopId>,
+            /// `(loop, factor)` pairs to unroll after construction,
+            /// innermost loops only.
+            to_unroll: Vec<(LoopId, u32)>,
+        }
+
+        impl Ctx {
+            fn index(&self, stride: i64, offset: i64) -> IndexExpr {
+                match self.loop_stack.last() {
+                    Some(&l) => IndexExpr::affine(l, stride, offset),
+                    None => IndexExpr::constant(offset),
+                }
+            }
+
+            fn expr(&self, b: &mut KernelBuilder, e: &PExpr) -> Result<ExprId, IrError> {
+                Ok(match e {
+                    PExpr::Const(v) => b.constf(*v),
+                    PExpr::Input(i) => {
+                        let id = *self
+                            .input_ids
+                            .get(*i)
+                            .ok_or_else(|| IrError::UnknownName(format!("x{i}")))?;
+                        b.read_input(id)
+                    }
+                    PExpr::Var(v) => b.read_var(self.var_ids[*v]),
+                    PExpr::Param {
+                        table,
+                        stride,
+                        offset,
+                    } => {
+                        let id = *self
+                            .param_ids
+                            .get(*table)
+                            .ok_or_else(|| IrError::UnknownName(format!("c{table}")))?;
+                        let ix = self.index(*stride, *offset);
+                        b.load_param_ix(id, ix)
+                    }
+                    PExpr::Delay {
+                        line,
+                        stride,
+                        offset,
+                    } => {
+                        let id = *self
+                            .line_ids
+                            .get(*line)
+                            .ok_or_else(|| IrError::UnknownName(format!("dl{line}")))?;
+                        let ix = self.index(*stride, *offset);
+                        b.load_ix(id, ix)
+                    }
+                    PExpr::Neg(a) => {
+                        let a = self.expr(b, a)?;
+                        b.neg(a)
+                    }
+                    PExpr::Bin(op, l, r) => {
+                        let l = self.expr(b, l)?;
+                        let r = self.expr(b, r)?;
+                        match op {
+                            BinOp::Add => b.add(l, r),
+                            BinOp::Sub => b.sub(l, r),
+                            BinOp::Mul => b.mul(l, r),
+                        }
+                    }
+                })
+            }
+
+            fn stmts(&mut self, b: &mut KernelBuilder, stmts: &[PStmt]) -> Result<(), IrError> {
+                for s in stmts {
+                    match s {
+                        PStmt::Let { var, expr } => {
+                            let e = self.expr(b, expr)?;
+                            b.assign(self.var_ids[*var], e);
+                        }
+                        PStmt::Shift { line, expr } => {
+                            let id = *self
+                                .line_ids
+                                .get(*line)
+                                .ok_or_else(|| IrError::UnknownName(format!("dl{line}")))?;
+                            let e = self.expr(b, expr)?;
+                            b.shift_in(id, e);
+                        }
+                        PStmt::Output { index, expr } => {
+                            let e = self.expr(b, expr)?;
+                            b.try_set_output(*index, e)?;
+                        }
+                        PStmt::Loop {
+                            trips,
+                            unroll,
+                            body,
+                        } => {
+                            let l = b.try_begin_for(*trips)?;
+                            self.loop_stack.push(l);
+                            self.stmts(b, body)?;
+                            self.loop_stack.pop();
+                            b.try_end_for(l)?;
+                            let has_nested = body.iter().any(|s| matches!(s, PStmt::Loop { .. }));
+                            if *unroll != 1 && !has_nested {
+                                self.to_unroll.push((l, *unroll));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+
+        let mut ctx = Ctx {
+            input_ids,
+            param_ids,
+            line_ids,
+            var_ids,
+            loop_stack: Vec::new(),
+            to_unroll: Vec::new(),
+        };
+        ctx.stmts(&mut b, &self.stmts)?;
+        let mut to_unroll = std::mem::take(&mut ctx.to_unroll);
+        let mut kernel = b.try_finish()?;
+        // Innermost loops carry the highest ids (they were opened last);
+        // unrolling them first keeps every recorded id valid.
+        to_unroll.sort_by_key(|&(l, _)| std::cmp::Reverse(l));
+        for (l, factor) in to_unroll {
+            unroll(&mut kernel, l, factor)?;
+        }
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac_plan() -> Plan {
+        Plan {
+            name: "mac".into(),
+            inputs: 1,
+            outputs: 1,
+            params: vec![vec![0.25, -0.5, 0.125, 0.0625]],
+            lines: vec![4],
+            stmts: vec![
+                PStmt::Shift {
+                    line: 0,
+                    expr: PExpr::Input(0),
+                },
+                PStmt::Let {
+                    var: 0,
+                    expr: PExpr::Const(0.0),
+                },
+                PStmt::Loop {
+                    trips: 4,
+                    unroll: 2,
+                    body: vec![PStmt::Let {
+                        var: 0,
+                        expr: PExpr::Bin(
+                            BinOp::Add,
+                            Box::new(PExpr::Var(0)),
+                            Box::new(PExpr::Bin(
+                                BinOp::Mul,
+                                Box::new(PExpr::Param {
+                                    table: 0,
+                                    stride: 1,
+                                    offset: 0,
+                                }),
+                                Box::new(PExpr::Delay {
+                                    line: 0,
+                                    stride: 1,
+                                    offset: 0,
+                                }),
+                            )),
+                        ),
+                    }],
+                },
+                PStmt::Output {
+                    index: 0,
+                    expr: PExpr::Var(0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_and_unrolls() {
+        let k = mac_plan().build().unwrap();
+        assert!(k.validate().is_ok());
+        assert_eq!(k.inputs().len(), 1);
+        assert_eq!(k.outputs().len(), 1);
+        // Unroll by 2: one loop of 2 trips remains.
+        let blocks = slpwlo_ir::blocks::collect_blocks(&k);
+        let body = blocks.iter().find(|b| b.in_loop()).unwrap();
+        assert_eq!(body.trip(), 2);
+    }
+
+    #[test]
+    fn unset_output_is_rejected() {
+        let mut p = mac_plan();
+        p.stmts.pop();
+        assert!(matches!(p.build(), Err(IrError::OutputUnset(_))));
+    }
+
+    #[test]
+    fn zero_trip_loop_is_rejected() {
+        let mut p = mac_plan();
+        if let PStmt::Loop { trips, .. } = &mut p.stmts[2] {
+            *trips = 0;
+        }
+        assert!(matches!(p.build(), Err(IrError::ZeroTripLoop)));
+    }
+
+    #[test]
+    fn empty_param_table_is_rejected() {
+        let mut p = mac_plan();
+        p.params[0].clear();
+        assert!(matches!(
+            p.build(),
+            Err(IrError::EmptyTable { kind: "param", .. })
+        ));
+    }
+
+    #[test]
+    fn reads_of_never_assigned_vars_are_legal() {
+        // Shrinking may remove a `Let` while reads of its slot remain:
+        // the variable then holds its zero initialisation, which is a
+        // legal (if unusual) kernel, not a build error.
+        let mut p = mac_plan();
+        p.stmts.remove(1);
+        let k = p.build().unwrap();
+        assert!(k.validate().is_ok());
+    }
+}

@@ -1,0 +1,386 @@
+//! Greedy plan bisection: minimize a failing kernel.
+//!
+//! Given a [`Plan`] whose built kernel makes some pipeline check fail,
+//! [`shrink`] repeatedly tries structural simplifications — drop a
+//! statement, inline a loop, halve a trip count, replace a subtree by an
+//! operand, zero a leaf, shorten a table — keeping an edit whenever the
+//! simplified plan still builds *and* still fails the caller's
+//! predicate. The result is locally minimal: no single edit from the
+//! catalogue keeps it failing.
+//!
+//! Every candidate goes back through [`Plan::build`] (builder +
+//! validation), so the shrinker can propose structurally nonsensical
+//! edits freely; invalid ones are discarded by construction rather than
+//! by bespoke checks.
+
+use crate::plan::{PExpr, PStmt, Plan};
+use slpwlo_ir::Kernel;
+
+/// Shrinks `plan` to a locally minimal plan that still fails.
+///
+/// `still_fails` receives the *built* kernel of each candidate and
+/// returns `true` while the failure reproduces. The original plan is
+/// assumed failing (it is returned unchanged if no simplification
+/// preserves the failure). The search is deterministic: candidates are
+/// tried in a fixed order and the first accepted edit restarts the pass.
+pub fn shrink(plan: &Plan, still_fails: &mut dyn FnMut(&Kernel) -> bool) -> Plan {
+    let mut current = plan.clone();
+    // Candidate trials are bounded to keep pathological predicates from
+    // spinning; real shrinks converge in far fewer steps.
+    let mut budget = 20_000usize;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            let Ok(kernel) = candidate.build() else {
+                continue;
+            };
+            if still_fails(&kernel) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// All single-edit simplifications of `plan`, most aggressive first.
+fn candidates(plan: &Plan) -> Vec<Plan> {
+    let mut out = Vec::new();
+
+    // 1. Drop one statement (any nesting depth).
+    for path in 0..plan.stmt_count() {
+        let mut p = plan.clone();
+        let mut at = path;
+        if remove_stmt(&mut p.stmts, &mut at) {
+            out.push(p);
+        }
+    }
+
+    // 2. Inline one loop (splice its body where it stood).
+    for path in 0..plan.stmt_count() {
+        let mut p = plan.clone();
+        let mut at = path;
+        if inline_loop(&mut p.stmts, &mut at) {
+            out.push(p);
+        }
+    }
+
+    // 3. Halve one loop's trip count / drop its unrolling.
+    for path in 0..plan.stmt_count() {
+        let mut p = plan.clone();
+        let mut at = path;
+        if reduce_loop(&mut p.stmts, &mut at) {
+            out.push(p);
+        }
+    }
+
+    // 4. Simplify one expression node.
+    let exprs = count_expr_nodes(&plan.stmts);
+    for node in 0..exprs {
+        for mode in [Simplify::TakeLeft, Simplify::TakeRight, Simplify::Zero] {
+            let mut p = plan.clone();
+            let mut at = node;
+            if simplify_expr_at(&mut p.stmts, &mut at, mode) {
+                out.push(p);
+            }
+        }
+    }
+
+    // 5. Halve one parameter table.
+    for t in 0..plan.params.len() {
+        if plan.params[t].len() > 1 {
+            let mut p = plan.clone();
+            let keep = p.params[t].len().div_ceil(2);
+            p.params[t].truncate(keep);
+            out.push(p);
+        }
+    }
+
+    // 6. Halve one delay line.
+    for l in 0..plan.lines.len() {
+        if plan.lines[l] > 1 {
+            let mut p = plan.clone();
+            p.lines[l] = p.lines[l].div_ceil(2);
+            out.push(p);
+        }
+    }
+
+    // 7. Drop the last output (and its Output statements).
+    if plan.outputs > 1 {
+        let mut p = plan.clone();
+        let dropped = p.outputs - 1;
+        p.outputs = dropped;
+        retain_stmts(
+            &mut p.stmts,
+            &|s| !matches!(s, PStmt::Output { index, .. } if *index >= dropped),
+        );
+        out.push(p);
+    }
+
+    // 8. Drop the last input when no expression reads it.
+    if plan.inputs > 1 && !reads_input(&plan.stmts, plan.inputs - 1) {
+        let mut p = plan.clone();
+        p.inputs -= 1;
+        out.push(p);
+    }
+
+    out
+}
+
+// ---- statement-path walkers ----------------------------------------------
+
+/// Removes the `path`-th statement in depth-first order; `true` on hit.
+fn remove_stmt(stmts: &mut Vec<PStmt>, path: &mut usize) -> bool {
+    let mut i = 0;
+    while i < stmts.len() {
+        if *path == 0 {
+            stmts.remove(i);
+            return true;
+        }
+        *path -= 1;
+        if let PStmt::Loop { body, .. } = &mut stmts[i] {
+            if remove_stmt(body, path) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Replaces the `path`-th statement by its loop body if it is a loop.
+fn inline_loop(stmts: &mut Vec<PStmt>, path: &mut usize) -> bool {
+    let mut i = 0;
+    while i < stmts.len() {
+        if *path == 0 {
+            if let PStmt::Loop { body, .. } = stmts[i].clone() {
+                stmts.splice(i..=i, body);
+                return true;
+            }
+            return false;
+        }
+        *path -= 1;
+        if let PStmt::Loop { body, .. } = &mut stmts[i] {
+            if inline_loop(body, path) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Halves the `path`-th statement's trip count (or cancels unrolling).
+fn reduce_loop(stmts: &mut [PStmt], path: &mut usize) -> bool {
+    for s in stmts {
+        if *path == 0 {
+            if let PStmt::Loop { trips, unroll, .. } = s {
+                if *unroll != 1 {
+                    *unroll = 1;
+                    return true;
+                }
+                if *trips > 1 {
+                    *trips /= 2;
+                    return true;
+                }
+            }
+            return false;
+        }
+        *path -= 1;
+        if let PStmt::Loop { body, .. } = s {
+            if reduce_loop(body, path) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn retain_stmts(stmts: &mut Vec<PStmt>, keep: &dyn Fn(&PStmt) -> bool) {
+    stmts.retain(keep);
+    for s in stmts {
+        if let PStmt::Loop { body, .. } = s {
+            retain_stmts(body, keep);
+        }
+    }
+}
+
+fn reads_input(stmts: &[PStmt], input: usize) -> bool {
+    fn expr_reads(e: &PExpr, input: usize) -> bool {
+        match e {
+            PExpr::Input(i) => *i == input,
+            PExpr::Neg(a) => expr_reads(a, input),
+            PExpr::Bin(_, a, b) => expr_reads(a, input) || expr_reads(b, input),
+            _ => false,
+        }
+    }
+    stmts.iter().any(|s| match s {
+        PStmt::Let { expr, .. } | PStmt::Shift { expr, .. } | PStmt::Output { expr, .. } => {
+            expr_reads(expr, input)
+        }
+        PStmt::Loop { body, .. } => reads_input(body, input),
+    })
+}
+
+// ---- expression-node walkers ---------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Simplify {
+    /// `a ⊕ b → a` (also `-a → a`).
+    TakeLeft,
+    /// `a ⊕ b → b`.
+    TakeRight,
+    /// Any non-`Const(0)` node → `Const(0.0)`.
+    Zero,
+}
+
+fn count_expr_nodes(stmts: &[PStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            PStmt::Let { expr, .. } | PStmt::Shift { expr, .. } | PStmt::Output { expr, .. } => {
+                expr.size()
+            }
+            PStmt::Loop { body, .. } => count_expr_nodes(body),
+        })
+        .sum()
+}
+
+fn simplify_expr_at(stmts: &mut [PStmt], node: &mut usize, mode: Simplify) -> bool {
+    for s in stmts {
+        match s {
+            PStmt::Let { expr, .. } | PStmt::Shift { expr, .. } | PStmt::Output { expr, .. } => {
+                if simplify_in(expr, node, mode) {
+                    return true;
+                }
+            }
+            PStmt::Loop { body, .. } => {
+                if simplify_expr_at(body, node, mode) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn simplify_in(e: &mut PExpr, node: &mut usize, mode: Simplify) -> bool {
+    if *node == 0 {
+        let replacement = match (&mode, &*e) {
+            (Simplify::TakeLeft, PExpr::Bin(_, a, _)) => Some((**a).clone()),
+            (Simplify::TakeLeft, PExpr::Neg(a)) => Some((**a).clone()),
+            (Simplify::TakeRight, PExpr::Bin(_, _, b)) => Some((**b).clone()),
+            (Simplify::Zero, PExpr::Const(v)) if *v == 0.0 => None,
+            (Simplify::Zero, _) => Some(PExpr::Const(0.0)),
+            _ => None,
+        };
+        return match replacement {
+            Some(r) => {
+                *e = r;
+                true
+            }
+            None => false,
+        };
+    }
+    *node -= 1;
+    match e {
+        PExpr::Neg(a) => simplify_in(a, node, mode),
+        PExpr::Bin(_, a, b) => simplify_in(a, node, mode) || simplify_in(b, node, mode),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelGen;
+    use slpwlo_ir::{ExprNode, Stmt};
+
+    /// Shrinking against "kernel contains a multiply" must strip the
+    /// plan down to (nearly) a single multiply statement.
+    #[test]
+    fn shrinks_to_a_minimal_multiply() {
+        // Find a seed whose kernel contains a multiply.
+        let mut found = None;
+        for seed in 0..64u64 {
+            let plan = KernelGen::with_seed(seed).gen_plan();
+            let k = plan.build().unwrap();
+            let has_mul = k
+                .exprs()
+                .any(|(_, n)| matches!(n, ExprNode::Bin(slpwlo_ir::BinOp::Mul, ..)));
+            if has_mul && plan.stmt_count() > 3 {
+                found = Some(plan);
+                break;
+            }
+        }
+        let plan = found.expect("corpus contains multiplies");
+        let has_mul = |k: &slpwlo_ir::Kernel| {
+            k.exprs()
+                .any(|(_, n)| matches!(n, ExprNode::Bin(slpwlo_ir::BinOp::Mul, ..)))
+        };
+        let small = shrink(&plan, &mut |k| has_mul(k));
+        let kernel = small.build().unwrap();
+        assert!(has_mul(&kernel), "shrink must preserve the failure");
+        assert!(
+            small.stmt_count() <= 3,
+            "expected a near-minimal plan, got {} statements:\n{:#?}",
+            small.stmt_count(),
+            small
+        );
+        // Exactly one multiply survives.
+        let muls = kernel
+            .exprs()
+            .filter(|(_, n)| matches!(n, ExprNode::Bin(slpwlo_ir::BinOp::Mul, ..)))
+            .count();
+        assert_eq!(muls, 1, "{kernel:?}");
+    }
+
+    /// Shrinking a loop-carrying plan against "has a loop" inlines all
+    /// the structure around it away and reduces the trip count to 1.
+    #[test]
+    fn shrinks_loops_to_single_trips() {
+        let mut found = None;
+        for seed in 0..64u64 {
+            let plan = KernelGen::with_seed(seed).gen_plan();
+            if plan.stmts.iter().any(|s| matches!(s, PStmt::Loop { .. })) {
+                found = Some(plan);
+                break;
+            }
+        }
+        let plan = found.expect("corpus contains loops");
+        let has_loop = |k: &slpwlo_ir::Kernel| {
+            let mut any = false;
+            k.visit_stmts(&mut |s, _| {
+                if matches!(s, Stmt::For { .. }) {
+                    any = true;
+                }
+            });
+            any
+        };
+        let small = shrink(&plan, &mut |k| has_loop(k));
+        let k = small.build().unwrap();
+        assert!(has_loop(&k));
+        let mut min_trips = u32::MAX;
+        k.visit_stmts(&mut |s, _| {
+            if let Stmt::For { count, .. } = s {
+                min_trips = min_trips.min(*count);
+            }
+        });
+        assert_eq!(min_trips, 1, "trip counts must shrink to 1:\n{small:#?}");
+    }
+
+    /// A predicate nothing satisfies leaves the plan untouched.
+    #[test]
+    fn unshrinkable_failure_returns_the_original() {
+        let plan = KernelGen::with_seed(3).gen_plan();
+        let same = shrink(&plan, &mut |_| false);
+        assert_eq!(same, plan);
+    }
+}

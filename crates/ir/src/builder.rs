@@ -92,30 +92,64 @@ impl KernelBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `values` is empty.
+    /// Panics if `values` is empty; see [`KernelBuilder::try_param`] for
+    /// the fallible variant.
     pub fn param(&mut self, name: impl Into<String>, values: Vec<f64>) -> ParamId {
-        assert!(!values.is_empty(), "parameter table must not be empty");
+        self.try_param(name, values)
+            .expect("parameter table must not be empty")
+    }
+
+    /// Declares a constant parameter table, rejecting empty tables with a
+    /// structured error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::EmptyTable`] if `values` is empty.
+    pub fn try_param(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+    ) -> Result<ParamId, IrError> {
+        let name = name.into();
+        if values.is_empty() {
+            return Err(IrError::EmptyTable {
+                kind: "param",
+                name,
+            });
+        }
         let id = ParamId(self.kernel.params.len() as u32);
-        self.kernel.params.push(Param {
-            name: name.into(),
-            values,
-        });
-        id
+        self.kernel.params.push(Param { name, values });
+        Ok(id)
     }
 
     /// Declares a zero-initialised state array of `len` elements.
     ///
     /// # Panics
     ///
-    /// Panics if `len` is zero.
+    /// Panics if `len` is zero; see [`KernelBuilder::try_array`] for the
+    /// fallible variant.
     pub fn array(&mut self, name: impl Into<String>, len: usize) -> ArrayId {
-        assert!(len > 0, "state array must have at least one element");
+        self.try_array(name, len)
+            .expect("state array must have at least one element")
+    }
+
+    /// Declares a zero-initialised state array, rejecting zero-length
+    /// arrays with a structured error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::EmptyTable`] if `len` is zero.
+    pub fn try_array(&mut self, name: impl Into<String>, len: usize) -> Result<ArrayId, IrError> {
+        let name = name.into();
+        if len == 0 {
+            return Err(IrError::EmptyTable {
+                kind: "array",
+                name,
+            });
+        }
         let id = ArrayId(self.kernel.arrays.len() as u32);
-        self.kernel.arrays.push(Array {
-            name: name.into(),
-            len,
-        });
-        id
+        self.kernel.arrays.push(Array { name, len });
+        Ok(id)
     }
 
     /// Declares a scalar variable.
@@ -218,12 +252,32 @@ impl KernelBuilder {
     }
 
     /// Emits the value of output `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not name a declared output; see
+    /// [`KernelBuilder::try_set_output`] for the fallible variant.
     pub fn set_output(&mut self, index: usize, expr: ExprId) {
-        assert!(
-            index < self.kernel.outputs.len(),
-            "output index out of range"
-        );
+        self.try_set_output(index, expr)
+            .expect("output index out of range");
+    }
+
+    /// Emits the value of output `index`, rejecting out-of-range indices
+    /// with a structured error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::OutputOutOfRange`] if `index` does not name a
+    /// declared output.
+    pub fn try_set_output(&mut self, index: usize, expr: ExprId) -> Result<(), IrError> {
+        if index >= self.kernel.outputs.len() {
+            return Err(IrError::OutputOutOfRange {
+                index,
+                count: self.kernel.outputs.len(),
+            });
+        }
         self.push_stmt(Stmt::Output(index, expr));
+        Ok(())
     }
 
     /// Opens a loop `for i in 0..count`; returns the induction variable id
@@ -233,24 +287,64 @@ impl KernelBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `count` is zero.
+    /// Panics if `count` is zero; see [`KernelBuilder::try_begin_for`] for
+    /// the fallible variant.
     pub fn begin_for(&mut self, count: u32) -> LoopId {
-        assert!(count > 0, "loop trip count must be positive");
+        self.try_begin_for(count)
+            .expect("loop trip count must be positive")
+    }
+
+    /// Opens a loop, rejecting zero trip counts with a structured error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ZeroTripLoop`] if `count` is zero.
+    pub fn try_begin_for(&mut self, count: u32) -> Result<LoopId, IrError> {
+        if count == 0 {
+            return Err(IrError::ZeroTripLoop);
+        }
         let id = LoopId(self.kernel.n_loops);
         self.kernel.n_loops += 1;
         self.open.push((id, count, Vec::new()));
-        id
+        Ok(id)
     }
 
     /// Closes the innermost open loop.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not the innermost open loop (loops must nest).
+    /// Panics if `id` is not the innermost open loop (loops must nest);
+    /// see [`KernelBuilder::try_end_for`] for the fallible variant.
     pub fn end_for(&mut self, id: LoopId) {
-        let (var, count, body) = self.open.pop().expect("no open loop to close");
-        assert_eq!(var, id, "end_for must close the innermost open loop");
+        self.try_end_for(id)
+            .expect("end_for must close the innermost open loop");
+    }
+
+    /// Closes the innermost open loop, rejecting crossed or spurious
+    /// closes with a structured error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::LoopNesting`] if no loop is open or `id` is not
+    /// the innermost open loop.
+    pub fn try_end_for(&mut self, id: LoopId) -> Result<(), IrError> {
+        match self.open.last() {
+            None => {
+                return Err(IrError::LoopNesting(format!(
+                    "end_for({id}) with no loop open"
+                )))
+            }
+            Some(&(innermost, _, _)) if innermost != id => {
+                return Err(IrError::LoopNesting(format!(
+                    "end_for({id}) while {innermost} is the innermost open loop"
+                )))
+            }
+            Some(_) => {}
+        }
+        let (var, count, body) = self.open.pop().expect("checked above");
         self.push_stmt(Stmt::For { var, count, body });
+        Ok(())
     }
 
     /// Finalises the kernel.
@@ -272,8 +366,8 @@ impl KernelBuilder {
     /// Returns [`IrError`] if loops are left open or if an expression node
     /// is referenced from more than one position.
     pub fn try_finish(self) -> Result<Kernel, IrError> {
-        if !self.open.is_empty() {
-            return Err(IrError::InvalidUnroll("unclosed loop at finish".into()));
+        if let Some((id, _, _)) = self.open.last() {
+            return Err(IrError::LoopNesting(format!("loop {id} open at finish")));
         }
         self.kernel.validate()?;
         Ok(self.kernel)

@@ -37,6 +37,26 @@ pub enum IrError {
         /// The declared range, formatted as `[lo, hi]`.
         range: String,
     },
+    /// A parameter table or state array was declared with zero elements.
+    EmptyTable {
+        /// `"param"` or `"array"`.
+        kind: &'static str,
+        /// Source-level name of the declaration.
+        name: String,
+    },
+    /// A loop was opened with a trip count of zero.
+    ZeroTripLoop,
+    /// Loops were closed out of nesting order (or with none open).
+    LoopNesting(String),
+    /// An output index does not name a declared output.
+    OutputOutOfRange {
+        /// The requested output index.
+        index: usize,
+        /// Number of declared outputs.
+        count: usize,
+    },
+    /// A declared output is never assigned a value anywhere in the body.
+    OutputUnset(String),
 }
 
 impl fmt::Display for IrError {
@@ -51,6 +71,17 @@ impl fmt::Display for IrError {
             IrError::InvalidUnroll(msg) => write!(f, "invalid unroll request: {msg}"),
             IrError::InvalidRange { input, range } => {
                 write!(f, "unusable value range {range} on input `{input}`")
+            }
+            IrError::EmptyTable { kind, name } => {
+                write!(f, "{kind} `{name}` must have at least one element")
+            }
+            IrError::ZeroTripLoop => write!(f, "loop trip count must be positive"),
+            IrError::LoopNesting(msg) => write!(f, "loop nesting violation: {msg}"),
+            IrError::OutputOutOfRange { index, count } => {
+                write!(f, "output index {index} out of range (kernel has {count})")
+            }
+            IrError::OutputUnset(name) => {
+                write!(f, "output `{name}` is never assigned")
             }
         }
     }

@@ -181,6 +181,15 @@ impl<'k, S: Semantics> Executor<'k, S> {
         &mut self.sem
     }
 
+    /// The current per-element state of every array (delay lines, line
+    /// buffers). Fix-point analyses need this: a value propagates
+    /// through a delay line one slot per activation without touching
+    /// any expression until it reaches a read index, so expression
+    /// state alone cannot witness convergence.
+    pub fn array_state(&self) -> &[Vec<S::Value>] {
+        &self.arrays
+    }
+
     /// Runs the kernel over `inputs[i][n]` (input `i`, activation `n`) and
     /// returns `outputs[o][n]` as `f64` via [`Semantics::to_f64`].
     ///

@@ -277,7 +277,8 @@ impl Kernel {
     /// Validates arena invariants; used by tests and after transformations.
     ///
     /// Checks that every input's declared value range is usable (finite,
-    /// `lo <= hi`), that every expression id referenced by the statement
+    /// `lo <= hi`), that every declared output is assigned somewhere in
+    /// the body, that every expression id referenced by the statement
     /// tree is in-bounds, and that no expression node is used as an
     /// operand or statement root more than once (single-use arena
     /// discipline).
@@ -290,6 +291,17 @@ impl Kernel {
                     range: format!("[{}, {}]", input.lo, input.hi),
                 });
             }
+        }
+        let mut output_set = vec![false; self.outputs.len()];
+        self.visit_stmts(&mut |s, _| {
+            if let Stmt::Output(idx, _) = s {
+                if let Some(slot) = output_set.get_mut(*idx) {
+                    *slot = true;
+                }
+            }
+        });
+        if let Some(missing) = output_set.iter().position(|&set| !set) {
+            return Err(IrError::OutputUnset(self.outputs[missing].name.clone()));
         }
         let mut uses = vec![0u32; self.exprs.len()];
         let mut mark = |id: ExprId| -> Result<(), IrError> {

@@ -1,0 +1,176 @@
+//! Complex-valued FIR kernels.
+//!
+//! Baseband radio processing runs FIRs over complex samples: two live-in
+//! streams (I/Q), two outputs, and per-tap cross-coupled MACs
+//! (`yr += cr·xr − ci·xi`, `yi += cr·xi + ci·xr`). Structurally this is
+//! the suite's multi-stream kernel with *subtractions* inside the
+//! reduction and four interleaved MAC chains over two delay lines —
+//! packing opportunities the real-valued kernels never expose.
+
+use crate::fir::lowpass_coeffs;
+use slpwlo_ir::builder::KernelBuilder;
+use slpwlo_ir::types::IndexExpr;
+use slpwlo_ir::unroll::unroll;
+use slpwlo_ir::Kernel;
+
+/// Complex coefficients of a frequency-shifted low-pass: the real
+/// prototype rotated by `omega` per tap, scaled so
+/// `Σ (|cr| + |ci|) <= 1` (outputs of `[-1, 1]` inputs stay bounded).
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+pub fn shifted_coeffs(taps: usize, omega: f64) -> (Vec<f64>, Vec<f64>) {
+    let h = lowpass_coeffs(taps, 0.2);
+    let cr: Vec<f64> = h
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| v * (omega * k as f64).cos())
+        .collect();
+    let ci: Vec<f64> = h
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| v * (omega * k as f64).sin())
+        .collect();
+    let l1: f64 = cr.iter().zip(&ci).map(|(r, i)| r.abs() + i.abs()).sum();
+    (
+        cr.iter().map(|v| v / l1).collect(),
+        ci.iter().map(|v| v / l1).collect(),
+    )
+}
+
+/// Builds the complex FIR kernel with the tap loop partially unrolled
+/// by `unroll_factor` (`<= 1` = none).
+///
+/// # Panics
+///
+/// Panics if the coefficient vectors are empty or differ in length.
+pub fn cfir_kernel(name: &str, cr: Vec<f64>, ci: Vec<f64>, unroll_factor: u32) -> Kernel {
+    assert!(!cr.is_empty() && cr.len() == ci.len(), "coefficient shape");
+    let taps = cr.len();
+    let mut b = KernelBuilder::new(name);
+    let xr = b.input("xr", -1.0, 1.0);
+    let xi = b.input("xi", -1.0, 1.0);
+    let yr = b.output("yr");
+    let yi = b.output("yi");
+    let crp = b.param("cr", cr);
+    let cip = b.param("ci", ci);
+    let rline = b.array("rline", taps);
+    let iline = b.array("iline", taps);
+    let accr = b.var("accr");
+    let acci = b.var("acci");
+    let xrv = b.read_input(xr);
+    b.shift_in(rline, xrv);
+    let xiv = b.read_input(xi);
+    b.shift_in(iline, xiv);
+    let z0 = b.constf(0.0);
+    b.assign(accr, z0);
+    let z1 = b.constf(0.0);
+    b.assign(acci, z1);
+    let i = b.begin_for(taps as u32);
+    // yr += cr[k]*xr[k];  yr -= ci[k]*xi[k]
+    let c0 = b.load_param_ix(crp, IndexExpr::affine(i, 1, 0));
+    let r0 = b.load_ix(rline, IndexExpr::affine(i, 1, 0));
+    let m0 = b.mul(c0, r0);
+    let a0 = b.read_var(accr);
+    let s0 = b.add(a0, m0);
+    b.assign(accr, s0);
+    let c1 = b.load_param_ix(cip, IndexExpr::affine(i, 1, 0));
+    let i0 = b.load_ix(iline, IndexExpr::affine(i, 1, 0));
+    let m1 = b.mul(c1, i0);
+    let a1 = b.read_var(accr);
+    let s1 = b.sub(a1, m1);
+    b.assign(accr, s1);
+    // yi += cr[k]*xi[k];  yi += ci[k]*xr[k]
+    let c2 = b.load_param_ix(crp, IndexExpr::affine(i, 1, 0));
+    let i1 = b.load_ix(iline, IndexExpr::affine(i, 1, 0));
+    let m2 = b.mul(c2, i1);
+    let a2 = b.read_var(acci);
+    let s2 = b.add(a2, m2);
+    b.assign(acci, s2);
+    let c3 = b.load_param_ix(cip, IndexExpr::affine(i, 1, 0));
+    let r1 = b.load_ix(rline, IndexExpr::affine(i, 1, 0));
+    let m3 = b.mul(c3, r1);
+    let a3 = b.read_var(acci);
+    let s3 = b.add(a3, m3);
+    b.assign(acci, s3);
+    b.end_for(i);
+    let rr = b.read_var(accr);
+    b.set_output(yr, rr);
+    let ri = b.read_var(acci);
+    b.set_output(yi, ri);
+    let mut kernel = b.finish();
+    if unroll_factor > 1 {
+        unroll(&mut kernel, i, unroll_factor).expect("tap loop exists");
+    }
+    kernel
+}
+
+/// The benchmark: 32 complex taps, unrolled by 4.
+pub fn complex_fir32() -> Kernel {
+    let (cr, ci) = shifted_coeffs(32, 0.7);
+    cfir_kernel("cfir32", cr, ci, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::interp::{Executor, FloatSem};
+
+    #[test]
+    fn coefficients_are_jointly_normalized() {
+        let (cr, ci) = shifted_coeffs(32, 0.7);
+        let l1: f64 = cr.iter().zip(&ci).map(|(r, i)| r.abs() + i.abs()).sum();
+        assert!((l1 - 1.0).abs() < 1e-12);
+        assert!(
+            ci.iter().any(|&v| v.abs() > 1e-6),
+            "rotation must be complex"
+        );
+    }
+
+    #[test]
+    fn real_impulse_reproduces_both_coefficient_streams() {
+        let (cr, ci) = shifted_coeffs(8, 0.7);
+        let k = cfir_kernel("c", cr.clone(), ci.clone(), 4);
+        let mut ex = Executor::new(&k, FloatSem);
+        let mut re = vec![0.0; 10];
+        re[0] = 1.0;
+        let im = vec![0.0; 10];
+        let out = ex.run(&[re, im]);
+        for (n, (&r, &i)) in cr.iter().zip(&ci).enumerate() {
+            assert!((out[0][n] - r).abs() < 1e-12, "yr tap {n}");
+            assert!((out[1][n] - i).abs() < 1e-12, "yi tap {n}");
+        }
+    }
+
+    #[test]
+    fn bounded_outputs() {
+        let k = complex_fir32();
+        let mut ex = Executor::new(&k, FloatSem);
+        let re: Vec<f64> = (0..256)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let im: Vec<f64> = (0..256)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let out = ex.run(&[re, im]);
+        for s in &out {
+            for &v in s {
+                assert!(
+                    v.abs() <= 1.0 + 1e-12,
+                    "jointly normalized taps bound outputs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structure() {
+        let k = complex_fir32();
+        assert_eq!(k.inputs().len(), 2);
+        assert_eq!(k.outputs().len(), 2);
+        let blocks = slpwlo_ir::blocks::collect_blocks(&k);
+        let body = blocks.iter().find(|b| b.in_loop()).unwrap();
+        assert_eq!(body.trip(), 8, "32 taps unrolled by 4");
+    }
+}

@@ -1,10 +1,6 @@
-//! The paper's benchmark kernels and their workloads.
+//! Benchmark kernels and their workloads.
 //!
-//! Section V-C of the paper: "A 64-tap FIR and a 10th order IIR filters as
-//! well as a 2d (3x3) image convolution (CONV) are used as benchmarks...
-//! The innermost loop in FIR and IIR is partially unrolled by 4 to expose
-//! SLP, whereas the convolution kernel (3x3) is fully unrolled. The input
-//! samples are pre-normalized to [-1, 1]."
+//! The paper's three kernels (Section V-C):
 //!
 //! * [`fir::fir64`] — 64-tap windowed-sinc low-pass FIR, tap loop
 //!   unrolled by 4;
@@ -13,52 +9,136 @@
 //!   feed-forward and feedback tap loops unrolled by 4;
 //! * [`conv::conv3x3`] — 3x3 convolution in streaming line-buffer form
 //!   (one output pixel per activation, three row streams), fully
-//!   unrolled;
-//! * [`signals`] — seeded workload generators (inputs pre-normalized to
-//!   `[-1, 1]`).
+//!   unrolled.
+//!
+//! Five more kernels open the suite beyond the paper's evaluation
+//! (every layer of the pipeline regresses against all eight through
+//! `tests/pipeline_fuzz.rs`):
+//!
+//! * [`dot::dot_product256`] — 256-tap streaming dot product (matched
+//!   filter), unrolled by 8: the longest reduction in the suite;
+//! * [`matvec::matvec16x16`] — dense 16x16 matrix-vector product:
+//!   16 inputs, 16 outputs, staged input vector, 16 row reductions;
+//! * [`biquad::biquad_cascade4`] — four cascaded second-order IIR
+//!   sections, fully unrolled: chained small feedback loops;
+//! * [`cfir::complex_fir32`] — 32-tap complex (I/Q) FIR: two streams,
+//!   two outputs, cross-coupled MACs with subtractions;
+//! * [`polyphase::polyphase_decim2`] — decimate-by-2 polyphase filter:
+//!   per-phase delay lines and reductions merged into one accumulator.
+//!
+//! [`signals`] provides the seeded workload generators (inputs
+//! pre-normalized to `[-1, 1]`).
 
+pub mod biquad;
+pub mod cfir;
 pub mod conv;
+pub mod dot;
 pub mod fir;
 pub mod iir;
+pub mod matvec;
+pub mod polyphase;
 pub mod signals;
 
+pub use biquad::biquad_cascade4;
+pub use cfir::complex_fir32;
 pub use conv::conv3x3;
+pub use dot::dot_product256;
 pub use fir::fir64;
 pub use iir::iir10;
+pub use matvec::matvec16x16;
+pub use polyphase::polyphase_decim2;
 pub use signals::Workload;
 
 use slpwlo_ir::Kernel;
 
-/// A named benchmark with its standard workload size.
+/// A named benchmark with its standard workload.
 #[derive(Debug)]
 pub struct Benchmark {
-    /// Display name used in reports ("FIR", "IIR", "CONV").
+    /// Display name used in reports ("FIR", "IIR", "CONV", ...).
     pub name: &'static str,
-    /// The kernel, already unrolled as in the paper.
+    /// The kernel, already unrolled as registered.
     pub kernel: Kernel,
     /// Number of activations in the standard workload (samples/pixels).
     pub activations: u64,
+    /// Standard workload constructor: `(activations, seed)` to input
+    /// streams shaped for this kernel.
+    pub make_workload: fn(usize, u64) -> Workload,
 }
 
-/// The paper's three benchmarks in presentation order.
-pub fn all_benchmarks() -> Vec<Benchmark> {
+impl Benchmark {
+    /// The standard-size workload for this benchmark.
+    pub fn workload(&self, seed: u64) -> Workload {
+        (self.make_workload)(self.activations as usize, seed)
+    }
+
+    /// A workload of `n` activations shaped for this kernel.
+    pub fn workload_sized(&self, n: usize, seed: u64) -> Workload {
+        (self.make_workload)(n, seed)
+    }
+}
+
+/// The paper's three benchmarks in presentation order — the set every
+/// figure/table reproduction (`table1`, `fig4`, `fig6`, ablation) runs.
+pub fn paper_benchmarks() -> Vec<Benchmark> {
     vec![
         Benchmark {
             name: "FIR",
             kernel: fir64(),
             activations: 2048,
+            make_workload: |n, seed| Workload::white(1, n, seed),
         },
         Benchmark {
             name: "IIR",
             kernel: iir10(),
             activations: 2048,
+            make_workload: |n, seed| Workload::white(1, n, seed),
         },
         Benchmark {
             name: "CONV",
             kernel: conv3x3(),
             activations: 64 * 64,
+            make_workload: |n, seed| Workload::image_rows(64, n.div_ceil(64).max(1), seed),
         },
     ]
+}
+
+/// The full benchmark suite: the paper's three kernels plus the five
+/// expansion kernels, in presentation order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = paper_benchmarks();
+    v.extend([
+        Benchmark {
+            name: "DOT",
+            kernel: dot_product256(),
+            activations: 1024,
+            make_workload: |n, seed| Workload::white(1, n, seed),
+        },
+        Benchmark {
+            name: "MATVEC",
+            kernel: matvec16x16(),
+            activations: 256,
+            make_workload: |n, seed| Workload::white(16, n, seed),
+        },
+        Benchmark {
+            name: "BIQUAD",
+            kernel: biquad_cascade4(),
+            activations: 2048,
+            make_workload: |n, seed| Workload::white(1, n, seed),
+        },
+        Benchmark {
+            name: "CFIR",
+            kernel: complex_fir32(),
+            activations: 1024,
+            make_workload: |n, seed| Workload::white(2, n, seed),
+        },
+        Benchmark {
+            name: "POLY",
+            kernel: polyphase_decim2(),
+            activations: 1024,
+            make_workload: |n, seed| Workload::white(2, n, seed),
+        },
+    ]);
+    v
 }
 
 #[cfg(test)]
@@ -66,12 +146,65 @@ mod tests {
     use super::*;
 
     #[test]
-    fn three_benchmarks() {
+    fn eight_benchmarks_all_valid() {
         let b = all_benchmarks();
-        assert_eq!(b.len(), 3);
-        assert_eq!(b[0].name, "FIR");
+        assert_eq!(b.len(), 8);
+        let names: Vec<_> = b.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            ["FIR", "IIR", "CONV", "DOT", "MATVEC", "BIQUAD", "CFIR", "POLY"]
+        );
         for bench in &b {
             assert!(bench.kernel.validate().is_ok(), "{} invalid", bench.name);
+            assert!(bench.activations > 0);
+        }
+    }
+
+    #[test]
+    fn paper_benchmarks_are_the_first_three() {
+        let p = paper_benchmarks();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].name, "FIR");
+        assert_eq!(p[1].name, "IIR");
+        assert_eq!(p[2].name, "CONV");
+    }
+
+    #[test]
+    fn workloads_match_kernel_arity() {
+        for bench in all_benchmarks() {
+            let w = bench.workload_sized(32, 7);
+            assert_eq!(
+                w.inputs.len(),
+                bench.kernel.inputs().len(),
+                "{}: workload streams must match kernel inputs",
+                bench.name
+            );
+            assert!(
+                w.activations() >= 32,
+                "{}: requested size honoured",
+                bench.name
+            );
+            for s in &w.inputs {
+                for &v in s {
+                    assert!((-1.0..=1.0).contains(&v), "{}: normalized", bench.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standard_workloads_are_deterministic() {
+        for bench in all_benchmarks() {
+            let other = all_benchmarks()
+                .into_iter()
+                .find(|b| b.name == bench.name)
+                .unwrap();
+            assert_eq!(
+                bench.workload(42).inputs,
+                other.workload(42).inputs,
+                "{}: same seed, same workload",
+                bench.name
+            );
         }
     }
 }

@@ -1,0 +1,163 @@
+//! Dense matrix-vector product kernels.
+//!
+//! One activation multiplies a constant `rows x cols` matrix by the
+//! activation's input vector (`cols` live-in streams) and emits `rows`
+//! outputs — the shape of small dense layers, beamformers and
+//! projection stages. Structurally this is the suite's multi-input /
+//! multi-output stress test: the input vector is staged into a state
+//! array, the row loops read it with affine indices, and every row is
+//! an independent reduction (16 of them at the standard size).
+
+use slpwlo_ir::builder::KernelBuilder;
+use slpwlo_ir::types::IndexExpr;
+use slpwlo_ir::unroll::unroll;
+use slpwlo_ir::Kernel;
+
+/// A deterministic `rows x cols` test matrix (row-major), every row
+/// L1-normalized so each output of inputs in `[-1, 1]` stays in
+/// `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+pub fn test_matrix(rows: usize, cols: usize) -> Vec<f64> {
+    assert!(rows > 0 && cols > 0, "matrix must be non-empty");
+    let mut a = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let mut l1 = 0.0;
+        for c in 0..cols {
+            // Smoothly varying, sign-alternating entries (a DCT-ish
+            // pattern keeps rows linearly independent and well scaled).
+            let v = ((r + 1) as f64 * (2 * c + 1) as f64 * std::f64::consts::PI
+                / (2.0 * cols as f64))
+                .cos();
+            a[r * cols + c] = v;
+            l1 += v.abs();
+        }
+        for c in 0..cols {
+            a[r * cols + c] /= l1;
+        }
+    }
+    a
+}
+
+/// Builds the matvec kernel: `cols` inputs, `rows` outputs, row
+/// reductions partially unrolled by `unroll_factor` (`<= 1` = none).
+///
+/// # Panics
+///
+/// Panics if `matrix.len() != rows * cols`.
+pub fn matvec_kernel(
+    name: &str,
+    rows: usize,
+    cols: usize,
+    matrix: Vec<f64>,
+    unroll_factor: u32,
+) -> Kernel {
+    assert_eq!(matrix.len(), rows * cols, "matrix shape mismatch");
+    let mut b = KernelBuilder::new(name);
+    let inputs: Vec<_> = (0..cols)
+        .map(|c| b.input(format!("x{c}"), -1.0, 1.0))
+        .collect();
+    let outputs: Vec<_> = (0..rows).map(|r| b.output(format!("y{r}"))).collect();
+    let a = b.param("a", matrix);
+    // Stage the input vector into a state array so the row loops can
+    // address it with affine indices.
+    let xv = b.array("xv", cols);
+    for (c, &inp) in inputs.iter().enumerate() {
+        let v = b.read_input(inp);
+        b.store(xv, c as i64, v);
+    }
+    let acc = b.var("acc");
+    let mut row_loops = Vec::with_capacity(rows);
+    for (r, &out) in outputs.iter().enumerate() {
+        let zero = b.constf(0.0);
+        b.assign(acc, zero);
+        let i = b.begin_for(cols as u32);
+        let av = b.load_param_ix(a, IndexExpr::affine(i, 1, (r * cols) as i64));
+        let vv = b.load_ix(xv, IndexExpr::affine(i, 1, 0));
+        let m = b.mul(av, vv);
+        let cur = b.read_var(acc);
+        let s = b.add(cur, m);
+        b.assign(acc, s);
+        b.end_for(i);
+        let res = b.read_var(acc);
+        b.set_output(out, res);
+        row_loops.push(i);
+    }
+    let mut kernel = b.finish();
+    if unroll_factor > 1 {
+        for i in row_loops {
+            unroll(&mut kernel, i, unroll_factor).expect("row loop exists");
+        }
+    }
+    kernel
+}
+
+/// The benchmark: 16x16 matrix-vector product, row loops unrolled by 4.
+pub fn matvec16x16() -> Kernel {
+    matvec_kernel("matvec16", 16, 16, test_matrix(16, 16), 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::interp::{Executor, FloatSem};
+
+    #[test]
+    fn rows_are_l1_normalized() {
+        let a = test_matrix(16, 16);
+        for r in 0..16 {
+            let l1: f64 = a[r * 16..(r + 1) * 16].iter().map(|v| v.abs()).sum();
+            assert!((l1 - 1.0).abs() < 1e-12, "row {r}: {l1}");
+        }
+    }
+
+    #[test]
+    fn shape() {
+        let k = matvec16x16();
+        assert_eq!(k.inputs().len(), 16);
+        assert_eq!(k.outputs().len(), 16);
+        assert_eq!(k.params()[0].values.len(), 256);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn matches_direct_computation() {
+        let rows = 4;
+        let cols = 4;
+        let a = test_matrix(rows, cols);
+        let k = matvec_kernel("mv", rows, cols, a.clone(), 2);
+        let x = [0.5, -0.25, 0.75, -1.0];
+        let mut ex = Executor::new(&k, FloatSem);
+        let streams: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let out = ex.run(&streams);
+        for r in 0..rows {
+            let expect: f64 = (0..cols).map(|c| a[r * cols + c] * x[c]).sum();
+            assert!(
+                (out[r][0] - expect).abs() < 1e-12,
+                "row {r}: {} vs {expect}",
+                out[r][0]
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_bounded() {
+        let k = matvec16x16();
+        let mut ex = Executor::new(&k, FloatSem);
+        let streams: Vec<Vec<f64>> = (0..16)
+            .map(|i| {
+                (0..32)
+                    .map(|n| if (n + i) % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect()
+            })
+            .collect();
+        let out = ex.run(&streams);
+        for (r, s) in out.iter().enumerate() {
+            for &v in s {
+                assert!(v.abs() <= 1.0 + 1e-12, "row {r} escaped [-1,1]: {v}");
+            }
+        }
+    }
+}

@@ -15,7 +15,8 @@
 //! formats recorded by the lowering drive every requantization.
 
 use slpwlo_core::{
-    broadcast_lane, product_fmt, Loc, MachineBlock, MachineProgram, MopKind, Operand,
+    broadcast_lane, loop_forest, product_fmt, Loc, LoopNest, MachineBlock, MachineProgram, MopKind,
+    Operand,
 };
 use slpwlo_fixedpoint::quantize::{OverflowMode, QuantizeMode};
 use slpwlo_fixedpoint::{FxValue, QFormat};
@@ -130,6 +131,11 @@ fn lane_of(slot: &Slot, lane: usize) -> Fx {
 #[derive(Debug)]
 pub struct Machine<'p> {
     prog: &'p MachineProgram,
+    /// Shared loop structure over the blocks: loops common to several
+    /// blocks (inner loop + unroll remainder under one outer loop) must
+    /// be entered once, interleaving the blocks per iteration like the
+    /// source program does.
+    forest: Vec<LoopNest>,
     arrays: Vec<Vec<Fx>>,
     vars: Vec<Fx>,
     outputs: Vec<Fx>,
@@ -158,6 +164,7 @@ impl<'p> Machine<'p> {
             .collect();
         Machine {
             prog,
+            forest: loop_forest(&prog.blocks),
             arrays,
             vars,
             outputs,
@@ -209,40 +216,39 @@ impl<'p> Machine<'p> {
 
     /// Executes one activation and returns the output values.
     pub fn step(&mut self, sample: &[f64]) -> Result<Vec<f64>, ExecError> {
-        for block in &self.prog.blocks {
-            self.exec_block(block, sample)?;
-        }
+        let forest = std::mem::take(&mut self.forest);
+        let mut env: HashMap<LoopId, i64> = HashMap::new();
+        let result = self.exec_forest(&forest, &mut env, sample);
+        self.forest = forest;
+        result?;
         Ok(self.outputs.iter().map(|v| v.to_f64()).collect())
     }
 
-    fn exec_block(&mut self, block: &MachineBlock, sample: &[f64]) -> Result<(), ExecError> {
-        // Iterate the loop nest row-major (outermost slowest), exactly
-        // like the statement interpreter's nested `for`s.
-        let counts: Vec<u32> = block.loops.iter().map(|&(_, c)| c).collect();
-        if counts.contains(&0) {
-            return Ok(());
-        }
-        let mut idx = vec![0u32; counts.len()];
-        loop {
-            let mut env: HashMap<LoopId, i64> = HashMap::new();
-            for (&(var, _), &i) in block.loops.iter().zip(&idx) {
-                env.insert(var, i as i64);
-            }
-            self.exec_block_once(block, &env, sample)?;
-            // Odometer increment, innermost fastest.
-            let mut k = counts.len();
-            loop {
-                if k == 0 {
-                    return Ok(());
+    /// Walks the shared loop structure: loops iterate once over their
+    /// whole body (all blocks and nested loops, interleaved per
+    /// iteration like the source program's statement order).
+    fn exec_forest(
+        &mut self,
+        nests: &[LoopNest],
+        env: &mut HashMap<LoopId, i64>,
+        sample: &[f64],
+    ) -> Result<(), ExecError> {
+        let prog = self.prog;
+        for nest in nests {
+            match nest {
+                LoopNest::Block(bi) => {
+                    self.exec_block_once(&prog.blocks[*bi], env, sample)?;
                 }
-                k -= 1;
-                idx[k] += 1;
-                if idx[k] < counts[k] {
-                    break;
+                LoopNest::Loop { var, count, body } => {
+                    for trip in 0..*count {
+                        env.insert(*var, trip as i64);
+                        self.exec_forest(body, env, sample)?;
+                    }
+                    env.remove(var);
                 }
-                idx[k] = 0;
             }
         }
+        Ok(())
     }
 
     fn exec_block_once(
@@ -454,13 +460,20 @@ fn exec_bin(op: BinOp, a: Fx, b: Fx, to: Option<QFormat>) -> Result<Fx, ExecErro
             let from = a.fmt.fwl + b.fmt.fwl;
             match to {
                 Some(t) => Ok(requant(prod, from, t)),
-                // Full-precision product kept on its natural grid: must
-                // fit the 64-bit value representation, as in the C
-                // back-ends (which refuse such programs too).
-                None => Ok(Fx {
-                    raw: i64::try_from(prod).map_err(|_| ExecError::Overflow)?,
-                    fmt: product_fmt(a.fmt, b.fmt),
-                }),
+                // Full-precision product kept on `product_fmt`'s grid.
+                // When the operands are wide (covering variable storage
+                // formats), that grid is coarser than the natural
+                // product grid so the raw value fits 64 bits; the floor
+                // shift composes exactly with the follow-up requant (the
+                // C back-ends do the same through `slpwlo_mul_shr`).
+                None => {
+                    let pf = product_fmt(a.fmt, b.fmt);
+                    let shifted = prod >> (from - pf.fwl).clamp(0, 126);
+                    Ok(Fx {
+                        raw: i64::try_from(shifted).map_err(|_| ExecError::Overflow)?,
+                        fmt: pf,
+                    })
+                }
             }
         }
     }

@@ -38,11 +38,42 @@ impl<'a> BenefitModel<'a> {
         BenefitModel { dfg, round }
     }
 
-    /// Estimates the benefit of candidate `idx`.
+    /// Estimates the benefit of candidate `idx` (the selection loop's
+    /// ranking key).
     ///
     /// `alive[c]` marks candidates still in play; `selected` holds all
     /// groups chosen so far (prior rounds and this round).
     pub fn benefit(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> f64 {
+        let (saved, reuse, pack_ops) = self.contributions(idx, alive, selected);
+        (saved + 2.0 * reuse) / (1.0 + pack_ops)
+    }
+
+    /// The *net* benefit of realising candidate `idx`: issue slots saved
+    /// plus reuse, minus the packing/unpacking operations it forces.
+    ///
+    /// The ratio form of [`BenefitModel::benefit`] is strictly positive
+    /// (a group of `L` lanes always saves `L - 1` slots), which makes it
+    /// a ranking key only — selecting by it alone packs *everything*,
+    /// including pairs whose inserts and extracts cost more than the
+    /// single saved slot. Selection admits a candidate only while its
+    /// net benefit is positive (re-evaluated each iteration: reuse grows
+    /// as neighbouring candidates are selected).
+    pub fn net_benefit(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> f64 {
+        self.assess(idx, alive, selected).0
+    }
+
+    /// `(net benefit, ranking benefit)` from one contributions walk —
+    /// the selection loop needs both per candidate per iteration.
+    pub fn assess(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> (f64, f64) {
+        let (saved, reuse, pack_ops) = self.contributions(idx, alive, selected);
+        (
+            saved + 2.0 * reuse - pack_ops,
+            (saved + 2.0 * reuse) / (1.0 + pack_ops),
+        )
+    }
+
+    /// `(saved slots, reuse, packing ops)` of candidate `idx`.
+    fn contributions(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> (f64, f64, f64) {
         let c = self.round.candidates[idx];
         let g = self.round.items[c.left].concat(&self.round.items[c.right]);
         let lanes = g.lanes() as f64;
@@ -78,8 +109,7 @@ impl<'a> BenefitModel<'a> {
 
         self.result_contribution(&g, idx, alive, selected, &mut reuse, &mut pack_ops);
 
-        let saved = lanes - 1.0;
-        (saved + 2.0 * reuse) / (1.0 + pack_ops)
+        (lanes - 1.0, reuse, pack_ops)
     }
 
     fn mem_contribution(&self, g: &SimdGroup, reuse: &mut f64, pack_ops: &mut f64) {

@@ -121,6 +121,67 @@ pub fn group_reaches(dfg: &Dfg, from: &SimdGroup, to: &SimdGroup) -> bool {
         .any(|&x| to.elems.iter().any(|&y| dfg.reaches(x, y)))
 }
 
+/// Would realising `g` alongside `selected` create a dependency cycle
+/// in the coarsened graph (each group one super-node)?
+///
+/// Pairwise conflict detection cannot catch this: three or more groups
+/// can form a cycle (`g → S1 → S2 → g`) with every *pair* acyclic, and
+/// a candidate may also close a cycle with groups selected in earlier
+/// rounds, which the per-round conflict pass never re-examines. Called
+/// at selection time; an accepted selection therefore keeps the
+/// coarsened graph acyclic by induction, which is exactly the invariant
+/// lowering's coarsened topological sort relies on.
+///
+/// Selected groups overlapping `g` are skipped: they are the narrower
+/// groups a wider extension candidate absorbs and supersedes.
+pub fn closes_cycle(dfg: &Dfg, selected: &[SimdGroup], g: &SimdGroup) -> bool {
+    use std::collections::{HashMap, HashSet};
+    // Unit 0 is `g`; each non-overlapping selected group gets its own
+    // unit; every other node is its own unit.
+    let mut unit: HashMap<NodeId, usize> = HashMap::new();
+    for &e in &g.elems {
+        unit.insert(e, 0);
+    }
+    let mut next = 1usize;
+    for s in selected {
+        if s.overlaps(g) {
+            continue;
+        }
+        for &e in &s.elems {
+            unit.insert(e, next);
+        }
+        next += 1;
+    }
+    let base = next;
+    let unit_of = |n: NodeId| unit.get(&n).copied().unwrap_or(base + n.index());
+    let mut succs: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (id, _) in dfg.iter() {
+        let u = unit_of(id);
+        for p in dfg.preds(id) {
+            let pu = unit_of(p);
+            if pu != u {
+                succs.entry(pu).or_default().push(u);
+            }
+        }
+    }
+    // DFS over coarsened successors starting from `g`'s unit: a path
+    // back to unit 0 is a cycle through the new group.
+    let mut stack: Vec<usize> = succs.get(&0).cloned().unwrap_or_default();
+    let mut seen: HashSet<usize> = HashSet::new();
+    while let Some(u) = stack.pop() {
+        if u == 0 {
+            return true;
+        }
+        if !seen.insert(u) {
+            continue;
+        }
+        if let Some(next) = succs.get(&u) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
 /// Memory layout of a group of loads or stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemStatus {

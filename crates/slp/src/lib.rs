@@ -27,7 +27,7 @@ pub use benefit::BenefitModel;
 pub use candidate::{Candidate, CandidateView, Round};
 pub use conflict::structural_conflicts;
 pub use group::{
-    effective_users, fully_independent, group_reaches, mem_status, resolve_producer,
+    closes_cycle, effective_users, fully_independent, group_reaches, mem_status, resolve_producer,
     resolved_operands, MemStatus, SimdGroup,
 };
 pub use select::{extract_plain, extract_rounds, run_selection, NoHooks, SelectHooks};

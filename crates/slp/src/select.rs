@@ -17,7 +17,7 @@
 use crate::benefit::BenefitModel;
 use crate::candidate::{CandidateView, Round};
 use crate::conflict::conflicts;
-use crate::group::SimdGroup;
+use crate::group::{closes_cycle, SimdGroup};
 use slpwlo_ir::dfg::{Dfg, NodeId};
 use slpwlo_targets::TargetModel;
 
@@ -108,6 +108,7 @@ pub fn run_selection(
             // resolved; remaining compatible candidates are selected in
             // benefit order, still subject to the selection hook).
             try_select(
+                dfg,
                 best,
                 &views,
                 &mut alive,
@@ -119,6 +120,7 @@ pub fn run_selection(
             continue;
         }
         let accepted = try_select(
+            dfg,
             best,
             &views,
             &mut alive,
@@ -141,6 +143,7 @@ pub fn run_selection(
 }
 
 fn try_select(
+    dfg: &Dfg,
     idx: usize,
     views: &[CandidateView],
     alive: &mut [bool],
@@ -149,6 +152,14 @@ fn try_select(
     hooks: &mut dyn SelectHooks,
 ) -> bool {
     alive[idx] = false;
+    // Structural guard before any hook side effects: a group that would
+    // close a dependency cycle with the groups already selected (this
+    // round or earlier ones) can never be realised as one SIMD
+    // instruction — pairwise candidate conflicts cannot see these
+    // multi-group cycles.
+    if closes_cycle(dfg, selected, &views[idx].group) {
+        return false;
+    }
     if hooks.on_select(&views[idx]) {
         selected.push(views[idx].group.clone());
         new_groups.push(views[idx].group.clone());
@@ -183,7 +194,16 @@ fn argmax_benefit(
         if !a {
             continue;
         }
-        let b = model.benefit(i, alive, selected);
+        // Admission: only candidates whose *net* benefit is positive may
+        // be selected — the ratio key is strictly positive for every
+        // candidate and would otherwise pack pairs whose inserts and
+        // extracts cost more than the one issue slot they save.
+        // Re-evaluated every iteration: a candidate rejected now can
+        // become admissible once neighbours are selected (reuse grows).
+        let (net, b) = model.assess(i, alive, selected);
+        if net <= 0.0 {
+            continue;
+        }
         match best {
             Some((_, bb)) if bb >= b => {}
             _ => best = Some((i, b)),
@@ -365,22 +385,33 @@ kernel f {
 
     #[test]
     fn validate_hook_filters_candidates() {
-        struct OnlyMuls<'d> {
+        // Admit loads and muls, reject the add pair: extraction must
+        // still form the (net-beneficial) load and mul groups while the
+        // filtered adds never appear. (Keeping loads admissible matters:
+        // a mul pair with no packed operands is net-negative on its own
+        // and the benefit admission would rightly skip it.)
+        struct NoAdds<'d> {
             dfg: &'d Dfg,
         }
-        impl SelectHooks for OnlyMuls<'_> {
+        impl SelectHooks for NoAdds<'_> {
             fn validate(&mut self, view: &CandidateView) -> bool {
-                matches!(
+                !matches!(
                     view.group.kind(self.dfg),
-                    NodeKind::Bin(slpwlo_ir::BinOp::Mul)
+                    NodeKind::Bin(slpwlo_ir::BinOp::Add)
                 )
             }
         }
         let (_, dfg) = fir4_block();
-        let groups = extract_rounds(&dfg, &xentium(), &mut OnlyMuls { dfg: &dfg });
+        let groups = extract_rounds(&dfg, &xentium(), &mut NoAdds { dfg: &dfg });
         assert!(!groups.is_empty());
+        assert!(groups
+            .iter()
+            .any(|g| matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul))));
         for g in &groups {
-            assert!(matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)));
+            assert!(
+                !matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Add)),
+                "filtered adds must never be selected"
+            );
         }
     }
 }

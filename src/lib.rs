@@ -39,6 +39,7 @@ pub use slpwlo_codegen as codegen;
 pub use slpwlo_core as core;
 pub use slpwlo_driver as driver;
 pub use slpwlo_fixedpoint as fixedpoint;
+pub use slpwlo_gen as gen;
 pub use slpwlo_ir as ir;
 pub use slpwlo_kernels as kernels;
 pub use slpwlo_sim as sim;

@@ -3,7 +3,7 @@
 //! analytical model promised. Runs through the `Optimizer` driver.
 
 use slpwlo::accuracy::measure_noise;
-use slpwlo::kernels::{all_benchmarks, Workload};
+use slpwlo::kernels::{paper_benchmarks, Workload};
 use slpwlo::targets::xentium;
 use slpwlo::{Error, FlowKind, Optimizer};
 
@@ -21,7 +21,7 @@ fn workload_for(name: &str, n: usize) -> Workload {
 
 #[test]
 fn wlo_slp_specs_validate_bit_accurately() -> Result<(), Error> {
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         let workload = workload_for(bench.name, bench.activations as usize);
         let reports = Optimizer::for_kernel(bench.kernel.clone())?
             .target(xentium())
@@ -45,7 +45,7 @@ fn wlo_slp_specs_validate_bit_accurately() -> Result<(), Error> {
 
 #[test]
 fn wlo_first_specs_validate_bit_accurately() -> Result<(), Error> {
-    for bench in all_benchmarks() {
+    for bench in paper_benchmarks() {
         let workload = workload_for(bench.name, bench.activations as usize);
         let db = -35.0;
         let report = Optimizer::for_kernel(bench.kernel.clone())?
@@ -73,7 +73,7 @@ fn model_tracks_simulation_across_wl() {
     use slpwlo::fixedpoint::FixedPointSpec;
     // Uniform word lengths on FIR-64: predicted vs measured within the
     // margin at each width.
-    let bench = &all_benchmarks()[0];
+    let bench = &paper_benchmarks()[0];
     let ranges = determine_ranges(&bench.kernel, &RangeOptions::default());
     let eval = slpwlo::accuracy::AnalyticalEvaluator::with_defaults(&bench.kernel);
     let workload = Workload::white(1, 4096, 0x11);

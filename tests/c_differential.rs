@@ -10,172 +10,18 @@
 //! tests skip with a notice — set `SLPWLO_REQUIRE_CC=1` (CI does) to
 //! turn a missing compiler into a failure.
 
+mod common;
+
+use common::{assert_bit_identical, cc_available, compile_and_run, simd_program};
 use slpwlo::accuracy::simulate::simulate_fixed;
 use slpwlo::codegen::{emit_fixed_c, emit_intrinsics_header, emit_simd_c};
-use slpwlo::core::nodes::value_wl;
-use slpwlo::core::{lower_fixed, lower_scalar, prepare, wlo_slp_flow, MachineProgram};
+use slpwlo::core::{lower_scalar, prepare, wlo_slp_flow, MachineProgram};
 use slpwlo::fixedpoint::range::{determine_ranges, RangeOptions};
 use slpwlo::fixedpoint::{FixedPointSpec, QFormat, SpecKey};
-use slpwlo::ir::blocks::collect_blocks;
 use slpwlo::ir::parser::parse_kernel;
-use slpwlo::ir::{Dfg, ExprNode, Kernel};
+use slpwlo::ir::{ExprNode, Kernel};
 use slpwlo::kernels::{conv3x3, fir64, iir10, Workload};
-use slpwlo::slp::extract_plain;
-use slpwlo::targets::{xentium, TargetModel};
-use std::io::Write as _;
-use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
-
-fn cc_available() -> bool {
-    let found = Command::new("cc")
-        .arg("--version")
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .status()
-        .map(|s| s.success())
-        .unwrap_or(false);
-    if !found && std::env::var("SLPWLO_REQUIRE_CC").is_ok() {
-        panic!("SLPWLO_REQUIRE_CC is set but no `cc` is on PATH");
-    }
-    if !found {
-        eprintln!("skipping C differential tests: no `cc` on PATH");
-    }
-    found
-}
-
-fn work_dir(tag: &str) -> PathBuf {
-    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(tag);
-    std::fs::create_dir_all(&dir).expect("create work dir");
-    dir
-}
-
-/// Emits a stdin/stdout test driver around `<kernel>_step`: one line of
-/// hex-encoded f64 bits per input per activation in, one line per
-/// output per activation out. Bit-faithful in both directions.
-fn driver_c(kernel_name: &str, inputs: usize, outputs: usize) -> String {
-    let mut s = String::new();
-    s.push_str("#include <stdio.h>\n#include <stdint.h>\n#include <string.h>\n\n");
-    s.push_str(&format!("void {kernel_name}_step("));
-    let mut args: Vec<String> = (0..inputs).map(|i| format!("double in{i}")).collect();
-    args.extend((0..outputs).map(|o| format!("double *out{o}")));
-    s.push_str(&args.join(", "));
-    s.push_str(");\n\nint main(void)\n{\n");
-    s.push_str(&format!(
-        "    double in[{inputs}];\n    double out[{outputs}];\n    unsigned long long w;\n"
-    ));
-    s.push_str("    memset(out, 0, sizeof out);\n    for (;;) {\n");
-    s.push_str(&format!("        for (int i = 0; i < {inputs}; i++) {{\n"));
-    s.push_str("            if (scanf(\"%llx\", &w) != 1) return 0;\n");
-    s.push_str("            memcpy(&in[i], &w, 8);\n        }\n");
-    let mut call: Vec<String> = (0..inputs).map(|i| format!("in[{i}]")).collect();
-    call.extend((0..outputs).map(|o| format!("&out[{o}]")));
-    s.push_str(&format!(
-        "        {kernel_name}_step({});\n",
-        call.join(", ")
-    ));
-    s.push_str(&format!("        for (int o = 0; o < {outputs}; o++) {{\n"));
-    s.push_str(
-        "            memcpy(&w, &out[o], 8);\n            printf(\"%llx\\n\", w);\n        }\n",
-    );
-    s.push_str("    }\n}\n");
-    s
-}
-
-/// Compiles `{program C, driver C}` with `-std=c99 -Wall -Werror` and
-/// runs it over the workload, returning `outputs[o][n]`.
-fn compile_and_run(
-    tag: &str,
-    program_c: &str,
-    header: Option<(&str, &str)>,
-    kernel_name: &str,
-    workload: &Workload,
-    outputs: usize,
-) -> Vec<Vec<f64>> {
-    let dir = work_dir(tag);
-    let prog_path = dir.join("program.c");
-    let main_path = dir.join("main.c");
-    let exe_path = dir.join("prog");
-    std::fs::write(&prog_path, program_c).expect("write program.c");
-    std::fs::write(
-        &main_path,
-        driver_c(kernel_name, workload.inputs.len(), outputs),
-    )
-    .expect("write main.c");
-    if let Some((name, contents)) = header {
-        std::fs::write(dir.join(name), contents).expect("write header");
-    }
-    let status = Command::new("cc")
-        .args(["-std=c99", "-Wall", "-Werror", "-O2", "-I"])
-        .arg(&dir)
-        .arg("-o")
-        .arg(&exe_path)
-        .arg(&prog_path)
-        .arg(&main_path)
-        .arg("-lm")
-        .status()
-        .expect("invoke cc");
-    assert!(status.success(), "cc failed on {tag} (see {dir:?})");
-
-    let mut child = Command::new(&exe_path)
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("run generated program");
-    {
-        let mut stdin = child.stdin.take().expect("stdin");
-        let n = workload.activations();
-        let mut text = String::new();
-        for a in 0..n {
-            for stream in &workload.inputs {
-                text.push_str(&format!("{:x}\n", stream[a].to_bits()));
-            }
-        }
-        stdin.write_all(text.as_bytes()).expect("feed inputs");
-    }
-    let out = child.wait_with_output().expect("collect outputs");
-    assert!(out.status.success(), "generated program crashed on {tag}");
-    let words: Vec<u64> = String::from_utf8(out.stdout)
-        .expect("utf8 output")
-        .lines()
-        .map(|l| u64::from_str_radix(l.trim(), 16).expect("hex output"))
-        .collect();
-    let n = workload.activations();
-    assert_eq!(words.len(), n * outputs, "{tag}: output count");
-    let mut res = vec![Vec::with_capacity(n); outputs];
-    for (k, w) in words.into_iter().enumerate() {
-        res[k % outputs].push(f64::from_bits(w));
-    }
-    res
-}
-
-fn assert_bit_identical(label: &str, reference: &[Vec<f64>], got: &[Vec<f64>]) {
-    for (o, (r, g)) in reference.iter().zip(got).enumerate() {
-        assert_eq!(r.len(), g.len(), "{label}: output {o} length");
-        for (n, (a, b)) in r.iter().zip(g).enumerate() {
-            assert_eq!(
-                a.to_bits(),
-                b.to_bits(),
-                "{label}: output {o} sample {n}: reference {a:e} vs C {b:e}"
-            );
-        }
-    }
-}
-
-fn simd_program(kernel: &Kernel, spec: &FixedPointSpec, target: &TargetModel) -> MachineProgram {
-    let blocks: Vec<_> = collect_blocks(kernel)
-        .into_iter()
-        .map(|b| {
-            let dfg = Dfg::from_block(kernel, &b);
-            let groups = {
-                let spec_ref = &spec;
-                let dfg_ref = &dfg;
-                extract_plain(&dfg, target, &move |n| value_wl(spec_ref, dfg_ref, n))
-            };
-            (b, dfg, groups)
-        })
-        .collect();
-    lower_fixed(kernel, spec, target, &blocks)
-}
+use slpwlo::targets::xentium;
 
 fn check_both_backends(
     tag: &str,

@@ -1,0 +1,78 @@
+/* dot256 — SIMD C over the abstract macro API */
+/* target: XENTIUM */
+#include "slpwlo_simd_xentium.h"
+
+/* t format <-5,21> (quantized at compile time) */
+static const int16_t t[256] = { 0, 1, 9, 29, 60, 96, 123, 126, 85, -10, -159, -343, -521, -642, -645, -486, -152, 323, 848, 1288, 1492, 1333, 765, -145, -1196, -2091, -2506, -2204, -1136, 483, 2192, 3394, 3558, 2442, 257, -2312, -4297, -4791, -3363, -349, 3154, 5639, 5828, 3333, -991, -5252, -7310, -5852, -1233, 4438, 8190, 7734, 2886, -3999, -9064, -9081, -3558, 4569, 10357, 9837, 2799, -6568, -12028, -9439, 0, 9987, 13197, 6708, -5240, -13757, -11871, -376, 11988, 15010, 5532, -9112, -16480, -9603, 6185, 16982, 12488, -3922, -17213, -14320, 2758, 17684, 15217, -2960, -18641, -15119, 4709, 20010, 13713, -8069, -21311, -10464, 12817, 21582, 4819, -18150, -19425, 3338, 22383, 13380, -12997, -22943, -2847, 21382, 17163, -10540, -24098, -4195, 21895, 17036, -12487, -24098, -245, 24203, 12349, -18436, -21037, 9112, 25105, 1264, -24721, -10695, 20909, 17983, -15016, -22708, 8305, 25024, -1750, -25418, -4036, 24501, 8757, -22859, -12349, 20983, 14890, -19239, -16518, 17871, 17376, -17022, -17572, 16750, 17163, -17045, -16150, 17834, 14483, -18973, -12083, 20244, 8871, -21342, -4819, 21882, 0, -21420, 5340, 19514, -10732, -15827, 15466, 10273, -18641, -3174, 19326, -4622, -16829, 11738, 11041, -16476, -2763, 17279, -6185, -13385, 13237, 5460, -15863, 4144, 12692, -11875, -4560, 14331, -5240, -10075, 12042, 971, -12148, 8132, 5328, -11824, 4304, 7694, -10357, 1393, 8548, -8676, -403, 8469, -7281, -1206, 7895, -6342, -1233, 7062, -5819, -693, 6046, -5554, 228, 4824, -5326, 1339, 3363, -4895, 2401, 1698, -4062, 3125, 0, -2757, 3230, -1406, -1136, 2580, -2140, 397, 1333, -1976, 1331, -15, -1077, 1364, -848, -17, 688, -856, 557, -63, -328, 453, -334, 106, 85, -163, 136, -64, 4, 19, -15, 4 };
+/* win format <1,15> */
+static int16_t win[256];
+/* acc canonical format <2,30> */
+static int64_t acc = 0;
+
+void dot256_step(double x_in, double *y_out)
+{
+    /* bb0: 3 ops, executes 1x per activation */
+    {
+        int64_t v0_0 = slpwlo_quant(x_in, 15, INT64_C(-32768), INT64_C(32767));
+        for (int k = 255; k > 0; k--) win[k] = win[k-1]; /* delay line */
+        win[0] = (int16_t)v0_0;
+        /* variable commits (live-in snapshot semantics) */
+        int64_t v0_def0 = slpwlo_shl(INT64_C(0), 15);
+        acc = v0_def0;
+    }
+    for (int i1 = 0; i1 < 32; i1++) {
+        /* bb1: 41 ops, executes 32x per activation, loop body */
+        slpwlo_vec_t v1_0 = VLOAD2(&t[8*i1]);
+        slpwlo_vec_t v1_1 = VLOAD2(&win[8*i1]);
+        slpwlo_vec_t v1_2 = VMUL2(v1_0, v1_1);
+        slpwlo_vec_t v1_3_q = VSH2(v1_2, 15, 15);
+        slpwlo_vec_t v1_3 = VSAT2(v1_3_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_4 = UNPACK(v1_3, 0);
+        int64_t v1_5 = slpwlo_shr(v1_4, 6);
+        int64_t v1_6 = slpwlo_sat(slpwlo_shr((acc), 15) + (v1_5), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_7 = UNPACK(v1_3, 1);
+        int64_t v1_8 = slpwlo_shr(v1_7, 6);
+        int64_t v1_9 = slpwlo_sat((v1_6) + (v1_8), INT64_C(-32768), INT64_C(32767));
+        slpwlo_vec_t v1_10 = VLOAD2(&t[8*i1 + 2]);
+        slpwlo_vec_t v1_11 = VLOAD2(&win[8*i1 + 2]);
+        slpwlo_vec_t v1_12 = VMUL2(v1_10, v1_11);
+        slpwlo_vec_t v1_13_q = VSH2(v1_12, 15, 15);
+        slpwlo_vec_t v1_13 = VSAT2(v1_13_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_14 = UNPACK(v1_13, 0);
+        int64_t v1_15 = slpwlo_shr(v1_14, 6);
+        int64_t v1_16 = slpwlo_sat((v1_9) + (v1_15), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_17 = UNPACK(v1_13, 1);
+        int64_t v1_18 = slpwlo_shr(v1_17, 6);
+        int64_t v1_19 = slpwlo_sat((v1_16) + (v1_18), INT64_C(-32768), INT64_C(32767));
+        slpwlo_vec_t v1_20 = VLOAD2(&t[8*i1 + 4]);
+        slpwlo_vec_t v1_21 = VLOAD2(&win[8*i1 + 4]);
+        slpwlo_vec_t v1_22 = VMUL2(v1_20, v1_21);
+        slpwlo_vec_t v1_23_q = VSH2(v1_22, 15, 15);
+        slpwlo_vec_t v1_23 = VSAT2(v1_23_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_24 = UNPACK(v1_23, 0);
+        int64_t v1_25 = slpwlo_shr(v1_24, 6);
+        int64_t v1_26 = slpwlo_sat((v1_19) + (v1_25), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_27 = UNPACK(v1_23, 1);
+        int64_t v1_28 = slpwlo_shr(v1_27, 6);
+        int64_t v1_29 = slpwlo_sat((v1_26) + (v1_28), INT64_C(-32768), INT64_C(32767));
+        slpwlo_vec_t v1_30 = VLOAD2(&t[8*i1 + 6]);
+        slpwlo_vec_t v1_31 = VLOAD2(&win[8*i1 + 6]);
+        slpwlo_vec_t v1_32 = VMUL2(v1_30, v1_31);
+        slpwlo_vec_t v1_33_q = VSH2(v1_32, 15, 15);
+        slpwlo_vec_t v1_33 = VSAT2(v1_33_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_34 = UNPACK(v1_33, 0);
+        int64_t v1_35 = slpwlo_shr(v1_34, 6);
+        int64_t v1_36 = slpwlo_sat((v1_29) + (v1_35), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_37 = slpwlo_shr(v1_36, 1);
+        int64_t v1_38 = UNPACK(v1_33, 1);
+        int64_t v1_39 = slpwlo_shr(v1_38, 7);
+        int64_t v1_40 = slpwlo_sat((v1_37) + (v1_39), INT64_C(-32768), INT64_C(32767));
+        /* variable commits (live-in snapshot semantics) */
+        int64_t v1_def0 = slpwlo_shl(v1_40, 16);
+        acc = v1_def0;
+    }
+    /* bb2: 1 ops, executes 1x per activation */
+    {
+        *y_out = ldexp((double)(acc), -30);
+    }
+}

@@ -21,8 +21,8 @@ void fir8_step(double x_in, double *y_out)
         int64_t v0_def0 = INT64_C(0);
         acc = v0_def0;
     }
-    /* bb1: 21 ops, executes 2x per activation, loop body */
     for (int i1 = 0; i1 < 2; i1++) {
+        /* bb1: 21 ops, executes 2x per activation, loop body */
         slpwlo_vec_t v1_0 = VLOAD2(&c[4*i1]);
         slpwlo_vec_t v1_1 = VLOAD2(&dl[4*i1]);
         slpwlo_vec_t v1_2 = VMUL2(v1_0, v1_1);

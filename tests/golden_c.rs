@@ -1,17 +1,25 @@
-//! Golden-file snapshots of the emitted C for the FIR-8 kernel.
+//! Golden-file snapshots of the emitted C.
 //!
-//! The emitted artifacts are stable across refactors; any intentional
-//! change to the back-ends shows up as a reviewable diff of
-//! `tests/golden/fir8_fixed.c` / `tests/golden/fir8_simd.c`.
-//! Regenerate with:
+//! Two kernels are snapshotted: FIR-8 through the full WLO-SLP flow
+//! (non-uniform formats, the paper's pipeline) and dot-product-256 on a
+//! uniform 16-bit specification (the longest reduction in the suite —
+//! loop-heavy code with large coefficient tables). The emitted
+//! artifacts are stable across refactors; any intentional change to the
+//! back-ends shows up as a reviewable diff under `tests/golden/` (see
+//! its README). Regenerate with:
 //!
 //! ```sh
 //! SLPWLO_UPDATE_GOLDEN=1 cargo test --test golden_c
 //! ```
 
+mod common;
+
 use slpwlo::codegen::{emit_fixed_c, emit_simd_c};
 use slpwlo::core::{lower_scalar, prepare, wlo_slp_flow};
+use slpwlo::fixedpoint::range::{determine_ranges, RangeOptions};
+use slpwlo::fixedpoint::FixedPointSpec;
 use slpwlo::ir::parser::parse_kernel;
+use slpwlo::kernels::dot_product256;
 use slpwlo::targets::xentium;
 use std::path::Path;
 
@@ -65,4 +73,30 @@ fn fir8_simd_c_matches_golden() {
     let flow = wlo_slp_flow(&prep, &xentium(), -40.0);
     let c = emit_simd_c(&flow.simd, "XENTIUM").expect("SIMD C emits");
     check_golden("fir8_simd.c", &c);
+}
+
+/// Uniform 16-bit specification for dot-product-256 (no search: the
+/// snapshot must stay byte-stable under optimizer evolution and
+/// exercise the loop/table emission paths instead).
+fn dot256_setup() -> (slpwlo::ir::Kernel, FixedPointSpec) {
+    let kernel = dot_product256();
+    let ranges = determine_ranges(&kernel, &RangeOptions::default());
+    let spec = FixedPointSpec::from_ranges(&kernel, &ranges, 16);
+    (kernel, spec)
+}
+
+#[test]
+fn dot256_scalar_c_matches_golden() {
+    let (kernel, spec) = dot256_setup();
+    let scalar = lower_scalar(&kernel, &spec, &xentium());
+    let c = emit_fixed_c(&scalar).expect("scalar C emits");
+    check_golden("dot256_fixed.c", &c);
+}
+
+#[test]
+fn dot256_simd_c_matches_golden() {
+    let (kernel, spec) = dot256_setup();
+    let simd = common::simd_program(&kernel, &spec, &xentium());
+    let c = emit_simd_c(&simd, "XENTIUM").expect("SIMD C emits");
+    check_golden("dot256_simd.c", &c);
 }

@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use slpwlo::accuracy::{AccuracyEvaluator, AnalyticalEvaluator, IncrementalEvaluator};
 use slpwlo::core::prepare;
 use slpwlo::fixedpoint::FixedPointSpec;
-use slpwlo::kernels::all_benchmarks;
+use slpwlo::kernels::paper_benchmarks;
 
 /// Word lengths the random walk draws from (denser than any real
 /// target's supported set, to cover more formats).
@@ -101,7 +101,7 @@ fn random_walk(
 fn incremental_matches_full_recompute_on_random_walks() {
     // ≥ 1000 steps per kernel; each step checks twice (trial + post-
     // resolution), so every kernel sees ≥ 2000 bitwise comparisons.
-    for (i, bench) in all_benchmarks().into_iter().enumerate() {
+    for (i, bench) in paper_benchmarks().into_iter().enumerate() {
         let prep = prepare(bench.kernel);
         random_walk(
             bench.name,
@@ -117,7 +117,7 @@ fn incremental_matches_full_recompute_on_random_walks() {
 fn incremental_matches_full_after_deep_nested_rollbacks() {
     // Nested mark/rollback towers (the hooks' validate/conflict shape):
     // open several journal levels, trial at the innermost, unwind.
-    let bench = all_benchmarks().remove(0);
+    let bench = paper_benchmarks().remove(0);
     let prep = prepare(bench.kernel);
     let ranges = slpwlo::fixedpoint::range::determine_ranges(&prep.kernel, &Default::default());
     let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &ranges, 32);
