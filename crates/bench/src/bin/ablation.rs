@@ -6,7 +6,12 @@
 //! * `no-acc-conflicts` — candidate validation only, without the
 //!   pairwise accuracy-conflict detection (fig. 1c lines 16-22): the
 //!   selection may paint itself into a corner and lose groups at the
-//!   `on_select` guard.
+//!   `on_select` guard;
+//! * **benefit models** — `BenefitKind::Slots` (target-blind issue-slot
+//!   counting) vs `BenefitKind::Cycles` (candidates priced through
+//!   `TargetModel::cost`) across the full 8-benchmark suite and all four
+//!   targets, with selection time and scheduled cycles-per-activation
+//!   recorded to `BENCH_benefit.json`.
 //!
 //! Each variant is a custom [`CompilationFlow`] strategy plugged into the
 //! unified `Optimizer` driver — the extension point new flows register
@@ -14,17 +19,20 @@
 //!
 //! Usage: `cargo run --release -p slpwlo-bench --bin ablation`
 
+use slpwlo_bench::micro::Micro;
 use slpwlo_core::hooks::AccuracyHooks;
 use slpwlo_core::{lower_fixed, lower_scalar, scaling_optimize};
 use slpwlo_driver::{
-    required_constraint, CompilationFlow, Error, FlowContext, FlowKind, FlowOutput, Optimizer,
+    required_constraint, BenefitKind, CompilationFlow, Error, FlowContext, FlowKind, FlowOutput,
+    Optimizer,
 };
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
 use slpwlo_ir::dfg::Dfg;
-use slpwlo_kernels::paper_benchmarks;
+use slpwlo_kernels::{all_benchmarks, paper_benchmarks};
+use slpwlo_sim::cycles_per_activation;
 use slpwlo_slp::{run_selection, CandidateView, Round, SelectHooks, SimdGroup};
-use slpwlo_targets::xentium;
+use slpwlo_targets::{all_targets, xentium};
 
 /// Accuracy hooks with the pairwise conflict detection disabled.
 struct NoConflictHooks<'a>(AccuracyHooks<'a>);
@@ -92,7 +100,7 @@ impl CompilationFlow for AblatedWloSlp {
                 groups.extend(selected);
             }
             if self.0 != Ablate::Scalopt {
-                let _ = scaling_optimize(&mut spec, &dfg, &groups, &prep.eval, db);
+                let _ = scaling_optimize(&mut spec, &dfg, &groups, &prep.eval, db, target);
             }
             per_block.push((block, dfg, groups));
         }
@@ -109,6 +117,53 @@ impl CompilationFlow for AblatedWloSlp {
             noise_db: Some(noise_db),
         })
     }
+}
+
+/// Slots-vs-cycles benefit-model comparison over the full benchmark
+/// suite: per (benchmark, target, model) the wall-clock selection time
+/// and the scheduled cycles per activation of the produced SIMD program,
+/// recorded to `BENCH_benefit.json` (the bench-smoke CI artifact).
+fn benefit_model_study() -> Result<(), Error> {
+    let mut micro = Micro::for_bench("benefit");
+    println!(
+        "\nBenefit models across the 8-benchmark suite (cycles/activation at -40 dB)\n\
+         {:<18} {:<8} {:>14} {:>14}",
+        "bench", "target", "slots", "cycles"
+    );
+    for bench in all_benchmarks() {
+        for target in all_targets() {
+            let mut per_model = Vec::new();
+            for kind in [BenefitKind::Slots, BenefitKind::Cycles] {
+                let opt = Optimizer::for_kernel(bench.kernel.clone())?
+                    .target(target.clone())
+                    .constraint_db(-40.0)
+                    .flow(FlowKind::WloSlp)
+                    .benefit_kind(kind);
+                // Selection time: one full joint-flow run (dominated by
+                // extraction/selection; the same unit both models pay).
+                // The timed closure's last run doubles as the report, so
+                // the pipeline is not executed an extra time.
+                let mut report = None;
+                micro.bench(
+                    &format!("select/{}/{}/{kind}", bench.name, target.name),
+                    || report = Some(opt.run().expect("feasible point")),
+                );
+                let report = report.expect("bench ran at least once");
+                let cpa = cycles_per_activation(&target, &report.simd);
+                micro.metric(
+                    &format!("cpa/{}/{}/{kind}", bench.name, target.name),
+                    cpa as f64,
+                );
+                per_model.push(cpa);
+            }
+            println!(
+                "{:<18} {:<8} {:>14} {:>14}",
+                bench.name, target.name, per_model[0], per_model[1]
+            );
+        }
+    }
+    micro.finish().expect("write BENCH_benefit.json");
+    Ok(())
 }
 
 fn main() -> Result<(), Error> {
@@ -141,5 +196,5 @@ fn main() -> Result<(), Error> {
             );
         }
     }
-    Ok(())
+    benefit_model_study()
 }

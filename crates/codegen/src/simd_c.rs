@@ -44,8 +44,14 @@ pub fn emit_simd_c(program: &MachineProgram, target_name: &str) -> Result<String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slpwlo_core::{prepare, wlo_slp_flow, MachineProgram};
+    use slpwlo_core::nodes::value_wl;
+    use slpwlo_core::{lower_fixed, MachineProgram};
+    use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions};
+    use slpwlo_fixedpoint::FixedPointSpec;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::dfg::Dfg;
     use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_slp::extract_plain;
     use slpwlo_targets::xentium;
 
     fn program() -> MachineProgram {
@@ -63,8 +69,27 @@ kernel f {
     y = t0 + t1;
 }
 "#;
-        let prep = prepare(parse_kernel(src).unwrap());
-        wlo_slp_flow(&prep, &xentium(), -40.0).simd
+        // Structural extraction over a frozen 16-bit spec: this test is
+        // about C emission of vector programs, not about whether the
+        // end-to-end flow's scheduler guard finds packing profitable on
+        // this tiny kernel (it does not), so the flow layer is bypassed.
+        let kernel = parse_kernel(src).unwrap();
+        let target = xentium();
+        let ranges = determine_ranges(&kernel, &RangeOptions::default());
+        let spec = FixedPointSpec::from_ranges(&kernel, &ranges, 16);
+        let blocks: Vec<_> = collect_blocks(&kernel)
+            .into_iter()
+            .map(|b| {
+                let dfg = Dfg::from_block(&kernel, &b);
+                let groups = {
+                    let spec_ref = &spec;
+                    let dfg_ref = &dfg;
+                    extract_plain(&dfg, &target, &move |n| value_wl(spec_ref, dfg_ref, n))
+                };
+                (b, dfg, groups)
+            })
+            .collect();
+        lower_fixed(&kernel, &spec, &target, &blocks)
     }
 
     #[test]

@@ -13,16 +13,16 @@
 //!   accuracy-unaware SLP extraction on the frozen specification.
 
 use crate::lower::{lower_fixed, lower_scalar, MachineProgram};
-use crate::nodes::value_wl;
+use crate::nodes::{value_format, value_wl};
 use crate::tabu::{tabu_wlo, TabuOptions};
-use crate::wlo_slp::wlo_slp;
+use crate::wlo_slp::wlo_slp_with;
 use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator, EvalOptions, IncrementalEvaluator};
 use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions, Ranges};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::collect_blocks;
-use slpwlo_ir::dfg::Dfg;
+use slpwlo_ir::dfg::{Dfg, NodeId};
 use slpwlo_ir::Kernel;
-use slpwlo_slp::extract_plain;
+use slpwlo_slp::{extract_rounds_with, BenefitKind, CandidateView, SelectHooks};
 use slpwlo_targets::TargetModel;
 
 /// A kernel with its once-per-kernel analyses (ranges, noise gains).
@@ -51,6 +51,113 @@ pub fn prepare(kernel: Kernel) -> Prepared {
     }
 }
 
+/// Plain (accuracy-unaware) SLP extraction over a frozen specification,
+/// block by block — the `WLO-First` back half's extraction. The spec
+/// supplies word lengths for candidate validation *and* the full format
+/// context (`current_wl`/`current_fwl`) the cycle-priced benefit model
+/// reads; no scaling equalization follows, so mismatched scalings keep
+/// their fig. 2 price.
+pub fn extract_on_spec(
+    kernel: &Kernel,
+    spec: &FixedPointSpec,
+    target: &TargetModel,
+    benefit: BenefitKind,
+) -> Vec<(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)> {
+    struct FrozenSpecHooks<'a> {
+        target: &'a TargetModel,
+        spec: &'a FixedPointSpec,
+        dfg: &'a Dfg,
+    }
+    impl SelectHooks for FrozenSpecHooks<'_> {
+        fn validate(&mut self, view: &CandidateView) -> bool {
+            view.group.elems.iter().all(|&e| {
+                match self.target.container_wl(value_wl(self.spec, self.dfg, e)) {
+                    Some(c) => c <= view.elem_wl,
+                    None => false,
+                }
+            })
+        }
+        fn current_wl(&self, node: NodeId) -> Option<i32> {
+            Some(value_wl(self.spec, self.dfg, node))
+        }
+        fn current_fwl(&self, node: NodeId) -> Option<i32> {
+            Some(value_format(self.spec, self.dfg, node).fwl)
+        }
+    }
+    collect_blocks(kernel)
+        .into_iter()
+        .map(|b| {
+            let dfg = Dfg::from_block(kernel, &b);
+            let groups = {
+                let mut hooks = FrozenSpecHooks {
+                    target,
+                    spec,
+                    dfg: &dfg,
+                };
+                extract_rounds_with(&dfg, target, &mut hooks, benefit)
+            };
+            (b, dfg, groups)
+        })
+        .collect()
+}
+
+/// The scheduler guard: the benefit model is a per-candidate estimate;
+/// the list scheduler is the arbiter. Every block's selected groups are
+/// kept only if the block's vectorized form actually schedules faster
+/// than dropping them under the final specification — otherwise the
+/// word-length decisions stand (the spec is untouched) but the packs
+/// are discarded. Blocks schedule independently, so the per-block
+/// greedy is exact; the returned program is the cheapest keep/drop
+/// assignment and never slower than the all-scalar lowering of the
+/// same spec.
+fn prune_unprofitable_groups(
+    kernel: &Kernel,
+    spec: &FixedPointSpec,
+    target: &TargetModel,
+    blocks: &mut [(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)],
+) -> MachineProgram {
+    use crate::sched::block_cycles;
+    // Sorting into document order aligns this list positionally with
+    // the lowered program's blocks (lowering emits document order
+    // regardless of the input's visit order), so the vectorized and
+    // group-free lowerings can be compared block by block — three
+    // whole-program lowerings in total, not one per block.
+    blocks.sort_by_key(|(b, _, _)| b.id.0);
+    let full = lower_fixed(kernel, spec, target, blocks);
+    assert_eq!(
+        full.blocks.len(),
+        blocks.len(),
+        "lowering must emit one machine block per source block"
+    );
+    if blocks.iter().all(|(_, _, g)| g.is_empty()) {
+        return full;
+    }
+    let bare: Vec<_> = blocks
+        .iter()
+        .map(|(b, dfg, _)| (b.clone(), dfg.clone(), Vec::new()))
+        .collect();
+    let none = lower_fixed(kernel, spec, target, &bare);
+    let mut pruned = false;
+    for (i, (_, _, groups)) in blocks.iter_mut().enumerate() {
+        if groups.is_empty() {
+            continue;
+        }
+        // Drop the block's groups only when doing so strictly improves
+        // its schedule (ties keep the vector form).
+        if block_cycles(target, &none.blocks[i]) < block_cycles(target, &full.blocks[i]) {
+            groups.clear();
+            pruned = true;
+        }
+    }
+    if !pruned {
+        return full;
+    }
+    if blocks.iter().all(|(_, _, g)| g.is_empty()) {
+        return none;
+    }
+    lower_fixed(kernel, spec, target, blocks)
+}
+
 /// Outcome of one flow on one kernel/target/constraint point.
 #[derive(Debug)]
 pub struct FlowResult {
@@ -72,15 +179,32 @@ pub struct FlowResult {
 /// prepared analytical model, so each accuracy trial re-walks only the
 /// touched noise sources; final reporting still uses the full evaluator.
 pub fn wlo_slp_flow(prep: &Prepared, target: &TargetModel, constraint_db: f64) -> FlowResult {
+    wlo_slp_flow_with(prep, target, constraint_db, BenefitKind::default())
+}
+
+/// [`wlo_slp_flow`] with an explicit SLP benefit strategy.
+pub fn wlo_slp_flow_with(
+    prep: &Prepared,
+    target: &TargetModel,
+    constraint_db: f64,
+    benefit: BenefitKind,
+) -> FlowResult {
     let eval = IncrementalEvaluator::new(&prep.eval);
-    let res = wlo_slp(&prep.kernel, target, &eval, constraint_db, &prep.ranges);
-    let blocks: Vec<_> = res
+    let res = wlo_slp_with(
+        &prep.kernel,
+        target,
+        &eval,
+        constraint_db,
+        &prep.ranges,
+        benefit,
+    );
+    let mut blocks: Vec<_> = res
         .blocks
         .into_iter()
         .map(|b| (b.block, b.dfg, b.groups))
         .collect();
+    let simd = prune_unprofitable_groups(&prep.kernel, &res.spec, target, &mut blocks);
     let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
-    let simd = lower_fixed(&prep.kernel, &res.spec, target, &blocks);
     let scalar = lower_scalar(&prep.kernel, &res.spec, target);
     let noise_db = prep.eval.noise_db(&res.spec);
     FlowResult {
@@ -100,6 +224,19 @@ pub fn wlo_first_flow(
     constraint_db: f64,
     tabu: &TabuOptions,
 ) -> FlowResult {
+    wlo_first_flow_with(prep, target, constraint_db, tabu, BenefitKind::default())
+}
+
+/// [`wlo_first_flow`] with an explicit SLP benefit strategy (the frozen
+/// Tabu specification is the word-length context of the cycle-priced
+/// model).
+pub fn wlo_first_flow_with(
+    prep: &Prepared,
+    target: &TargetModel,
+    constraint_db: f64,
+    tabu: &TabuOptions,
+    benefit: BenefitKind,
+) -> FlowResult {
     let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
     let eval = IncrementalEvaluator::new(&prep.eval);
     tabu_wlo(
@@ -110,21 +247,9 @@ pub fn wlo_first_flow(
         &target.scalar_wls,
         tabu,
     );
-    // Plain SLP on the frozen specification.
-    let blocks: Vec<_> = collect_blocks(&prep.kernel)
-        .into_iter()
-        .map(|b| {
-            let dfg = Dfg::from_block(&prep.kernel, &b);
-            let groups = {
-                let spec_ref = &spec;
-                let dfg_ref = &dfg;
-                extract_plain(&dfg, target, &move |n| value_wl(spec_ref, dfg_ref, n))
-            };
-            (b, dfg, groups)
-        })
-        .collect();
+    let mut blocks = extract_on_spec(&prep.kernel, &spec, target, benefit);
+    let simd = prune_unprofitable_groups(&prep.kernel, &spec, target, &mut blocks);
     let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
-    let simd = lower_fixed(&prep.kernel, &spec, target, &blocks);
     let scalar = lower_scalar(&prep.kernel, &spec, target);
     let noise_db = prep.eval.noise_db(&spec);
     FlowResult {
@@ -171,11 +296,27 @@ kernel fir8 {
     }
 
     #[test]
-    fn wlo_slp_packs_where_baseline_cannot_coordinate() {
+    fn wlo_slp_packs_where_it_pays_and_never_where_it_loses() {
+        use crate::sched::cycles_per_activation;
         let prep = prepare(parse_kernel(FIR8).unwrap());
-        let target = xentium();
-        let a = wlo_slp_flow(&prep, &target, -40.0);
-        assert!(a.group_count > 0, "joint flow must find groups at -40 dB");
+        // ST240's single memory port makes FIR's vector loads genuinely
+        // profitable: the joint flow must find (and keep) groups there.
+        let st = slpwlo_targets::st240();
+        let a = wlo_slp_flow(&prep, &st, -40.0);
+        assert!(
+            a.group_count > 0,
+            "joint flow must find groups on ST240 at -40 dB"
+        );
+        assert!(cycles_per_activation(&st, &a.simd) < cycles_per_activation(&st, &a.scalar));
+        // On 12-issue XENTIUM this tiny kernel is latency-bound: packing
+        // cannot pay, and the scheduler guard must leave the program no
+        // slower than its own scalar lowering.
+        let x = xentium();
+        let b = wlo_slp_flow(&prep, &x, -40.0);
+        assert!(
+            cycles_per_activation(&x, &b.simd) <= cycles_per_activation(&x, &b.scalar),
+            "the scheduler guard must never keep a losing pack"
+        );
     }
 
     #[test]

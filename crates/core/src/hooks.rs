@@ -15,7 +15,7 @@
 //!   pairwise conflicts cannot rule this out), the selection is vetoed and
 //!   rolled back.
 
-use crate::nodes::node_key;
+use crate::nodes::{node_key, value_format, value_wl};
 use slpwlo_accuracy::AccuracyEvaluator;
 use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
@@ -87,6 +87,26 @@ impl SelectHooks for AccuracyHooks<'_> {
             self.eval.rollback_trial();
             false
         }
+    }
+
+    /// The evolving spec is the word-length oracle of the WLO↔SLP loop:
+    /// cycle-priced benefit estimation sees every `SETMAXWL` shrink, so
+    /// live candidates are re-priced as selections commit.
+    fn current_wl(&self, node: NodeId) -> Option<i32> {
+        Some(value_wl(self.spec, self.dfg, node))
+    }
+
+    /// Current fractional word lengths let the cycle-priced model see
+    /// per-lane scaling amounts (and price fig. 2 mismatches) instead of
+    /// assuming uniform scalings.
+    fn current_fwl(&self, node: NodeId) -> Option<i32> {
+        Some(value_format(self.spec, self.dfg, node).fwl)
+    }
+
+    /// The joint flow runs fig. 1b scaling equalization after
+    /// extraction, so reachable mismatches will be repaired.
+    fn equalization_follows(&self) -> bool {
+        true
     }
 }
 

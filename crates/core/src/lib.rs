@@ -29,10 +29,14 @@ pub mod hooks;
 pub mod lower;
 pub mod nodes;
 pub mod scalopt;
+pub mod sched;
 pub mod tabu;
 pub mod wlo_slp;
 
-pub use flow::{prepare, wlo_first_flow, wlo_slp_flow, FlowResult, Prepared};
+pub use flow::{
+    extract_on_spec, prepare, wlo_first_flow, wlo_first_flow_with, wlo_slp_flow, wlo_slp_flow_with,
+    FlowResult, Prepared,
+};
 pub use hooks::AccuracyHooks;
 pub use lower::{
     align_fmt, block_result_fmts, broadcast_lane, ix_bounds, loop_forest, lower_fixed, lower_float,
@@ -40,5 +44,7 @@ pub use lower::{
     MachineBlock, MachineProgram, Mop, MopKind, Operand, ParamDecl, ProgramStorage, VarDecl,
 };
 pub use scalopt::scaling_optimize;
+pub use sched::{block_cycles, cycles_per_activation, schedule_block, total_cycles, Schedule};
+pub use slpwlo_slp::BenefitKind;
 pub use tabu::{tabu_wlo, TabuOptions};
-pub use wlo_slp::{wlo_slp, BlockResult, WloSlpResult};
+pub use wlo_slp::{wlo_slp, wlo_slp_with, BlockResult, WloSlpResult};

@@ -901,6 +901,15 @@ impl<'a> FixedLowerer<'a> {
         idx
     }
 
+    /// Element word length the target grants `lanes`-wide groups (for
+    /// cost queries on per-lane scalar ops of gathers/scatters/fig. 2
+    /// scalings — selection guarantees the lane count is supported).
+    fn elem_wl(&self, lanes: u32) -> i32 {
+        self.target
+            .simd_element_wl(lanes)
+            .unwrap_or(self.target.datapath)
+    }
+
     /// Container word length of a node's value.
     fn wl_of(&self, n: NodeId) -> i32 {
         let wl = value_format(self.spec, self.dfg, n)
@@ -937,7 +946,7 @@ impl<'a> FixedLowerer<'a> {
                 .position(|&e| e == p)
                 .expect("node_group points into its group") as u32;
             let u = self.push(
-                OpQuery::Unpack,
+                OpQuery::Extract,
                 vec![src],
                 MopKind::Extract {
                     src: Operand::Op(src),
@@ -1310,8 +1319,10 @@ impl<'a> FixedLowerer<'a> {
                     MemStatus::ContiguousUnaligned => {
                         let l = self.push(OpQuery::VLoad(lanes), deps, MopKind::VLoad { locs });
                         // Realign: cost only, the value passes through.
+                        // Together the two ops carry exactly the
+                        // `OpQuery::VLoadU` price of the cost model.
                         self.push(
-                            OpQuery::Add(32),
+                            OpQuery::Add(self.target.datapath),
                             vec![l],
                             MopKind::Copy {
                                 src: Operand::Op(l),
@@ -1319,11 +1330,17 @@ impl<'a> FixedLowerer<'a> {
                         )
                     }
                     _ => {
-                        // Gather: scalar loads plus a pack.
+                        // Gather: scalar loads plus a pack (the
+                        // `OpQuery::Gather` price of the cost model).
+                        let elem_wl = self.elem_wl(lanes);
                         let mut loaded = Vec::new();
                         for (&e, loc) in group.elems.iter().zip(locs) {
                             let d = self.mem_deps(e);
-                            loaded.push(self.push(OpQuery::Load(16), d, MopKind::Load { loc }));
+                            loaded.push(self.push(
+                                OpQuery::Load(elem_wl),
+                                d,
+                                MopKind::Load { loc },
+                            ));
                         }
                         let lane_ops = loaded.iter().map(|&l| Operand::Op(l)).collect();
                         self.push(
@@ -1494,7 +1511,7 @@ impl<'a> FixedLowerer<'a> {
                 }
                 let locs: Vec<Loc> = group.elems.iter().map(|&e| self.loc_of(e)).collect();
                 let idx = match self.wrap_aware_mem_status(&group) {
-                    MemStatus::ContiguousAligned | MemStatus::ContiguousUnaligned => self.push(
+                    MemStatus::ContiguousAligned => self.push(
                         OpQuery::VStore(lanes),
                         deps,
                         MopKind::VStore {
@@ -1503,12 +1520,35 @@ impl<'a> FixedLowerer<'a> {
                             to: arr_fmt,
                         },
                     ),
+                    MemStatus::ContiguousUnaligned => {
+                        // Pre-align the register before the misaligned
+                        // access: together the two ops carry exactly the
+                        // `OpQuery::VStoreU` price of the cost model.
+                        let a = self.push(
+                            OpQuery::Add(self.target.datapath),
+                            deps.clone(),
+                            MopKind::Copy { src: value },
+                        );
+                        let mut st_deps = deps;
+                        st_deps.push(a);
+                        self.push(
+                            OpQuery::VStore(lanes),
+                            st_deps,
+                            MopKind::VStore {
+                                locs,
+                                src: Operand::Op(a),
+                                to: arr_fmt,
+                            },
+                        )
+                    }
                     _ => {
-                        // Scatter: per-lane extract + store.
+                        // Scatter: per-lane extract + store (the
+                        // `OpQuery::Scatter` price of the cost model).
+                        let elem_wl = self.elem_wl(lanes);
                         let mut last = None;
                         for (lane, loc) in locs.into_iter().enumerate() {
                             let u = self.push(
-                                OpQuery::Unpack,
+                                OpQuery::Extract,
                                 deps.clone(),
                                 MopKind::Extract {
                                     src: value.clone(),
@@ -1518,7 +1558,7 @@ impl<'a> FixedLowerer<'a> {
                                 },
                             );
                             last = Some(self.push(
-                                OpQuery::Store(16),
+                                OpQuery::Store(elem_wl),
                                 vec![u],
                                 MopKind::Store {
                                     loc,
@@ -1570,10 +1610,11 @@ impl<'a> FixedLowerer<'a> {
             ));
         }
         // Fig. 2: unpack, shift lanes individually, repack.
+        let elem_wl = self.elem_wl(lanes);
         let mut shifted = Vec::new();
         for (lane, &a) in amounts.iter().enumerate() {
             let u = self.push(
-                OpQuery::Unpack,
+                OpQuery::Extract,
                 vec![src],
                 MopKind::Extract {
                     src: Operand::Op(src),
@@ -1593,7 +1634,7 @@ impl<'a> FixedLowerer<'a> {
                         to: targets[lane],
                     },
                 };
-                self.push(OpQuery::Shift(16), vec![u], kind)
+                self.push(OpQuery::Shift(elem_wl), vec![u], kind)
             } else {
                 u
             };
@@ -1629,7 +1670,7 @@ impl<'a> FixedLowerer<'a> {
             let deps: Vec<usize> = self.scalar_value(sw[0]).into_iter().collect();
             let src = self.operand_of(sw[0]);
             return self.push(
-                OpQuery::Pack(1),
+                OpQuery::Splat(group.lanes()),
                 deps,
                 MopKind::Splat {
                     src,
@@ -2073,7 +2114,7 @@ kernel f {
         let target = xentium();
         let prog = lower_fixed(&k, &spec, &target, &[(block, dfg, groups)]);
         assert_eq!(
-            count(&prog, |q| matches!(q, OpQuery::Unpack)),
+            count(&prog, |q| matches!(q, OpQuery::Extract)),
             2,
             "only the final scalar reduction unpacks the add pair"
         );
@@ -2094,10 +2135,10 @@ kernel f {
             let (k2, mut spec2, dfg2, groups2, block2) = setup();
             uniformize(&mut spec2, &dfg2, QFormat::new(2, 14));
             let p = lower_fixed(&k2, &spec2, &target, &[(block2, dfg2, groups2)]);
-            count(&p, |q| matches!(q, OpQuery::Unpack))
+            count(&p, |q| matches!(q, OpQuery::Extract))
         };
         let prog = lower_fixed(&k, &spec, &target, &[(block, dfg, groups)]);
-        let mismatched = count(&prog, |q| matches!(q, OpQuery::Unpack));
+        let mismatched = count(&prog, |q| matches!(q, OpQuery::Extract));
         assert!(
             mismatched >= uniform + 2,
             "mismatched lane scalings must unpack each lane ({mismatched} vs {uniform})"

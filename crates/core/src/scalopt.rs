@@ -21,6 +21,7 @@ use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
 use slpwlo_ir::types::BinOp;
 use slpwlo_slp::{resolved_operands, SimdGroup};
+use slpwlo_targets::{OpQuery, TargetModel};
 
 /// One superword reuse: `producer`'s lanes feed `consumer`'s lanes (in
 /// lane order) at operand position `pos`.
@@ -35,7 +36,7 @@ pub struct Reuse {
 }
 
 /// Report of one scaling-optimization run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ScalOptReport {
     /// Superword reuses examined.
     pub reuses: usize,
@@ -48,6 +49,23 @@ pub struct ScalOptReport {
     /// Reuses skipped (mixed-sign amounts or shared-format lanes on both
     /// sides).
     pub skipped: usize,
+    /// Estimated cycles saved by the equalizations, priced through
+    /// [`TargetModel::cycles`] (the fig. 2 unpack/shift/repack each
+    /// avoided reuse would otherwise pay, minus the uniform vector
+    /// shift that replaces it).
+    pub cycles_saved: f64,
+}
+
+/// The fig. 2 penalty a mismatched reuse pays if *not* equalized: per
+/// lane one extract plus one scalar shift, then a repack — versus the
+/// single uniform vector shift equalization leaves behind. Priced
+/// through [`TargetModel::cycles`], the same source the scheduler and
+/// the SLP benefit layer draw from.
+fn fig2_penalty_cycles(target: &TargetModel, lanes: u32) -> f64 {
+    let elem_wl = target.simd_element_wl(lanes).unwrap_or(target.datapath);
+    let per_lane = target.cycles(OpQuery::Extract) + target.cycles(OpQuery::Shift(elem_wl));
+    lanes as f64 * per_lane + target.cycles(OpQuery::Pack(lanes))
+        - target.cycles(OpQuery::VShift(lanes))
 }
 
 /// Enumerates the superword reuses among `groups`.
@@ -132,12 +150,23 @@ pub fn scaling_optimize(
     groups: &[SimdGroup],
     eval: &dyn AccuracyEvaluator,
     constraint_db: f64,
+    target: &TargetModel,
 ) -> ScalOptReport {
     let mut report = ScalOptReport::default();
     // Each equalization attempt is one trial over the lane keys it
     // shrinks; incremental evaluators re-walk only those keys' sources.
     eval.begin(spec);
-    for reuse in superword_reuses(dfg, groups) {
+    // Spend the accuracy budget on the most expensive mismatches first:
+    // reuses are processed in descending order of the cycle penalty their
+    // lane width carries on this target (stable for equal penalties, so
+    // same-width reuses keep their discovery order).
+    let mut reuses = superword_reuses(dfg, groups);
+    reuses.sort_by(|a, b| {
+        let pa = fig2_penalty_cycles(target, groups[a.producer].lanes());
+        let pb = fig2_penalty_cycles(target, groups[b.producer].lanes());
+        pb.partial_cmp(&pa).expect("finite penalties")
+    });
+    for reuse in reuses {
         report.reuses += 1;
         let p = &groups[reuse.producer];
         let c = &groups[reuse.consumer];
@@ -180,6 +209,7 @@ pub fn scaling_optimize(
             spec.commit(mark);
             eval.commit_trial();
             report.equalized += 1;
+            report.cycles_saved += fig2_penalty_cycles(target, groups[reuse.producer].lanes());
         } else {
             spec.rollback(mark);
             eval.rollback_trial();
@@ -221,6 +251,7 @@ mod tests {
     use slpwlo_ir::blocks::collect_blocks;
     use slpwlo_ir::parser::parse_kernel;
     use slpwlo_ir::Kernel;
+    use slpwlo_targets::xentium;
 
     /// Two muls feeding two adds lane-wise: {m0,m1} -> {s0,s1}.
     const SRC: &str = r#"
@@ -335,7 +366,7 @@ kernel f {
             spec.set_format(key, QFormat::new(1, 15));
         }
         let groups = vec![g_m, g_a];
-        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -20.0);
+        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -20.0, &xentium());
         assert!(report.already_uniform >= 1);
         assert_eq!(report.equalized, 0);
     }
@@ -356,7 +387,7 @@ kernel f {
         let groups = vec![g_m.clone(), g_a.clone()];
         let before = scaling_amounts(&spec, &dfg, &g_m, &g_a, 0);
         assert_ne!(before[0], before[1], "setup must create a mismatch");
-        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -10.0);
+        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -10.0, &xentium());
         assert_eq!(report.equalized, 1, "{report:?}");
         let after = scaling_amounts(&spec, &dfg, &g_m, &g_a, 0);
         assert_eq!(after[0], after[1], "amounts must be equal after: {after:?}");
@@ -377,7 +408,7 @@ kernel f {
         }
         let before0 = spec.format(k0);
         let groups = vec![g_m.clone(), g_a.clone()];
-        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -500.0);
+        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -500.0, &xentium());
         assert_eq!(report.equalized, 0);
         assert!(report.reverted >= 1, "{report:?}");
         assert_eq!(spec.format(k0), before0, "rollback must restore formats");
@@ -395,6 +426,7 @@ mod consumer_side_tests {
     use slpwlo_fixedpoint::QFormat;
     use slpwlo_ir::blocks::collect_blocks;
     use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_targets::xentium;
 
     #[test]
     fn load_group_reuse_equalizes_consumer_lanes() {
@@ -445,7 +477,7 @@ kernel f {
         let groups = vec![g_load.clone(), g_mul.clone()];
         let before = scaling_amounts(&spec, &dfg, &g_load, &g_mul, 1);
         assert_ne!(before[0], before[1], "setup must mismatch: {before:?}");
-        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -10.0);
+        let report = scaling_optimize(&mut spec, &dfg, &groups, &eval, -10.0, &xentium());
         assert!(report.equalized >= 1, "{report:?}");
         let after = scaling_amounts(&spec, &dfg, &g_load, &g_mul, 1);
         assert_eq!(after[0], after[1], "consumer-side equalization: {after:?}");

@@ -1,6 +1,6 @@
 //! Resource-constrained list scheduling.
 
-use slpwlo_core::{MachineBlock, MachineProgram};
+use crate::lower::{MachineBlock, MachineProgram};
 use slpwlo_targets::{OpClass, TargetModel};
 
 /// Schedule of one block: per-op issue cycles and the block makespan.
@@ -187,7 +187,7 @@ pub fn total_cycles(target: &TargetModel, program: &MachineProgram, activations:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slpwlo_core::Mop;
+    use crate::lower::Mop;
     use slpwlo_targets::{st240, vex, xentium, OpQuery};
 
     fn block(ops: Vec<Mop>, in_loop: bool) -> MachineBlock {
@@ -303,7 +303,7 @@ mod tests {
         let prog = MachineProgram {
             name: "t".into(),
             blocks: vec![b1],
-            storage: slpwlo_core::ProgramStorage::default(),
+            storage: crate::lower::ProgramStorage::default(),
         };
         let per_act = cycles_per_activation(&target, &prog);
         assert_eq!(total_cycles(&target, &prog, 10), per_act * 10);

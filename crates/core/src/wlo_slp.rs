@@ -20,7 +20,7 @@ use slpwlo_fixedpoint::{FixedPointSpec, Ranges};
 use slpwlo_ir::blocks::{blocks_by_priority, Block};
 use slpwlo_ir::dfg::Dfg;
 use slpwlo_ir::Kernel;
-use slpwlo_slp::{run_selection, Round, SimdGroup};
+use slpwlo_slp::{run_selection_with, BenefitKind, Round, SimdGroup};
 use slpwlo_targets::TargetModel;
 
 /// Per-block outcome of the joint optimization.
@@ -71,6 +71,31 @@ pub fn wlo_slp(
     constraint_db: f64,
     ranges: &Ranges,
 ) -> WloSlpResult {
+    wlo_slp_with(
+        kernel,
+        target,
+        eval,
+        constraint_db,
+        ranges,
+        BenefitKind::default(),
+    )
+}
+
+/// [`wlo_slp`] with an explicit candidate-pricing strategy.
+///
+/// Under [`BenefitKind::Cycles`] the selection loop re-prices live
+/// candidates against the *evolving* spec every iteration (the hooks are
+/// the word-length oracle), so a pack that is only profitable at shrunk
+/// word lengths is admitted in the round where the shrinks happen rather
+/// than never or always.
+pub fn wlo_slp_with(
+    kernel: &Kernel,
+    target: &TargetModel,
+    eval: &dyn AccuracyEvaluator,
+    constraint_db: f64,
+    ranges: &Ranges,
+    benefit: BenefitKind,
+) -> WloSlpResult {
     // Lines 1-3: all nodes at the maximum supported word length.
     let mut spec = FixedPointSpec::from_ranges(kernel, ranges, target.max_wl());
     eval.begin(&spec);
@@ -86,7 +111,7 @@ pub fn wlo_slp(
             let round = Round::new(&dfg, target, &groups);
             let selected = {
                 let mut hooks = AccuracyHooks::new(&dfg, &mut spec, eval, constraint_db);
-                run_selection(&dfg, target, &round, &groups, &mut hooks)
+                run_selection_with(&dfg, target, &round, &groups, &mut hooks, benefit)
             };
             if selected.is_empty() {
                 break;
@@ -101,7 +126,7 @@ pub fn wlo_slp(
         }
 
         // Line 15: SLP-aware scaling optimization.
-        let scalopt = scaling_optimize(&mut spec, &dfg, &groups, eval, constraint_db);
+        let scalopt = scaling_optimize(&mut spec, &dfg, &groups, eval, constraint_db, target);
         results.push(BlockResult {
             block,
             dfg,

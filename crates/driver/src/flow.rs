@@ -10,7 +10,8 @@
 
 use crate::error::Error;
 use slpwlo_core::{
-    lower_float, wlo_first_flow, wlo_slp_flow, MachineProgram, Prepared, TabuOptions,
+    lower_float, wlo_first_flow_with, wlo_slp_flow_with, BenefitKind, MachineProgram, Prepared,
+    TabuOptions,
 };
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_targets::TargetModel;
@@ -28,6 +29,8 @@ pub struct FlowContext<'a> {
     pub constraint_db: Option<f64>,
     /// Options for Tabu-search based flows.
     pub tabu: &'a TabuOptions,
+    /// SLP candidate-pricing strategy for flows that extract groups.
+    pub benefit: BenefitKind,
 }
 
 /// What a flow produces for one point.
@@ -143,7 +146,7 @@ impl CompilationFlow for WloSlpFlow {
 
     fn run(&self, ctx: &FlowContext<'_>) -> Result<FlowOutput, Error> {
         let db = required_constraint(ctx, self.name())?;
-        let res = wlo_slp_flow(ctx.prep, ctx.target, db);
+        let res = wlo_slp_flow_with(ctx.prep, ctx.target, db, ctx.benefit);
         Ok(FlowOutput {
             spec: Some(res.spec),
             program: res.simd,
@@ -164,7 +167,7 @@ impl CompilationFlow for WloFirstFlow {
 
     fn run(&self, ctx: &FlowContext<'_>) -> Result<FlowOutput, Error> {
         let db = required_constraint(ctx, self.name())?;
-        let res = wlo_first_flow(ctx.prep, ctx.target, db, ctx.tabu);
+        let res = wlo_first_flow_with(ctx.prep, ctx.target, db, ctx.tabu, ctx.benefit);
         Ok(FlowOutput {
             spec: Some(res.spec),
             program: res.simd,

@@ -41,3 +41,4 @@ pub use flow::{
 };
 pub use optimizer::Optimizer;
 pub use report::{ExportedC, Report};
+pub use slpwlo_core::BenefitKind;

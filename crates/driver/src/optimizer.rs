@@ -4,7 +4,7 @@ use crate::error::Error;
 use crate::flow::{CompilationFlow, FlowContext, FlowKind};
 use crate::report::Report;
 use slpwlo_accuracy::AccuracyEvaluator;
-use slpwlo_core::{prepare, Prepared, TabuOptions};
+use slpwlo_core::{prepare, BenefitKind, Prepared, TabuOptions};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::parser::parse_kernel;
 use slpwlo_ir::Kernel;
@@ -43,6 +43,7 @@ pub struct Optimizer {
     constraint_db: Option<f64>,
     flow: Box<dyn CompilationFlow + Send + Sync>,
     tabu: TabuOptions,
+    benefit: BenefitKind,
     activations: u64,
     /// Worker-thread override for [`Optimizer::sweep`]; `None` follows
     /// the machine's available parallelism.
@@ -97,6 +98,7 @@ impl Optimizer {
             constraint_db: None,
             flow: FlowKind::WloSlp.instantiate(),
             tabu: TabuOptions::default(),
+            benefit: BenefitKind::default(),
             activations: DEFAULT_ACTIVATIONS,
             sweep_threads: None,
             floor_db: std::sync::OnceLock::new(),
@@ -138,6 +140,16 @@ impl Optimizer {
     /// Sets Tabu-search options for flows that use them.
     pub fn tabu(mut self, tabu: TabuOptions) -> Self {
         self.tabu = tabu;
+        self
+    }
+
+    /// Selects the SLP candidate-pricing strategy (default:
+    /// [`BenefitKind::Cycles`], which prices every candidate through
+    /// `TargetModel::cost` at its current word lengths;
+    /// [`BenefitKind::Slots`] keeps the historical target-blind
+    /// slot-counting model for ablations).
+    pub fn benefit_kind(mut self, benefit: BenefitKind) -> Self {
+        self.benefit = benefit;
         self
     }
 
@@ -232,6 +244,7 @@ impl Optimizer {
             target: &self.target,
             constraint_db,
             tabu: &self.tabu,
+            benefit: self.benefit,
         };
         let out = flow.run(&ctx)?;
         Ok(Report {

@@ -165,7 +165,19 @@ pub fn simulate_ranges(kernel: &Kernel, opts: &RangeOptions) -> Ranges {
     }
     let sem = ex.semantics();
     let inflate = |iv: Option<Interval>| -> Option<Interval> {
-        iv.map(|iv| iv.inflate(opts.margin).union(Interval::zero()))
+        iv.map(|iv| {
+            // A diverging kernel (unstable feedback) overflows the f64
+            // simulation to ±inf; no finite fixed-point format can cover
+            // that, so the measurement is clamped to the divergence
+            // bound. Downstream the huge IWL makes any realistic noise
+            // constraint unsatisfiable — a clean, reportable outcome
+            // instead of a panic in spec construction.
+            let clamped = Interval::new(
+                iv.lo.clamp(-opts.divergence_bound, opts.divergence_bound),
+                iv.hi.clamp(-opts.divergence_bound, opts.divergence_bound),
+            );
+            clamped.inflate(opts.margin).union(Interval::zero())
+        })
     };
     Ranges {
         exprs: sem.exprs.iter().map(|&iv| inflate(iv)).collect(),
@@ -300,11 +312,30 @@ impl RecordSem {
 
     fn record(&mut self, e: ExprId, v: f64) -> f64 {
         let slot = &mut self.exprs[e.index()];
+        let point = sample_interval(v);
         *slot = Some(match *slot {
-            Some(old) => old.union(Interval::point(v)),
-            None => Interval::point(v),
+            Some(old) => old.union(point),
+            None => point,
         });
         v
+    }
+}
+
+/// Divergent kernels can drive the f64 simulation to `±inf` and, one
+/// arithmetic step later (`inf - inf`), to NaN. A measurement is a
+/// magnitude observation, so non-finite samples are recorded as "at
+/// least as large as anything representable" (the final clamp in
+/// [`simulate_ranges`] bounds them to the divergence limit); NaN has no
+/// sign and widens both ends.
+fn sample_interval(v: f64) -> Interval {
+    if v.is_finite() {
+        Interval::point(v)
+    } else if v == f64::INFINITY {
+        Interval::point(f64::MAX)
+    } else if v == f64::NEG_INFINITY {
+        Interval::point(f64::MIN)
+    } else {
+        Interval::new(f64::MIN, f64::MAX)
     }
 }
 
@@ -352,7 +383,7 @@ impl Semantics for RecordSem {
     }
 
     fn store(&mut self, array: ArrayId, v: f64) -> f64 {
-        self.arrays[array.index()] = self.arrays[array.index()].union(Interval::point(v));
+        self.arrays[array.index()] = self.arrays[array.index()].union(sample_interval(v));
         v
     }
 

@@ -284,10 +284,16 @@ impl KernelGen {
             }
             // Plain shift of a computed value into a fresh line (state
             // without a consuming loop; leaves feed later via `leaf`).
+            // The expression is built *before* the line exists so it can
+            // never read the very line it feeds — self-referential
+            // products (`shiftin dl <- dl[i] * dl[j]`) are quadratic
+            // feedback that diverges, which no fixed-point spec can
+            // cover (controlled, contractive feedback is
+            // `feedback_section`'s job).
             _ => {
-                let line = self.new_line(g);
                 let depth = 1 + self.below(2);
                 let expr = self.expr(g, depth);
+                let line = self.new_line(g);
                 g.stmts.push(PStmt::Shift { line, expr });
             }
         }
@@ -296,8 +302,10 @@ impl KernelGen {
     /// `shift dl <- src; acc = 0; for i { acc = acc ± c[i]*dl[i] }`,
     /// optionally wrapped in an outer counted loop, optionally unrolled.
     fn mac_section(&mut self, g: &mut Grow, nested: bool) {
-        let line = self.new_line(g);
+        // Source expression before the fresh line, so the shifted value
+        // can never read the line it feeds (see `construct`'s shift arm).
         let src = self.expr(g, 1);
+        let line = self.new_line(g);
         g.stmts.push(PStmt::Shift { line, expr: src });
         let acc = g.fresh_var();
         g.stmts.push(PStmt::Let {

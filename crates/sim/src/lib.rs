@@ -13,10 +13,16 @@
 //! preserves.
 
 pub mod exec;
-pub mod sched;
+
+/// Resource-constrained list scheduling, hosted in `slpwlo-core` (so the
+/// compilation flows can consult the schedule when pruning unprofitable
+/// packs) and re-exported here unchanged.
+pub use slpwlo_core::sched;
 
 pub use exec::{execute_fixed, ExecError, Machine};
-pub use sched::{block_cycles, cycles_per_activation, schedule_block, total_cycles, Schedule};
+pub use slpwlo_core::sched::{
+    block_cycles, cycles_per_activation, schedule_block, total_cycles, Schedule,
+};
 
 /// Speedup of `cycles` relative to `baseline` (equation (2) of the
 /// paper: `baseline / cycles`).

@@ -1,200 +1,667 @@
 //! Candidate benefit estimation.
 //!
-//! Follows the spirit of Liu et al. (PLDI 2012), as adopted by the paper:
-//! "the benefit of a candidate is the ratio of superwords reuse it
-//! enables, if it gets selected, to the overall packing/unpacking cost".
+//! Two strategies estimate what selecting a candidate buys, behind
+//! [`BenefitKind`]:
 //!
-//! Concretely, for a merged group `g`:
+//! * [`BenefitKind::Slots`] — the historical, target-blind model in the
+//!   spirit of Liu et al. (PLDI 2012): a group of `L` lanes saves `L - 1`
+//!   issue slots, every packing/unpacking event costs one abstract "pack
+//!   op", and superword reuse counts in superword units.
+//! * [`BenefitKind::Cycles`] (default) — the goSLP-inspired,
+//!   cycle-denominated model: the candidate's vector op, its pack/unpack
+//!   traffic, and the scalar ops it displaces are all priced through
+//!   [`TargetModel::cycles`] (which folds over [`TargetModel::cost`], the
+//!   same source `sim::sched` prices the lowered program with) **at the
+//!   candidate's current word lengths** — so a 32-bit multiply pair on a
+//!   16x16 multiplier carries its macro-expansion price, packs on a
+//!   single-issue machine cost whole cycles, and shifter style matters.
 //!
-//! * each operand superword that is produced by an already-selected group
-//!   (weight 1.0) or by another live candidate (weight 0.5) counts as
-//!   reuse — the vector flows register-to-register;
-//! * memory groups get reuse for contiguous aligned accesses (a single
-//!   SIMD load/store) and packing cost for unaligned or gathered ones;
-//! * operand superwords nobody produces cost one insert op per lane
-//!   (splats cost a single broadcast);
-//! * results consumed by a matching candidate/selected superword count as
-//!   reuse, otherwise each externally-consumed lane costs an extract op;
-//! * a group of `L` lanes intrinsically saves `L - 1` issue slots.
-//!
-//! `benefit = (saved + 2·reuse) / (1 + pack_ops)`, deterministic and
-//! strictly positive so ties break on candidate order.
+//! Both models fill one [`CostedBenefit`]: `saved` (what the vector op
+//! saves over the displaced scalars), `reuse` (packing traffic avoided,
+//! certain for selected/prior-round producers, discounted by half for
+//! live candidates), and `pack` (packing traffic incurred). Selection
+//! admits a candidate while `net() > 0` and ranks by `rank()`,
+//! re-evaluated every iteration: a pack that is not worth its traffic now
+//! can become admissible once its neighbours are selected or its word
+//! lengths shrink.
 
 use crate::candidate::Round;
 use crate::group::{effective_users, mem_status, resolved_operands, MemStatus, SimdGroup};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
-use slpwlo_targets::TargetModel;
+use slpwlo_ir::types::BinOp;
+use slpwlo_targets::{OpQuery, TargetModel};
+
+/// Which benefit estimate drives group selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BenefitKind {
+    /// Target-blind issue-slot counting (the historical model).
+    Slots,
+    /// Cycle prices drawn from [`TargetModel::cost`] at the candidate's
+    /// current word lengths.
+    #[default]
+    Cycles,
+}
+
+impl BenefitKind {
+    /// Stable machine-readable name (`"slots"` / `"cycles"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BenefitKind::Slots => "slots",
+            BenefitKind::Cycles => "cycles",
+        }
+    }
+}
+
+impl std::fmt::Display for BenefitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The priced outcome of one candidate assessment.
+///
+/// Units are issue slots under [`BenefitKind::Slots`] and cycles under
+/// [`BenefitKind::Cycles`]; the combination formulas are shared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostedBenefit {
+    /// Intrinsic saving of the vector op over the scalars it displaces.
+    pub saved: f64,
+    /// Packing traffic avoided with certainty (operand superwords already
+    /// produced packed, results consumed packed by selected groups).
+    pub reuse: f64,
+    /// Half-weighted traffic avoided *if* live partner candidates are
+    /// also selected — optimism that bootstraps chains, never charged as
+    /// a cost.
+    pub reuse_speculative: f64,
+    /// Packing/unpacking traffic the candidate incurs for certain.
+    pub pack: f64,
+    /// Extra weight on reuse in the net formula (2.0 for the slots
+    /// model's historical `saved + 2·reuse - pack`; 1.0 for cycles,
+    /// where reuse is already denominated in avoided cycles).
+    reuse_weight: f64,
+}
+
+impl CostedBenefit {
+    /// The admission key: positive iff realising the candidate is
+    /// expected to be cheaper than leaving its lanes scalar.
+    pub fn net(&self) -> f64 {
+        self.saved + self.reuse_weight * self.reuse + self.reuse_speculative - self.pack
+    }
+
+    /// The ranking key (non-negative, higher is better). Speculative
+    /// reuse counts here so chain members find each other.
+    pub fn rank(&self) -> f64 {
+        let gain = self.saved + self.reuse_weight * self.reuse + self.reuse_speculative;
+        (gain / (1.0 + self.pack)).max(0.0)
+    }
+}
+
+/// How an operand or result superword is (or is not) satisfied, shared
+/// by both pricing strategies.
+enum Flow {
+    /// Produced/consumed in lane order by an already selected group or a
+    /// prior-round packed item: traffic avoided for certain.
+    Reused,
+    /// Produced/consumed by the given live candidate: avoided if that
+    /// candidate is selected too.
+    Speculative(usize),
+    /// Same value in every lane: one broadcast.
+    Splat,
+    /// Nobody delivers it packed: full packing traffic.
+    Unresolved,
+}
 
 /// Benefit estimator for one round.
-#[derive(Debug)]
 pub struct BenefitModel<'a> {
     dfg: &'a Dfg,
     round: &'a Round,
+    target: &'a TargetModel,
+    kind: BenefitKind,
+    wl: Box<dyn Fn(NodeId) -> i32 + 'a>,
+    /// Current fractional word lengths (`None` = unknown: scalings are
+    /// assumed uniform rather than priced per lane).
+    fwl: Box<dyn Fn(NodeId) -> Option<i32> + 'a>,
+    /// Whether a scaling-equalization pass (fig. 1b) runs after
+    /// extraction: mismatched non-negative amounts on group-backed
+    /// superwords are then priced as one vector shift (the equalizer's
+    /// job), not the fig. 2 penalty.
+    equalization_follows: bool,
+}
+
+impl std::fmt::Debug for BenefitModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenefitModel")
+            .field("kind", &self.kind)
+            .field("candidates", &self.round.candidates.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> BenefitModel<'a> {
-    /// Creates the estimator.
-    pub fn new(dfg: &'a Dfg, round: &'a Round, _target: &TargetModel) -> Self {
-        BenefitModel { dfg, round }
+    /// Creates the estimator with the default strategy and every node at
+    /// the target's maximum word length (no word-length context).
+    pub fn new(dfg: &'a Dfg, round: &'a Round, target: &'a TargetModel) -> Self {
+        let max = target.max_wl();
+        Self::with_kind(dfg, round, target, BenefitKind::default(), move |_| max)
     }
 
-    /// Estimates the benefit of candidate `idx` (the selection loop's
-    /// ranking key).
+    /// Creates the estimator with an explicit strategy and a word-length
+    /// oracle reporting each node's *current* word length (the evolving
+    /// spec under WLO↔SLP, the frozen spec under WLO-First). Scalings
+    /// are assumed uniform; use [`with_context`](Self::with_context) to
+    /// price them per lane.
+    pub fn with_kind(
+        dfg: &'a Dfg,
+        round: &'a Round,
+        target: &'a TargetModel,
+        kind: BenefitKind,
+        wl: impl Fn(NodeId) -> i32 + 'a,
+    ) -> Self {
+        Self::with_context(dfg, round, target, kind, wl, |_| None)
+    }
+
+    /// Creates the estimator with full word-length context: `wl` reports
+    /// current word lengths, `fwl` current fractional word lengths (so
+    /// per-lane scaling amounts — and the fig. 2 penalty mismatched ones
+    /// carry — are priced, not assumed free).
+    pub fn with_context(
+        dfg: &'a Dfg,
+        round: &'a Round,
+        target: &'a TargetModel,
+        kind: BenefitKind,
+        wl: impl Fn(NodeId) -> i32 + 'a,
+        fwl: impl Fn(NodeId) -> Option<i32> + 'a,
+    ) -> Self {
+        BenefitModel {
+            dfg,
+            round,
+            target,
+            kind,
+            wl: Box::new(wl),
+            fwl: Box::new(fwl),
+            equalization_follows: false,
+        }
+    }
+
+    /// Declares that a scaling-equalization pass (fig. 1b, `scalopt`)
+    /// runs after extraction — the WLO↔SLP flow's case. Mismatched
+    /// scaling amounts that the equalizer can reach (all non-negative,
+    /// superword backed by a group or live candidate) are then priced as
+    /// a uniform vector shift instead of the fig. 2 penalty.
+    pub fn assume_equalization(mut self, yes: bool) -> Self {
+        self.equalization_follows = yes;
+        self
+    }
+
+    /// Ranking benefit of candidate `idx` (see [`CostedBenefit::rank`]).
     ///
     /// `alive[c]` marks candidates still in play; `selected` holds all
     /// groups chosen so far (prior rounds and this round).
     pub fn benefit(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> f64 {
-        let (saved, reuse, pack_ops) = self.contributions(idx, alive, selected);
-        (saved + 2.0 * reuse) / (1.0 + pack_ops)
+        self.assess(idx, alive, selected).rank()
     }
 
-    /// The *net* benefit of realising candidate `idx`: issue slots saved
-    /// plus reuse, minus the packing/unpacking operations it forces.
+    /// Net benefit of candidate `idx` (see [`CostedBenefit::net`]).
     ///
-    /// The ratio form of [`BenefitModel::benefit`] is strictly positive
-    /// (a group of `L` lanes always saves `L - 1` slots), which makes it
-    /// a ranking key only — selecting by it alone packs *everything*,
-    /// including pairs whose inserts and extracts cost more than the
-    /// single saved slot. Selection admits a candidate only while its
-    /// net benefit is positive (re-evaluated each iteration: reuse grows
-    /// as neighbouring candidates are selected).
+    /// Selection admits a candidate only while its net benefit is
+    /// positive, re-evaluated each iteration: reuse grows as neighbouring
+    /// candidates are selected, and under WLO↔SLP the displaced-scalar
+    /// prices move as word lengths shrink.
     pub fn net_benefit(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> f64 {
-        self.assess(idx, alive, selected).0
+        self.assess(idx, alive, selected).net()
     }
 
-    /// `(net benefit, ranking benefit)` from one contributions walk —
-    /// the selection loop needs both per candidate per iteration.
-    pub fn assess(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> (f64, f64) {
-        let (saved, reuse, pack_ops) = self.contributions(idx, alive, selected);
-        (
-            saved + 2.0 * reuse - pack_ops,
-            (saved + 2.0 * reuse) / (1.0 + pack_ops),
-        )
-    }
-
-    /// `(saved slots, reuse, packing ops)` of candidate `idx`.
-    fn contributions(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> (f64, f64, f64) {
+    /// Full priced assessment of candidate `idx`.
+    pub fn assess(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> CostedBenefit {
         let c = self.round.candidates[idx];
         let g = self.round.items[c.left].concat(&self.round.items[c.right]);
-        let lanes = g.lanes() as f64;
-        let mut reuse = 0.0;
-        let mut pack_ops = 0.0;
+        match self.kind {
+            BenefitKind::Slots => self.assess_slots(&g, idx, alive, selected),
+            BenefitKind::Cycles => self.assess_cycles(&g, idx, alive, selected, false),
+        }
+    }
 
+    /// The admission threshold `net()` must clear. Zero for the slots
+    /// model (its historical behaviour). The cycle model demands a
+    /// margin of half a chain hop (extract latency): candidate-local
+    /// throughput pricing cannot see block-level latency-boundedness, so
+    /// a pack whose predicted gain is within one chain hop of zero is as
+    /// likely a scheduling loss as a win — on a wide-issue machine the
+    /// "saved" issue slots buy nothing while the extra pack/extract hops
+    /// still lengthen the critical path.
+    pub fn admission_margin(&self) -> f64 {
+        match self.kind {
+            BenefitKind::Slots => 0.0,
+            BenefitKind::Cycles => 0.5 * self.target.cost(OpQuery::Extract).latency as f64,
+        }
+    }
+
+    /// Is candidate `ci` plausibly worth selecting, judged on its own
+    /// (one-level lookahead, no recursion): its net benefit — cleared
+    /// against the same admission margin the main loop applies — with
+    /// every speculative flow optimistically treated as certain. Greedy
+    /// selection commits groups irreversibly, so a candidate must not be
+    /// admitted on reuse with a partner that could never pay off itself
+    /// — the stranded producer would eat the very packing traffic the
+    /// speculation discounted.
+    fn shallow_viable(&self, ci: usize, alive: &[bool], selected: &[SimdGroup]) -> bool {
+        let c = self.round.candidates[ci];
+        let g = self.round.items[c.left].concat(&self.round.items[c.right]);
+        self.assess_cycles(&g, ci, alive, selected, true).net() > self.admission_margin()
+    }
+
+    // -- the slots model (historical) ------------------------------------
+
+    fn assess_slots(
+        &self,
+        g: &SimdGroup,
+        idx: usize,
+        alive: &[bool],
+        selected: &[SimdGroup],
+    ) -> CostedBenefit {
+        let mut b = CostedBenefit {
+            saved: g.lanes() as f64 - 1.0,
+            reuse: 0.0,
+            reuse_speculative: 0.0,
+            pack: 0.0,
+            reuse_weight: 2.0,
+        };
         match g.kind(self.dfg) {
-            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => {
-                self.mem_contribution(&g, &mut reuse, &mut pack_ops);
-            }
+            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => match mem_status(self.dfg, g) {
+                MemStatus::ContiguousAligned => b.reuse += 1.0,
+                MemStatus::ContiguousUnaligned => b.pack += 1.0,
+                MemStatus::Gather => b.pack += g.lanes() as f64,
+                MemStatus::NotMemory => {}
+            },
             NodeKind::StoreArray(..) => {
-                self.mem_contribution(&g, &mut reuse, &mut pack_ops);
-                self.operand_contribution(&g, 0, idx, alive, selected, &mut reuse, &mut pack_ops);
+                match mem_status(self.dfg, g) {
+                    MemStatus::ContiguousAligned => b.reuse += 1.0,
+                    MemStatus::ContiguousUnaligned => b.pack += 1.0,
+                    MemStatus::Gather => b.pack += g.lanes() as f64,
+                    MemStatus::NotMemory => {}
+                }
+                self.slots_operand(g, 0, idx, alive, selected, &mut b);
             }
             NodeKind::Bin(_) => {
                 for pos in 0..2 {
-                    self.operand_contribution(
-                        &g,
-                        pos,
-                        idx,
-                        alive,
-                        selected,
-                        &mut reuse,
-                        &mut pack_ops,
-                    );
+                    self.slots_operand(g, pos, idx, alive, selected, &mut b);
                 }
             }
-            NodeKind::Un(_) => {
-                self.operand_contribution(&g, 0, idx, alive, selected, &mut reuse, &mut pack_ops);
-            }
+            NodeKind::Un(_) => self.slots_operand(g, 0, idx, alive, selected, &mut b),
             _ => {}
         }
-
-        self.result_contribution(&g, idx, alive, selected, &mut reuse, &mut pack_ops);
-
-        (lanes - 1.0, reuse, pack_ops)
-    }
-
-    fn mem_contribution(&self, g: &SimdGroup, reuse: &mut f64, pack_ops: &mut f64) {
-        match mem_status(self.dfg, g) {
-            MemStatus::ContiguousAligned => *reuse += 1.0,
-            MemStatus::ContiguousUnaligned => *pack_ops += 1.0,
-            MemStatus::Gather => *pack_ops += g.lanes() as f64,
-            MemStatus::NotMemory => {}
+        match self.result_flow(g, idx, alive, selected) {
+            Some(Flow::Reused) => b.reuse += 1.0,
+            Some(Flow::Speculative(_)) => b.reuse_speculative += 0.5 * 2.0,
+            Some(_) => {
+                b.pack += self.external_lanes(g) as f64;
+            }
+            None => {}
         }
+        b
     }
 
-    /// Contribution of the operand superword at position `pos`.
-    #[allow(clippy::too_many_arguments)]
-    fn operand_contribution(
+    fn slots_operand(
         &self,
         g: &SimdGroup,
         pos: usize,
         self_idx: usize,
         alive: &[bool],
         selected: &[SimdGroup],
-        reuse: &mut f64,
-        pack_ops: &mut f64,
+        b: &mut CostedBenefit,
     ) {
-        let superword: Option<Vec<NodeId>> = g
-            .elems
+        let Some(sw) = self.operand_superword(g, pos) else {
+            return;
+        };
+        match self.operand_flow(&sw, self_idx, alive, selected) {
+            Flow::Reused => b.reuse += 1.0,
+            Flow::Speculative(_) => b.reuse_speculative += 0.5 * 2.0,
+            Flow::Splat => b.pack += 1.0,
+            Flow::Unresolved => b.pack += sw.len() as f64,
+        }
+    }
+
+    // -- the cycles model -------------------------------------------------
+
+    /// The cycle-priced assessment. `shallow` is the one-level-lookahead
+    /// mode of [`shallow_viable`](Self::shallow_viable): speculative
+    /// flows count as certain and no further viability checks recurse.
+    fn assess_cycles(
+        &self,
+        g: &SimdGroup,
+        idx: usize,
+        alive: &[bool],
+        selected: &[SimdGroup],
+        shallow: bool,
+    ) -> CostedBenefit {
+        let lanes = g.lanes();
+        let t = self.target;
+        // Packing traffic sits on the dependency chain between scalar
+        // producers/consumers and the vector op, so its price is floored
+        // at the op's latency: issue-slot throughput alone would let a
+        // wide machine (XENTIUM's four ALUs absorb a pack in a quarter
+        // cycle) hide traffic that still serializes the critical path.
+        // On single-issue targets the floor is a no-op.
+        let chain = |q: OpQuery| t.cycles(q).max(t.cost(q).latency as f64);
+        let pack_price = chain(OpQuery::Pack(lanes));
+        // A batch of `n` extracts pays one latency to enter the chain,
+        // then pipelines at the unit's throughput.
+        let extracts = |n: f64| {
+            if n <= 0.0 {
+                0.0
+            } else {
+                let thr = t.cycles(OpQuery::Extract);
+                (t.cost(OpQuery::Extract).latency as f64 + (n - 1.0) * thr).max(n * thr)
+            }
+        };
+        let mut b = CostedBenefit {
+            saved: 0.0,
+            reuse: 0.0,
+            reuse_speculative: 0.0,
+            pack: 0.0,
+            reuse_weight: 1.0,
+        };
+
+        // The scalar ops the group displaces, at current word lengths.
+        let scalar: f64 = g.elems.iter().map(|&e| self.scalar_op_cycles(e)).sum();
+
+        // Operand superword traffic — and, as a side product, which
+        // positions are backed by a group or live candidate (those are
+        // the superwords a later scaling-equalization pass can reach).
+        let arity = match g.kind(self.dfg) {
+            NodeKind::Bin(_) => 2,
+            NodeKind::Un(_) | NodeKind::StoreArray(..) => 1,
+            _ => 0,
+        };
+        let mut group_backed = [false; 2];
+        for (pos, backed) in group_backed.iter_mut().enumerate().take(arity) {
+            let Some(sw) = self.operand_superword(g, pos) else {
+                continue;
+            };
+            match self.operand_flow(&sw, idx, alive, selected) {
+                Flow::Reused => {
+                    b.reuse += pack_price;
+                    *backed = true;
+                }
+                Flow::Speculative(_) if shallow => {
+                    b.reuse += pack_price;
+                    *backed = true;
+                }
+                Flow::Speculative(ci) if self.shallow_viable(ci, alive, selected) => {
+                    b.reuse_speculative += 0.5 * pack_price;
+                    *backed = true;
+                }
+                // A partner that can never pay off will not be selected:
+                // this superword will really be packed lane by lane.
+                Flow::Speculative(_) | Flow::Unresolved => b.pack += pack_price,
+                Flow::Splat => b.pack += chain(OpQuery::Splat(lanes)),
+            }
+        }
+
+        // The vector realisation's core cost, including its scalings:
+        // per-lane amounts are computed from the current formats, so a
+        // group whose lanes scale by different amounts carries the full
+        // fig. 2 unpack/shift/repack price rather than an assumed-free
+        // (or assumed-uniform) vector shift.
+        let vector = match g.kind(self.dfg) {
+            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => match mem_status(self.dfg, g) {
+                MemStatus::ContiguousAligned => t.cycles(OpQuery::VLoad(lanes)),
+                MemStatus::ContiguousUnaligned => t.cycles(OpQuery::VLoadU(lanes)),
+                _ => t.cycles(OpQuery::Gather(lanes)),
+            },
+            NodeKind::StoreArray(..) => {
+                let access = match mem_status(self.dfg, g) {
+                    MemStatus::ContiguousAligned => t.cycles(OpQuery::VStore(lanes)),
+                    MemStatus::ContiguousUnaligned => t.cycles(OpQuery::VStoreU(lanes)),
+                    _ => t.cycles(OpQuery::Scatter(lanes)),
+                };
+                access
+                    + self.scaling_cost(self.operand_amounts(g, 0), lanes, false, group_backed[0])
+            }
+            NodeKind::Bin(BinOp::Mul) => {
+                // The result scaling is equalizable consumer-side (mul
+                // lanes own their formats) whenever some operand
+                // superword is group-backed.
+                let equalizable = group_backed[0] || group_backed[1];
+                t.cycles(OpQuery::VMul(lanes))
+                    + self.scaling_cost(self.mul_amounts(g), lanes, true, equalizable)
+            }
+            NodeKind::Bin(_) => {
+                t.cycles(OpQuery::VAdd(lanes))
+                    + self.scaling_cost(self.operand_amounts(g, 0), lanes, false, group_backed[0])
+                    + self.scaling_cost(self.operand_amounts(g, 1), lanes, false, group_backed[1])
+            }
+            NodeKind::Un(_) => {
+                t.cycles(OpQuery::VAdd(lanes))
+                    + self.scaling_cost(self.operand_amounts(g, 0), lanes, false, group_backed[0])
+            }
+            _ => 0.0,
+        };
+        b.saved = scalar - vector;
+
+        // What a packed consumer saves depends on what this group is:
+        // consumers of a *load* group's result would otherwise pack the
+        // scalar loads (one `Pack`, which a gathered load group still
+        // pays itself — its reuse nets out to zero, as it should);
+        // consumers of a *compute* group's result would otherwise force
+        // one extract per lane.
+        let result_reuse_price = match g.kind(self.dfg) {
+            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => pack_price,
+            _ => extracts(lanes as f64),
+        };
+        match self.result_flow(g, idx, alive, selected) {
+            Some(Flow::Reused) => b.reuse += result_reuse_price,
+            Some(Flow::Speculative(_)) if shallow => {
+                b.reuse += result_reuse_price;
+            }
+            Some(Flow::Speculative(ci)) if self.shallow_viable(ci, alive, selected) => {
+                b.reuse_speculative += 0.5 * result_reuse_price;
+            }
+            Some(_) => b.pack += extracts(self.external_lanes(g) as f64),
+            None => {}
+        }
+        b
+    }
+
+    /// Throughput cycles of the scalar op lane `e` currently costs, at
+    /// its current (container) word length — including the scaling
+    /// shifts scalar lowering pairs with it when the current formats
+    /// demand them.
+    fn scalar_op_cycles(&self, e: NodeId) -> f64 {
+        let t = self.target;
+        let cwl = |n: NodeId| self.container_wl(n);
+        // One scalar requantization shift, unless the amount is known to
+        // be zero. `assume` is the unknown-format default: multiplies
+        // almost always rescale their double-width product, additive ops
+        // usually absorb operands on their own grid.
+        let shift = |amount: Option<i32>, assume: bool| -> f64 {
+            match amount {
+                Some(0) => 0.0,
+                Some(_) => t.cycles(OpQuery::Shift(cwl(e))),
+                None if assume => t.cycles(OpQuery::Shift(cwl(e))),
+                None => 0.0,
+            }
+        };
+        match &self.dfg.node(e).kind {
+            NodeKind::LoadArray(..) | NodeKind::LoadParam(..) => t.cycles(OpQuery::Load(cwl(e))),
+            NodeKind::StoreArray(..) => {
+                t.cycles(OpQuery::Store(cwl(e))) + shift(self.node_operand_amount(e, 0), false)
+            }
+            NodeKind::Bin(BinOp::Mul) => {
+                let in_wl = resolved_operands(self.dfg, e)
+                    .iter()
+                    .map(|&o| cwl(o))
+                    .max()
+                    .unwrap_or(cwl(e));
+                t.cycles(OpQuery::Mul(in_wl)) + shift(self.node_mul_amount(e), true)
+            }
+            NodeKind::Bin(_) => {
+                t.cycles(OpQuery::Add(cwl(e)))
+                    + shift(self.node_operand_amount(e, 0), false)
+                    + shift(self.node_operand_amount(e, 1), false)
+            }
+            NodeKind::Un(_) => {
+                t.cycles(OpQuery::Add(cwl(e))) + shift(self.node_operand_amount(e, 0), false)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Current container word length of a node's value.
+    fn container_wl(&self, n: NodeId) -> i32 {
+        let t = self.target;
+        let wl = (self.wl)(n).clamp(1, t.datapath);
+        t.container_wl(wl).unwrap_or(t.datapath)
+    }
+
+    /// Result-scaling amount of a scalar multiply at current formats
+    /// (`fwl(a) + fwl(b) - fwl(e)`); `None` when any format is unknown.
+    fn node_mul_amount(&self, e: NodeId) -> Option<i32> {
+        let ops = resolved_operands(self.dfg, e);
+        let a = (self.fwl)(*ops.first()?)?;
+        let b = (self.fwl)(*ops.get(1)?)?;
+        Some(a + b - (self.fwl)(e)?)
+    }
+
+    /// Alignment amount of operand `pos` of node `e` at current formats
+    /// (`fwl(op) - fwl(e)`); `None` when unknown.
+    fn node_operand_amount(&self, e: NodeId, pos: usize) -> Option<i32> {
+        let op = *resolved_operands(self.dfg, e).get(pos)?;
+        Some((self.fwl)(op)? - (self.fwl)(e)?)
+    }
+
+    /// Per-lane multiply result-scaling amounts of a group; `None` when
+    /// any lane's formats are unknown.
+    fn mul_amounts(&self, g: &SimdGroup) -> Option<Vec<i32>> {
+        g.elems.iter().map(|&e| self.node_mul_amount(e)).collect()
+    }
+
+    /// Per-lane operand alignment amounts of a group at position `pos`.
+    fn operand_amounts(&self, g: &SimdGroup, pos: usize) -> Option<Vec<i32>> {
+        g.elems
+            .iter()
+            .map(|&e| self.node_operand_amount(e, pos))
+            .collect()
+    }
+
+    /// Price of realising a vector scaling with the given per-lane
+    /// amounts: nothing when all zero, one vector shift when uniform,
+    /// the fig. 2 unpack/shift-per-lane/repack when mismatched. Unknown
+    /// amounts (`None`) mirror the scalar side's defaults — a uniform
+    /// vector shift when `assume` holds (multiply result scaling),
+    /// nothing otherwise — so unknown-format pricing never biases the
+    /// vector realisation against its scalar baseline.
+    ///
+    /// A mismatch is downgraded to the uniform vector-shift price when a
+    /// scaling-equalization pass follows ([`assume_equalization`]
+    /// (Self::assume_equalization)), the superword is `equalizable`
+    /// (group-backed, so fig. 1b's reuse enumeration will see it) and
+    /// every amount is non-negative (the equalizer skips mixed-sign
+    /// amounts).
+    fn scaling_cost(
+        &self,
+        amounts: Option<Vec<i32>>,
+        lanes: u32,
+        assume: bool,
+        equalizable: bool,
+    ) -> f64 {
+        let t = self.target;
+        match amounts {
+            Some(a) if a.iter().all(|&x| x == 0) => 0.0,
+            Some(a) if a.iter().all(|&x| x == a[0]) => t.cycles(OpQuery::VShift(lanes)),
+            Some(a) if self.equalization_follows && equalizable && a.iter().all(|&x| x >= 0) => {
+                t.cycles(OpQuery::VShift(lanes))
+            }
+            Some(_) => {
+                let elem = t.simd_element_wl(lanes).unwrap_or(t.datapath);
+                lanes as f64 * (t.cycles(OpQuery::Extract) + t.cycles(OpQuery::Shift(elem)))
+                    + t.cycles(OpQuery::Pack(lanes))
+            }
+            None if assume => t.cycles(OpQuery::VShift(lanes)),
+            None => 0.0,
+        }
+    }
+
+    // -- shared structural analysis --------------------------------------
+
+    /// The operand superword of `g` at position `pos` (`None` when some
+    /// lane has no operand there).
+    fn operand_superword(&self, g: &SimdGroup, pos: usize) -> Option<Vec<NodeId>> {
+        g.elems
             .iter()
             .map(|&e| resolved_operands(self.dfg, e).get(pos).copied())
-            .collect();
-        let Some(sw) = superword else { return };
+            .collect()
+    }
 
+    /// Classifies how an operand superword is delivered.
+    fn operand_flow(
+        &self,
+        sw: &[NodeId],
+        self_idx: usize,
+        alive: &[bool],
+        selected: &[SimdGroup],
+    ) -> Flow {
         // Produced by an already selected group, in lane order?
         if selected.iter().any(|s| s.elems == sw) {
-            *reuse += 1.0;
-            return;
+            return Flow::Reused;
         }
         // Produced by another live candidate, in lane order?
-        if self.matching_candidate(&sw, self_idx, alive) {
-            *reuse += 0.5;
-            return;
+        if let Some(ci) = self.matching_candidate(sw, self_idx, alive) {
+            return Flow::Speculative(ci);
         }
         // Splat (same value in every lane): one broadcast.
         if sw.iter().all(|&n| n == sw[0]) {
-            *pack_ops += 1.0;
-            return;
+            return Flow::Splat;
         }
         // Whole superword already packed as an item (e.g. a prior-round
         // group feeding an extension candidate).
         if self
             .round
-            .item_of(&sw)
+            .item_of(sw)
             .is_some_and(|i| self.round.items[i].lanes() > 1)
         {
-            *reuse += 1.0;
-            return;
+            return Flow::Reused;
         }
-        // Otherwise: one insert per lane.
-        *pack_ops += sw.len() as f64;
+        Flow::Unresolved
     }
 
-    /// Reuse/unpack contribution of the group's results.
-    fn result_contribution(
+    /// Classifies how the group's results are consumed. `None` for
+    /// stores (no value); `Unresolved` means scalar users need extracts.
+    fn result_flow(
         &self,
         g: &SimdGroup,
         self_idx: usize,
         alive: &[bool],
         selected: &[SimdGroup],
-        reuse: &mut f64,
-        pack_ops: &mut f64,
-    ) {
+    ) -> Option<Flow> {
         if matches!(g.kind(self.dfg), NodeKind::StoreArray(..)) {
-            return; // stores produce no value
+            return None; // stores produce no value
         }
         // A consumer superword exists if some selected group or live
-        // candidate uses lane i's value in its lane i (any operand
-        // position).
+        // candidate uses lane i's value in its lane i, at one common
+        // operand position — only then does the result flow register to
+        // register (lowering's `vector_operand` materialises operand
+        // superwords per position; lanes consumed at different positions
+        // would still be extracted).
         let consumed_by = |cons: &SimdGroup| -> bool {
-            g.elems
+            if cons.lanes() != g.lanes() {
+                return false;
+            }
+            let arity = cons
+                .elems
                 .iter()
-                .zip(&cons.elems)
-                .all(|(&prod, &user)| resolved_operands(self.dfg, user).contains(&prod))
-                && cons.lanes() == g.lanes()
+                .map(|&u| resolved_operands(self.dfg, u).len())
+                .min()
+                .unwrap_or(0);
+            (0..arity).any(|pos| {
+                g.elems
+                    .iter()
+                    .zip(&cons.elems)
+                    .all(|(&prod, &user)| resolved_operands(self.dfg, user).get(pos) == Some(&prod))
+            })
         };
         if selected.iter().any(&consumed_by) {
-            *reuse += 1.0;
-            return;
+            return Some(Flow::Reused);
         }
         for (ci, alive_flag) in alive.iter().enumerate() {
             if !alive_flag || ci == self_idx {
@@ -203,41 +670,43 @@ impl<'a> BenefitModel<'a> {
             let c = self.round.candidates[ci];
             let cons = self.round.items[c.left].concat(&self.round.items[c.right]);
             if consumed_by(&cons) {
-                *reuse += 0.5;
-                return;
+                return Some(Flow::Speculative(ci));
             }
         }
-        // No consumer superword: each lane with scalar users needs an
-        // extract.
-        let external: usize = g
-            .elems
-            .iter()
-            .filter(|&&e| !effective_users(self.dfg, e).is_empty())
-            .count();
-        *pack_ops += external as f64;
+        Some(Flow::Unresolved)
     }
 
-    /// Is there a live candidate (other than `self_idx`) whose merged
-    /// lanes equal `sw`?
-    fn matching_candidate(&self, sw: &[NodeId], self_idx: usize, alive: &[bool]) -> bool {
+    /// Lanes whose value has scalar users outside the group (each needs
+    /// an extract when no consumer superword exists).
+    fn external_lanes(&self, g: &SimdGroup) -> usize {
+        g.elems
+            .iter()
+            .filter(|&&e| !effective_users(self.dfg, e).is_empty())
+            .count()
+    }
+
+    /// The live candidate (other than `self_idx`) whose merged lanes
+    /// equal `sw`, if any.
+    ///
+    /// Splitting `sw` at its midpoint is exhaustive: candidates merge two
+    /// equal-size items, so a candidate producing `sw` must be the pair
+    /// of items holding its two halves (for `sw.len() == 2` those are
+    /// the singleton items, which `Round::item_of` resolves like any
+    /// other). When either half is not an item, no candidate can produce
+    /// `sw`.
+    fn matching_candidate(&self, sw: &[NodeId], self_idx: usize, alive: &[bool]) -> Option<usize> {
         if sw.len() < 2 {
-            return false;
+            return None;
         }
         let half = sw.len() / 2;
         let (Some(li), Some(ri)) = (
             self.round.item_of(&sw[..half]),
             self.round.item_of(&sw[half..]),
         ) else {
-            // Items may also match as singletons for lanes()==2.
-            if sw.len() == 2 {
-                return false;
-            }
-            return false;
+            return None;
         };
-        match self.round.candidate_of(li, ri) {
-            Some(ci) => ci != self_idx && alive[ci],
-            None => false,
-        }
+        let ci = self.round.candidate_of(li, ri)?;
+        (ci != self_idx && alive[ci]).then_some(ci)
     }
 }
 
@@ -246,7 +715,7 @@ mod tests {
     use super::*;
     use slpwlo_ir::blocks::collect_blocks;
     use slpwlo_ir::parser::parse_kernel;
-    use slpwlo_targets::xentium;
+    use slpwlo_targets::{vex, xentium};
 
     fn fir_unrolled() -> Dfg {
         let src = r#"
@@ -268,31 +737,45 @@ kernel f {
         Dfg::from_stmts(&k, &blocks[0].stmts)
     }
 
+    fn models<'a>(
+        dfg: &'a Dfg,
+        round: &'a Round,
+        target: &'a TargetModel,
+    ) -> [BenefitModel<'a>; 2] {
+        let max = target.max_wl();
+        [
+            BenefitModel::with_kind(dfg, round, target, BenefitKind::Slots, move |_| max),
+            BenefitModel::with_kind(dfg, round, target, BenefitKind::Cycles, move |_| 16),
+        ]
+    }
+
     #[test]
     fn adjacent_load_pairs_beat_gather_pairs() {
         let dfg = fir_unrolled();
         let target = xentium();
         let round = Round::new(&dfg, &target, &[]);
-        let model = BenefitModel::new(&dfg, &round, &target);
-        let alive = vec![true; round.candidates.len()];
-        let mut best_adjacent = f64::MIN;
-        let mut best_gather = f64::MIN;
-        for idx in 0..round.candidates.len() {
-            let c = round.candidates[idx];
-            let g = round.items[c.left].concat(&round.items[c.right]);
-            if matches!(g.kind(&dfg), NodeKind::LoadArray(..)) {
-                let b = model.benefit(idx, &alive, &[]);
-                match mem_status(&dfg, &g) {
-                    MemStatus::ContiguousAligned => best_adjacent = best_adjacent.max(b),
-                    MemStatus::Gather => best_gather = best_gather.max(b),
-                    _ => {}
+        for model in models(&dfg, &round, &target) {
+            let alive = vec![true; round.candidates.len()];
+            let mut best_adjacent = f64::MIN;
+            let mut best_gather = f64::MIN;
+            for idx in 0..round.candidates.len() {
+                let c = round.candidates[idx];
+                let g = round.items[c.left].concat(&round.items[c.right]);
+                if matches!(g.kind(&dfg), NodeKind::LoadArray(..)) {
+                    let b = model.benefit(idx, &alive, &[]);
+                    match mem_status(&dfg, &g) {
+                        MemStatus::ContiguousAligned => best_adjacent = best_adjacent.max(b),
+                        MemStatus::Gather => best_gather = best_gather.max(b),
+                        _ => {}
+                    }
                 }
             }
+            assert!(
+                best_adjacent > best_gather,
+                "{:?}: {best_adjacent} vs {best_gather}",
+                model.kind
+            );
         }
-        assert!(
-            best_adjacent > best_gather,
-            "{best_adjacent} vs {best_gather}"
-        );
     }
 
     #[test]
@@ -300,21 +783,22 @@ kernel f {
         let dfg = fir_unrolled();
         let target = xentium();
         let round = Round::new(&dfg, &target, &[]);
-        let model = BenefitModel::new(&dfg, &round, &target);
-        // Find the mul-pair candidate (c0*dl0, c1*dl1): its operands are
-        // the adjacent load pairs, which exist as candidates => reuse.
-        let alive = vec![true; round.candidates.len()];
-        let dead = vec![false; round.candidates.len()];
-        for idx in 0..round.candidates.len() {
-            let c = round.candidates[idx];
-            let g = round.items[c.left].concat(&round.items[c.right]);
-            if matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)) {
-                let with_cands = model.benefit(idx, &alive, &[]);
-                let without = model.benefit(idx, &dead, &[]);
-                assert!(
-                    with_cands >= without,
-                    "live operand candidates must not lower benefit ({with_cands} vs {without})"
-                );
+        for model in models(&dfg, &round, &target) {
+            let alive = vec![true; round.candidates.len()];
+            let dead = vec![false; round.candidates.len()];
+            for idx in 0..round.candidates.len() {
+                let c = round.candidates[idx];
+                let g = round.items[c.left].concat(&round.items[c.right]);
+                if matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)) {
+                    let with_cands = model.benefit(idx, &alive, &[]);
+                    let without = model.benefit(idx, &dead, &[]);
+                    assert!(
+                        with_cands >= without,
+                        "{:?}: live operand candidates must not lower benefit \
+                         ({with_cands} vs {without})",
+                        model.kind
+                    );
+                }
             }
         }
     }
@@ -324,32 +808,152 @@ kernel f {
         let dfg = fir_unrolled();
         let target = xentium();
         let round = Round::new(&dfg, &target, &[]);
+        for model in models(&dfg, &round, &target) {
+            let alive = vec![true; round.candidates.len()];
+            // Take the first mul pair candidate; compare benefit with its
+            // operand loads merely candidates vs actually selected.
+            let mut checked = false;
+            for idx in 0..round.candidates.len() {
+                let c = round.candidates[idx];
+                let g = round.items[c.left].concat(&round.items[c.right]);
+                if !matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)) {
+                    continue;
+                }
+                let param_sw: Vec<NodeId> = g
+                    .elems
+                    .iter()
+                    .map(|&e| resolved_operands(&dfg, e)[0])
+                    .collect();
+                let array_sw: Vec<NodeId> = g
+                    .elems
+                    .iter()
+                    .map(|&e| resolved_operands(&dfg, e)[1])
+                    .collect();
+                let selected = vec![SimdGroup { elems: param_sw }, SimdGroup { elems: array_sw }];
+                let b_sel = model.benefit(idx, &alive, &selected);
+                let b_cand = model.benefit(idx, &alive, &[]);
+                assert!(b_sel > b_cand, "{:?}: {b_sel} vs {b_cand}", model.kind);
+                checked = true;
+                break;
+            }
+            assert!(checked, "no mul candidate found");
+        }
+    }
+
+    #[test]
+    fn two_lane_singleton_operands_count_as_candidate_reuse() {
+        // Pins the `matching_candidate` contract the dead `sw.len() == 2`
+        // special case used to obscure: a 2-lane operand superword whose
+        // halves are singleton items with a live merge candidate *is*
+        // candidate reuse, and killing that candidate removes it.
+        let dfg = fir_unrolled();
+        let target = xentium();
+        let round = Round::new(&dfg, &target, &[]);
         let model = BenefitModel::new(&dfg, &round, &target);
-        let alive = vec![true; round.candidates.len()];
-        // Take the first mul pair candidate; compare benefit with its
-        // operand loads merely candidates vs actually selected.
+        let mut verified = false;
         for idx in 0..round.candidates.len() {
             let c = round.candidates[idx];
             let g = round.items[c.left].concat(&round.items[c.right]);
             if !matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)) {
                 continue;
             }
-            let param_sw: Vec<NodeId> = g
-                .elems
-                .iter()
-                .map(|&e| resolved_operands(&dfg, e)[0])
-                .collect();
-            let array_sw: Vec<NodeId> = g
-                .elems
-                .iter()
-                .map(|&e| resolved_operands(&dfg, e)[1])
-                .collect();
-            let selected = vec![SimdGroup { elems: param_sw }, SimdGroup { elems: array_sw }];
-            let b_sel = model.benefit(idx, &alive, &selected);
-            let b_cand = model.benefit(idx, &alive, &[]);
-            assert!(b_sel > b_cand, "{b_sel} vs {b_cand}");
-            return;
+            // Both operand superwords (param loads, array loads) are made
+            // of singleton items and have live load-pair candidates.
+            for pos in 0..2 {
+                let sw: Vec<NodeId> = g
+                    .elems
+                    .iter()
+                    .map(|&e| resolved_operands(&dfg, e)[pos])
+                    .collect();
+                assert_eq!(sw.len(), 2);
+                let alive = vec![true; round.candidates.len()];
+                assert!(
+                    model.matching_candidate(&sw, idx, &alive).is_some(),
+                    "operand pair {sw:?} must be recognised as a live candidate"
+                );
+                // Kill every candidate: the reuse disappears.
+                let dead = vec![false; round.candidates.len()];
+                assert!(model.matching_candidate(&sw, idx, &dead).is_none());
+                verified = true;
+            }
+            break;
         }
-        panic!("no mul candidate found");
+        assert!(verified, "no mul candidate found");
+    }
+
+    #[test]
+    fn cycles_model_prices_packing_higher_on_single_issue() {
+        // The same structural candidate must carry strictly more packing
+        // cost on VEX-1 (every pack insert is a whole cycle) than on
+        // XENTIUM (four ALUs absorb inserts), and an isolated mul pair
+        // (operand candidates dead, scalar consumers) must be a clear
+        // net loss on the single-issue machine.
+        let dfg = fir_unrolled();
+        let narrow = vex(1);
+        let wide = xentium();
+        let pack_of = |target: &TargetModel| -> f64 {
+            let round = Round::new(&dfg, target, &[]);
+            let model = BenefitModel::with_kind(&dfg, &round, target, BenefitKind::Cycles, |_| 16);
+            let dead = vec![false; round.candidates.len()];
+            for idx in 0..round.candidates.len() {
+                let c = round.candidates[idx];
+                let g = round.items[c.left].concat(&round.items[c.right]);
+                if matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)) {
+                    let b = model.assess(idx, &dead, &[]);
+                    if target.issue_width == 1 {
+                        assert!(
+                            b.net() < 0.0,
+                            "VEX-1: isolated mul pack must be a loss, got {b:?}"
+                        );
+                    }
+                    return b.pack;
+                }
+            }
+            panic!("no mul candidate found");
+        };
+        assert!(
+            pack_of(&narrow) > pack_of(&wide),
+            "single-issue packing must be priced higher"
+        );
+    }
+
+    #[test]
+    fn cycles_model_rewards_displacing_wide_multiplies() {
+        // At 32-bit current word lengths a mul pair displaces two
+        // macro-expanded multiplies on XENTIUM — the saved term must be
+        // larger than at 16-bit current word lengths.
+        let dfg = fir_unrolled();
+        let target = xentium();
+        let round = Round::new(&dfg, &target, &[]);
+        let wide = BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::Cycles, |_| 32);
+        let narrow = BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::Cycles, |_| 16);
+        let alive = vec![true; round.candidates.len()];
+        for idx in 0..round.candidates.len() {
+            let c = round.candidates[idx];
+            let g = round.items[c.left].concat(&round.items[c.right]);
+            if matches!(g.kind(&dfg), NodeKind::Bin(slpwlo_ir::BinOp::Mul)) {
+                let b32 = wide.assess(idx, &alive, &[]);
+                let b16 = narrow.assess(idx, &alive, &[]);
+                assert!(
+                    b32.saved > b16.saved,
+                    "32-bit displacement must save more: {b32:?} vs {b16:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_finite_and_non_negative() {
+        let dfg = fir_unrolled();
+        for target in [xentium(), vex(1), vex(4)] {
+            let round = Round::new(&dfg, &target, &[]);
+            for model in models(&dfg, &round, &target) {
+                let alive = vec![true; round.candidates.len()];
+                for idx in 0..round.candidates.len() {
+                    let b = model.benefit(idx, &alive, &[]);
+                    assert!(b.is_finite() && b >= 0.0, "{:?}: {b}", model.kind);
+                }
+            }
+        }
     }
 }

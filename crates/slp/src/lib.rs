@@ -23,11 +23,14 @@ pub mod conflict;
 pub mod group;
 pub mod select;
 
-pub use benefit::BenefitModel;
+pub use benefit::{BenefitKind, BenefitModel, CostedBenefit};
 pub use candidate::{Candidate, CandidateView, Round};
 pub use conflict::structural_conflicts;
 pub use group::{
     closes_cycle, effective_users, fully_independent, group_reaches, mem_status, resolve_producer,
     resolved_operands, MemStatus, SimdGroup,
 };
-pub use select::{extract_plain, extract_rounds, run_selection, NoHooks, SelectHooks};
+pub use select::{
+    extract_plain, extract_plain_with, extract_rounds, extract_rounds_with, run_selection,
+    run_selection_with, NoHooks, SelectHooks,
+};

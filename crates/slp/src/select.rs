@@ -14,7 +14,7 @@
 //!   constraint (a strict guard the paper implies through its conflict
 //!   definition).
 
-use crate::benefit::BenefitModel;
+use crate::benefit::{BenefitKind, BenefitModel};
 use crate::candidate::{CandidateView, Round};
 use crate::conflict::conflicts;
 use crate::group::{closes_cycle, SimdGroup};
@@ -53,6 +53,35 @@ pub trait SelectHooks {
         let _ = view;
         true
     }
+
+    /// The *current* word length of a node's value, for cycle-priced
+    /// benefit estimation ([`BenefitKind::Cycles`]). Accuracy-aware hooks
+    /// answer from the evolving fixed-point spec, so live candidates are
+    /// re-priced as word lengths shrink; `None` (the default) prices at
+    /// the target's maximum word length.
+    fn current_wl(&self, node: NodeId) -> Option<i32> {
+        let _ = node;
+        None
+    }
+
+    /// The *current* fractional word length of a node's value. Lets the
+    /// cycle-priced model compute per-lane scaling amounts and price a
+    /// candidate's scalings exactly: nothing when amounts are zero, one
+    /// vector shift when uniform, the full fig. 2 unpack/shift/repack
+    /// when mismatched. `None` (the default) assumes uniform scaling.
+    fn current_fwl(&self, node: NodeId) -> Option<i32> {
+        let _ = node;
+        None
+    }
+
+    /// Whether a scaling-equalization pass (fig. 1b) runs after this
+    /// extraction. The cycle-priced model then treats equalizable
+    /// mismatched scalings as uniform — the accuracy-aware WLO↔SLP flow
+    /// answers `true`, the equalization-free `WLO-First` baseline keeps
+    /// the default `false`.
+    fn equalization_follows(&self) -> bool {
+        false
+    }
 }
 
 /// Policy-free hooks: plain structural SLP.
@@ -62,13 +91,38 @@ pub struct NoHooks;
 impl SelectHooks for NoHooks {}
 
 /// Runs one selection pass over a round (one `SLP()` invocation of the
-/// paper) and returns the newly formed groups.
+/// paper) with the default benefit strategy; see [`run_selection_with`].
 pub fn run_selection(
     dfg: &Dfg,
     target: &TargetModel,
     round: &Round,
     selected_so_far: &[SimdGroup],
     hooks: &mut dyn SelectHooks,
+) -> Vec<SimdGroup> {
+    run_selection_with(
+        dfg,
+        target,
+        round,
+        selected_so_far,
+        hooks,
+        BenefitKind::default(),
+    )
+}
+
+/// Runs one selection pass over a round (one `SLP()` invocation of the
+/// paper) and returns the newly formed groups.
+///
+/// `benefit` picks the candidate-pricing strategy; under
+/// [`BenefitKind::Cycles`] the model reads each node's current word
+/// length through [`SelectHooks::current_wl`] every iteration, so
+/// candidates are re-priced as selections shrink the spec.
+pub fn run_selection_with(
+    dfg: &Dfg,
+    target: &TargetModel,
+    round: &Round,
+    selected_so_far: &[SimdGroup],
+    hooks: &mut dyn SelectHooks,
+    benefit: BenefitKind,
 ) -> Vec<SimdGroup> {
     let n = round.candidates.len();
     let views: Vec<CandidateView> = (0..n).map(|i| round.view(target, i)).collect();
@@ -92,15 +146,31 @@ pub fn run_selection(
         }
     }
 
-    let model = BenefitModel::new(dfg, round, target);
     let mut selected: Vec<SimdGroup> = selected_so_far.to_vec();
     let mut new_groups: Vec<SimdGroup> = Vec::new();
+    let max_wl = target.max_wl();
 
     // Main loop: while conflicts remain among live candidates, pick the
     // most beneficial candidate and eliminate everything conflicting.
     loop {
         let live_conflicts = conf.iter().any(|&(i, j)| alive[i] && alive[j]);
-        let Some(best) = argmax_benefit(&model, &alive, &selected) else {
+        // The model is rebuilt each iteration over a fresh word-length
+        // oracle: selections mutate the spec through the hooks, and the
+        // cycle-priced strategy must see those shrinks.
+        let best = {
+            let oracle: &dyn SelectHooks = &*hooks;
+            let model = BenefitModel::with_context(
+                dfg,
+                round,
+                target,
+                benefit,
+                |n| oracle.current_wl(n).unwrap_or(max_wl),
+                |n| oracle.current_fwl(n),
+            )
+            .assume_equalization(oracle.equalization_follows());
+            argmax_benefit(&model, &alive, &selected)
+        };
+        let Some(best) = best else {
             break;
         };
         if !live_conflicts {
@@ -195,15 +265,16 @@ fn argmax_benefit(
             continue;
         }
         // Admission: only candidates whose *net* benefit is positive may
-        // be selected — the ratio key is strictly positive for every
-        // candidate and would otherwise pack pairs whose inserts and
-        // extracts cost more than the one issue slot they save.
+        // be selected — the ranking key alone would pack pairs whose
+        // inserts and extracts cost more than what the vector op saves.
         // Re-evaluated every iteration: a candidate rejected now can
-        // become admissible once neighbours are selected (reuse grows).
-        let (net, b) = model.assess(i, alive, selected);
-        if net <= 0.0 {
+        // become admissible once neighbours are selected (reuse grows)
+        // or, under WLO↔SLP, once word lengths shrink.
+        let assessed = model.assess(i, alive, selected);
+        if assessed.net() <= model.admission_margin() {
             continue;
         }
+        let b = assessed.rank();
         match best {
             Some((_, bb)) if bb >= b => {}
             _ => best = Some((i, b)),
@@ -212,19 +283,30 @@ fn argmax_benefit(
     best.map(|(i, _)| i)
 }
 
-/// Runs extraction rounds to fixpoint (the paper's outer `while not done`
-/// over one basic block): each round re-enumerates candidates over the
-/// updated item set, allowing group sizes to grow as long as the target
-/// supports them.
+/// Runs extraction rounds to fixpoint with the default benefit strategy;
+/// see [`extract_rounds_with`].
 pub fn extract_rounds(
     dfg: &Dfg,
     target: &TargetModel,
     hooks: &mut dyn SelectHooks,
 ) -> Vec<SimdGroup> {
+    extract_rounds_with(dfg, target, hooks, BenefitKind::default())
+}
+
+/// Runs extraction rounds to fixpoint (the paper's outer `while not done`
+/// over one basic block): each round re-enumerates candidates over the
+/// updated item set, allowing group sizes to grow as long as the target
+/// supports them.
+pub fn extract_rounds_with(
+    dfg: &Dfg,
+    target: &TargetModel,
+    hooks: &mut dyn SelectHooks,
+    benefit: BenefitKind,
+) -> Vec<SimdGroup> {
     let mut groups: Vec<SimdGroup> = Vec::new();
     loop {
         let round = Round::new(dfg, target, &groups);
-        let selected = run_selection(dfg, target, &round, &groups, hooks);
+        let selected = run_selection_with(dfg, target, &round, &groups, hooks, benefit);
         if selected.is_empty() {
             return groups;
         }
@@ -239,13 +321,25 @@ pub fn extract_rounds(
     }
 }
 
-/// Plain, accuracy-*unaware* SLP extraction for the `WLO-First` baseline:
-/// word lengths are already fixed, so a candidate is admissible iff every
-/// element's word length fits the sub-word the target grants the group.
+/// Plain, accuracy-*unaware* SLP extraction with the default benefit
+/// strategy; see [`extract_plain_with`].
 pub fn extract_plain(
     dfg: &Dfg,
     target: &TargetModel,
     wl_of: &dyn Fn(NodeId) -> i32,
+) -> Vec<SimdGroup> {
+    extract_plain_with(dfg, target, wl_of, BenefitKind::default())
+}
+
+/// Plain, accuracy-*unaware* SLP extraction for the `WLO-First` baseline:
+/// word lengths are already fixed, so a candidate is admissible iff every
+/// element's word length fits the sub-word the target grants the group.
+/// The frozen word lengths also feed the cycle-priced benefit model.
+pub fn extract_plain_with(
+    dfg: &Dfg,
+    target: &TargetModel,
+    wl_of: &dyn Fn(NodeId) -> i32,
+    benefit: BenefitKind,
 ) -> Vec<SimdGroup> {
     struct FixedWlHooks<'a> {
         target: &'a TargetModel,
@@ -261,9 +355,13 @@ pub fn extract_plain(
                     None => false,
                 })
         }
+
+        fn current_wl(&self, node: NodeId) -> Option<i32> {
+            Some((self.wl_of)(node))
+        }
     }
     let mut hooks = FixedWlHooks { target, wl_of };
-    extract_rounds(dfg, target, &mut hooks)
+    extract_rounds_with(dfg, target, &mut hooks, benefit)
 }
 
 #[cfg(test)]

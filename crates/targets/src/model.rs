@@ -87,11 +87,13 @@ impl OpCost {
 /// and the lowering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpQuery {
-    /// Scalar add/sub/neg at the given word length.
+    /// Scalar add/sub/neg at the given word length. Word lengths above
+    /// the datapath split into a carry chain (add + add-with-carry).
     Add(i32),
     /// Scalar multiply at the given word length.
     Mul(i32),
-    /// Scalar shift (scaling) at the given word length.
+    /// Scalar shift (scaling) at the given word length. Word lengths
+    /// above the datapath need a multi-word shift (hi, lo, combine).
     Shift(i32),
     /// Scalar load of the given word length.
     Load(i32),
@@ -107,10 +109,25 @@ pub enum OpQuery {
     VLoad(u32),
     /// SIMD store of `lanes` sub-words.
     VStore(u32),
+    /// SIMD load of `lanes` sub-words from a contiguous but misaligned
+    /// address (the access plus the realign op lowering emits after it).
+    VLoadU(u32),
+    /// SIMD store of `lanes` sub-words to a misaligned address.
+    VStoreU(u32),
+    /// Non-contiguous vector load: `lanes` scalar loads feeding one
+    /// register (the pack that completes the gather is ALU traffic,
+    /// priced separately — see [`TargetModel::cycles`]).
+    Gather(u32),
+    /// Non-contiguous vector store: `lanes` scalar stores draining one
+    /// register (the per-lane extracts are ALU traffic, priced
+    /// separately — see [`TargetModel::cycles`]).
+    Scatter(u32),
     /// Build one vector register from `lanes` scalar values.
     Pack(u32),
+    /// Broadcast one scalar value into all `lanes`.
+    Splat(u32),
     /// Extract one scalar from a vector register.
-    Unpack,
+    Extract,
     /// Floating-point add (hardware or soft-float).
     FAdd,
     /// Floating-point multiply (hardware or soft-float).
@@ -209,7 +226,19 @@ impl TargetModel {
     /// must consult [`simd_element_wl`](Self::simd_element_wl) first.
     pub fn cost(&self, q: OpQuery) -> OpCost {
         match q {
-            OpQuery::Add(_) => OpCost::unit(OpClass::Alu, 1),
+            OpQuery::Add(wl) => {
+                if wl > self.datapath {
+                    // Carry-chain split: low-word add + add-with-carry.
+                    OpCost {
+                        class: OpClass::Alu,
+                        latency: 2,
+                        slots: 2,
+                        serialize: false,
+                    }
+                } else {
+                    OpCost::unit(OpClass::Alu, 1)
+                }
+            }
             OpQuery::Mul(wl) => {
                 if wl > self.native_mul_wl() {
                     OpCost {
@@ -222,18 +251,20 @@ impl TargetModel {
                     OpCost::unit(OpClass::Mul, self.mul_latency)
                 }
             }
-            OpQuery::Shift(_) => {
-                if self.barrel_shifter {
-                    OpCost::unit(OpClass::Shift, 1)
-                } else {
-                    // Shift-register style: a shift occupies the unit for
-                    // its amount; modelled as a 2-cycle average.
+            OpQuery::Shift(wl) => {
+                // Shift-register style (no barrel shifter) occupies the
+                // unit for its amount; modelled as a 2-cycle average.
+                let base = if self.barrel_shifter { 1 } else { 2 };
+                if wl > self.datapath {
+                    // Multi-word shift: shift hi, shift lo, combine.
                     OpCost {
                         class: OpClass::Shift,
-                        latency: 2,
-                        slots: 1,
+                        latency: base + 1,
+                        slots: 3,
                         serialize: false,
                     }
+                } else {
+                    OpCost::unit(OpClass::Shift, base)
                 }
             }
             OpQuery::Load(_) | OpQuery::VLoad(_) | OpQuery::FLoad => {
@@ -241,6 +272,39 @@ impl TargetModel {
             }
             OpQuery::Store(_) | OpQuery::VStore(_) | OpQuery::FStore => {
                 OpCost::unit(OpClass::Mem, 1)
+            }
+            // Composite queries: `cost()` prices exactly the
+            // memory-access component of the op sequence lowering emits
+            // (the ALU traffic — realign, pack, extracts — is lowered as
+            // separate `Add`/`Pack`/`Extract` ops the scheduler prices
+            // individually); [`cycles`](Self::cycles) folds the full
+            // sequence. Both views derive from the same primitives, so
+            // they can never drift apart.
+            OpQuery::VLoadU(l) => {
+                self.assert_lanes(l);
+                self.cost(OpQuery::VLoad(l))
+            }
+            OpQuery::VStoreU(l) => {
+                self.assert_lanes(l);
+                self.cost(OpQuery::VStore(l))
+            }
+            OpQuery::Gather(l) => {
+                let load = self.cost(OpQuery::Load(self.datapath));
+                OpCost {
+                    class: load.class,
+                    latency: load.latency,
+                    slots: l * load.slots,
+                    serialize: false,
+                }
+            }
+            OpQuery::Scatter(l) => {
+                let store = self.cost(OpQuery::Store(self.datapath));
+                OpCost {
+                    class: store.class,
+                    latency: store.latency,
+                    slots: l * store.slots,
+                    serialize: false,
+                }
             }
             OpQuery::VAdd(l) => {
                 self.assert_lanes(l);
@@ -260,7 +324,8 @@ impl TargetModel {
                 slots: self.pack_ops_per_lane * l,
                 serialize: false,
             },
-            OpQuery::Unpack => OpCost {
+            OpQuery::Splat(_) => OpCost::unit(OpClass::Alu, 1),
+            OpQuery::Extract => OpCost {
                 class: OpClass::Alu,
                 latency: 1,
                 slots: self.unpack_ops,
@@ -268,6 +333,49 @@ impl TargetModel {
             },
             OpQuery::FAdd => self.float_cost(self.fadd_cycles),
             OpQuery::FMul => self.float_cost(self.fmul_cycles),
+        }
+    }
+
+    /// Throughput price of one abstract operation in cycles — the
+    /// steady-state cost of issuing it once per loop iteration, derived
+    /// from [`cost`](Self::cost): `slots / min(unit capacity, issue
+    /// width)` for pipelined ops, the full latency for serializing ones.
+    ///
+    /// Composite queries fold over the same primitive [`cost`] calls the
+    /// scheduler prices for the lowered program, so selection and
+    /// scheduling can never disagree on a pack/unpack/gather price:
+    ///
+    /// * [`OpQuery::Gather`] = `lanes` scalar loads + one [`OpQuery::Pack`];
+    /// * [`OpQuery::Scatter`] = `lanes` extracts + `lanes` scalar stores;
+    /// * [`OpQuery::VLoadU`]/[`OpQuery::VStoreU`] = the aligned access +
+    ///   the one-ALU-op realign lowering emits after/before it.
+    ///
+    /// This is the single cost source of the SLP benefit layer
+    /// (`slpwlo-slp`'s `BenefitKind::Cycles`).
+    pub fn cycles(&self, q: OpQuery) -> f64 {
+        match q {
+            OpQuery::Gather(l) => {
+                l as f64 * self.cycles(OpQuery::Load(self.datapath)) + self.cycles(OpQuery::Pack(l))
+            }
+            OpQuery::Scatter(l) => {
+                l as f64
+                    * (self.cycles(OpQuery::Extract) + self.cycles(OpQuery::Store(self.datapath)))
+            }
+            OpQuery::VLoadU(l) => {
+                self.cycles(OpQuery::VLoad(l)) + self.cycles(OpQuery::Add(self.datapath))
+            }
+            OpQuery::VStoreU(l) => {
+                self.cycles(OpQuery::VStore(l)) + self.cycles(OpQuery::Add(self.datapath))
+            }
+            _ => {
+                let c = self.cost(q);
+                if c.serialize {
+                    c.latency as f64
+                } else {
+                    let cap = self.units.of(c.class).min(self.issue_width).max(1);
+                    c.slots as f64 / cap as f64
+                }
+            }
         }
     }
 
@@ -378,6 +486,71 @@ mod tests {
     fn unsupported_lanes_panic() {
         let x = xentium();
         let _ = x.cost(OpQuery::VMul(4));
+    }
+
+    #[test]
+    fn wide_add_and_shift_split_above_the_datapath() {
+        let x = xentium();
+        assert_eq!(x.cost(OpQuery::Add(32)).slots, 1);
+        assert_eq!(x.cost(OpQuery::Add(40)).slots, 2, "carry-chain split");
+        assert_eq!(x.cost(OpQuery::Shift(32)).slots, 1);
+        assert_eq!(x.cost(OpQuery::Shift(40)).slots, 3, "multi-word shift");
+    }
+
+    #[test]
+    fn composite_cycles_fold_over_primitive_costs() {
+        for t in [xentium(), st240(), vex(4), vex(1)] {
+            let l = 2;
+            let gather = t.cycles(OpQuery::Gather(l));
+            let parts = l as f64 * t.cycles(OpQuery::Load(t.datapath)) + t.cycles(OpQuery::Pack(l));
+            assert_eq!(gather, parts, "{}", t.name);
+            let scatter = t.cycles(OpQuery::Scatter(l));
+            assert_eq!(
+                scatter,
+                l as f64 * (t.cycles(OpQuery::Extract) + t.cycles(OpQuery::Store(t.datapath))),
+                "{}",
+                t.name
+            );
+            assert!(
+                t.cycles(OpQuery::VLoadU(l)) > t.cycles(OpQuery::VLoad(l)),
+                "{}: misalignment must cost",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn single_issue_prices_packing_at_full_cycles() {
+        // The motivating case: on VEX-1 every pack insert is a whole
+        // cycle, while on 12-issue XENTIUM four ALUs absorb them.
+        let narrow = vex(1);
+        let wide = xentium();
+        assert_eq!(narrow.cycles(OpQuery::Pack(2)), 2.0);
+        assert_eq!(wide.cycles(OpQuery::Pack(2)), 0.5);
+        assert_eq!(narrow.cycles(OpQuery::Extract), 1.0);
+    }
+
+    #[test]
+    fn wide_mul_cycles_reflect_macro_expansion() {
+        let x = xentium(); // 16x16 multiplier, 2 units
+        assert!(x.cycles(OpQuery::Mul(32)) > x.cycles(OpQuery::Mul(16)));
+        assert_eq!(x.cycles(OpQuery::Mul(32)), 2.0, "4 slots over 2 units");
+        let s = st240(); // native 32x32
+        assert_eq!(s.cycles(OpQuery::Mul(32)), s.cycles(OpQuery::Mul(16)));
+    }
+
+    #[test]
+    fn soft_float_cycles_are_the_serialized_latency() {
+        let x = xentium();
+        assert_eq!(x.cycles(OpQuery::FAdd), x.fadd_cycles as f64);
+    }
+
+    #[test]
+    fn splat_is_one_broadcast_op() {
+        for t in [xentium(), vex(1)] {
+            assert_eq!(t.cost(OpQuery::Splat(2)).slots, 1, "{}", t.name);
+            assert!(t.cycles(OpQuery::Splat(2)) < t.cycles(OpQuery::Pack(2)));
+        }
     }
 
     #[test]

@@ -31,7 +31,8 @@
 //! for end-to-end walkthroughs.
 
 pub use slpwlo_driver::{
-    CompilationFlow, Error, ExportedC, FlowContext, FlowKind, FlowOutput, Optimizer, Report,
+    BenefitKind, CompilationFlow, Error, ExportedC, FlowContext, FlowKind, FlowOutput, Optimizer,
+    Report,
 };
 
 pub use slpwlo_accuracy as accuracy;

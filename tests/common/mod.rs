@@ -5,17 +5,20 @@
 //! every binary uses every helper.
 #![allow(dead_code)]
 
-use slpwlo::core::nodes::value_wl;
 use slpwlo::core::{lower_fixed, MachineProgram};
 use slpwlo::fixedpoint::FixedPointSpec;
-use slpwlo::ir::blocks::collect_blocks;
-use slpwlo::ir::{Dfg, Kernel};
+use slpwlo::ir::Kernel;
 use slpwlo::kernels::Workload;
-use slpwlo::slp::extract_plain;
+use slpwlo::slp::BenefitKind;
 use slpwlo::targets::TargetModel;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+
+/// `slpwlo_core::extract_on_spec`, re-exported for the harnesses (the
+/// WLO-First back half's extraction: word lengths *and* formats feed
+/// the cycle-priced benefit model).
+pub use slpwlo::core::extract_on_spec;
 
 /// Plain (accuracy-unaware) SLP groups on a frozen spec, lowered to the
 /// SIMD machine program — the WLO-First back half, used as the SIMD leg
@@ -25,18 +28,7 @@ pub fn simd_program(
     spec: &FixedPointSpec,
     target: &TargetModel,
 ) -> MachineProgram {
-    let blocks: Vec<_> = collect_blocks(kernel)
-        .into_iter()
-        .map(|b| {
-            let dfg = Dfg::from_block(kernel, &b);
-            let groups = {
-                let spec_ref = &spec;
-                let dfg_ref = &dfg;
-                extract_plain(&dfg, target, &move |n| value_wl(spec_ref, dfg_ref, n))
-            };
-            (b, dfg, groups)
-        })
-        .collect();
+    let blocks = extract_on_spec(kernel, spec, target, BenefitKind::default());
     lower_fixed(kernel, spec, target, &blocks)
 }
 

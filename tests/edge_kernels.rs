@@ -346,3 +346,73 @@ kernel gk1 {
     let k = slpwlo::ir::parser::parse_kernel(src).unwrap();
     assert_whole_chain(&k, 16);
 }
+
+/// Seed 224 (4096-seed corpus): a delay line whose shift expression read
+/// the line's *own* taps through a product — quadratic self-feedback.
+/// Interval analysis rightly diverges and falls back to simulation,
+/// whose f64 run overflows to infinity; spec construction used to panic
+/// on the non-finite range. The measurement is now clamped to the
+/// divergence bound: range analysis and spec construction stay
+/// panic-free and every format is finite (the generator itself no
+/// longer emits self-referential shifts, so this pins the clamping
+/// backstop for hand-written kernels).
+#[test]
+fn divergent_feedback_ranges_are_clamped_finite() {
+    let src = r#"
+kernel gk224 {
+    input x0 range [-1, 1];
+    output y0;
+    array dl1[2];
+    shiftin dl1 <- (dl1[1] + 0.50390625) * (x0 + dl1[-1]);
+    y0 = -0.4375 * dl1[0];
+}
+"#;
+    let k = slpwlo::ir::parser::parse_kernel(src).unwrap();
+    let opts = RangeOptions::default();
+    let ranges = determine_ranges(&k, &opts);
+    assert!(
+        matches!(ranges.method, RangeMethod::Simulation { .. }),
+        "divergent feedback must fall back to simulated ranges"
+    );
+    for iv in ranges.exprs.iter().flatten().chain(&ranges.arrays) {
+        assert!(
+            iv.lo.is_finite() && iv.hi.is_finite(),
+            "clamped measurement must be finite, got {iv:?}"
+        );
+        assert!(
+            iv.magnitude() <= opts.divergence_bound * opts.margin.max(1.0),
+            "clamp must bound the measurement: {iv:?}"
+        );
+    }
+    // Spec construction must not panic; the resulting formats are huge
+    // but finite.
+    let spec = FixedPointSpec::from_ranges(&k, &ranges, 32);
+    let _ = spec;
+}
+
+/// A divergent kernel can go one step beyond ±inf: `inf - inf` is NaN,
+/// which the simulation's recording layer must sanitize (NaN has no
+/// sign, so it widens to the full representable range before the
+/// divergence clamp bounds it) rather than panic on.
+#[test]
+fn nan_producing_feedback_ranges_are_clamped_finite() {
+    let src = r#"
+kernel gknan {
+    input x0 range [-1, 1];
+    output y0;
+    array dl1[2];
+    shiftin dl1 <- dl1[0] + dl1[0] + x0;
+    y0 = dl1[0] - dl1[1];
+}
+"#;
+    let k = slpwlo::ir::parser::parse_kernel(src).unwrap();
+    let opts = RangeOptions::default();
+    let ranges = determine_ranges(&k, &opts);
+    for iv in ranges.exprs.iter().flatten().chain(&ranges.arrays) {
+        assert!(
+            iv.lo.is_finite() && iv.hi.is_finite(),
+            "clamped measurement must be finite, got {iv:?}"
+        );
+    }
+    let _ = FixedPointSpec::from_ranges(&k, &ranges, 32);
+}

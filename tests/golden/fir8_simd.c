@@ -22,32 +22,34 @@ void fir8_step(double x_in, double *y_out)
         acc = v0_def0;
     }
     for (int i1 = 0; i1 < 2; i1++) {
-        /* bb1: 21 ops, executes 2x per activation, loop body */
-        slpwlo_vec_t v1_0 = VLOAD2(&c[4*i1]);
-        slpwlo_vec_t v1_1 = VLOAD2(&dl[4*i1]);
-        slpwlo_vec_t v1_2 = VMUL2(v1_0, v1_1);
-        slpwlo_vec_t v1_3_q = VSH2(v1_2, 15, 15);
-        slpwlo_vec_t v1_3 = VSAT2(v1_3_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
-        int64_t v1_4 = UNPACK(v1_3, 0);
-        int64_t v1_5 = slpwlo_shl(v1_4, 15);
-        int64_t v1_6 = slpwlo_sat((acc) + (v1_5), INT64_C(-2147483648), INT64_C(2147483647));
-        int64_t v1_7 = slpwlo_shr(v1_6, 1);
-        int64_t v1_8 = UNPACK(v1_3, 1);
-        int64_t v1_9 = slpwlo_shl(v1_8, 14);
-        int64_t v1_10 = slpwlo_sat((v1_7) + (v1_9), INT64_C(-2147483648), INT64_C(2147483647));
-        slpwlo_vec_t v1_11 = VLOAD2(&c[4*i1 + 2]);
-        slpwlo_vec_t v1_12 = VLOAD2(&dl[4*i1 + 2]);
-        slpwlo_vec_t v1_13 = VMUL2(v1_11, v1_12);
-        slpwlo_vec_t v1_14_q = VSH2(v1_13, 15, 15);
-        slpwlo_vec_t v1_14 = VSAT2(v1_14_q, INT64_C(-32768), INT64_C(32767), INT64_C(-32768), INT64_C(32767));
-        int64_t v1_15 = UNPACK(v1_14, 0);
-        int64_t v1_16 = slpwlo_shl(v1_15, 14);
-        int64_t v1_17 = slpwlo_sat((v1_10) + (v1_16), INT64_C(-2147483648), INT64_C(2147483647));
-        int64_t v1_18 = UNPACK(v1_14, 1);
-        int64_t v1_19 = slpwlo_shl(v1_18, 14);
-        int64_t v1_20 = slpwlo_sat((v1_17) + (v1_19), INT64_C(-2147483648), INT64_C(2147483647));
+        /* bb1: 25 ops, executes 2x per activation, loop body */
+        int64_t v1_0 = c[4*i1];
+        int64_t v1_1 = dl[4*i1];
+        int64_t v1_2 = (v1_0) * (v1_1);
+        int64_t v1_3 = slpwlo_sat(slpwlo_shr(v1_2, 15), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_4 = slpwlo_shl(v1_3, 15);
+        int64_t v1_5 = slpwlo_sat((acc) + (v1_4), INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v1_6 = c[4*i1 + 1];
+        int64_t v1_7 = dl[4*i1 + 1];
+        int64_t v1_8 = (v1_6) * (v1_7);
+        int64_t v1_9 = slpwlo_sat(slpwlo_shr(v1_8, 15), INT64_C(-32768), INT64_C(32767));
+        int64_t v1_10 = slpwlo_shr(v1_5, 1);
+        int64_t v1_11 = slpwlo_shl(v1_9, 14);
+        int64_t v1_12 = slpwlo_sat((v1_10) + (v1_11), INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v1_13 = c[4*i1 + 2];
+        int64_t v1_14 = dl[4*i1 + 2];
+        int64_t v1_15 = (v1_13) * (v1_14);
+        int64_t v1_16 = slpwlo_sat(slpwlo_shl(v1_15, 1), INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v1_17 = slpwlo_shr(v1_16, 2);
+        int64_t v1_18 = slpwlo_sat((v1_12) + (v1_17), INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v1_19 = c[4*i1 + 3];
+        int64_t v1_20 = dl[4*i1 + 3];
+        int64_t v1_21 = (v1_19) * (v1_20);
+        int64_t v1_22 = slpwlo_sat(slpwlo_shl(v1_21, 2), INT64_C(-2147483648), INT64_C(2147483647));
+        int64_t v1_23 = slpwlo_shr(v1_22, 3);
+        int64_t v1_24 = slpwlo_sat((v1_18) + (v1_23), INT64_C(-2147483648), INT64_C(2147483647));
         /* variable commits (live-in snapshot semantics) */
-        int64_t v1_def0 = slpwlo_shl(v1_20, 1);
+        int64_t v1_def0 = slpwlo_shl(v1_24, 1);
         acc = v1_def0;
     }
     /* bb2: 1 ops, executes 1x per activation */

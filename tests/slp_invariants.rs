@@ -16,6 +16,8 @@
 //!   whole-program level: packing that does not pay for its
 //!   pack/unpack overhead must not be selected).
 
+mod common;
+
 use slpwlo::core::nodes::value_wl;
 use slpwlo::core::{lower_fixed, lower_scalar};
 use slpwlo::fixedpoint::range::{determine_ranges, RangeOptions};
@@ -104,14 +106,18 @@ fn selected_packs_respect_structural_invariants() {
     }
 }
 
-/// The model-level `benefit >= 0` guarantee: every candidate the
-/// selection loop can ever pick carries a finite, strictly positive
-/// estimated benefit (a group of `L` lanes intrinsically saves `L - 1`
-/// issue slots, so the estimate can never go negative — selected packs
-/// inherit this since they are chosen by `argmax` over candidates).
+/// The model-level ranking-key guarantee, for both pricing strategies:
+/// every candidate's ranking benefit is finite and non-negative (the
+/// `argmax` is well-defined), and its full assessment carries finite
+/// saved/reuse/pack components. Under the target-blind `Slots` model the
+/// key is additionally *strictly* positive (a group of `L` lanes counts
+/// `L - 1` saved issue slots unconditionally); the cycle-priced model
+/// deliberately drops that — e.g. a gathered load pair with no reuse
+/// saves nothing — which is exactly what lets the net-benefit admission
+/// reject it.
 #[test]
-fn every_candidate_benefit_is_positive_and_finite() {
-    use slpwlo::slp::{BenefitModel, Round};
+fn every_candidate_benefit_is_finite_and_rankable() {
+    use slpwlo::slp::{BenefitKind, BenefitModel, Round};
     let mut candidates_seen = 0usize;
     for seed in 0..SEEDS {
         let kernel = KernelGen::with_seed(seed).gen();
@@ -119,17 +125,31 @@ fn every_candidate_benefit_is_positive_and_finite() {
             for block in collect_blocks(&kernel) {
                 let dfg = Dfg::from_block(&kernel, &block);
                 let round = Round::new(&dfg, &target, &[]);
-                let model = BenefitModel::new(&dfg, &round, &target);
-                let alive = vec![true; round.candidates.len()];
-                for idx in 0..round.candidates.len() {
-                    let b = model.benefit(idx, &alive, &[]);
-                    assert!(
-                        b.is_finite() && b > 0.0,
-                        "seed {seed} {} {}: candidate {idx} benefit {b}",
-                        target.name,
-                        block.id
-                    );
-                    candidates_seen += 1;
+                for kind in [BenefitKind::Slots, BenefitKind::Cycles] {
+                    let model = BenefitModel::with_kind(&dfg, &round, &target, kind, |_| 16);
+                    let alive = vec![true; round.candidates.len()];
+                    for idx in 0..round.candidates.len() {
+                        let b = model.benefit(idx, &alive, &[]);
+                        assert!(
+                            b.is_finite() && b >= 0.0,
+                            "seed {seed} {} {} {kind}: candidate {idx} benefit {b}",
+                            target.name,
+                            block.id
+                        );
+                        if kind == BenefitKind::Slots {
+                            assert!(b > 0.0, "the slots ranking key is strictly positive");
+                        }
+                        let assessed = model.assess(idx, &alive, &[]);
+                        assert!(
+                            assessed.saved.is_finite()
+                                && assessed.reuse.is_finite()
+                                && assessed.pack.is_finite()
+                                && assessed.pack >= 0.0
+                                && assessed.reuse >= 0.0,
+                            "seed {seed} {kind}: candidate {idx} assessment {assessed:?}"
+                        );
+                        candidates_seen += 1;
+                    }
                 }
             }
         }
@@ -140,11 +160,13 @@ fn every_candidate_benefit_is_positive_and_finite() {
     );
 }
 
-/// Whole-program benefit vs the scalar baseline: the benefit estimate
-/// is an op-count heuristic, so individual kernels may lose a few
-/// per-cent to scheduling effects it cannot see — but losses must stay
-/// bounded on every kernel, and across the corpus vectorization must
-/// win in aggregate.
+/// Whole-program benefit vs the scalar baseline: extraction runs the
+/// way the flows run it — over the frozen spec's full format context
+/// (`common::extract_on_spec`) — so the cycle-priced model sees word
+/// lengths *and* per-lane scalings. Individual kernels may still lose a
+/// few per-cent to scheduling effects the per-candidate estimate cannot
+/// see, but losses must stay bounded on every kernel, and across the
+/// corpus vectorization must win in aggregate.
 #[test]
 fn vectorization_benefit_holds_against_the_scalar_baseline() {
     let mut total_simd = 0u64;
@@ -154,18 +176,7 @@ fn vectorization_benefit_holds_against_the_scalar_baseline() {
         let ranges = determine_ranges(&kernel, &RangeOptions::default());
         for target in [xentium(), vex(4)] {
             let spec = FixedPointSpec::from_ranges(&kernel, &ranges, 16);
-            let blocks: Vec<_> = collect_blocks(&kernel)
-                .into_iter()
-                .map(|b| {
-                    let dfg = Dfg::from_block(&kernel, &b);
-                    let groups = {
-                        let spec_ref = &spec;
-                        let dfg_ref = &dfg;
-                        extract_plain(&dfg, &target, &move |n| value_wl(spec_ref, dfg_ref, n))
-                    };
-                    (b, dfg, groups)
-                })
-                .collect();
+            let blocks = common::extract_on_spec(&kernel, &spec, &target, Default::default());
             let n_groups: usize = blocks.iter().map(|(_, _, g)| g.len()).sum();
             let simd = lower_fixed(&kernel, &spec, &target, &blocks);
             let scalar = lower_scalar(&kernel, &spec, &target);
