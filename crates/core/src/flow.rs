@@ -101,6 +101,81 @@ pub fn extract_on_spec(
         .collect()
 }
 
+/// Why one pass handed this program to the boundary callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramRole {
+    /// The final vectorized program of the flow.
+    Simd,
+    /// The final all-scalar program under the same specification.
+    Scalar,
+    /// An intermediate lowering the scheduler guard only prices
+    /// (verified only at paranoid levels).
+    Candidate,
+}
+
+/// One artifact crossing a pass boundary inside a flow.
+///
+/// The flows hand *every* artifact they produce to the boundary
+/// callback of [`wlo_slp_flow_checked`] / [`wlo_first_flow_checked`];
+/// the callback (typically `slpwlo-verify`'s `verify_boundary`) decides
+/// what to do with each. `is_final` distinguishes the artifact a pass
+/// commits to from intermediate states worth checking only under
+/// paranoid verification.
+#[derive(Debug)]
+pub enum PassArtifact<'a> {
+    /// The kernel entering the flow.
+    Kernel {
+        /// The kernel.
+        kernel: &'a Kernel,
+    },
+    /// A fixed-point specification with the ranges it must cover.
+    Spec {
+        /// The kernel the spec formats.
+        kernel: &'a Kernel,
+        /// The value ranges the spec was derived from.
+        ranges: &'a Ranges,
+        /// The specification.
+        spec: &'a FixedPointSpec,
+        /// `false` for the pre-optimization seed spec.
+        is_final: bool,
+    },
+    /// An SLP grouping for one block.
+    Groups {
+        /// The block's data-flow graph.
+        dfg: &'a Dfg,
+        /// The selected groups.
+        groups: &'a [slpwlo_slp::SimdGroup],
+        /// The target the grouping must be realisable on.
+        target: &'a TargetModel,
+        /// Which block the grouping belongs to.
+        block: slpwlo_ir::BlockId,
+        /// `false` before the scheduler guard prunes losing packs.
+        is_final: bool,
+    },
+    /// A lowered machine program.
+    Program {
+        /// The program.
+        program: &'a MachineProgram,
+        /// The target it is scheduled against.
+        target: &'a TargetModel,
+        /// Why the flow produced it.
+        role: ProgramRole,
+    },
+}
+
+/// The always-passing boundary callback of the unchecked flow entry
+/// points.
+fn unchecked(_: PassArtifact<'_>) -> Result<(), std::convert::Infallible> {
+    Ok(())
+}
+
+fn into_ok<T>(r: Result<T, std::convert::Infallible>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
 /// The scheduler guard: the benefit model is a per-candidate estimate;
 /// the list scheduler is the arbiter. Every block's selected groups are
 /// kept only if the block's vectorized form actually schedules faster
@@ -110,13 +185,21 @@ pub fn extract_on_spec(
 /// greedy is exact; the returned program is the cheapest keep/drop
 /// assignment and never slower than the all-scalar lowering of the
 /// same spec.
-fn prune_unprofitable_groups(
+fn prune_unprofitable_groups<E>(
     kernel: &Kernel,
     spec: &FixedPointSpec,
     target: &TargetModel,
     blocks: &mut [(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)],
-) -> MachineProgram {
+    check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
+) -> Result<MachineProgram, E> {
     use crate::sched::block_cycles;
+    fn candidate<'a>(p: &'a MachineProgram, target: &'a TargetModel) -> PassArtifact<'a> {
+        PassArtifact::Program {
+            program: p,
+            target,
+            role: ProgramRole::Candidate,
+        }
+    }
     // Sorting into document order aligns this list positionally with
     // the lowered program's blocks (lowering emits document order
     // regardless of the input's visit order), so the vectorized and
@@ -129,14 +212,16 @@ fn prune_unprofitable_groups(
         blocks.len(),
         "lowering must emit one machine block per source block"
     );
+    check(candidate(&full, target))?;
     if blocks.iter().all(|(_, _, g)| g.is_empty()) {
-        return full;
+        return Ok(full);
     }
     let bare: Vec<_> = blocks
         .iter()
         .map(|(b, dfg, _)| (b.clone(), dfg.clone(), Vec::new()))
         .collect();
     let none = lower_fixed(kernel, spec, target, &bare);
+    check(candidate(&none, target))?;
     let mut pruned = false;
     for (i, (_, _, groups)) in blocks.iter_mut().enumerate() {
         if groups.is_empty() {
@@ -150,12 +235,12 @@ fn prune_unprofitable_groups(
         }
     }
     if !pruned {
-        return full;
+        return Ok(full);
     }
     if blocks.iter().all(|(_, _, g)| g.is_empty()) {
-        return none;
+        return Ok(none);
     }
-    lower_fixed(kernel, spec, target, blocks)
+    Ok(lower_fixed(kernel, spec, target, blocks))
 }
 
 /// Outcome of one flow on one kernel/target/constraint point.
@@ -189,6 +274,31 @@ pub fn wlo_slp_flow_with(
     constraint_db: f64,
     benefit: BenefitKind,
 ) -> FlowResult {
+    into_ok(wlo_slp_flow_checked(
+        prep,
+        target,
+        constraint_db,
+        benefit,
+        &mut unchecked,
+    ))
+}
+
+/// [`wlo_slp_flow_with`] with a pass-boundary callback: every artifact
+/// the flow produces — the kernel, the optimized spec, each block's
+/// grouping before and after the scheduler guard, candidate lowerings
+/// and the final SIMD/scalar programs — is handed to `check` before the
+/// flow proceeds. An `Err` aborts the flow and surfaces unchanged;
+/// instantiate `E` as [`std::convert::Infallible`] for a free no-op.
+pub fn wlo_slp_flow_checked<E>(
+    prep: &Prepared,
+    target: &TargetModel,
+    constraint_db: f64,
+    benefit: BenefitKind,
+    check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
+) -> Result<FlowResult, E> {
+    check(PassArtifact::Kernel {
+        kernel: &prep.kernel,
+    })?;
     let eval = IncrementalEvaluator::new(&prep.eval);
     let res = wlo_slp_with(
         &prep.kernel,
@@ -198,22 +308,56 @@ pub fn wlo_slp_flow_with(
         &prep.ranges,
         benefit,
     );
+    check(PassArtifact::Spec {
+        kernel: &prep.kernel,
+        ranges: &prep.ranges,
+        spec: &res.spec,
+        is_final: true,
+    })?;
     let mut blocks: Vec<_> = res
         .blocks
         .into_iter()
         .map(|b| (b.block, b.dfg, b.groups))
         .collect();
-    let simd = prune_unprofitable_groups(&prep.kernel, &res.spec, target, &mut blocks);
+    for (b, dfg, groups) in &blocks {
+        check(PassArtifact::Groups {
+            dfg,
+            groups,
+            target,
+            block: b.id,
+            is_final: false,
+        })?;
+    }
+    let simd = prune_unprofitable_groups(&prep.kernel, &res.spec, target, &mut blocks, check)?;
+    for (b, dfg, groups) in &blocks {
+        check(PassArtifact::Groups {
+            dfg,
+            groups,
+            target,
+            block: b.id,
+            is_final: true,
+        })?;
+    }
+    check(PassArtifact::Program {
+        program: &simd,
+        target,
+        role: ProgramRole::Simd,
+    })?;
     let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
     let scalar = lower_scalar(&prep.kernel, &res.spec, target);
+    check(PassArtifact::Program {
+        program: &scalar,
+        target,
+        role: ProgramRole::Scalar,
+    })?;
     let noise_db = prep.eval.noise_db(&res.spec);
-    FlowResult {
+    Ok(FlowResult {
         spec: res.spec,
         simd,
         scalar,
         group_count,
         noise_db,
-    }
+    })
 }
 
 /// The baseline flow (`WLO-First`, fig. 5): Tabu WLO first, SLP second,
@@ -237,7 +381,37 @@ pub fn wlo_first_flow_with(
     tabu: &TabuOptions,
     benefit: BenefitKind,
 ) -> FlowResult {
+    into_ok(wlo_first_flow_checked(
+        prep,
+        target,
+        constraint_db,
+        tabu,
+        benefit,
+        &mut unchecked,
+    ))
+}
+
+/// [`wlo_first_flow_with`] with a pass-boundary callback; see
+/// [`wlo_slp_flow_checked`] for the contract. The pre-Tabu seed
+/// specification is reported with `is_final: false`.
+pub fn wlo_first_flow_checked<E>(
+    prep: &Prepared,
+    target: &TargetModel,
+    constraint_db: f64,
+    tabu: &TabuOptions,
+    benefit: BenefitKind,
+    check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
+) -> Result<FlowResult, E> {
+    check(PassArtifact::Kernel {
+        kernel: &prep.kernel,
+    })?;
     let mut spec = FixedPointSpec::from_ranges(&prep.kernel, &prep.ranges, target.max_wl());
+    check(PassArtifact::Spec {
+        kernel: &prep.kernel,
+        ranges: &prep.ranges,
+        spec: &spec,
+        is_final: false,
+    })?;
     let eval = IncrementalEvaluator::new(&prep.eval);
     tabu_wlo(
         &prep.kernel,
@@ -247,18 +421,52 @@ pub fn wlo_first_flow_with(
         &target.scalar_wls,
         tabu,
     );
+    check(PassArtifact::Spec {
+        kernel: &prep.kernel,
+        ranges: &prep.ranges,
+        spec: &spec,
+        is_final: true,
+    })?;
     let mut blocks = extract_on_spec(&prep.kernel, &spec, target, benefit);
-    let simd = prune_unprofitable_groups(&prep.kernel, &spec, target, &mut blocks);
+    for (b, dfg, groups) in &blocks {
+        check(PassArtifact::Groups {
+            dfg,
+            groups,
+            target,
+            block: b.id,
+            is_final: false,
+        })?;
+    }
+    let simd = prune_unprofitable_groups(&prep.kernel, &spec, target, &mut blocks, check)?;
+    for (b, dfg, groups) in &blocks {
+        check(PassArtifact::Groups {
+            dfg,
+            groups,
+            target,
+            block: b.id,
+            is_final: true,
+        })?;
+    }
+    check(PassArtifact::Program {
+        program: &simd,
+        target,
+        role: ProgramRole::Simd,
+    })?;
     let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
     let scalar = lower_scalar(&prep.kernel, &spec, target);
+    check(PassArtifact::Program {
+        program: &scalar,
+        target,
+        role: ProgramRole::Scalar,
+    })?;
     let noise_db = prep.eval.noise_db(&spec);
-    FlowResult {
+    Ok(FlowResult {
         spec,
         simd,
         scalar,
         group_count,
         noise_db,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -34,13 +34,14 @@ pub mod tabu;
 pub mod wlo_slp;
 
 pub use flow::{
-    extract_on_spec, prepare, wlo_first_flow, wlo_first_flow_with, wlo_slp_flow, wlo_slp_flow_with,
-    FlowResult, Prepared,
+    extract_on_spec, prepare, wlo_first_flow, wlo_first_flow_checked, wlo_first_flow_with,
+    wlo_slp_flow, wlo_slp_flow_checked, wlo_slp_flow_with, FlowResult, PassArtifact, Prepared,
+    ProgramRole,
 };
 pub use hooks::AccuracyHooks;
 pub use lower::{
     align_fmt, block_result_fmts, broadcast_lane, ix_bounds, loop_forest, lower_fixed, lower_float,
-    lower_scalar, operand_fmts, product_fmt, quantize_const, ArrayDecl, Loc, LoopNest,
+    lower_scalar, operand_fmts, product_fmt, quantize_const, result_fmt, ArrayDecl, Loc, LoopNest,
     MachineBlock, MachineProgram, Mop, MopKind, Operand, ParamDecl, ProgramStorage, VarDecl,
 };
 pub use scalopt::scaling_optimize;

@@ -188,9 +188,10 @@ pub enum MopKind {
         /// Per-lane result formats.
         to: Vec<QFormat>,
     },
-    /// Lane-wise scaling (one shift amount — the amounts are uniform —
-    /// but per-lane saturation bounds). With `negate`, lanes are negated
-    /// exactly before requantization (vectorized negation).
+    /// Lane-wise scaling: per-lane shift amounts (usually but not
+    /// necessarily uniform — the vector shift macro takes one amount
+    /// per lane) and per-lane saturation bounds. With `negate`, lanes
+    /// are negated exactly before requantization (vectorized negation).
     VRequant {
         /// Operand superword.
         src: Operand,
@@ -487,10 +488,18 @@ pub fn ix_bounds(ix: &slpwlo_ir::IndexExpr, loops: &[(slpwlo_ir::LoopId, u32)]) 
 pub fn block_result_fmts(block: &MachineBlock, storage: &ProgramStorage) -> Vec<Vec<QFormat>> {
     let mut out: Vec<Vec<QFormat>> = Vec::with_capacity(block.ops.len());
     for op in &block.ops {
-        let f = result_fmt_of(&op.kind, &out, storage);
+        let f = result_fmt(&op.kind, &out, storage);
         out.push(f);
     }
     out
+}
+
+/// Static per-lane result formats of one operation given the formats of
+/// earlier results (the incremental step of [`block_result_fmts`],
+/// exposed so independent checkers can interleave format computation
+/// with their own per-op validation).
+pub fn result_fmt(kind: &MopKind, fmts: &[Vec<QFormat>], storage: &ProgramStorage) -> Vec<QFormat> {
+    result_fmt_of(kind, fmts, storage)
 }
 
 /// Static per-lane formats of one operand given the formats of earlier

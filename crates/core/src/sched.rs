@@ -12,6 +12,12 @@ pub struct Schedule {
     pub finish: Vec<u64>,
     /// Total cycles for one execution of the block.
     pub makespan: u64,
+    /// Issue log: one `(op index, cycle, slots)` entry per cycle in
+    /// which an operation occupies unit slots. Serializing operations
+    /// log their whole blocked window at full issue width. This is the
+    /// raw material an independent checker (`slpwlo-verify`) audits
+    /// against the target's per-cycle budgets.
+    pub issues: Vec<(usize, u64, u32)>,
 }
 
 /// Resource usage tracker with growable per-cycle counters.
@@ -114,6 +120,7 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
     let mut finish = vec![0u64; n];
     let mut res = Resources::new(target);
     let mut makespan = 0u64;
+    let mut issues = Vec::new();
 
     for (i, op) in block.ops.iter().enumerate() {
         let est = op.preds.iter().map(|&p| finish[p]).max().unwrap_or(0);
@@ -122,6 +129,9 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
             let t = res.take_serialized(est, cost.latency as u64);
             start[i] = t;
             finish[i] = t + cost.latency as u64;
+            for c in t..finish[i] {
+                issues.push((i, c, target.issue_width));
+            }
         } else {
             // Place `slots` unit issues greedily from the earliest cycle
             // with capacity.
@@ -141,6 +151,7 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
                 }
                 let take = free.min(remaining);
                 res.take(cost.class, cur as usize, take);
+                issues.push((i, cur, take));
                 remaining -= take;
                 if remaining > 0 {
                     cur += 1;
@@ -154,6 +165,7 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
         start,
         finish,
         makespan,
+        issues,
     }
 }
 

@@ -57,6 +57,10 @@ pub enum Error {
     },
     /// A C back-end could not render the program.
     Codegen(slpwlo_codegen::CodegenError),
+    /// A pass-boundary static check failed: some stage produced an
+    /// artifact that violates one of its invariants (see
+    /// [`slpwlo_verify::verify_boundary`]).
+    Verify(slpwlo_verify::VerifyError),
 }
 
 impl fmt::Display for Error {
@@ -89,6 +93,7 @@ impl fmt::Display for Error {
                 write!(f, "failed to export `{}`: {source}", path.display())
             }
             Error::Codegen(e) => write!(f, "code generation failed: {e}"),
+            Error::Verify(e) => write!(f, "static verification failed: {e}"),
         }
     }
 }
@@ -99,6 +104,7 @@ impl std::error::Error for Error {
             Error::Parse(e) | Error::InvalidKernel(e) => Some(e),
             Error::Export { source, .. } => Some(source),
             Error::Codegen(e) => Some(e),
+            Error::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -113,6 +119,12 @@ impl From<IrError> for Error {
 impl From<slpwlo_codegen::CodegenError> for Error {
     fn from(e: slpwlo_codegen::CodegenError) -> Self {
         Error::Codegen(e)
+    }
+}
+
+impl From<slpwlo_verify::VerifyError> for Error {
+    fn from(e: slpwlo_verify::VerifyError) -> Self {
+        Error::Verify(e)
     }
 }
 

@@ -10,11 +10,12 @@
 
 use crate::error::Error;
 use slpwlo_core::{
-    lower_float, wlo_first_flow_with, wlo_slp_flow_with, BenefitKind, MachineProgram, Prepared,
-    TabuOptions,
+    lower_float, wlo_first_flow_checked, wlo_slp_flow_checked, BenefitKind, MachineProgram,
+    PassArtifact, Prepared, ProgramRole, TabuOptions,
 };
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_targets::TargetModel;
+use slpwlo_verify::{verify_boundary, VerifyLevel};
 
 /// Everything a flow needs to run on one (kernel, target, constraint)
 /// point. Borrowed from the [`Optimizer`](crate::Optimizer), so sweeps
@@ -31,6 +32,19 @@ pub struct FlowContext<'a> {
     pub tabu: &'a TabuOptions,
     /// SLP candidate-pricing strategy for flows that extract groups.
     pub benefit: BenefitKind,
+    /// How much pass-boundary static verification to run.
+    pub verify: VerifyLevel,
+}
+
+impl FlowContext<'_> {
+    /// The pass-boundary callback built-in flows thread through the
+    /// checked core flows: `slpwlo-verify`'s [`verify_boundary`] at the
+    /// configured level, lifted into the driver's [`Error`]. Custom
+    /// [`CompilationFlow`] implementations that call the core
+    /// `*_flow_checked` entry points should pass this.
+    pub fn boundary_check(&self) -> impl FnMut(PassArtifact<'_>) -> Result<(), Error> + '_ {
+        |artifact| verify_boundary(self.verify, &artifact).map_err(Error::Verify)
+    }
 }
 
 /// What a flow produces for one point.
@@ -146,7 +160,13 @@ impl CompilationFlow for WloSlpFlow {
 
     fn run(&self, ctx: &FlowContext<'_>) -> Result<FlowOutput, Error> {
         let db = required_constraint(ctx, self.name())?;
-        let res = wlo_slp_flow_with(ctx.prep, ctx.target, db, ctx.benefit);
+        let res = wlo_slp_flow_checked(
+            ctx.prep,
+            ctx.target,
+            db,
+            ctx.benefit,
+            &mut ctx.boundary_check(),
+        )?;
         Ok(FlowOutput {
             spec: Some(res.spec),
             program: res.simd,
@@ -167,7 +187,14 @@ impl CompilationFlow for WloFirstFlow {
 
     fn run(&self, ctx: &FlowContext<'_>) -> Result<FlowOutput, Error> {
         let db = required_constraint(ctx, self.name())?;
-        let res = wlo_first_flow_with(ctx.prep, ctx.target, db, ctx.tabu, ctx.benefit);
+        let res = wlo_first_flow_checked(
+            ctx.prep,
+            ctx.target,
+            db,
+            ctx.tabu,
+            ctx.benefit,
+            &mut ctx.boundary_check(),
+        )?;
         Ok(FlowOutput {
             spec: Some(res.spec),
             program: res.simd,
@@ -191,7 +218,16 @@ impl CompilationFlow for FloatFlow {
     }
 
     fn run(&self, ctx: &FlowContext<'_>) -> Result<FlowOutput, Error> {
+        let mut check = ctx.boundary_check();
+        check(PassArtifact::Kernel {
+            kernel: &ctx.prep.kernel,
+        })?;
         let program = lower_float(&ctx.prep.kernel);
+        check(PassArtifact::Program {
+            program: &program,
+            target: ctx.target,
+            role: ProgramRole::Simd,
+        })?;
         let scalar = program.clone();
         Ok(FlowOutput {
             spec: None,

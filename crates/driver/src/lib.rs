@@ -42,3 +42,4 @@ pub use flow::{
 pub use optimizer::Optimizer;
 pub use report::{ExportedC, Report};
 pub use slpwlo_core::BenefitKind;
+pub use slpwlo_verify::{VerifyError, VerifyLevel};

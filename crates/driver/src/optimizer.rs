@@ -10,6 +10,7 @@ use slpwlo_ir::parser::parse_kernel;
 use slpwlo_ir::Kernel;
 use slpwlo_sim::total_cycles;
 use slpwlo_targets::{xentium, TargetModel};
+use slpwlo_verify::VerifyLevel;
 
 /// Default activations for cycle reporting (the paper's FIR/IIR workload
 /// size).
@@ -44,6 +45,7 @@ pub struct Optimizer {
     flow: Box<dyn CompilationFlow + Send + Sync>,
     tabu: TabuOptions,
     benefit: BenefitKind,
+    verify: VerifyLevel,
     activations: u64,
     /// Worker-thread override for [`Optimizer::sweep`]; `None` follows
     /// the machine's available parallelism.
@@ -99,6 +101,7 @@ impl Optimizer {
             flow: FlowKind::WloSlp.instantiate(),
             tabu: TabuOptions::default(),
             benefit: BenefitKind::default(),
+            verify: VerifyLevel::default(),
             activations: DEFAULT_ACTIVATIONS,
             sweep_threads: None,
             floor_db: std::sync::OnceLock::new(),
@@ -150,6 +153,16 @@ impl Optimizer {
     /// slot-counting model for ablations).
     pub fn benefit_kind(mut self, benefit: BenefitKind) -> Self {
         self.benefit = benefit;
+        self
+    }
+
+    /// Sets how much pass-boundary static verification the flows run
+    /// (default: [`VerifyLevel::Boundaries`] in debug builds,
+    /// [`VerifyLevel::Off`] in release builds). At
+    /// [`VerifyLevel::Paranoid`] every intermediate artifact — seed
+    /// specs, pre-prune groupings, candidate lowerings — is checked too.
+    pub fn verify_level(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
         self
     }
 
@@ -245,6 +258,7 @@ impl Optimizer {
             constraint_db,
             tabu: &self.tabu,
             benefit: self.benefit,
+            verify: self.verify,
         };
         let out = flow.run(&ctx)?;
         Ok(Report {
@@ -572,6 +586,41 @@ kernel tiny {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn empty_kernels_report_without_panicking() {
+        // A kernel that lowers to zero operations used to trip the cycle
+        // model's `cycles > 0` assertion inside `Report::speedup`.
+        let report = Optimizer::for_source("kernel empty { }")
+            .unwrap()
+            .constraint_db(-20.0)
+            .run()
+            .unwrap();
+        assert_eq!(report.cycles_simd, 0);
+        assert_eq!(report.speedup(), 1.0);
+        assert!(report.summary().contains("empty"));
+    }
+
+    #[test]
+    fn verification_is_configurable_and_clean_at_paranoid() {
+        use slpwlo_verify::VerifyLevel;
+        for level in [
+            VerifyLevel::Off,
+            VerifyLevel::Boundaries,
+            VerifyLevel::Paranoid,
+        ] {
+            for kind in [FlowKind::WloSlp, FlowKind::WloFirst] {
+                let report = Optimizer::for_source(TINY)
+                    .unwrap()
+                    .constraint_db(-40.0)
+                    .flow(kind)
+                    .verify_level(level)
+                    .run()
+                    .unwrap();
+                assert!(report.cycles_simd > 0);
+            }
+        }
     }
 
     #[test]

@@ -56,14 +56,29 @@ pub struct ExportedC {
 
 impl Report {
     /// Speedup of the optimized program over its own scalar lowering.
+    ///
+    /// Total even for degenerate programs: a kernel whose lowering has
+    /// no operations (zero cycles) reports a speedup of `1.0` rather
+    /// than tripping the cycle model's positivity assertion.
     pub fn speedup(&self) -> f64 {
-        speedup(self.cycles_scalar, self.cycles_simd)
+        self.guarded_speedup(self.cycles_scalar)
     }
 
     /// Speedup of the optimized program over an external baseline cycle
     /// count (e.g. another report's scalar program — equation (2) of the
     /// paper uses `WLO-First`'s scalar code as denominator).
     pub fn speedup_over(&self, baseline_cycles: u64) -> f64 {
+        self.guarded_speedup(baseline_cycles)
+    }
+
+    fn guarded_speedup(&self, baseline_cycles: u64) -> f64 {
+        if self.cycles_simd == 0 {
+            return if baseline_cycles == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
+        }
         speedup(baseline_cycles, self.cycles_simd)
     }
 

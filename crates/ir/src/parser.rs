@@ -102,8 +102,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IrError> {
     let mut chars = src.chars().peekable();
     while let Some(&c) = chars.peek() {
         let (tl, tc) = (line, col);
+        // Only ever called after a successful `peek`, so the iterator
+        // cannot be exhausted; the `\0` arm keeps this total instead of
+        // unwrap-panicking if that coupling is ever broken.
         let mut bump = |chars: &mut std::iter::Peekable<std::str::Chars>| {
-            let c = chars.next().unwrap();
+            let Some(c) = chars.next() else { return '\0' };
             if c == '\n' {
                 line += 1;
                 col = 1;
@@ -521,9 +524,19 @@ impl Parser {
             if lo != 0 || hi <= 0 {
                 return Err(self.err("loops must have the form `0..count` with count > 0"));
             }
+            if hi > u32::MAX as i64 {
+                return Err(self.err(format!("loop count {hi} exceeds the supported maximum")));
+            }
             let mut factor = None;
             if self.eat_kw("unroll") {
-                factor = Some(self.integer()? as u32);
+                let f = self.integer()?;
+                // `unroll 0` is the library's "unroll fully" spelling, but
+                // in source it is almost certainly a typo; negative factors
+                // would wrap the `u32` cast into astronomically large ones.
+                if f <= 0 || f > u32::MAX as i64 {
+                    return Err(self.err(format!("unroll factor must be positive, got {f}")));
+                }
+                factor = Some(f as u32);
             }
             self.expect(Tok::LBrace, "`{`")?;
             let l = b.begin_for(hi as u32);
@@ -795,6 +808,33 @@ kernel k {
         let vals = ex.step(&[]);
         // a[-1] wraps to a[3], which stored 1.0 when i=1.
         assert_eq!(vals, vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_negative_unroll_factors() {
+        let src = "kernel k { output y; var a; a = 0.0;\n\
+                   for i in 0..4 unroll -1 { a = a + 1.0; } y = a; }";
+        match parse_kernel(src) {
+            Err(IrError::Parse { msg, .. }) => assert!(msg.contains("unroll factor"), "{msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_unroll_factors() {
+        let src = "kernel k { output y; var a; a = 0.0;\n\
+                   for i in 0..4 unroll 0 { a = a + 1.0; } y = a; }";
+        assert!(matches!(parse_kernel(src), Err(IrError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_overflowing_loop_counts() {
+        let src = "kernel k { output y; var a; a = 0.0;\n\
+                   for i in 0..4294967296 { a = a + 1.0; } y = a; }";
+        match parse_kernel(src) {
+            Err(IrError::Parse { msg, .. }) => assert!(msg.contains("loop count"), "{msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

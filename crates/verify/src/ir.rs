@@ -1,0 +1,186 @@
+//! The IR verifier: structural sanity of a [`Kernel`].
+//!
+//! Subsumes `Kernel::validate` (input ranges, arena single-use, output
+//! coverage) and extends it with the checks the downstream passes
+//! silently rely on:
+//!
+//! * **def-before-use** — every `ReadVar` is preceded (in document
+//!   order) by an `Assign` of that variable; cross-activation feedback
+//!   must be expressed through state arrays, never stale variables;
+//! * **output indices** — `Output(idx, _)` statements name declared
+//!   outputs (`validate` ignores stray indices silently).
+//!
+//! Array/param indices leaving `[0, len)` are deliberately *not*
+//! flagged here: every backend (reference interpreter, machine
+//! interpreter, both C emitters) shares the Euclidean wrap semantics,
+//! the kernel generator deliberately produces wrapping accesses, and
+//! empty tables are unrepresentable — so any index addresses a defined
+//! element. What must *not* wrap is a vector lane's location, and that
+//! is the machine verifier's job ([`Invariant::IndexOutOfBounds`]).
+
+use crate::{Invariant, Pass, VerifyError};
+use slpwlo_ir::{ExprNode, Kernel, LoopId, Stmt};
+
+fn err(
+    kernel: &Kernel,
+    invariant: Invariant,
+    node: Option<String>,
+    detail: impl Into<String>,
+) -> VerifyError {
+    VerifyError::new(
+        Pass::Ir,
+        invariant,
+        format!("kernel {}", kernel.name()),
+        node,
+        detail,
+    )
+}
+
+/// Verifies a kernel's structural invariants.
+///
+/// Runs [`Kernel::validate`] first (ranges, arena topology, single-use,
+/// output coverage) and maps its findings onto [`VerifyError`], then
+/// layers the stricter checks on top. Any kernel accepted here is safe
+/// for every downstream pass: range analysis, DFG construction,
+/// lowering and interpretation.
+pub fn verify_kernel(kernel: &Kernel) -> Result<(), VerifyError> {
+    use slpwlo_ir::IrError;
+    if let Err(e) = kernel.validate() {
+        let invariant = match &e {
+            IrError::InvalidRange { .. } => Invariant::InputRange,
+            IrError::InvalidExpr(_) => Invariant::OperandBounds,
+            IrError::ExprCycle(_) => Invariant::ExprAcyclic,
+            IrError::ExprReused(_) => Invariant::ExprShared,
+            IrError::OutputUnset(_) => Invariant::OutputUnset,
+            _ => Invariant::OperandBounds,
+        };
+        return Err(err(kernel, invariant, None, e.to_string()));
+    }
+
+    // Document-order walk: collect each statement with its loop stack.
+    let mut stmts: Vec<(&Stmt, Vec<(LoopId, u32)>)> = Vec::new();
+    kernel.visit_stmts(&mut |s, stack| stmts.push((s, stack.to_vec())));
+
+    let mut defined = vec![false; kernel.vars().len()];
+    for (stmt, _loops) in &stmts {
+        let root = match stmt {
+            Stmt::Assign(_, e) | Stmt::Store(_, _, e) | Stmt::ShiftIn(_, e) => Some(*e),
+            Stmt::Output(idx, e) => {
+                if *idx >= kernel.outputs().len() {
+                    return Err(err(
+                        kernel,
+                        Invariant::OutputIndex,
+                        Some(format!("output #{idx}")),
+                        format!("kernel declares {} outputs", kernel.outputs().len()),
+                    ));
+                }
+                Some(*e)
+            }
+            Stmt::For { .. } => None,
+        };
+        // Uses first: `v = f(v)` reads the *previous* value of `v`.
+        if let Some(root) = root {
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                match kernel.expr(id) {
+                    ExprNode::ReadVar(v) => {
+                        if !defined[v.index()] {
+                            return Err(err(
+                                kernel,
+                                Invariant::UseBeforeDef,
+                                Some(format!("var {}", kernel.vars()[v.index()].name)),
+                                "read before any assignment in document order",
+                            ));
+                        }
+                    }
+                    ExprNode::LoadArray(..) | ExprNode::LoadParam(..) => {}
+                    node => stack.extend(node.operands()),
+                }
+            }
+        }
+        if let Stmt::Assign(v, _) = stmt {
+            defined[v.index()] = true;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::builder::KernelBuilder;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_ir::IndexExpr;
+
+    #[test]
+    fn accepts_the_paper_fir() {
+        let k = parse_kernel(
+            r#"
+kernel f {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array dl[4];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    acc = acc + c[0] * dl[0];
+    acc = acc + c[1] * dl[1];
+    acc = acc + c[2] * dl[2];
+    acc = acc + c[3] * dl[3];
+    y = acc;
+}
+"#,
+        )
+        .unwrap();
+        verify_kernel(&k).unwrap();
+    }
+
+    #[test]
+    fn rejects_read_before_assignment() {
+        let mut b = KernelBuilder::new("k");
+        let y = b.output("y");
+        let v = b.var("t");
+        let r = b.read_var(v);
+        b.set_output(y, r);
+        let k = b.finish();
+        assert!(k.validate().is_ok(), "validate misses use-before-def");
+        let e = verify_kernel(&k).unwrap_err();
+        assert_eq!(e.invariant, Invariant::UseBeforeDef);
+        assert_eq!(e.pass, Pass::Ir);
+    }
+
+    /// Indices leaving `[0, len)` are defined (Euclidean wrap) across
+    /// every backend, so the IR checker must accept them — rejecting
+    /// them here would kill kernels the generator deliberately emits.
+    #[test]
+    fn accepts_wrapping_indices() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.input("x", -1.0, 1.0);
+        let y = b.output("y");
+        let a = b.array("dl", 4);
+        let acc = b.var("acc");
+        let xv = b.read_input(x);
+        b.shift_in(a, xv);
+        let z = b.load(a, 4); // one past the end: wraps to dl[0]
+        b.assign(acc, z);
+        let i = b.begin_for(8); // i in 0..8 over dl[4]: wraps twice
+        let av = b.read_var(acc);
+        let ix = IndexExpr::affine(i, 1, -1); // and below zero at i = 0
+        let l = b.load_ix(a, ix);
+        let s = b.add(av, l);
+        b.assign(acc, s);
+        b.end_for(i);
+        let fin = b.read_var(acc);
+        b.set_output(y, fin);
+        let k = b.finish();
+        verify_kernel(&k).unwrap();
+    }
+
+    #[test]
+    fn lifts_validate_findings() {
+        let k = parse_kernel("kernel k { input x range [-1, 1]; output y; var t; t = x; y = t; }")
+            .unwrap();
+        verify_kernel(&k).unwrap();
+    }
+}

@@ -1,0 +1,327 @@
+//! # slpwlo-verify — static pipeline verification
+//!
+//! One independent checker per pipeline artifact, each proving that
+//! artifact's invariants *without running anything*:
+//!
+//! * [`verify_kernel`] — IR sanity: input ranges, operand bounds,
+//!   arena acyclicity/sharing, def-before-use, outputs set exactly
+//!   once and reachable.
+//! * [`verify_spec`] — fixed-point soundness: every chosen `(wl, fmt)`
+//!   covers the value range the analysis established, word lengths are
+//!   machine-representable, and (at [`VerifyLevel::Paranoid`]) the
+//!   declared ranges are re-derived by interval abstract interpretation
+//!   and checked for enclosure — a static overflow-freedom proof.
+//! * [`verify_groups`] — SLP legality: lane counts realisable on the
+//!   target, isomorphic lanes with consistent operand positions, no
+//!   node in two groups, pairwise lane independence, and no dependency
+//!   cycle through the coarsened group graph.
+//! * [`verify_program`] — machine-program well-formedness: SSA-like
+//!   def-before-use over operations and virtual registers, vector-lane
+//!   index bounds under loop trip counts (scalar accesses wrap, vector
+//!   lanes are read contiguously), storage formats covering
+//!   their definitions, supported SIMD widths, and a full re-check of
+//!   the list schedule (dependences respected by issue cycles,
+//!   per-cycle functional-unit and issue-width budgets, serialized ops
+//!   exclusive).
+//!
+//! The checkers are deliberately *redundant* with the passes that build
+//! the artifacts: they share no state with them, so a bug in a pass
+//! cannot hide itself. The driver runs them at every pass boundary
+//! (`Optimizer::verify_level`); the fuzz harness runs them at
+//! [`VerifyLevel::Paranoid`] so an invariant break names the offending
+//! pass instead of surfacing as a bit-mismatch three stages later.
+//!
+//! Every rejection is a structured [`VerifyError`] carrying the pass,
+//! the violated [`Invariant`], the artifact, and (when known) the
+//! offending node — enough to localize the bug without a debugger.
+
+use std::fmt;
+
+pub mod ir;
+pub mod machine;
+pub mod slp;
+pub mod spec;
+
+pub use ir::verify_kernel;
+pub use machine::verify_program;
+pub use slp::verify_groups;
+pub use spec::verify_spec;
+
+use slpwlo_core::{PassArtifact, ProgramRole};
+
+/// How much pass-boundary verification the pipeline performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerifyLevel {
+    /// No verification.
+    Off,
+    /// Verify the kernel on entry and every *final* artifact a pass
+    /// hands to the next one (spec, grouping, SIMD and scalar
+    /// programs). Cheap enough to leave on in debug builds.
+    Boundaries,
+    /// Additionally verify intermediate artifacts (pre-prune groupings,
+    /// candidate lowerings the pruner only prices) and re-derive value
+    /// ranges by interval analysis to prove the spec's declared ranges
+    /// are enclosing. Meant for fuzzing and CI, not production runs.
+    Paranoid,
+}
+
+impl Default for VerifyLevel {
+    /// `Boundaries` under `debug_assertions`, `Off` in release builds.
+    fn default() -> Self {
+        if cfg!(debug_assertions) {
+            VerifyLevel::Boundaries
+        } else {
+            VerifyLevel::Off
+        }
+    }
+}
+
+impl fmt::Display for VerifyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VerifyLevel::Off => "off",
+            VerifyLevel::Boundaries => "boundaries",
+            VerifyLevel::Paranoid => "paranoid",
+        })
+    }
+}
+
+/// The pipeline stage whose output artifact failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// The kernel IR (parser / builder output).
+    Ir,
+    /// The fixed-point specification (range analysis + WLO).
+    Spec,
+    /// The SLP grouping (candidate extraction + selection).
+    Slp,
+    /// The lowered machine program and its schedule.
+    Machine,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Ir => "ir",
+            Pass::Spec => "spec",
+            Pass::Slp => "slp",
+            Pass::Machine => "machine",
+        })
+    }
+}
+
+/// The specific invariant a checker found violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Invariant {
+    // --- IR ---
+    /// An input's declared range is empty or non-finite.
+    InputRange,
+    /// An expression operand references a node outside the arena.
+    OperandBounds,
+    /// An expression references a node at or after itself (the arena
+    /// must be in topological order — acyclicity outside declared
+    /// feedback through arrays/variables).
+    ExprAcyclic,
+    /// An arena node is referenced by two consumers (the arena is a
+    /// forest; sharing happens through variables).
+    ExprShared,
+    /// A variable is read before any assignment defines it (in document
+    /// order — cross-activation feedback must go through arrays).
+    UseBeforeDef,
+    /// A vector lane's array/parameter index can leave `[0, len)` under
+    /// the enclosing loops' trip counts. Scalar accesses are exempt:
+    /// they wrap with the Euclidean semantics every backend shares, but
+    /// vector locations are read contiguously and must be statically
+    /// in-bounds (the lowering demotes wrapping groups to gathers).
+    IndexOutOfBounds,
+    /// An `output` statement names an index outside the declared
+    /// output list.
+    OutputIndex,
+    /// A declared output is never assigned.
+    OutputUnset,
+    // --- Spec ---
+    /// A chosen format cannot represent the value range the analysis
+    /// established for that site (static overflow).
+    FormatOverflow,
+    /// A word length is outside `[1, max_wl]` or not machine-
+    /// representable (≤ 63 bits with the sign).
+    WordLength,
+    /// Re-derived interval ranges are not enclosed by the declared
+    /// ranges even though the analysis claimed interval convergence.
+    RangeDrift,
+    // --- SLP ---
+    /// A group has fewer than two lanes.
+    LaneCount,
+    /// A group's lane count (or a vector op's width) has no supported
+    /// SIMD configuration on the target.
+    UnsupportedWidth,
+    /// A group mixes non-isomorphic operations (or lanes disagree on
+    /// operand positions).
+    NonIsomorphic,
+    /// A DFG node appears in two groups.
+    DuplicateNode,
+    /// Two lanes of one group depend on each other.
+    DependentLanes,
+    /// The coarsened group graph has a dependency cycle.
+    GroupCycle,
+    // --- Machine ---
+    /// An operation's predecessor or operand references a later (or
+    /// itself as an) operation — def must precede use.
+    PredOrder,
+    /// An operand references a register, variable or storage slot that
+    /// does not exist.
+    BadOperand,
+    /// A virtual register (variable) is defined twice in one block.
+    Redefinition,
+    /// A storage slot's declared format does not cover the format of a
+    /// value stored into it.
+    FormatNotCovering,
+    /// The schedule issues an operation before its operands are ready.
+    IssueBeforeReady,
+    /// A cycle oversubscribes a functional unit or the issue width.
+    ResourceOverflow,
+    /// A serializing operation shares the machine with another op.
+    SerializedOverlap,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Invariant::InputRange => "input range must be finite and ordered",
+            Invariant::OperandBounds => "expression operand must be in the arena",
+            Invariant::ExprAcyclic => "expression arena must be topologically ordered",
+            Invariant::ExprShared => "arena nodes must have a single consumer",
+            Invariant::UseBeforeDef => "variable must be assigned before it is read",
+            Invariant::IndexOutOfBounds => "index must stay within the declared length",
+            Invariant::OutputIndex => "output index must name a declared output",
+            Invariant::OutputUnset => "every declared output must be assigned",
+            Invariant::FormatOverflow => "format must cover the established value range",
+            Invariant::WordLength => "word length must be within [1, max_wl] and ≤ 63",
+            Invariant::RangeDrift => "declared ranges must enclose re-derived interval ranges",
+            Invariant::LaneCount => "SIMD group needs at least two lanes",
+            Invariant::UnsupportedWidth => {
+                "lane count must have a SIMD configuration on the target"
+            }
+            Invariant::NonIsomorphic => "group lanes must be isomorphic operations",
+            Invariant::DuplicateNode => "a node may belong to at most one group",
+            Invariant::DependentLanes => "group lanes must be pairwise independent",
+            Invariant::GroupCycle => "coarsened group graph must stay acyclic",
+            Invariant::PredOrder => "operation dependences must point backwards",
+            Invariant::BadOperand => "operand must reference an existing def or slot",
+            Invariant::Redefinition => "virtual register must have a single definition",
+            Invariant::FormatNotCovering => "storage format must cover the stored value's format",
+            Invariant::IssueBeforeReady => "op must not issue before its operands are ready",
+            Invariant::ResourceOverflow => "per-cycle unit and issue budgets must be respected",
+            Invariant::SerializedOverlap => "serialized ops must occupy the machine alone",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A structured verification failure: which pass produced the broken
+/// artifact, which invariant broke, and where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// The pipeline stage whose output is broken.
+    pub pass: Pass,
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// The artifact (kernel, block, program) being verified.
+    pub artifact: String,
+    /// The offending node/op/site within the artifact, when known.
+    pub node: Option<String>,
+    /// Human-readable specifics (expected vs found).
+    pub detail: String,
+}
+
+impl VerifyError {
+    pub(crate) fn new(
+        pass: Pass,
+        invariant: Invariant,
+        artifact: impl Into<String>,
+        node: Option<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        VerifyError {
+            pass,
+            invariant,
+            artifact: artifact.into(),
+            node,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} pass] {}: {}",
+            self.pass, self.artifact, self.invariant
+        )?;
+        if let Some(node) = &self.node {
+            write!(f, " at {node}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies one pass-boundary artifact at the given level.
+///
+/// This is the adapter the flows call through
+/// `slpwlo_core::wlo_slp_flow_checked` /
+/// `slpwlo_core::wlo_first_flow_checked`: the core hands every artifact
+/// it produces to the callback; this function decides — by level and by
+/// whether the artifact is final or intermediate — which checker to
+/// run. At [`VerifyLevel::Off`] it is free.
+pub fn verify_boundary(level: VerifyLevel, artifact: &PassArtifact<'_>) -> Result<(), VerifyError> {
+    if level == VerifyLevel::Off {
+        return Ok(());
+    }
+    let paranoid = level >= VerifyLevel::Paranoid;
+    match artifact {
+        PassArtifact::Kernel { kernel } => verify_kernel(kernel),
+        PassArtifact::Spec {
+            kernel,
+            ranges,
+            spec,
+            is_final,
+        } => {
+            if *is_final || paranoid {
+                verify_spec(kernel, ranges, spec, paranoid)
+            } else {
+                Ok(())
+            }
+        }
+        PassArtifact::Groups {
+            dfg,
+            groups,
+            target,
+            block,
+            is_final,
+        } => {
+            if *is_final || paranoid {
+                verify_groups(dfg, groups, target, &format!("block {block}"))
+            } else {
+                Ok(())
+            }
+        }
+        PassArtifact::Program {
+            program,
+            target,
+            role,
+        } => {
+            if *role != ProgramRole::Candidate || paranoid {
+                verify_program(program, target)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The SLP legality verifier: structural soundness of a grouping.
+//!
+//! Promotes the invariants that used to live in the
+//! `tests/slp_invariants.rs` harness into a reusable library pass, so
+//! that any selector — the current greedy rounds or a future exact
+//! (`BenefitKind::Optimal`) one — can be checked independently of its
+//! own bookkeeping:
+//!
+//! * every group has ≥ 2 lanes, and a lane count the target can
+//!   realise (equation (1) of the paper);
+//! * lanes are isomorphic operations with consistent operand
+//!   positions;
+//! * no DFG node is claimed by two groups;
+//! * lanes are pairwise independent (no intra-group dependence);
+//! * realising all groups keeps the *coarsened* dependence graph
+//!   acyclic — the invariant the lowering's topological sort relies
+//!   on, and the one pairwise checks cannot see (three groups can
+//!   form a cycle with every pair clean).
+
+use crate::{Invariant, Pass, VerifyError};
+use slpwlo_ir::Dfg;
+use slpwlo_slp::{closes_cycle, SimdGroup};
+use slpwlo_targets::TargetModel;
+use std::collections::HashSet;
+
+fn err(
+    ctx: &str,
+    invariant: Invariant,
+    node: Option<String>,
+    detail: impl Into<String>,
+) -> VerifyError {
+    VerifyError::new(Pass::Slp, invariant, ctx, node, detail)
+}
+
+/// Verifies that a set of selected SIMD groups is legal for `target`
+/// over the given DFG. `ctx` names the artifact (e.g. `"block b0"`) in
+/// errors.
+pub fn verify_groups(
+    dfg: &Dfg,
+    groups: &[SimdGroup],
+    target: &TargetModel,
+    ctx: &str,
+) -> Result<(), VerifyError> {
+    let mut seen: HashSet<_> = HashSet::new();
+    for (gi, g) in groups.iter().enumerate() {
+        let gn = || Some(format!("group #{gi} {g}"));
+        if g.lanes() < 2 {
+            return Err(err(ctx, Invariant::LaneCount, gn(), "single-lane group"));
+        }
+        if target.simd_element_wl(g.lanes()).is_none() {
+            return Err(err(
+                ctx,
+                Invariant::UnsupportedWidth,
+                gn(),
+                format!(
+                    "{} has no {}-lane SIMD configuration",
+                    target.name,
+                    g.lanes()
+                ),
+            ));
+        }
+        let kind = &dfg.node(g.elems[0]).kind;
+        let arity = dfg.node(g.elems[0]).operands.len();
+        for &e in &g.elems {
+            if e.index() >= dfg.len() {
+                return Err(err(
+                    ctx,
+                    Invariant::BadOperand,
+                    gn(),
+                    format!("lane {e} outside the DFG"),
+                ));
+            }
+            if !dfg.node(e).kind.isomorphic(kind) {
+                return Err(err(
+                    ctx,
+                    Invariant::NonIsomorphic,
+                    gn(),
+                    format!("lane {e} is {:?}, lane 0 is {kind:?}", dfg.node(e).kind),
+                ));
+            }
+            if dfg.node(e).operands.len() != arity {
+                return Err(err(
+                    ctx,
+                    Invariant::NonIsomorphic,
+                    gn(),
+                    format!(
+                        "lane {e} has {} operands, lane 0 has {arity}",
+                        dfg.node(e).operands.len()
+                    ),
+                ));
+            }
+        }
+        for (i, &a) in g.elems.iter().enumerate() {
+            if !seen.insert(a) {
+                return Err(err(
+                    ctx,
+                    Invariant::DuplicateNode,
+                    gn(),
+                    format!("node {a} already claimed by an earlier group"),
+                ));
+            }
+            for &b in &g.elems[i + 1..] {
+                if !dfg.independent(a, b) {
+                    return Err(err(
+                        ctx,
+                        Invariant::DependentLanes,
+                        gn(),
+                        format!("lanes {a} and {b} are dependent"),
+                    ));
+                }
+            }
+        }
+    }
+    for (gi, g) in groups.iter().enumerate() {
+        let others: Vec<SimdGroup> = groups
+            .iter()
+            .enumerate()
+            .filter(|&(oi, _)| oi != gi)
+            .map(|(_, o)| o.clone())
+            .collect();
+        if closes_cycle(dfg, &others, g) {
+            return Err(err(
+                ctx,
+                Invariant::GroupCycle,
+                Some(format!("group #{gi} {g}")),
+                "realising this group closes a coarsened dependency cycle",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::dfg::NodeKind;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_ir::{BinOp, NodeId};
+    use slpwlo_targets::xentium;
+
+    fn fir_dfg() -> Dfg {
+        let k = parse_kernel(
+            r#"
+kernel f {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array dl[4];
+    var acc;
+    shiftin dl <- x;
+    acc = 0.0;
+    acc = acc + c[0] * dl[0];
+    acc = acc + c[1] * dl[1];
+    acc = acc + c[2] * dl[2];
+    acc = acc + c[3] * dl[3];
+    y = acc;
+}
+"#,
+        )
+        .unwrap();
+        let blocks = collect_blocks(&k);
+        Dfg::from_block(&k, &blocks[0])
+    }
+
+    fn muls(dfg: &Dfg) -> Vec<NodeId> {
+        dfg.iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(BinOp::Mul)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn accepts_independent_isomorphic_pairs() {
+        let dfg = fir_dfg();
+        let m = muls(&dfg);
+        let groups = vec![
+            SimdGroup {
+                elems: vec![m[0], m[1]],
+            },
+            SimdGroup {
+                elems: vec![m[2], m[3]],
+            },
+        ];
+        verify_groups(&dfg, &groups, &xentium(), "t").unwrap();
+    }
+
+    #[test]
+    fn kills_duplicate_nodes() {
+        let dfg = fir_dfg();
+        let m = muls(&dfg);
+        let groups = vec![
+            SimdGroup {
+                elems: vec![m[0], m[1]],
+            },
+            SimdGroup {
+                elems: vec![m[1], m[2]],
+            },
+        ];
+        let e = verify_groups(&dfg, &groups, &xentium(), "t").unwrap_err();
+        assert_eq!(e.invariant, Invariant::DuplicateNode);
+    }
+
+    #[test]
+    fn kills_dependent_lanes() {
+        let dfg = fir_dfg();
+        let adds: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Bin(BinOp::Add)))
+            .map(|(i, _)| i)
+            .collect();
+        let groups = vec![SimdGroup {
+            elems: vec![adds[0], adds[1]],
+        }];
+        let e = verify_groups(&dfg, &groups, &xentium(), "t").unwrap_err();
+        assert_eq!(e.invariant, Invariant::DependentLanes);
+    }
+
+    #[test]
+    fn kills_unsupported_widths() {
+        let dfg = fir_dfg();
+        let m = muls(&dfg);
+        let groups = vec![SimdGroup {
+            elems: vec![m[0], m[1], m[2]],
+        }];
+        let e = verify_groups(&dfg, &groups, &xentium(), "t").unwrap_err();
+        assert_eq!(e.invariant, Invariant::UnsupportedWidth);
+    }
+
+    #[test]
+    fn kills_mixed_kinds() {
+        let dfg = fir_dfg();
+        let m = muls(&dfg);
+        let loads: Vec<NodeId> = dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::LoadArray(..)))
+            .map(|(i, _)| i)
+            .collect();
+        let groups = vec![SimdGroup {
+            elems: vec![m[0], loads[0]],
+        }];
+        let e = verify_groups(&dfg, &groups, &xentium(), "t").unwrap_err();
+        assert_eq!(e.invariant, Invariant::NonIsomorphic);
+    }
+}

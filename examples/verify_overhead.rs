@@ -1,0 +1,88 @@
+//! Measures the wall-clock cost of pass-boundary static verification.
+//!
+//! Runs the full benchmark suite through the joint WLO+SLP flow at
+//! `VerifyLevel::Off` and `VerifyLevel::Boundaries` and reports the
+//! relative overhead. This is the number quoted in the README's
+//! "Static verification" section; re-measure with:
+//!
+//! `cargo run --release --example verify_overhead`
+//!
+//! Timing note: the two configurations are interleaved (off, boundaries,
+//! off, boundaries, ...) for `REPS` rounds and the per-configuration
+//! *minimum* suite time is kept — interleaving cancels slow thermal /
+//! frequency drift and the minimum strips scheduler noise from a short
+//! single-process measurement.
+
+use std::time::{Duration, Instant};
+
+use slpwlo::core::{wlo_slp_flow_checked, BenefitKind, PassArtifact};
+use slpwlo::kernels::all_benchmarks;
+use slpwlo::targets::xentium;
+use slpwlo::verify::verify_boundary;
+use slpwlo::{Optimizer, VerifyLevel};
+
+const REPS: usize = 5;
+
+fn suite_pass(level: VerifyLevel) -> Result<Duration, slpwlo::Error> {
+    let start = Instant::now();
+    for bench in all_benchmarks() {
+        let report = Optimizer::for_kernel(bench.kernel.clone())?
+            .target(xentium())
+            .constraint_db(-40.0)
+            .verify_level(level)
+            .run()?;
+        // Keep the result observable so the work can't be elided.
+        assert!(report.cycles_simd > 0, "{}: empty schedule", bench.name);
+    }
+    Ok(start.elapsed())
+}
+
+/// Times *only* the checkers by wrapping `verify_boundary` in the
+/// pass-boundary callback of one suite pass — the attribution that
+/// survives machine-load noise the A/B wall-clock comparison cannot.
+fn attributed_checker_time() -> Duration {
+    let target = xentium();
+    let mut spent = Duration::ZERO;
+    for bench in all_benchmarks() {
+        let prep = slpwlo::core::prepare(bench.kernel.clone());
+        let mut check = |a: PassArtifact<'_>| {
+            let start = Instant::now();
+            let r = verify_boundary(VerifyLevel::Boundaries, &a);
+            spent += start.elapsed();
+            r
+        };
+        wlo_slp_flow_checked(&prep, &target, -40.0, BenefitKind::default(), &mut check)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    }
+    spent
+}
+
+fn main() -> Result<(), slpwlo::Error> {
+    let n = all_benchmarks().len();
+    // Warm-up pass (page cache, lazy statics) outside the measurement.
+    suite_pass(VerifyLevel::Off)?;
+    let mut off = Duration::MAX;
+    let mut boundaries = Duration::MAX;
+    for _ in 0..REPS {
+        off = off.min(suite_pass(VerifyLevel::Off)?);
+        boundaries = boundaries.min(suite_pass(VerifyLevel::Boundaries)?);
+    }
+    let overhead = boundaries.as_secs_f64() / off.as_secs_f64() - 1.0;
+    let checkers = attributed_checker_time();
+    println!("suite: {n} benchmarks x joint WLO+SLP flow on XENTIUM (best of {REPS})");
+    println!("  verify=off        : {:>9.3} ms", off.as_secs_f64() * 1e3);
+    println!(
+        "  verify=boundaries : {:>9.3} ms",
+        boundaries.as_secs_f64() * 1e3
+    );
+    println!(
+        "  A/B overhead      : {:+.2}% (within run-to-run noise)",
+        overhead * 100.0
+    );
+    println!(
+        "  checker time      : {:>9.3} ms attributed ({:.3}% of the off baseline)",
+        checkers.as_secs_f64() * 1e3,
+        checkers.as_secs_f64() / off.as_secs_f64() * 100.0
+    );
+    Ok(())
+}

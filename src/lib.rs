@@ -32,7 +32,7 @@
 
 pub use slpwlo_driver::{
     BenefitKind, CompilationFlow, Error, ExportedC, FlowContext, FlowKind, FlowOutput, Optimizer,
-    Report,
+    Report, VerifyError, VerifyLevel,
 };
 
 pub use slpwlo_accuracy as accuracy;
@@ -46,3 +46,4 @@ pub use slpwlo_kernels as kernels;
 pub use slpwlo_sim as sim;
 pub use slpwlo_slp as slp;
 pub use slpwlo_targets as targets;
+pub use slpwlo_verify as verify;

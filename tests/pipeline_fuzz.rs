@@ -17,6 +17,12 @@
 //!    SIMD C compile with `-std=c99 -Wall -Werror` and their outputs
 //!    are bit-identical to the same reference.
 //!
+//! Interleaved with the differentials, every artifact additionally runs
+//! the `slpwlo-verify` static checkers at paranoid depth (kernel, each
+//! wl's spec with range re-derivation, every lowered program): an
+//! invariant break then names the offending pass directly instead of
+//! surfacing as a bit-mismatch three stages later.
+//!
 //! Any failure prints the reproducing seed plus a **shrunk** minimal
 //! kernel (and writes both to `target/fuzz-repros/` for CI artifact
 //! upload). Reproduce locally with
@@ -45,6 +51,7 @@ use slpwlo::ir::{BinOp, ExprId, InputId, Kernel, ParamId, UnOp};
 use slpwlo::kernels::{all_benchmarks, Workload};
 use slpwlo::sim::execute_fixed;
 use slpwlo::targets::{vex, xentium, TargetModel};
+use slpwlo::verify::{verify_kernel, verify_program, verify_spec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Activations per differential run (kept small: the whole corpus runs
@@ -249,9 +256,19 @@ fn check_exec_differential(
 ) -> Result<(), String> {
     for wl in WLS {
         let spec = FixedPointSpec::from_ranges(kernel, ranges, wl);
+        // Paranoid spec check: formats cover the established ranges,
+        // and (for interval ranges) the ranges themselves re-derive.
+        verify_spec(kernel, ranges, &spec, true)
+            .map_err(|e| format!("spec verification failed at wl={wl}: {e}"))?;
         let reference = simulate_fixed(kernel, &spec, &workload.inputs);
         for target in targets() {
             let scalar = lower_scalar(kernel, &spec, &target);
+            verify_program(&scalar, &target).map_err(|e| {
+                format!(
+                    "scalar program verification failed at wl={wl} on {}: {e}",
+                    target.name
+                )
+            })?;
             let got = execute_fixed(&scalar, &workload.inputs).map_err(|e| {
                 format!(
                     "scalar interpreter failed at wl={wl} on {}: {e:?}",
@@ -264,6 +281,12 @@ fn check_exec_differential(
                 &got,
             )?;
             let simd = simd_program(kernel, &spec, &target);
+            verify_program(&simd, &target).map_err(|e| {
+                format!(
+                    "simd program verification failed at wl={wl} on {}: {e}",
+                    target.name
+                )
+            })?;
             let got = execute_fixed(&simd, &workload.inputs).map_err(|e| {
                 format!(
                     "simd interpreter failed at wl={wl} on {}: {e:?}",
@@ -328,6 +351,7 @@ fn check_kernel(kernel: &Kernel, seed: u64, cc: CcStage, tag: &str) -> Result<()
     kernel
         .validate()
         .map_err(|e| format!("validation failed: {e}"))?;
+    verify_kernel(kernel).map_err(|e| format!("kernel verification failed: {e}"))?;
     let workload = Workload::white(kernel.inputs().len(), FUZZ_ACTIVATIONS, seed ^ 0xF00D);
     let ranges = determine_ranges(kernel, &RangeOptions::default());
     check_range_soundness(kernel, &ranges, &workload)?;
@@ -461,6 +485,7 @@ fn fuzz_benchmark_kernels() {
             CcStage::Skip
         };
         let result = catching(|| {
+            verify_kernel(&kernel).map_err(|e| format!("kernel verification failed: {e}"))?;
             let ranges = determine_ranges(&kernel, &RangeOptions::default());
             check_range_soundness(&kernel, &ranges, &workload)?;
             check_incremental_agreement(&kernel, &ranges, seed, 20)?;
@@ -479,16 +504,20 @@ fn fuzz_benchmark_kernels() {
 
 /// Every benchmark runs through the public `Optimizer` driver exactly
 /// the way `examples/quickstart.rs` does — the driver-level guarantee
-/// that opening the suite did not leave any registered kernel behind.
+/// that opening the suite did not leave any registered kernel behind —
+/// with pass-boundary verification at its paranoid maximum, so even
+/// intermediate artifacts (pre-prune groupings, candidate lowerings the
+/// pruner only prices) are checked on every run.
 #[test]
 fn every_benchmark_runs_through_the_driver() {
-    use slpwlo::{FlowKind, Optimizer};
+    use slpwlo::{FlowKind, Optimizer, VerifyLevel};
     for bench in all_benchmarks() {
         let report = Optimizer::for_kernel(bench.kernel.clone())
             .unwrap_or_else(|e| panic!("{}: driver rejects the kernel: {e}", bench.name))
             .constraint_db(-25.0)
             .flow(FlowKind::WloSlp)
             .activations(64)
+            .verify_level(VerifyLevel::Paranoid)
             .run()
             .unwrap_or_else(|e| panic!("{}: driver run failed: {e}", bench.name));
         assert!(
