@@ -8,10 +8,12 @@
 //! instances fully characterise how that node's quantization error reaches
 //! the output of an LTI kernel.
 
-use slpwlo_ir::interp::{ExecCtx, Executor, FloatSem, Semantics};
+use slpwlo_ir::interp::{BatchExecutor, ExecCtx, Executor, FloatSem, ImpulseChannel, Semantics};
 use slpwlo_ir::types::{BinOp, ExprId, InputId, ParamId, UnOp};
 use slpwlo_ir::{ExprNode, Kernel, Stmt};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Options for the gain measurement.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +29,9 @@ pub struct GainOptions {
     pub param_activations: usize,
     /// RNG seed for the coefficient-sensitivity measurement.
     pub param_seed: u64,
+    /// Worker threads for the impulse-source sweep (`0` = one per
+    /// available core). Results are identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for GainOptions {
@@ -37,6 +42,7 @@ impl Default for GainOptions {
             tail_epsilon: 1e-12,
             param_activations: 1024,
             param_seed: 0x9A1A5,
+            threads: 0,
         }
     }
 }
@@ -122,7 +128,50 @@ pub fn expr_executions(kernel: &Kernel) -> Vec<u64> {
 /// Linearity assumption: the kernel must be LTI in its signals (signals
 /// may only be multiplied by parameters/constants, as in all the paper's
 /// benchmarks); responses are then exact, not approximations.
+///
+/// Impulses are propagated in batches — one [`BatchExecutor`] sweep
+/// carries a lane of deviation state per pending (source × execution
+/// instance) impulse, the lanes retiring early on the `tail_epsilon`
+/// criterion — and the source sweep is sharded across `threads` scoped
+/// workers. Per-source results are bitwise identical to the one run per
+/// impulse of [`measure_gains_reference`], for any thread count.
 pub fn measure_gains(kernel: &Kernel, opts: &GainOptions) -> NoiseGains {
+    let sources = noise_source_exprs(kernel);
+    let execs = expr_executions(kernel);
+
+    let mut param_srcs: Vec<ExprId> = Vec::new();
+    let mut impulse_srcs: Vec<(ExprId, u64)> = Vec::new();
+    for &src in &sources {
+        let k_execs = execs[src.index()];
+        if k_execs == 0 {
+            continue; // dead arena node
+        }
+        if matches!(kernel.expr(src), ExprNode::LoadParam(..)) {
+            // Coefficient errors are *multiplicative* in the signal path:
+            // an impulse at zero state sees zero gain. Measure the mean
+            // squared output sensitivity under random inputs instead.
+            param_srcs.push(src);
+        } else {
+            impulse_srcs.push((src, k_execs));
+        }
+    }
+
+    let mut gains = HashMap::new();
+    for (src, g2) in param_srcs
+        .iter()
+        .zip(param_sensitivities(kernel, &param_srcs, opts))
+    {
+        gains.insert(*src, (0.0, g2));
+    }
+    for (src, g1, g2) in impulse_gains(kernel, &impulse_srcs, opts) {
+        gains.insert(src, (g1, g2));
+    }
+    NoiseGains { gains }
+}
+
+/// The original one-simulation-per-impulse measurement, kept as the
+/// differential oracle for the batched path.
+pub fn measure_gains_reference(kernel: &Kernel, opts: &GainOptions) -> NoiseGains {
     let sources = noise_source_exprs(kernel);
     let execs = expr_executions(kernel);
     let mut baseline = Baseline::new(kernel);
@@ -134,9 +183,6 @@ pub fn measure_gains(kernel: &Kernel, opts: &GainOptions) -> NoiseGains {
             continue; // dead arena node
         }
         if matches!(kernel.expr(src), ExprNode::LoadParam(..)) {
-            // Coefficient errors are *multiplicative* in the signal path:
-            // an impulse at zero state sees zero gain. Measure the mean
-            // squared output sensitivity under random inputs instead.
             let g2 = param_sensitivity(kernel, src, opts);
             gains.insert(src, (0.0, g2));
             continue;
@@ -153,6 +199,163 @@ pub fn measure_gains(kernel: &Kernel, opts: &GainOptions) -> NoiseGains {
     NoiseGains { gains }
 }
 
+/// Soft cap on impulse channels per batched sweep: a worker keeps
+/// claiming sources until it holds at least this many lanes (a single
+/// source with more execution instances than the cap still runs as one
+/// batch, so per-source accumulation order is preserved).
+const BATCH_LANES: usize = 128;
+
+/// Batched impulse measurement for all non-parameter sources, sharded
+/// across scoped worker threads. Returns `(source, G1, G2)` triples.
+fn impulse_gains(
+    kernel: &Kernel,
+    srcs: &[(ExprId, u64)],
+    opts: &GainOptions,
+) -> Vec<(ExprId, f64, f64)> {
+    if srcs.is_empty() {
+        return Vec::new();
+    }
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(srcs.len());
+    if threads <= 1 {
+        let mut baseline = Baseline::new(kernel);
+        let mut out = Vec::with_capacity(srcs.len());
+        let all: Vec<usize> = (0..srcs.len()).collect();
+        for chunk in all.chunks(chunk_len(srcs, BATCH_LANES)) {
+            // chunks() of a precomputed length keeps sources grouped the
+            // same way regardless of arrival order; correctness only
+            // needs each source whole within one batch.
+            run_impulse_batch(kernel, srcs, chunk, opts, &mut baseline, &mut out);
+        }
+        out.sort_by_key(|&(e, _, _)| e.index());
+        return out;
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(ExprId, f64, f64)>> = Mutex::new(Vec::with_capacity(srcs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut baseline = Baseline::new(kernel);
+                let mut local = Vec::new();
+                loop {
+                    // Claim whole sources until the lane budget is met.
+                    let mut batch = Vec::new();
+                    let mut lanes = 0usize;
+                    while lanes < BATCH_LANES {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= srcs.len() {
+                            break;
+                        }
+                        lanes += srcs[i].1 as usize;
+                        batch.push(i);
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    run_impulse_batch(kernel, srcs, &batch, opts, &mut baseline, &mut local);
+                }
+                results.lock().expect("worker panicked").extend(local);
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("worker panicked");
+    out.sort_by_key(|&(e, _, _)| e.index());
+    out
+}
+
+/// Batch size (in sources) that yields ~`target` lanes per batch for the
+/// single-threaded path.
+fn chunk_len(srcs: &[(ExprId, u64)], target: usize) -> usize {
+    let total: u64 = srcs.iter().map(|&(_, k)| k).sum();
+    let per_src = (total as usize).div_ceil(srcs.len());
+    target.div_ceil(per_src.max(1)).max(1)
+}
+
+/// Runs one batched sweep over the sources listed in `batch` (indices
+/// into `srcs`) and appends `(source, G1, G2)` per source.
+///
+/// Each lane performs exactly the solo-run arithmetic of
+/// [`impulse_response_sums`]: same zero-input trajectory, same
+/// `(baseline + impulse) − baseline` deviations accumulated in the same
+/// `(activation, output)` order, same per-channel chunk-energy stopping
+/// rule — so the sums are bitwise identical.
+fn run_impulse_batch(
+    kernel: &Kernel,
+    srcs: &[(ExprId, u64)],
+    batch: &[usize],
+    opts: &GainOptions,
+    baseline: &mut Baseline<'_>,
+    out: &mut Vec<(ExprId, f64, f64)>,
+) {
+    let mut channels = Vec::new();
+    let mut spans: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    for &si in batch {
+        let (src, k_execs) = srcs[si];
+        let start = channels.len();
+        for k in 0..k_execs {
+            channels.push(ImpulseChannel {
+                target: src,
+                activation: 0,
+                exec: k as u32,
+                amount: 1.0,
+            });
+        }
+        spans.push((si, start..channels.len()));
+    }
+    let n_ch = channels.len();
+    let mut ex = BatchExecutor::new(kernel, channels);
+    let zero = vec![0.0; kernel.inputs().len()];
+    let mut s1 = vec![0.0; n_ch];
+    let mut s2 = vec![0.0; n_ch];
+    let mut chunk = vec![0.0; n_ch];
+    let mut m = 0usize;
+    while ex.lanes() > 0 {
+        let chunk_end = (m + opts.min_activations).min(opts.max_activations);
+        let l = ex.lanes();
+        chunk[..l].fill(0.0);
+        while m < chunk_end {
+            ex.step(&zero);
+            let base = baseline.get(m);
+            let outs = ex.outputs();
+            for (lane, &id) in ex.channel_ids().iter().enumerate() {
+                let (mut a, mut b, mut c) = (s1[id], s2[id], chunk[lane]);
+                for (o, &bo) in base.iter().enumerate() {
+                    let h = outs[o * l + lane] - bo;
+                    a += h;
+                    b += h * h;
+                    c += h * h;
+                }
+                s1[id] = a;
+                s2[id] = b;
+                chunk[lane] = c;
+            }
+            m += 1;
+        }
+        if m >= opts.max_activations {
+            break;
+        }
+        // Retire channels whose response has died out.
+        let keep: Vec<bool> = (0..l)
+            .map(|lane| chunk[lane] > opts.tail_epsilon * s2[ex.channel_ids()[lane]].max(1e-300))
+            .collect();
+        ex.retain(&keep);
+    }
+    for (si, span) in spans {
+        // Per-source accumulation in execution-instance order, matching
+        // the reference's `for k in 0..k_execs` fold.
+        let mut g1 = 0.0;
+        let mut g2 = 0.0;
+        for id in span {
+            g1 += s1[id];
+            g2 += s2[id];
+        }
+        out.push((srcs[si].0, g1, g2));
+    }
+}
+
 /// Mean squared output sensitivity to an offset on one coefficient load
 /// site: `E[(∂y/∂c)²]` over random inputs. A fixed coefficient error `ε`
 /// then contributes `ε²·G2` of output power, and averaging over
@@ -163,20 +366,9 @@ pub fn measure_gains(kernel: &Kernel, opts: &GainOptions) -> NoiseGains {
 /// coefficients (a unit offset there can destabilise the filter), so the
 /// perturbation must stay in the linear regime.
 fn param_sensitivity(kernel: &Kernel, src: ExprId, opts: &GainOptions) -> f64 {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     const DELTA: f64 = 1e-4;
     let n = opts.param_activations.max(1);
-    let decls: Vec<(f64, f64)> = kernel.inputs().iter().map(|i| (i.lo, i.hi)).collect();
-    let mut rng = StdRng::seed_from_u64(opts.param_seed);
-    let inputs: Vec<Vec<f64>> = decls
-        .iter()
-        .map(|&(lo, hi)| {
-            (0..n)
-                .map(|_| if lo == hi { lo } else { rng.gen_range(lo..=hi) })
-                .collect()
-        })
-        .collect();
+    let inputs = param_input_matrix(kernel, opts);
     let mut base_ex = Executor::new(kernel, FloatSem);
     let base = base_ex.run(&inputs);
     let sem = ImpulseSem {
@@ -196,6 +388,85 @@ fn param_sensitivity(kernel: &Kernel, src: ExprId, opts: &GainOptions) -> f64 {
         }
     }
     sum / n as f64
+}
+
+/// The seeded random input matrix of the coefficient-sensitivity
+/// measurement. Identical for every source (the RNG reseeds per call),
+/// so the batched path generates it once per `measure_gains` call.
+fn param_input_matrix(kernel: &Kernel, opts: &GainOptions) -> Vec<Vec<f64>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n = opts.param_activations.max(1);
+    let decls: Vec<(f64, f64)> = kernel.inputs().iter().map(|i| (i.lo, i.hi)).collect();
+    let mut rng = StdRng::seed_from_u64(opts.param_seed);
+    decls
+        .iter()
+        .map(|&(lo, hi)| {
+            (0..n)
+                .map(|_| if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+                .collect()
+        })
+        .collect()
+}
+
+/// Batched coefficient-sensitivity measurement: one shared input
+/// matrix, one shared unperturbed base run, and a single batched sweep
+/// with one always-on `DELTA` lane per source — each lane bitwise
+/// identical to the solo perturbed run of [`param_sensitivity`].
+fn param_sensitivities(kernel: &Kernel, srcs: &[ExprId], opts: &GainOptions) -> Vec<f64> {
+    const DELTA: f64 = 1e-4;
+    if srcs.is_empty() {
+        return Vec::new();
+    }
+    let n = opts.param_activations.max(1);
+    let inputs = param_input_matrix(kernel, opts);
+    let mut base_ex = Executor::new(kernel, FloatSem);
+    let base = base_ex.run(&inputs);
+    // With no input streams the reference runs zero activations; its
+    // deviation fold is then empty and every sensitivity is +0.0.
+    let acts = inputs.first().map_or(0, |v| v.len());
+    let n_out = kernel.outputs().len();
+    let l = srcs.len();
+    let channels = srcs
+        .iter()
+        .map(|&src| ImpulseChannel {
+            target: src,
+            activation: u32::MAX,
+            exec: u32::MAX,
+            amount: DELTA,
+        })
+        .collect();
+    let mut ex = BatchExecutor::new(kernel, channels);
+    // Perturbed trajectories per (lane, output), activation-indexed.
+    let mut pert = vec![vec![0.0; acts]; l * n_out];
+    let mut sample = vec![0.0; inputs.len()];
+    for a in 0..acts {
+        for (i, s) in inputs.iter().enumerate() {
+            sample[i] = s[a];
+        }
+        ex.step(&sample);
+        let outs = ex.outputs();
+        for lane in 0..l {
+            for o in 0..n_out {
+                pert[lane * n_out + o][a] = outs[o * l + lane];
+            }
+        }
+    }
+    (0..l)
+        .map(|lane| {
+            // The reference folds output-major, then activation: keep
+            // that exact order so the sum is bitwise identical.
+            let mut sum = 0.0;
+            for (o, b) in base.iter().enumerate() {
+                let p = &pert[lane * n_out + o];
+                for (x, y) in b.iter().zip(p) {
+                    let d = (y - x) / DELTA;
+                    sum += d * d;
+                }
+            }
+            sum / n as f64
+        })
+        .collect()
 }
 
 /// Lazily extended zero-input reference trajectory. With zero inputs an
@@ -435,6 +706,52 @@ kernel iir1 {
             .find(|(_, n)| matches!(n, ExprNode::ReadInput(_)))
             .unwrap();
         assert_eq!(execs[input_expr.index()], 1);
+    }
+
+    /// Asserts the batched and reference measurements agree bitwise on
+    /// every source, for several thread counts.
+    fn assert_batched_matches_reference(k: &Kernel, opts: &GainOptions) {
+        let reference = measure_gains_reference(k, opts);
+        for threads in [1usize, 3] {
+            let opts = GainOptions { threads, ..*opts };
+            let batched = measure_gains(k, &opts);
+            assert_eq!(batched.len(), reference.len());
+            for (e, (g1, g2)) in reference.iter() {
+                let (b1, b2) = batched.get(e);
+                assert_eq!(b1.to_bits(), g1.to_bits(), "G1 of {e:?}");
+                assert_eq!(b2.to_bits(), g2.to_bits(), "G2 of {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gains_match_reference_on_fir() {
+        let k = parse_kernel(FIR4).unwrap();
+        assert_batched_matches_reference(&k, &GainOptions::default());
+    }
+
+    #[test]
+    fn batched_gains_match_reference_on_iir() {
+        let src = r#"
+kernel iir1 {
+    input x range [-1, 1];
+    output y;
+    array yline[1];
+    var t;
+    t = 0.5 * x + 0.5 * yline[0];
+    shiftin yline <- t;
+    y = t;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        assert_batched_matches_reference(&k, &GainOptions::default());
+        // Tiny batches force multiple sweeps and mid-sweep retirement.
+        let tight = GainOptions {
+            min_activations: 4,
+            max_activations: 256,
+            ..GainOptions::default()
+        };
+        assert_batched_matches_reference(&k, &tight);
     }
 
     #[test]

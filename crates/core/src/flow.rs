@@ -42,8 +42,14 @@ pub struct Prepared {
 /// Runs the shared front end: range analysis plus accuracy-model
 /// construction.
 pub fn prepare(kernel: Kernel) -> Prepared {
+    prepare_with(kernel, &EvalOptions::default())
+}
+
+/// [`prepare`] with explicit accuracy-model options (quantization mode,
+/// gain-measurement batching/threading).
+pub fn prepare_with(kernel: Kernel, opts: &EvalOptions) -> Prepared {
     let ranges = determine_ranges(&kernel, &RangeOptions::default());
-    let eval = AnalyticalEvaluator::new(&kernel, &EvalOptions::default());
+    let eval = AnalyticalEvaluator::new(&kernel, opts);
     Prepared {
         kernel,
         ranges,
@@ -192,7 +198,8 @@ fn prune_unprofitable_groups<E>(
     blocks: &mut [(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)],
     check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
 ) -> Result<MachineProgram, E> {
-    use crate::sched::block_cycles;
+    use crate::sched::block_cycles_cached;
+    use slpwlo_targets::CycleCache;
     fn candidate<'a>(p: &'a MachineProgram, target: &'a TargetModel) -> PassArtifact<'a> {
         PassArtifact::Program {
             program: p,
@@ -222,6 +229,9 @@ fn prune_unprofitable_groups<E>(
         .collect();
     let none = lower_fixed(kernel, spec, target, &bare);
     check(candidate(&none, target))?;
+    // One price cache for every keep/drop comparison: both lowerings of
+    // every block draw from the same small set of op queries.
+    let costs = CycleCache::new(target);
     let mut pruned = false;
     for (i, (_, _, groups)) in blocks.iter_mut().enumerate() {
         if groups.is_empty() {
@@ -229,7 +239,9 @@ fn prune_unprofitable_groups<E>(
         }
         // Drop the block's groups only when doing so strictly improves
         // its schedule (ties keep the vector form).
-        if block_cycles(target, &none.blocks[i]) < block_cycles(target, &full.blocks[i]) {
+        if block_cycles_cached(&costs, &none.blocks[i])
+            < block_cycles_cached(&costs, &full.blocks[i])
+        {
             groups.clear();
             pruned = true;
         }

@@ -34,9 +34,9 @@ pub mod tabu;
 pub mod wlo_slp;
 
 pub use flow::{
-    extract_on_spec, prepare, wlo_first_flow, wlo_first_flow_checked, wlo_first_flow_with,
-    wlo_slp_flow, wlo_slp_flow_checked, wlo_slp_flow_with, FlowResult, PassArtifact, Prepared,
-    ProgramRole,
+    extract_on_spec, prepare, prepare_with, wlo_first_flow, wlo_first_flow_checked,
+    wlo_first_flow_with, wlo_slp_flow, wlo_slp_flow_checked, wlo_slp_flow_with, FlowResult,
+    PassArtifact, Prepared, ProgramRole,
 };
 pub use hooks::AccuracyHooks;
 pub use lower::{
@@ -45,7 +45,10 @@ pub use lower::{
     MachineBlock, MachineProgram, Mop, MopKind, Operand, ParamDecl, ProgramStorage, VarDecl,
 };
 pub use scalopt::scaling_optimize;
-pub use sched::{block_cycles, cycles_per_activation, schedule_block, total_cycles, Schedule};
+pub use sched::{
+    block_cycles, block_cycles_cached, cycles_per_activation, cycles_per_activation_cached,
+    schedule_block, schedule_block_cached, total_cycles, Schedule,
+};
 pub use slpwlo_slp::BenefitKind;
 pub use tabu::{tabu_wlo, TabuOptions};
 pub use wlo_slp::{wlo_slp, wlo_slp_with, BlockResult, WloSlpResult};

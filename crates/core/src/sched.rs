@@ -1,7 +1,7 @@
 //! Resource-constrained list scheduling.
 
 use crate::lower::{MachineBlock, MachineProgram};
-use slpwlo_targets::{OpClass, TargetModel};
+use slpwlo_targets::{CycleCache, OpClass, TargetModel};
 
 /// Schedule of one block: per-op issue cycles and the block makespan.
 #[derive(Debug, Clone)]
@@ -115,6 +115,18 @@ impl<'t> Resources<'t> {
 
 /// List-schedules one block onto the target.
 pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
+    schedule_block_cached(&CycleCache::new(target), block)
+}
+
+/// List-schedules one block, pricing ops through a shared [`CycleCache`].
+///
+/// A block of `n` machine ops asks for at most a handful of distinct
+/// `(op kind, word length)` costs; callers that schedule many blocks (or
+/// the same program under many group subsets, as group pruning does)
+/// should thread one cache through every call so each distinct query is
+/// folded once.
+pub fn schedule_block_cached(costs: &CycleCache<'_>, block: &MachineBlock) -> Schedule {
+    let target = costs.target();
     let n = block.ops.len();
     let mut start = vec![0u64; n];
     let mut finish = vec![0u64; n];
@@ -124,7 +136,7 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
 
     for (i, op) in block.ops.iter().enumerate() {
         let est = op.preds.iter().map(|&p| finish[p]).max().unwrap_or(0);
-        let cost = target.cost(op.query);
+        let cost = costs.cost(op.query);
         if cost.serialize {
             let t = res.take_serialized(est, cost.latency as u64);
             start[i] = t;
@@ -172,7 +184,13 @@ pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
 /// Cycles for one execution of a block, including loop control overhead
 /// for in-loop blocks.
 pub fn block_cycles(target: &TargetModel, block: &MachineBlock) -> u64 {
-    let sched = schedule_block(target, block);
+    block_cycles_cached(&CycleCache::new(target), block)
+}
+
+/// [`block_cycles`] pricing ops through a shared [`CycleCache`].
+pub fn block_cycles_cached(costs: &CycleCache<'_>, block: &MachineBlock) -> u64 {
+    let target = costs.target();
+    let sched = schedule_block_cached(costs, block);
     let overhead = if block.in_loop {
         let w = target.issue_width.max(1);
         (target.loop_overhead_ops.div_ceil(w) as u64) + 1
@@ -184,10 +202,15 @@ pub fn block_cycles(target: &TargetModel, block: &MachineBlock) -> u64 {
 
 /// Cycles for one kernel activation (all blocks, trip-weighted).
 pub fn cycles_per_activation(target: &TargetModel, program: &MachineProgram) -> u64 {
+    cycles_per_activation_cached(&CycleCache::new(target), program)
+}
+
+/// [`cycles_per_activation`] pricing ops through a shared [`CycleCache`].
+pub fn cycles_per_activation_cached(costs: &CycleCache<'_>, program: &MachineProgram) -> u64 {
     program
         .blocks
         .iter()
-        .map(|b| block_cycles(target, b) * b.trip)
+        .map(|b| block_cycles_cached(costs, b) * b.trip)
         .sum()
 }
 

@@ -308,38 +308,44 @@ impl<'k, S: Semantics> Executor<'k, S> {
     }
 
     fn eval(&mut self, e: ExprId, input_vals: &[f64]) -> S::Value {
-        match self.kernel.expr(e).clone() {
+        let kernel = self.kernel;
+        match kernel.expr(e) {
             ExprNode::Const(v) => {
+                let v = *v;
                 let ctx = self.ctx(e);
                 self.sem.constant(ctx, e, v)
             }
             ExprNode::ReadVar(v) => {
-                let ctx = self.ctx(e);
                 let val = self.vars[v.index()];
+                let ctx = self.ctx(e);
                 self.sem.var_use(ctx, e, val)
             }
             ExprNode::ReadInput(i) => {
+                let i = *i;
                 let ctx = self.ctx(e);
                 self.sem.input(ctx, e, i, input_vals[i.index()])
             }
             ExprNode::LoadParam(p, ix) => {
-                let idx = self.index_env(&ix);
-                let raw = self.kernel.param_value(p, idx);
+                let p = *p;
+                let idx = self.index_env(ix);
+                let raw = kernel.param_value(p, idx);
                 let ctx = self.ctx(e);
                 self.sem.param(ctx, e, p, idx, raw)
             }
             ExprNode::LoadArray(a, ix) => {
-                let idx = self.resolve_index(&ix, a.index());
+                let idx = self.resolve_index(ix, a.index());
                 let stored = self.arrays[a.index()][idx];
                 let ctx = self.ctx(e);
                 self.sem.load(ctx, e, stored)
             }
             ExprNode::Unary(op, a) => {
+                let (op, a) = (*op, *a);
                 let av = self.eval(a, input_vals);
                 let ctx = self.ctx(e);
                 self.sem.un(ctx, e, op, av)
             }
             ExprNode::Bin(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
                 let av = self.eval(a, input_vals);
                 let bv = self.eval(b, input_vals);
                 let ctx = self.ctx(e);
@@ -347,6 +353,328 @@ impl<'k, S: Semantics> Executor<'k, S> {
             }
         }
     }
+}
+
+/// One pending impulse of the batched multi-impulse executor: `amount`
+/// is added to the value `target` produces at execution instance
+/// (`activation`, `exec`) — or at *every* execution when both are
+/// `u32::MAX`, the always-on mode coefficient-sensitivity measurement
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpulseChannel {
+    /// Expression whose value receives the impulse.
+    pub target: ExprId,
+    /// Activation index the impulse fires in (`u32::MAX` = every).
+    pub activation: u32,
+    /// Execution instance within the activation (`u32::MAX` = every).
+    pub exec: u32,
+    /// Offset added to the targeted value.
+    pub amount: f64,
+}
+
+/// Channel-parallel float executor: one simulation sweep carries a lane
+/// of state per [`ImpulseChannel`], in structure-of-arrays layout
+/// (`state[elem * lanes + lane]`).
+///
+/// Every lane performs exactly the floating-point operation sequence of
+/// a solo [`Executor`] run under an impulse-injecting semantics: kernel
+/// structure — statement dispatch, loop bookkeeping, index resolution,
+/// execution counters — is walked once per batch and shared (control
+/// flow is static, so it is identical across lanes), while the per-node
+/// arithmetic runs lane by lane on contiguous `f64` rows. Per-lane
+/// results are therefore **bitwise identical** to solo runs, at a
+/// fraction of the interpreter overhead.
+///
+/// Lanes whose response has died out are retired with [`retain`]
+/// (Self::retain); the survivors are compacted so inner loops stay
+/// dense.
+#[derive(Debug)]
+pub struct BatchExecutor<'k> {
+    kernel: &'k Kernel,
+    /// Live channels, parallel to lanes.
+    channels: Vec<ImpulseChannel>,
+    /// Original channel index of each live lane.
+    ids: Vec<usize>,
+    arrays: Vec<Vec<f64>>,
+    vars: Vec<f64>,
+    outputs: Vec<f64>,
+    exec_counts: Vec<(u32, u32)>,
+    epoch: u32,
+    activation: u32,
+    loop_env: HashMap<LoopId, i64>,
+    /// Lanes targeting each expression (indexed by `ExprId::index`).
+    by_expr: Vec<Vec<usize>>,
+    /// Reusable evaluation buffers, indexed by expression depth.
+    scratch: Vec<Vec<f64>>,
+}
+
+impl<'k> BatchExecutor<'k> {
+    /// Creates a batch executor with zeroed state, one lane per channel.
+    pub fn new(kernel: &'k Kernel, channels: Vec<ImpulseChannel>) -> Self {
+        let l = channels.len();
+        let arrays = kernel
+            .arrays()
+            .iter()
+            .map(|a| vec![0.0; a.len * l])
+            .collect();
+        let ids = (0..l).collect();
+        let mut ex = BatchExecutor {
+            kernel,
+            channels,
+            ids,
+            arrays,
+            vars: vec![0.0; kernel.vars().len() * l],
+            outputs: vec![0.0; kernel.outputs().len() * l],
+            exec_counts: vec![(0, 0); kernel.expr_count()],
+            epoch: 0,
+            activation: 0,
+            loop_env: HashMap::new(),
+            by_expr: vec![Vec::new(); kernel.expr_count()],
+            scratch: Vec::new(),
+        };
+        ex.rebuild_by_expr();
+        ex
+    }
+
+    /// Number of live lanes.
+    pub fn lanes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Original channel index of each live lane.
+    pub fn channel_ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// Output values after the last [`step`](Self::step), laid out
+    /// `outputs[output * lanes + lane]`.
+    pub fn outputs(&self) -> &[f64] {
+        &self.outputs
+    }
+
+    /// Executes one activation with the given input values (shared by
+    /// all lanes; only the injected impulses differ per lane).
+    pub fn step(&mut self, input_vals: &[f64]) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.exec_stmts(self.kernel.body(), input_vals);
+        self.activation += 1;
+    }
+
+    /// Retires lanes with `keep[lane] == false` and compacts the state
+    /// so the surviving lanes stay contiguous.
+    pub fn retain(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.ids.len());
+        let old = self.ids.len();
+        let kept: Vec<usize> = (0..old).filter(|&i| keep[i]).collect();
+        if kept.len() == old {
+            return;
+        }
+        compact_lanes(&mut self.vars, old, &kept);
+        compact_lanes(&mut self.outputs, old, &kept);
+        for arr in &mut self.arrays {
+            compact_lanes(arr, old, &kept);
+        }
+        self.channels = kept.iter().map(|&i| self.channels[i]).collect();
+        self.ids = kept.iter().map(|&i| self.ids[i]).collect();
+        self.rebuild_by_expr();
+    }
+
+    fn rebuild_by_expr(&mut self) {
+        for v in &mut self.by_expr {
+            v.clear();
+        }
+        for (lane, ch) in self.channels.iter().enumerate() {
+            self.by_expr[ch.target.index()].push(lane);
+        }
+    }
+
+    fn exec_stmts(&mut self, stmts: &'k [Stmt], input_vals: &[f64]) {
+        let l = self.ids.len();
+        for s in stmts {
+            match s {
+                Stmt::Assign(v, e) => {
+                    self.eval_into(*e, input_vals, 0);
+                    let buf = std::mem::take(&mut self.scratch[0]);
+                    self.vars[v.index() * l..(v.index() + 1) * l].copy_from_slice(&buf);
+                    self.scratch[0] = buf;
+                }
+                Stmt::Store(a, ix, e) => {
+                    self.eval_into(*e, input_vals, 0);
+                    let buf = std::mem::take(&mut self.scratch[0]);
+                    let idx = self.resolve_index(ix, a.index());
+                    self.arrays[a.index()][idx * l..(idx + 1) * l].copy_from_slice(&buf);
+                    self.scratch[0] = buf;
+                }
+                Stmt::ShiftIn(a, e) => {
+                    self.eval_into(*e, input_vals, 0);
+                    let buf = std::mem::take(&mut self.scratch[0]);
+                    let arr = &mut self.arrays[a.index()];
+                    let elems = arr.len() / l.max(1);
+                    for i in (1..elems).rev() {
+                        arr.copy_within((i - 1) * l..i * l, i * l);
+                    }
+                    arr[..l].copy_from_slice(&buf);
+                    self.scratch[0] = buf;
+                }
+                Stmt::Output(idx, e) => {
+                    self.eval_into(*e, input_vals, 0);
+                    let buf = std::mem::take(&mut self.scratch[0]);
+                    self.outputs[idx * l..(idx + 1) * l].copy_from_slice(&buf);
+                    self.scratch[0] = buf;
+                }
+                Stmt::For { var, count, body } => {
+                    for trip in 0..*count {
+                        self.loop_env.insert(*var, trip as i64);
+                        self.exec_stmts(body, input_vals);
+                    }
+                    self.loop_env.remove(var);
+                }
+            }
+        }
+    }
+
+    fn ctx(&mut self, e: ExprId) -> ExecCtx {
+        let slot = &mut self.exec_counts[e.index()];
+        if slot.0 != self.epoch {
+            *slot = (self.epoch, 0);
+        }
+        let exec = slot.1;
+        slot.1 += 1;
+        ExecCtx {
+            activation: self.activation,
+            exec,
+        }
+    }
+
+    /// Applies the impulses of every channel targeting `e` whose
+    /// execution instance matches — the batched equivalent of the solo
+    /// impulse semantics' per-value poke.
+    fn poke(&self, ctx: ExecCtx, e: ExprId, out: &mut [f64]) {
+        for &lane in &self.by_expr[e.index()] {
+            let ch = &self.channels[lane];
+            let always = ch.exec == u32::MAX && ch.activation == u32::MAX;
+            if always || (ctx.exec == ch.exec && ctx.activation == ch.activation) {
+                out[lane] += ch.amount;
+            }
+        }
+    }
+
+    fn index_env(&self, ix: &crate::types::IndexExpr) -> i64 {
+        ix.eval(&|l| self.loop_env.get(&l).copied().unwrap_or(0))
+    }
+
+    fn resolve_index(&self, ix: &crate::types::IndexExpr, array: usize) -> usize {
+        let len = (self.arrays[array].len() / self.ids.len().max(1)) as i64;
+        self.index_env(ix).rem_euclid(len) as usize
+    }
+
+    /// Evaluates `e` for every lane into `self.scratch[depth]`. Child
+    /// operands use `depth + 1` / `depth + 2`; a child's own scratch
+    /// needs stay above the buffers its siblings' results occupy.
+    fn eval_into(&mut self, e: ExprId, input_vals: &[f64], depth: usize) {
+        if self.scratch.len() < depth + 3 {
+            self.scratch.resize_with(depth + 3, Vec::new);
+        }
+        let l = self.ids.len();
+        let kernel = self.kernel;
+        match kernel.expr(e) {
+            ExprNode::Const(v) => {
+                let v = *v;
+                let mut out = std::mem::take(&mut self.scratch[depth]);
+                out.clear();
+                out.resize(l, v);
+                let ctx = self.ctx(e);
+                self.poke(ctx, e, &mut out);
+                self.scratch[depth] = out;
+            }
+            ExprNode::ReadVar(v) => {
+                let mut out = std::mem::take(&mut self.scratch[depth]);
+                out.clear();
+                out.extend_from_slice(&self.vars[v.index() * l..(v.index() + 1) * l]);
+                let _ctx = self.ctx(e);
+                // Variable reads pass through unchanged (no poke): the
+                // solo impulse semantics never perturbs `var_use`.
+                self.scratch[depth] = out;
+            }
+            ExprNode::ReadInput(i) => {
+                let v = input_vals[i.index()];
+                let mut out = std::mem::take(&mut self.scratch[depth]);
+                out.clear();
+                out.resize(l, v);
+                let ctx = self.ctx(e);
+                self.poke(ctx, e, &mut out);
+                self.scratch[depth] = out;
+            }
+            ExprNode::LoadParam(p, ix) => {
+                let idx = self.index_env(ix);
+                let raw = kernel.param_value(*p, idx);
+                let mut out = std::mem::take(&mut self.scratch[depth]);
+                out.clear();
+                out.resize(l, raw);
+                let ctx = self.ctx(e);
+                self.poke(ctx, e, &mut out);
+                self.scratch[depth] = out;
+            }
+            ExprNode::LoadArray(a, ix) => {
+                let idx = self.resolve_index(ix, a.index());
+                let mut out = std::mem::take(&mut self.scratch[depth]);
+                out.clear();
+                out.extend_from_slice(&self.arrays[a.index()][idx * l..(idx + 1) * l]);
+                let ctx = self.ctx(e);
+                self.poke(ctx, e, &mut out);
+                self.scratch[depth] = out;
+            }
+            ExprNode::Unary(op, a) => {
+                let (op, a) = (*op, *a);
+                self.eval_into(a, input_vals, depth + 1);
+                let av = std::mem::take(&mut self.scratch[depth + 1]);
+                let mut out = std::mem::take(&mut self.scratch[depth]);
+                out.clear();
+                match op {
+                    UnOp::Neg => out.extend(av.iter().map(|&x| -x)),
+                }
+                let ctx = self.ctx(e);
+                self.poke(ctx, e, &mut out);
+                self.scratch[depth] = out;
+                self.scratch[depth + 1] = av;
+            }
+            ExprNode::Bin(op, a, b) => {
+                let (op, a, b) = (*op, *a, *b);
+                self.eval_into(a, input_vals, depth + 1);
+                self.eval_into(b, input_vals, depth + 2);
+                let av = std::mem::take(&mut self.scratch[depth + 1]);
+                let bv = std::mem::take(&mut self.scratch[depth + 2]);
+                let mut out = std::mem::take(&mut self.scratch[depth]);
+                out.clear();
+                match op {
+                    BinOp::Add => out.extend(av.iter().zip(&bv).map(|(&x, &y)| x + y)),
+                    BinOp::Sub => out.extend(av.iter().zip(&bv).map(|(&x, &y)| x - y)),
+                    BinOp::Mul => out.extend(av.iter().zip(&bv).map(|(&x, &y)| x * y)),
+                }
+                let ctx = self.ctx(e);
+                self.poke(ctx, e, &mut out);
+                self.scratch[depth] = out;
+                self.scratch[depth + 1] = av;
+                self.scratch[depth + 2] = bv;
+            }
+        }
+    }
+}
+
+/// Compacts a lane-major vector (`v[elem * old_lanes + lane]`) down to
+/// the lanes listed in `kept`, in place.
+fn compact_lanes(v: &mut Vec<f64>, old_lanes: usize, kept: &[usize]) {
+    if old_lanes == 0 {
+        return;
+    }
+    let elems = v.len() / old_lanes;
+    let new_lanes = kept.len();
+    for elem in 0..elems {
+        for (ni, &oi) in kept.iter().enumerate() {
+            v[elem * new_lanes + ni] = v[elem * old_lanes + oi];
+        }
+    }
+    v.truncate(elems * new_lanes);
 }
 
 #[cfg(test)]
@@ -487,5 +815,89 @@ mod tests {
         let k = two_tap();
         let mut ex = Executor::new(&k, FloatSem);
         let _ = ex.run(&[]);
+    }
+
+    /// The first expression of the given kind, for channel targeting.
+    fn find_expr(k: &Kernel, pred: impl Fn(&ExprNode) -> bool) -> ExprId {
+        k.exprs().find(|(_, n)| pred(n)).map(|(e, _)| e).unwrap()
+    }
+
+    #[test]
+    fn zero_amount_batch_matches_float_reference() {
+        let k = two_tap();
+        let tgt = find_expr(&k, |n| matches!(n, ExprNode::Bin(BinOp::Add, _, _)));
+        let chans = vec![
+            ImpulseChannel {
+                target: tgt,
+                activation: 0,
+                exec: 0,
+                amount: 0.0,
+            };
+            3
+        ];
+        let mut batch = BatchExecutor::new(&k, chans);
+        let mut solo = Executor::new(&k, FloatSem);
+        for &x in &[1.0, 0.25, -0.5, 2.0] {
+            batch.step(&[x]);
+            let expect = solo.step(&[x]);
+            let l = batch.lanes();
+            for lane in 0..l {
+                assert_eq!(batch.outputs()[lane].to_bits(), expect[0].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_carry_independent_impulses() {
+        let k = two_tap();
+        let input = find_expr(&k, |n| matches!(n, ExprNode::ReadInput(_)));
+        // Lane 0: impulse at activation 0; lane 1: at activation 1.
+        let chans = (0..2u32)
+            .map(|a| ImpulseChannel {
+                target: input,
+                activation: a,
+                exec: 0,
+                amount: 1.0,
+            })
+            .collect();
+        let mut batch = BatchExecutor::new(&k, chans);
+        // Zero input: each lane sees the FIR's impulse response shifted
+        // by its activation.
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            batch.step(&[0.0]);
+            seen.push([batch.outputs()[0], batch.outputs()[1]]);
+        }
+        assert_eq!(seen[0], [0.5, 0.0]);
+        assert_eq!(seen[1], [0.25, 0.5]);
+        assert_eq!(seen[2], [0.0, 0.25]);
+        assert_eq!(seen[3], [0.0, 0.0]);
+    }
+
+    #[test]
+    fn retain_compacts_surviving_lanes() {
+        let k = two_tap();
+        let input = find_expr(&k, |n| matches!(n, ExprNode::ReadInput(_)));
+        let chans = (0..3u32)
+            .map(|a| ImpulseChannel {
+                target: input,
+                activation: a,
+                exec: 0,
+                amount: 1.0,
+            })
+            .collect();
+        let mut batch = BatchExecutor::new(&k, chans);
+        batch.step(&[0.0]);
+        // Retire the middle lane; the survivors keep their trajectories.
+        batch.retain(&[true, false, true]);
+        assert_eq!(batch.lanes(), 2);
+        assert_eq!(batch.channel_ids(), &[0, 2]);
+        batch.step(&[0.0]);
+        // Lane 0 (impulse at activation 0) is now at h[1] = 0.25; lane 2
+        // (impulse at activation 2) has not fired yet.
+        assert_eq!(batch.outputs()[0], 0.25);
+        assert_eq!(batch.outputs()[1], 0.0);
+        batch.step(&[0.0]);
+        assert_eq!(batch.outputs()[1], 0.5, "lane 2 fires at activation 2");
     }
 }

@@ -26,10 +26,12 @@
 //! lengths shrink.
 
 use crate::candidate::Round;
-use crate::group::{effective_users, mem_status, resolved_operands, MemStatus, SimdGroup};
+use crate::group::{mem_status, MemStatus, SimdGroup};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
 use slpwlo_ir::types::BinOp;
-use slpwlo_targets::{OpQuery, TargetModel};
+use slpwlo_targets::{CycleCache, OpQuery, TargetModel};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Which benefit estimate drives group selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -111,6 +113,45 @@ enum Flow {
     Unresolved,
 }
 
+/// Allocation-free summary of a group's per-lane scaling amounts: the
+/// pricing in [`BenefitModel::scaling_cost`] depends only on these
+/// predicates, so the per-lane amounts are folded instead of collected.
+#[derive(Clone, Copy)]
+enum Amounts {
+    /// Some lane's formats are unknown.
+    Unknown,
+    /// Every lane's amount is known, summarized by the predicates below.
+    Known {
+        all_zero: bool,
+        uniform: bool,
+        all_nonneg: bool,
+    },
+}
+
+impl Amounts {
+    /// Folds per-lane amounts, short-circuiting to [`Amounts::Unknown`]
+    /// on the first unknown lane (the same cut a collecting
+    /// `Option<Vec<_>>` would make).
+    fn fold(amounts: impl Iterator<Item = Option<i32>>) -> Amounts {
+        let mut first = None;
+        let (mut all_zero, mut uniform, mut all_nonneg) = (true, true, true);
+        for a in amounts {
+            let Some(x) = a else {
+                return Amounts::Unknown;
+            };
+            let f = *first.get_or_insert(x);
+            all_zero &= x == 0;
+            uniform &= x == f;
+            all_nonneg &= x >= 0;
+        }
+        Amounts::Known {
+            all_zero,
+            uniform,
+            all_nonneg,
+        }
+    }
+}
+
 /// Benefit estimator for one round.
 pub struct BenefitModel<'a> {
     dfg: &'a Dfg,
@@ -126,6 +167,38 @@ pub struct BenefitModel<'a> {
     /// superwords are then priced as one vector shift (the equalizer's
     /// job), not the fig. 2 penalty.
     equalization_follows: bool,
+    /// Memoized op prices: selection asks the same `(op kind, wl)`
+    /// throughput questions for every candidate every iteration.
+    prices: Prices<'a>,
+    /// Memoized [`scalar_op_cycles`](Self::scalar_op_cycles) per node.
+    /// One model instance prices one word-length snapshot (the selection
+    /// loop rebuilds the model after every accepted selection precisely
+    /// because the oracles' answers move), so within an instance a
+    /// node's displaced-scalar price is a constant.
+    scalar_cycles: RefCell<Vec<Option<f64>>>,
+    /// Memoized `fwl` oracle answers per node, valid for the same
+    /// one-snapshot lifetime as `scalar_cycles`. The oracle is a boxed
+    /// closure into the flow's spec state; scaling-amount computation
+    /// asks it several times per lane per candidate.
+    fwl_memo: RefCell<Vec<Option<Option<i32>>>>,
+}
+
+/// The benefit model's price source: its own cache, or one shared by the
+/// caller across model rebuilds (prices depend only on the target, never
+/// on the word-length oracles, so the selection loop shares one cache
+/// over all its per-iteration models).
+enum Prices<'a> {
+    Owned(CycleCache<'a>),
+    Shared(&'a CycleCache<'a>),
+}
+
+impl<'a> Prices<'a> {
+    fn get(&self) -> &CycleCache<'a> {
+        match self {
+            Prices::Owned(c) => c,
+            Prices::Shared(c) => c,
+        }
+    }
 }
 
 impl std::fmt::Debug for BenefitModel<'_> {
@@ -172,6 +245,49 @@ impl<'a> BenefitModel<'a> {
         wl: impl Fn(NodeId) -> i32 + 'a,
         fwl: impl Fn(NodeId) -> Option<i32> + 'a,
     ) -> Self {
+        Self::build(
+            dfg,
+            round,
+            target,
+            Prices::Owned(CycleCache::new(target)),
+            kind,
+            wl,
+            fwl,
+        )
+    }
+
+    /// [`with_context`](Self::with_context) with a caller-provided price
+    /// cache. Prices depend only on the target, so a loop that rebuilds
+    /// the model per iteration (selection does, to refresh the oracles)
+    /// shares one warmed cache across every rebuild.
+    pub fn with_context_shared(
+        dfg: &'a Dfg,
+        round: &'a Round,
+        prices: &'a CycleCache<'a>,
+        kind: BenefitKind,
+        wl: impl Fn(NodeId) -> i32 + 'a,
+        fwl: impl Fn(NodeId) -> Option<i32> + 'a,
+    ) -> Self {
+        Self::build(
+            dfg,
+            round,
+            prices.target(),
+            Prices::Shared(prices),
+            kind,
+            wl,
+            fwl,
+        )
+    }
+
+    fn build(
+        dfg: &'a Dfg,
+        round: &'a Round,
+        target: &'a TargetModel,
+        prices: Prices<'a>,
+        kind: BenefitKind,
+        wl: impl Fn(NodeId) -> i32 + 'a,
+        fwl: impl Fn(NodeId) -> Option<i32> + 'a,
+    ) -> Self {
         BenefitModel {
             dfg,
             round,
@@ -180,7 +296,20 @@ impl<'a> BenefitModel<'a> {
             wl: Box::new(wl),
             fwl: Box::new(fwl),
             equalization_follows: false,
+            prices,
+            scalar_cycles: RefCell::new(vec![None; dfg.len()]),
+            fwl_memo: RefCell::new(vec![None; dfg.len()]),
         }
+    }
+
+    /// Memoized `fwl` oracle read (see `fwl_memo`).
+    fn fwl_of(&self, n: NodeId) -> Option<i32> {
+        if let Some(v) = self.fwl_memo.borrow()[n.index()] {
+            return v;
+        }
+        let v = (self.fwl)(n);
+        self.fwl_memo.borrow_mut()[n.index()] = Some(v);
+        v
     }
 
     /// Declares that a scaling-equalization pass (fig. 1b, `scalopt`)
@@ -213,11 +342,23 @@ impl<'a> BenefitModel<'a> {
 
     /// Full priced assessment of candidate `idx`.
     pub fn assess(&self, idx: usize, alive: &[bool], selected: &[SimdGroup]) -> CostedBenefit {
-        let c = self.round.candidates[idx];
-        let g = self.round.items[c.left].concat(&self.round.items[c.right]);
-        match self.kind {
-            BenefitKind::Slots => self.assess_slots(&g, idx, alive, selected),
-            BenefitKind::Cycles => self.assess_cycles(&g, idx, alive, selected, false),
+        self.pass(alive, selected).assess(idx)
+    }
+
+    /// Starts one assessment pass over a fixed `(alive, selected)` state.
+    ///
+    /// A pass memoizes the one-level viability probe of speculative
+    /// partners ([`shallow_viable`](Self::shallow_viable)), which is
+    /// sound exactly as long as the liveness and selection state do not
+    /// change — the selection loop's argmax over all live candidates is
+    /// the intended scope. Use [`assess`](Self::assess) directly when
+    /// assessing against varying state.
+    pub fn pass<'s>(&'s self, alive: &'s [bool], selected: &'s [SimdGroup]) -> AssessPass<'s, 'a> {
+        AssessPass {
+            model: self,
+            alive,
+            selected,
+            viable: RefCell::new(HashMap::new()),
         }
     }
 
@@ -232,7 +373,7 @@ impl<'a> BenefitModel<'a> {
     pub fn admission_margin(&self) -> f64 {
         match self.kind {
             BenefitKind::Slots => 0.0,
-            BenefitKind::Cycles => 0.5 * self.target.cost(OpQuery::Extract).latency as f64,
+            BenefitKind::Cycles => 0.5 * self.prices.get().cost(OpQuery::Extract).latency as f64,
         }
     }
 
@@ -244,10 +385,24 @@ impl<'a> BenefitModel<'a> {
     /// admitted on reuse with a partner that could never pay off itself
     /// — the stranded producer would eat the very packing traffic the
     /// speculation discounted.
-    fn shallow_viable(&self, ci: usize, alive: &[bool], selected: &[SimdGroup]) -> bool {
-        let c = self.round.candidates[ci];
-        let g = self.round.items[c.left].concat(&self.round.items[c.right]);
-        self.assess_cycles(&g, ci, alive, selected, true).net() > self.admission_margin()
+    /// `viab` memoizes verdicts per candidate within one assessment pass
+    /// (shallow assessments never recurse back here, so the probe's
+    /// verdict depends only on `(ci, alive, selected)`).
+    fn shallow_viable(
+        &self,
+        ci: usize,
+        alive: &[bool],
+        selected: &[SimdGroup],
+        viab: &RefCell<HashMap<usize, bool>>,
+    ) -> bool {
+        if let Some(&v) = viab.borrow().get(&ci) {
+            return v;
+        }
+        let g = self.round.merged(ci);
+        let v =
+            self.assess_cycles(g, ci, alive, selected, true, viab).net() > self.admission_margin();
+        viab.borrow_mut().insert(ci, v);
+        v
     }
 
     // -- the slots model (historical) ------------------------------------
@@ -333,9 +488,10 @@ impl<'a> BenefitModel<'a> {
         alive: &[bool],
         selected: &[SimdGroup],
         shallow: bool,
+        viab: &RefCell<HashMap<usize, bool>>,
     ) -> CostedBenefit {
         let lanes = g.lanes();
-        let t = self.target;
+        let t = self.prices.get();
         // Packing traffic sits on the dependency chain between scalar
         // producers/consumers and the vector op, so its price is floored
         // at the op's latency: issue-slot throughput alone would let a
@@ -387,7 +543,7 @@ impl<'a> BenefitModel<'a> {
                     b.reuse += pack_price;
                     *backed = true;
                 }
-                Flow::Speculative(ci) if self.shallow_viable(ci, alive, selected) => {
+                Flow::Speculative(ci) if self.shallow_viable(ci, alive, selected, viab) => {
                     b.reuse_speculative += 0.5 * pack_price;
                     *backed = true;
                 }
@@ -454,7 +610,7 @@ impl<'a> BenefitModel<'a> {
             Some(Flow::Speculative(_)) if shallow => {
                 b.reuse += result_reuse_price;
             }
-            Some(Flow::Speculative(ci)) if self.shallow_viable(ci, alive, selected) => {
+            Some(Flow::Speculative(ci)) if self.shallow_viable(ci, alive, selected, viab) => {
                 b.reuse_speculative += 0.5 * result_reuse_price;
             }
             Some(_) => b.pack += extracts(self.external_lanes(g) as f64),
@@ -466,9 +622,19 @@ impl<'a> BenefitModel<'a> {
     /// Throughput cycles of the scalar op lane `e` currently costs, at
     /// its current (container) word length — including the scaling
     /// shifts scalar lowering pairs with it when the current formats
-    /// demand them.
+    /// demand them. Memoized per node for the model's lifetime (one
+    /// word-length snapshot).
     fn scalar_op_cycles(&self, e: NodeId) -> f64 {
-        let t = self.target;
+        if let Some(v) = self.scalar_cycles.borrow()[e.index()] {
+            return v;
+        }
+        let v = self.scalar_op_cycles_uncached(e);
+        self.scalar_cycles.borrow_mut()[e.index()] = Some(v);
+        v
+    }
+
+    fn scalar_op_cycles_uncached(&self, e: NodeId) -> f64 {
+        let t = self.prices.get();
         let cwl = |n: NodeId| self.container_wl(n);
         // One scalar requantization shift, unless the amount is known to
         // be zero. `assume` is the unknown-format default: multiplies
@@ -488,7 +654,9 @@ impl<'a> BenefitModel<'a> {
                 t.cycles(OpQuery::Store(cwl(e))) + shift(self.node_operand_amount(e, 0), false)
             }
             NodeKind::Bin(BinOp::Mul) => {
-                let in_wl = resolved_operands(self.dfg, e)
+                let in_wl = self
+                    .round
+                    .resolved_ops(e)
                     .iter()
                     .map(|&o| cwl(o))
                     .max()
@@ -517,31 +685,30 @@ impl<'a> BenefitModel<'a> {
     /// Result-scaling amount of a scalar multiply at current formats
     /// (`fwl(a) + fwl(b) - fwl(e)`); `None` when any format is unknown.
     fn node_mul_amount(&self, e: NodeId) -> Option<i32> {
-        let ops = resolved_operands(self.dfg, e);
-        let a = (self.fwl)(*ops.first()?)?;
-        let b = (self.fwl)(*ops.get(1)?)?;
-        Some(a + b - (self.fwl)(e)?)
+        let ops = self.round.resolved_ops(e);
+        let a = self.fwl_of(*ops.first()?)?;
+        let b = self.fwl_of(*ops.get(1)?)?;
+        Some(a + b - self.fwl_of(e)?)
     }
 
     /// Alignment amount of operand `pos` of node `e` at current formats
     /// (`fwl(op) - fwl(e)`); `None` when unknown.
     fn node_operand_amount(&self, e: NodeId, pos: usize) -> Option<i32> {
-        let op = *resolved_operands(self.dfg, e).get(pos)?;
-        Some((self.fwl)(op)? - (self.fwl)(e)?)
+        let op = *self.round.resolved_ops(e).get(pos)?;
+        Some(self.fwl_of(op)? - self.fwl_of(e)?)
     }
 
-    /// Per-lane multiply result-scaling amounts of a group; `None` when
-    /// any lane's formats are unknown.
-    fn mul_amounts(&self, g: &SimdGroup) -> Option<Vec<i32>> {
-        g.elems.iter().map(|&e| self.node_mul_amount(e)).collect()
+    /// Per-lane multiply result-scaling amounts of a group, folded to
+    /// the predicates [`scaling_cost`](Self::scaling_cost) prices on;
+    /// [`Amounts::Unknown`] when any lane's formats are unknown.
+    fn mul_amounts(&self, g: &SimdGroup) -> Amounts {
+        Amounts::fold(g.elems.iter().map(|&e| self.node_mul_amount(e)))
     }
 
-    /// Per-lane operand alignment amounts of a group at position `pos`.
-    fn operand_amounts(&self, g: &SimdGroup, pos: usize) -> Option<Vec<i32>> {
-        g.elems
-            .iter()
-            .map(|&e| self.node_operand_amount(e, pos))
-            .collect()
+    /// Per-lane operand alignment amounts of a group at position `pos`,
+    /// folded the same way.
+    fn operand_amounts(&self, g: &SimdGroup, pos: usize) -> Amounts {
+        Amounts::fold(g.elems.iter().map(|&e| self.node_operand_amount(e, pos)))
     }
 
     /// Price of realising a vector scaling with the given per-lane
@@ -558,27 +725,24 @@ impl<'a> BenefitModel<'a> {
     /// (group-backed, so fig. 1b's reuse enumeration will see it) and
     /// every amount is non-negative (the equalizer skips mixed-sign
     /// amounts).
-    fn scaling_cost(
-        &self,
-        amounts: Option<Vec<i32>>,
-        lanes: u32,
-        assume: bool,
-        equalizable: bool,
-    ) -> f64 {
-        let t = self.target;
+    fn scaling_cost(&self, amounts: Amounts, lanes: u32, assume: bool, equalizable: bool) -> f64 {
+        let p = self.prices.get();
         match amounts {
-            Some(a) if a.iter().all(|&x| x == 0) => 0.0,
-            Some(a) if a.iter().all(|&x| x == a[0]) => t.cycles(OpQuery::VShift(lanes)),
-            Some(a) if self.equalization_follows && equalizable && a.iter().all(|&x| x >= 0) => {
-                t.cycles(OpQuery::VShift(lanes))
+            Amounts::Known { all_zero: true, .. } => 0.0,
+            Amounts::Known { uniform: true, .. } => p.cycles(OpQuery::VShift(lanes)),
+            Amounts::Known { all_nonneg, .. }
+                if self.equalization_follows && equalizable && all_nonneg =>
+            {
+                p.cycles(OpQuery::VShift(lanes))
             }
-            Some(_) => {
+            Amounts::Known { .. } => {
+                let t = self.target;
                 let elem = t.simd_element_wl(lanes).unwrap_or(t.datapath);
-                lanes as f64 * (t.cycles(OpQuery::Extract) + t.cycles(OpQuery::Shift(elem)))
-                    + t.cycles(OpQuery::Pack(lanes))
+                lanes as f64 * (p.cycles(OpQuery::Extract) + p.cycles(OpQuery::Shift(elem)))
+                    + p.cycles(OpQuery::Pack(lanes))
             }
-            None if assume => t.cycles(OpQuery::VShift(lanes)),
-            None => 0.0,
+            Amounts::Unknown if assume => p.cycles(OpQuery::VShift(lanes)),
+            Amounts::Unknown => 0.0,
         }
     }
 
@@ -589,7 +753,7 @@ impl<'a> BenefitModel<'a> {
     fn operand_superword(&self, g: &SimdGroup, pos: usize) -> Option<Vec<NodeId>> {
         g.elems
             .iter()
-            .map(|&e| resolved_operands(self.dfg, e).get(pos).copied())
+            .map(|&e| self.round.resolved_ops(e).get(pos).copied())
             .collect()
     }
 
@@ -650,26 +814,24 @@ impl<'a> BenefitModel<'a> {
             let arity = cons
                 .elems
                 .iter()
-                .map(|&u| resolved_operands(self.dfg, u).len())
+                .map(|&u| self.round.resolved_ops(u).len())
                 .min()
                 .unwrap_or(0);
             (0..arity).any(|pos| {
                 g.elems
                     .iter()
                     .zip(&cons.elems)
-                    .all(|(&prod, &user)| resolved_operands(self.dfg, user).get(pos) == Some(&prod))
+                    .all(|(&prod, &user)| self.round.resolved_ops(user).get(pos) == Some(&prod))
             })
         };
         if selected.iter().any(&consumed_by) {
             return Some(Flow::Reused);
         }
-        for (ci, alive_flag) in alive.iter().enumerate() {
-            if !alive_flag || ci == self_idx {
-                continue;
-            }
-            let c = self.round.candidates[ci];
-            let cons = self.round.items[c.left].concat(&self.round.items[c.right]);
-            if consumed_by(&cons) {
+        // Candidate consumers come from the round's inverted index: every
+        // candidate with `g.elems` as an operand superword, in candidate
+        // order (so the first live one matches the original linear scan).
+        for &ci in self.round.consumers_of(&g.elems) {
+            if alive[ci] && ci != self_idx {
                 return Some(Flow::Speculative(ci));
             }
         }
@@ -681,7 +843,7 @@ impl<'a> BenefitModel<'a> {
     fn external_lanes(&self, g: &SimdGroup) -> usize {
         g.elems
             .iter()
-            .filter(|&&e| !effective_users(self.dfg, e).is_empty())
+            .filter(|&&e| self.round.node_has_users(e))
             .count()
     }
 
@@ -710,9 +872,38 @@ impl<'a> BenefitModel<'a> {
     }
 }
 
+/// One assessment pass over a fixed `(alive, selected)` state — see
+/// [`BenefitModel::pass`].
+///
+/// Holds the per-pass viability memo; the verdicts it caches are only
+/// valid while the liveness and selection state stay fixed, which is why
+/// the memo lives here and not on the model.
+pub struct AssessPass<'s, 'a> {
+    model: &'s BenefitModel<'a>,
+    alive: &'s [bool],
+    selected: &'s [SimdGroup],
+    viable: RefCell<HashMap<usize, bool>>,
+}
+
+impl AssessPass<'_, '_> {
+    /// Full priced assessment of candidate `idx` — identical to
+    /// [`BenefitModel::assess`] with the pass's state.
+    pub fn assess(&self, idx: usize) -> CostedBenefit {
+        let g = self.model.round.merged(idx);
+        match self.model.kind {
+            BenefitKind::Slots => self.model.assess_slots(g, idx, self.alive, self.selected),
+            BenefitKind::Cycles => {
+                self.model
+                    .assess_cycles(g, idx, self.alive, self.selected, false, &self.viable)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::group::resolved_operands;
     use slpwlo_ir::blocks::collect_blocks;
     use slpwlo_ir::parser::parse_kernel;
     use slpwlo_targets::{vex, xentium};

@@ -6,7 +6,9 @@
 //! items whose doubled lane count the target supports (equation (1) of the
 //! paper restricted to the target's SIMD configurations).
 
-use crate::group::{fully_independent, mem_status, MemStatus, SimdGroup};
+use crate::group::{
+    effective_users, fully_independent, mem_status, resolved_operands, MemStatus, SimdGroup,
+};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
 use slpwlo_targets::TargetModel;
 use std::collections::HashMap;
@@ -43,6 +45,23 @@ pub struct Round {
     by_pair: HashMap<(usize, usize), usize>,
     /// Lookup from lane vectors to item index.
     by_elems: HashMap<Vec<NodeId>, usize>,
+    /// Merged group per candidate, materialized once (selection assesses
+    /// every candidate every iteration — re-concatenating lanes there
+    /// dominated the benefit model's allocation profile).
+    merged: Vec<SimdGroup>,
+    /// `resolved_operands` per node (indexed by `NodeId::index`): the
+    /// per-position producers with `VarUse` wiring flattened away.
+    resolved_ops: Vec<Vec<NodeId>>,
+    /// Whether each node's value has any effective user (indexed by
+    /// `NodeId::index`).
+    has_users: Vec<bool>,
+    /// Inverted consumption index: an operand superword (the per-lane
+    /// producers a candidate would consume at one operand position, in
+    /// lane order) maps to the ascending candidate indices consuming it.
+    /// Turns the benefit model's result-flow question ("which live
+    /// candidate consumes this group's lanes in order?") from a scan over
+    /// all candidates into one lookup.
+    consumers: HashMap<Vec<NodeId>, Vec<usize>>,
 }
 
 impl Round {
@@ -66,18 +85,55 @@ impl Round {
             .enumerate()
             .map(|(i, g)| (g.elems.clone(), i))
             .collect();
+        let merged: Vec<SimdGroup> = candidates
+            .iter()
+            .map(|c| items[c.left].concat(&items[c.right]))
+            .collect();
+        let mut resolved_ops = vec![Vec::new(); dfg.len()];
+        let mut has_users = vec![false; dfg.len()];
+        for (id, _) in dfg.iter() {
+            resolved_ops[id.index()] = resolved_operands(dfg, id);
+            has_users[id.index()] = !effective_users(dfg, id).is_empty();
+        }
+        let mut consumers: HashMap<Vec<NodeId>, Vec<usize>> = HashMap::new();
+        for (ci, m) in merged.iter().enumerate() {
+            // A superword exists per operand position up to the smallest
+            // lane arity; candidates consuming the same superword at two
+            // positions are recorded once (lists stay ascending).
+            let arity = m
+                .elems
+                .iter()
+                .map(|&u| resolved_ops[u.index()].len())
+                .min()
+                .unwrap_or(0);
+            #[allow(clippy::needless_range_loop)] // `pos` indexes per-lane op lists, not one slice
+            for pos in 0..arity {
+                let sw: Vec<NodeId> = m
+                    .elems
+                    .iter()
+                    .map(|&u| resolved_ops[u.index()][pos])
+                    .collect();
+                let list = consumers.entry(sw).or_default();
+                if list.last() != Some(&ci) {
+                    list.push(ci);
+                }
+            }
+        }
         Round {
             items,
             candidates,
             by_pair,
             by_elems,
+            merged,
+            resolved_ops,
+            has_users,
+            consumers,
         }
     }
 
     /// Materialises the merged view of a candidate.
     pub fn view(&self, target: &TargetModel, idx: usize) -> CandidateView {
-        let c = self.candidates[idx];
-        let group = self.items[c.left].concat(&self.items[c.right]);
+        let group = self.merged[idx].clone();
         let lanes = group.lanes();
         let elem_wl = target
             .simd_element_wl(lanes)
@@ -97,6 +153,29 @@ impl Round {
     /// Item index whose lanes are exactly `elems`.
     pub fn item_of(&self, elems: &[NodeId]) -> Option<usize> {
         self.by_elems.get(elems).copied()
+    }
+
+    /// The merged group of candidate `idx` (left lanes then right lanes),
+    /// materialized once at round construction.
+    pub fn merged(&self, idx: usize) -> &SimdGroup {
+        &self.merged[idx]
+    }
+
+    /// Precomputed `resolved_operands` of a node.
+    pub(crate) fn resolved_ops(&self, n: NodeId) -> &[NodeId] {
+        &self.resolved_ops[n.index()]
+    }
+
+    /// Whether a node's value has any effective user.
+    pub(crate) fn node_has_users(&self, n: NodeId) -> bool {
+        self.has_users[n.index()]
+    }
+
+    /// Candidate indices (ascending) whose merged group consumes the
+    /// operand superword `sw` — i.e. lane `i` of the candidate uses
+    /// `sw[i]` at one common operand position. Empty when nobody does.
+    pub(crate) fn consumers_of(&self, sw: &[NodeId]) -> &[usize] {
+        self.consumers.get(sw).map_or(&[], Vec::as_slice)
     }
 }
 

@@ -19,7 +19,7 @@ use crate::candidate::{CandidateView, Round};
 use crate::conflict::conflicts;
 use crate::group::{closes_cycle, SimdGroup};
 use slpwlo_ir::dfg::{Dfg, NodeId};
-use slpwlo_targets::TargetModel;
+use slpwlo_targets::{CycleCache, TargetModel};
 
 /// Hooks through which accuracy awareness (or any other policy) is
 /// injected into the selection loop.
@@ -149,6 +149,9 @@ pub fn run_selection_with(
     let mut selected: Vec<SimdGroup> = selected_so_far.to_vec();
     let mut new_groups: Vec<SimdGroup> = Vec::new();
     let max_wl = target.max_wl();
+    // Op prices depend only on the target, never on the evolving spec,
+    // so one cache warms up across every per-iteration model rebuild.
+    let prices = CycleCache::new(target);
 
     // Main loop: while conflicts remain among live candidates, pick the
     // most beneficial candidate and eliminate everything conflicting.
@@ -159,10 +162,10 @@ pub fn run_selection_with(
         // cycle-priced strategy must see those shrinks.
         let best = {
             let oracle: &dyn SelectHooks = &*hooks;
-            let model = BenefitModel::with_context(
+            let model = BenefitModel::with_context_shared(
                 dfg,
                 round,
-                target,
+                &prices,
                 benefit,
                 |n| oracle.current_wl(n).unwrap_or(max_wl),
                 |n| oracle.current_fwl(n),
@@ -243,13 +246,13 @@ fn try_select(
 /// conflict-free tail, where shared-item conflicts are gone but overlaps
 /// with fresh selections must still be respected).
 fn kill_overlapping(round: &Round, _idx: usize, alive: &mut [bool], new_groups: &[SimdGroup]) {
-    for (ci, c) in round.candidates.iter().enumerate() {
-        if !alive[ci] {
+    for (ci, a) in alive.iter_mut().enumerate() {
+        if !*a {
             continue;
         }
-        let g = round.items[c.left].concat(&round.items[c.right]);
-        if new_groups.iter().any(|s| s.overlaps(&g)) {
-            alive[ci] = false;
+        let g = round.merged(ci);
+        if new_groups.iter().any(|s| s.overlaps(g)) {
+            *a = false;
         }
     }
 }
@@ -259,6 +262,10 @@ fn argmax_benefit(
     alive: &[bool],
     selected: &[SimdGroup],
 ) -> Option<usize> {
+    // One pass for the whole sweep: `(alive, selected)` are fixed here,
+    // so the pass's viability memo is shared across every candidate.
+    let pass = model.pass(alive, selected);
+    let margin = model.admission_margin();
     let mut best: Option<(usize, f64)> = None;
     for (i, &a) in alive.iter().enumerate() {
         if !a {
@@ -270,8 +277,8 @@ fn argmax_benefit(
         // Re-evaluated every iteration: a candidate rejected now can
         // become admissible once neighbours are selected (reuse grows)
         // or, under WLO↔SLP, once word lengths shrink.
-        let assessed = model.assess(i, alive, selected);
-        if assessed.net() <= model.admission_margin() {
+        let assessed = pass.assess(i);
+        if assessed.net() <= margin {
             continue;
         }
         let b = assessed.rank();

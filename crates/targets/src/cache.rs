@@ -1,0 +1,261 @@
+//! Memoized op pricing.
+//!
+//! [`TargetModel::cycles`] folds composite queries (gathers, scatters,
+//! unaligned accesses) over several primitive [`TargetModel::cost`]
+//! calls, and both the SLP benefit model and the list scheduler ask the
+//! same handful of `(op kind, word length)` queries thousands of times
+//! per optimization run — once per candidate per selection iteration,
+//! once per machine op per schedule. [`CycleCache`] memoizes both entry
+//! points: queries with in-range parameters index a direct-mapped flat
+//! table (one bounds-checked load), the rest fall back to a hash map.
+//!
+//! The cache is a pure memoization layer: every hit returns exactly the
+//! value the uncached fold would, bit for bit (the entry *is* that fold's
+//! result), so pricing through a cache can never change a selection or
+//! scheduling decision.
+
+use crate::model::{OpCost, OpQuery, TargetModel};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix hasher for the tiny [`OpQuery`] key space.
+///
+/// The cache sits on the benefit model's innermost loop, where the
+/// default SipHash costs as much as the fold it saves; op queries are a
+/// discriminant plus at most one small integer, so a single 64-bit
+/// multiply mixes them fine.
+#[derive(Debug, Default)]
+pub struct QueryHasher(u64);
+
+impl Hasher for QueryHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // The odd multiplier diffuses low-entropy inputs across the high
+        // bits HashMap uses for bucketing (fibonacci hashing).
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_i32(&mut self, v: i32) {
+        self.write_u64(v as u32 as u64);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type QueryMap<V> = HashMap<OpQuery, V, BuildHasherDefault<QueryHasher>>;
+
+/// Variant count of [`OpQuery`] (direct-mapped front table rows).
+const VARIANTS: usize = 21;
+/// Parameter slots per variant: word lengths stay within two datapath
+/// words (≤ 64 bits) and lane counts are far smaller, so almost every
+/// live query lands in the table; larger parameters fall back to the
+/// hash map.
+const PARAMS: usize = 65;
+
+/// Flat index of a query in the direct-mapped table, `None` when its
+/// parameter is out of the table's range.
+fn slot(q: OpQuery) -> Option<usize> {
+    use OpQuery::*;
+    let (v, p) = match q {
+        Add(w) => (0, i64::from(w)),
+        Mul(w) => (1, i64::from(w)),
+        Shift(w) => (2, i64::from(w)),
+        Load(w) => (3, i64::from(w)),
+        Store(w) => (4, i64::from(w)),
+        VAdd(l) => (5, i64::from(l)),
+        VMul(l) => (6, i64::from(l)),
+        VShift(l) => (7, i64::from(l)),
+        VLoad(l) => (8, i64::from(l)),
+        VStore(l) => (9, i64::from(l)),
+        VLoadU(l) => (10, i64::from(l)),
+        VStoreU(l) => (11, i64::from(l)),
+        Gather(l) => (12, i64::from(l)),
+        Scatter(l) => (13, i64::from(l)),
+        Pack(l) => (14, i64::from(l)),
+        Splat(l) => (15, i64::from(l)),
+        Extract => (16, 0),
+        FAdd => (17, 0),
+        FMul => (18, 0),
+        FLoad => (19, 0),
+        FStore => (20, 0),
+    };
+    usize::try_from(p)
+        .ok()
+        .filter(|&p| p < PARAMS)
+        .map(|p| v * PARAMS + p)
+}
+
+/// A memoizing view of one target's op prices.
+///
+/// Create one per pricing scope (a selection pass, a scheduling run) and
+/// route all [`cycles`](Self::cycles)/[`cost`](Self::cost) queries
+/// through it. Interior mutability keeps the query methods `&self`, so a
+/// cache threads through shared-reference call graphs exactly like the
+/// bare [`TargetModel`] it wraps.
+#[derive(Debug)]
+pub struct CycleCache<'t> {
+    target: &'t TargetModel,
+    /// Direct-mapped entries for in-range parameters (the hot path: one
+    /// bounds-checked load instead of a hash probe).
+    flat_cycles: RefCell<Vec<Option<f64>>>,
+    flat_costs: RefCell<Vec<Option<OpCost>>>,
+    /// Fallback for parameters outside the flat table.
+    cycles: RefCell<QueryMap<f64>>,
+    costs: RefCell<QueryMap<OpCost>>,
+}
+
+impl<'t> CycleCache<'t> {
+    /// An empty cache over `target`.
+    pub fn new(target: &'t TargetModel) -> Self {
+        CycleCache {
+            target,
+            flat_cycles: RefCell::new(vec![None; VARIANTS * PARAMS]),
+            flat_costs: RefCell::new(vec![None; VARIANTS * PARAMS]),
+            cycles: RefCell::new(QueryMap::default()),
+            costs: RefCell::new(QueryMap::default()),
+        }
+    }
+
+    /// The wrapped target.
+    pub fn target(&self) -> &'t TargetModel {
+        self.target
+    }
+
+    /// Memoized [`TargetModel::cycles`].
+    ///
+    /// # Panics
+    ///
+    /// Panics exactly when the uncached query would (unsupported SIMD
+    /// lane counts); a panicking query is never cached.
+    pub fn cycles(&self, q: OpQuery) -> f64 {
+        if let Some(s) = slot(q) {
+            if let Some(v) = self.flat_cycles.borrow()[s] {
+                return v;
+            }
+            let v = self.target.cycles(q);
+            self.flat_cycles.borrow_mut()[s] = Some(v);
+            return v;
+        }
+        if let Some(&v) = self.cycles.borrow().get(&q) {
+            return v;
+        }
+        let v = self.target.cycles(q);
+        self.cycles.borrow_mut().insert(q, v);
+        v
+    }
+
+    /// Memoized [`TargetModel::cost`].
+    ///
+    /// # Panics
+    ///
+    /// Panics exactly when the uncached query would (unsupported SIMD
+    /// lane counts); a panicking query is never cached.
+    pub fn cost(&self, q: OpQuery) -> OpCost {
+        if let Some(s) = slot(q) {
+            if let Some(c) = self.flat_costs.borrow()[s] {
+                return c;
+            }
+            let c = self.target.cost(q);
+            self.flat_costs.borrow_mut()[s] = Some(c);
+            return c;
+        }
+        if let Some(&c) = self.costs.borrow().get(&q) {
+            return c;
+        }
+        let c = self.target.cost(q);
+        self.costs.borrow_mut().insert(q, c);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::all_targets;
+
+    /// Every query shape the pipeline exercises, over the word lengths
+    /// and lane counts the suite's targets support.
+    fn query_space(t: &TargetModel) -> Vec<OpQuery> {
+        let mut qs = Vec::new();
+        // 65 and 100 land past the direct-mapped table, exercising the
+        // hash-map fallback path.
+        for wl in [1, 8, 13, 16, 17, 24, 32, 40, 65, 100] {
+            qs.extend([
+                OpQuery::Add(wl),
+                OpQuery::Mul(wl),
+                OpQuery::Shift(wl),
+                OpQuery::Load(wl),
+                OpQuery::Store(wl),
+            ]);
+        }
+        for l in t.group_sizes() {
+            qs.extend([
+                OpQuery::VAdd(l),
+                OpQuery::VMul(l),
+                OpQuery::VShift(l),
+                OpQuery::VLoad(l),
+                OpQuery::VStore(l),
+                OpQuery::VLoadU(l),
+                OpQuery::VStoreU(l),
+                OpQuery::Gather(l),
+                OpQuery::Scatter(l),
+                OpQuery::Pack(l),
+                OpQuery::Splat(l),
+            ]);
+        }
+        qs.extend([
+            OpQuery::Extract,
+            OpQuery::FAdd,
+            OpQuery::FMul,
+            OpQuery::FLoad,
+            OpQuery::FStore,
+        ]);
+        qs
+    }
+
+    #[test]
+    fn cache_is_bitwise_identical_to_the_uncached_fold() {
+        for t in all_targets() {
+            let cache = CycleCache::new(&t);
+            for q in query_space(&t) {
+                // Twice: the first call populates, the second hits.
+                for _ in 0..2 {
+                    assert_eq!(
+                        cache.cycles(q).to_bits(),
+                        t.cycles(q).to_bits(),
+                        "{}: cycles({q:?})",
+                        t.name
+                    );
+                    assert_eq!(cache.cost(q), t.cost(q), "{}: cost({q:?})", t.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_lanes_still_panic_through_the_cache() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let t = crate::presets::xentium();
+        let cache = CycleCache::new(&t);
+        // No RefCell borrow is held while the underlying query runs, so
+        // the panic unwinds cleanly and nothing is cached for the query.
+        assert!(catch_unwind(AssertUnwindSafe(|| cache.cycles(OpQuery::VMul(4)))).is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| cache.cycles(OpQuery::VMul(4)))).is_err());
+    }
+}

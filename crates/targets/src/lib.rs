@@ -14,8 +14,10 @@
 //! measures (SIMD benefit vs packing overhead, scalar multiply width
 //! effects, soft-float penalty) is represented faithfully.
 
+pub mod cache;
 pub mod model;
 pub mod presets;
 
+pub use cache::CycleCache;
 pub use model::{FuSet, OpClass, OpCost, OpQuery, SimdConfig, TargetModel};
 pub use presets::{all_targets, st240, vex, xentium};

@@ -84,8 +84,9 @@ impl OpCost {
 ///
 /// The lowered machine program of `slpwlo-core` maps onto these queries;
 /// keeping them here avoids a dependency cycle between the target models
-/// and the lowering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// and the lowering. Queries are small `Copy` values and hash cheaply,
+/// which is what lets [`crate::CycleCache`] memoize their prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpQuery {
     /// Scalar add/sub/neg at the given word length. Word lengths above
     /// the datapath split into a carry chain (add + add-with-carry).

@@ -1,0 +1,75 @@
+//! Batched-vs-reference gain-measurement differential.
+//!
+//! `measure_gains` propagates impulses in batches (SoA lanes, early
+//! retirement, sharded workers); `measure_gains_reference` runs one
+//! simulation per impulse. The batched path's contract is *bitwise*
+//! equality per noise source for any thread count — this suite pins it
+//! across the full registered benchmark suite and a seeded
+//! `slpwlo-gen` corpus slice, so any future change to batching,
+//! retirement or sharding that perturbs even one ULP of one `(G1, G2)`
+//! pair fails loudly.
+
+use slpwlo::accuracy::gains::{measure_gains, measure_gains_reference};
+use slpwlo::accuracy::GainOptions;
+use slpwlo::gen::KernelGen;
+use slpwlo::ir::Kernel;
+use slpwlo::kernels::all_benchmarks;
+
+/// Reduced measurement sizes: the differential cares about bit
+/// equality, not tail convergence, and the whole suite runs in debug
+/// builds.
+fn opts(threads: usize) -> GainOptions {
+    GainOptions {
+        min_activations: 16,
+        max_activations: 256,
+        param_activations: 128,
+        threads,
+        ..GainOptions::default()
+    }
+}
+
+/// Asserts bitwise `(G1, G2)` equality between the batched and the
+/// reference measurement on every noise source of `kernel`.
+fn assert_bitwise_identical(kernel: &Kernel, label: &str, threads: usize) {
+    let o = opts(threads);
+    let batched = measure_gains(kernel, &o);
+    let reference = measure_gains_reference(kernel, &o);
+    assert_eq!(batched.len(), reference.len(), "{label}: source count");
+    for (e, (g1, g2)) in batched.iter() {
+        let (r1, r2) = reference.get(e);
+        assert_eq!(
+            g1.to_bits(),
+            r1.to_bits(),
+            "{label} threads={threads}: G1 of source {e:?} diverged ({g1} vs {r1})"
+        );
+        assert_eq!(
+            g2.to_bits(),
+            r2.to_bits(),
+            "{label} threads={threads}: G2 of source {e:?} diverged ({g2} vs {r2})"
+        );
+    }
+}
+
+#[test]
+fn benchmarks_batched_gains_match_reference_bitwise() {
+    for bench in all_benchmarks() {
+        // 1 pins the sharding-free path, 3 an uneven shard split.
+        for threads in [1, 3] {
+            assert_bitwise_identical(&bench.kernel, bench.name, threads);
+        }
+    }
+}
+
+#[test]
+fn generated_corpus_batched_gains_match_reference_bitwise() {
+    let mut checked = 0usize;
+    for seed in 0..64u64 {
+        let mut kg = KernelGen::with_seed(seed);
+        let Ok(kernel) = kg.gen_plan().build() else {
+            continue; // generator invariants are pipeline_fuzz's job
+        };
+        assert_bitwise_identical(&kernel, &format!("gk{seed}"), 2);
+        checked += 1;
+    }
+    assert!(checked >= 48, "corpus slice too thin: {checked}/64 built");
+}
