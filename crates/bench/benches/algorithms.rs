@@ -6,12 +6,11 @@
 
 use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator};
 use slpwlo_bench::Micro;
-use slpwlo_core::{lower_scalar, prepare, tabu_wlo, TabuOptions};
+use slpwlo_core::{cycles_per_activation, lower_scalar, prepare, tabu_wlo, TabuOptions};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
 use slpwlo_ir::dfg::Dfg;
 use slpwlo_kernels::{conv3x3, fir64};
-use slpwlo_sim::cycles_per_activation;
 use slpwlo_slp::{extract_plain, Round};
 use slpwlo_targets::xentium;
 

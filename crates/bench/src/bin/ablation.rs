@@ -11,7 +11,15 @@
 //!   counting) vs `BenefitKind::Cycles` (candidates priced through
 //!   `TargetModel::cost`) across the full 8-benchmark suite and all four
 //!   targets, with selection time and scheduled cycles-per-activation
-//!   recorded to `BENCH_benefit.json`.
+//!   recorded to `BENCH_benefit.json`;
+//! * **schedulers** — `SchedKind::List` vs `SchedKind::Modulo` through
+//!   the joint flow at −40 dB on single-issue VEX (slot-bound: pure
+//!   latency-hiding) and ST240 (multi-issue: pipelined pricing changes
+//!   which packs are admitted): pipelined vs flat cycles per
+//!   activation, group-count flips, and the modulo scheduler's
+//!   budget-fallback rate across every eligible block, recorded to
+//!   `BENCH_sched.json` (own `--sched-json` flag — the global `--json`
+//!   override belongs to the benefit study).
 //!
 //! Each variant is a custom [`CompilationFlow`] strategy plugged into the
 //! unified `Optimizer` driver — the extension point new flows register
@@ -19,9 +27,13 @@
 //!
 //! Usage: `cargo run --release -p slpwlo-bench --bin ablation`
 
-use slpwlo_bench::micro::Micro;
+use slpwlo_bench::micro::{Micro, MicroOptions};
 use slpwlo_core::hooks::AccuracyHooks;
-use slpwlo_core::{lower_fixed, lower_scalar, prepare, scaling_optimize};
+use slpwlo_core::{
+    cycles_per_activation, cycles_per_activation_cached, lower_fixed, lower_scalar,
+    modulo_attempt_cached, modulo_bounds_cached, prepare, scaling_optimize, ModuloAttempt,
+    SchedKind,
+};
 use slpwlo_driver::{
     required_constraint, BenefitKind, CompilationFlow, Error, FlowContext, FlowKind, FlowOutput,
     Optimizer,
@@ -30,9 +42,8 @@ use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
 use slpwlo_ir::dfg::Dfg;
 use slpwlo_kernels::{all_benchmarks, paper_benchmarks, Benchmark};
-use slpwlo_sim::cycles_per_activation;
 use slpwlo_slp::{run_selection, BenefitModel, CandidateView, Round, SelectHooks, SimdGroup};
-use slpwlo_targets::{all_targets, xentium, CycleCache, TargetModel};
+use slpwlo_targets::{all_targets, st240, vex, xentium, CycleCache, TargetModel};
 
 /// Accuracy hooks with the pairwise conflict detection disabled.
 struct NoConflictHooks<'a>(AccuracyHooks<'a>);
@@ -225,6 +236,138 @@ fn pricing_overhead(micro: &mut Micro, bench: &Benchmark, target: &TargetModel) 
     ratio
 }
 
+/// List-vs-modulo scheduling study at −40 dB: per benchmark and target
+/// the joint flow runs once under each `SchedKind`, recording cycles
+/// per activation (pipelined pricing under modulo), the group count
+/// each pricing admits, and the time the scheduler spends pricing the
+/// finished program. Two targets probe complementary regimes:
+///
+/// * **VEX-1** — single issue, where the steady state is slot-bound:
+///   pipelining squeezes out list-schedule latency bubbles but cannot
+///   change which packs are profitable (a pack's slot count prices the
+///   same flat or folded);
+/// * **ST240** — multi-issue, where pipelined pricing *changes the
+///   selection*: a vectorized block whose long latency chains stall
+///   sequential issue can lose to its scalar form under list pricing
+///   yet win once iterations overlap. The `sched_flips/<target>` metric
+///   counts benchmarks where the modulo-priced flow admits packs the
+///   list-priced one rejects, and the run asserts at least one flip.
+///
+/// The modulo scheduler's budget-fallback rate across every eligible
+/// block of the produced programs also gates the run: the default
+/// per-II budget must cover the suite, or pipelined pricing silently
+/// degrades to list pricing.
+///
+/// Results go to `--sched-json <path>` (default `BENCH_sched.json`) —
+/// a dedicated flag because `--json` globally overrides *every*
+/// `Micro::for_bench` path in the process and is claimed by the
+/// benefit study.
+fn sched_study() -> Result<(), Error> {
+    let mut micro = Micro::with_options(MicroOptions::from_env_args());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--sched-json")
+        .and_then(|pos| args.get(pos + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let mut total_flips = 0usize;
+    let (mut eligible, mut exhausted) = (0u64, 0u64);
+    for target in [vex(1), st240()] {
+        let costs = CycleCache::new(&target);
+        println!(
+            "\nList vs modulo scheduling on {} (cycles/activation at -40 dB)\n\
+             {:<18} {:>10} {:>10} {:>8} {:>12} {:>12}",
+            target.name, "bench", "list", "modulo", "speedup", "groups-list", "groups-mod"
+        );
+        let mut flips = 0usize;
+        for bench in all_benchmarks() {
+            let mut cpa = [0u64; 2];
+            let mut groups = [0usize; 2];
+            for (k, (label, sched)) in [("list", SchedKind::List), ("modulo", SchedKind::modulo())]
+                .into_iter()
+                .enumerate()
+            {
+                let report = Optimizer::for_kernel(bench.kernel.clone())?
+                    .target(target.clone())
+                    .constraint_db(-40.0)
+                    .flow(FlowKind::WloSlp)
+                    .sched_kind(sched)
+                    .run()?;
+                cpa[k] = cycles_per_activation_cached(&costs, &report.simd, sched);
+                groups[k] = report.group_count;
+                micro.metric(
+                    &format!("sched_cpa/{}/{}/{label}", bench.name, target.name),
+                    cpa[k] as f64,
+                );
+                micro.metric(
+                    &format!("sched_groups/{}/{}/{label}", bench.name, target.name),
+                    groups[k] as f64,
+                );
+                // Pricing-time leg: how long the scheduler itself takes
+                // on the finished program (the modulo side re-runs the
+                // branch-and-bound search every call).
+                micro.bench(
+                    &format!("sched_price/{}/{}/{label}", bench.name, target.name),
+                    || cycles_per_activation_cached(&costs, &report.simd, sched),
+                );
+                if let SchedKind::Modulo { budget } = sched {
+                    for block in &report.simd.blocks {
+                        if modulo_bounds_cached(&costs, block).is_none() {
+                            continue;
+                        }
+                        eligible += 1;
+                        if matches!(
+                            modulo_attempt_cached(&costs, block, budget),
+                            ModuloAttempt::BudgetExhausted
+                        ) {
+                            exhausted += 1;
+                        }
+                    }
+                }
+            }
+            if groups[1] > groups[0] {
+                flips += 1;
+            }
+            micro.metric(
+                &format!("sched_speedup/{}/{}", bench.name, target.name),
+                cpa[0] as f64 / cpa[1].max(1) as f64,
+            );
+            println!(
+                "{:<18} {:>10} {:>10} {:>8.3} {:>12} {:>12}",
+                bench.name,
+                cpa[0],
+                cpa[1],
+                cpa[0] as f64 / cpa[1].max(1) as f64,
+                groups[0],
+                groups[1]
+            );
+        }
+        micro.metric(&format!("sched_flips/{}", target.name), flips as f64);
+        total_flips += flips;
+    }
+    let fallback_rate = if eligible == 0 {
+        0.0
+    } else {
+        exhausted as f64 / eligible as f64
+    };
+    micro.metric("sched_budget_fallback_rate", fallback_rate);
+    assert!(
+        fallback_rate <= 0.10,
+        "modulo budget exhausted on {exhausted}/{eligible} eligible blocks \
+         ({:.0}%): the default budget no longer covers the suite",
+        fallback_rate * 100.0
+    );
+    assert!(
+        total_flips >= 1,
+        "no benchmark admitted extra packs under modulo pricing on any target"
+    );
+    micro
+        .write_json(std::path::Path::new(&json_path))
+        .expect("write sched study JSON");
+    println!("wrote {json_path}");
+    Ok(())
+}
+
 fn main() -> Result<(), Error> {
     let target = xentium();
     println!(
@@ -255,5 +398,6 @@ fn main() -> Result<(), Error> {
             );
         }
     }
-    benefit_model_study()
+    benefit_model_study()?;
+    sched_study()
 }

@@ -15,7 +15,7 @@
 use crate::lower::{lower_fixed, lower_scalar, MachineProgram};
 use crate::nodes::{value_format, value_wl};
 use crate::tabu::{tabu_wlo, TabuOptions};
-use crate::wlo_slp::wlo_slp_with;
+use crate::wlo_slp::wlo_slp_sched;
 use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator, EvalOptions, IncrementalEvaluator};
 use slpwlo_fixedpoint::range::{determine_ranges, RangeOptions, Ranges};
 use slpwlo_fixedpoint::FixedPointSpec;
@@ -23,7 +23,7 @@ use slpwlo_ir::blocks::collect_blocks;
 use slpwlo_ir::dfg::{Dfg, NodeId};
 use slpwlo_ir::Kernel;
 use slpwlo_slp::{extract_rounds_with, BenefitKind, CandidateView, SelectHooks};
-use slpwlo_targets::TargetModel;
+use slpwlo_targets::{SchedKind, TargetModel};
 
 /// A kernel with its once-per-kernel analyses (ranges, noise gains).
 ///
@@ -69,10 +69,24 @@ pub fn extract_on_spec(
     target: &TargetModel,
     benefit: BenefitKind,
 ) -> Vec<(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)> {
+    extract_on_spec_sched(kernel, spec, target, benefit, SchedKind::List)
+}
+
+/// [`extract_on_spec`] pricing candidates under an explicit scheduler
+/// kind (the benefit model relaxes its latency hedge when iterations
+/// will overlap).
+pub fn extract_on_spec_sched(
+    kernel: &Kernel,
+    spec: &FixedPointSpec,
+    target: &TargetModel,
+    benefit: BenefitKind,
+    sched: SchedKind,
+) -> Vec<(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)> {
     struct FrozenSpecHooks<'a> {
         target: &'a TargetModel,
         spec: &'a FixedPointSpec,
         dfg: &'a Dfg,
+        sched: SchedKind,
     }
     impl SelectHooks for FrozenSpecHooks<'_> {
         fn validate(&mut self, view: &CandidateView) -> bool {
@@ -89,6 +103,9 @@ pub fn extract_on_spec(
         fn current_fwl(&self, node: NodeId) -> Option<i32> {
             Some(value_format(self.spec, self.dfg, node).fwl)
         }
+        fn sched_kind(&self) -> SchedKind {
+            self.sched
+        }
     }
     collect_blocks(kernel)
         .into_iter()
@@ -99,6 +116,7 @@ pub fn extract_on_spec(
                     target,
                     spec,
                     dfg: &dfg,
+                    sched,
                 };
                 extract_rounds_with(&dfg, target, &mut hooks, benefit)
             };
@@ -166,6 +184,9 @@ pub enum PassArtifact<'a> {
         target: &'a TargetModel,
         /// Why the flow produced it.
         role: ProgramRole,
+        /// The scheduler the flow prices (and will run) the program
+        /// under — the verifier audits the matching schedule kind.
+        sched: SchedKind,
     },
 }
 
@@ -183,28 +204,34 @@ fn into_ok<T>(r: Result<T, std::convert::Infallible>) -> T {
 }
 
 /// The scheduler guard: the benefit model is a per-candidate estimate;
-/// the list scheduler is the arbiter. Every block's selected groups are
-/// kept only if the block's vectorized form actually schedules faster
-/// than dropping them under the final specification — otherwise the
-/// word-length decisions stand (the spec is untouched) but the packs
-/// are discarded. Blocks schedule independently, so the per-block
-/// greedy is exact; the returned program is the cheapest keep/drop
-/// assignment and never slower than the all-scalar lowering of the
-/// same spec.
+/// the configured scheduler (`sched`) is the arbiter. Every block's
+/// selected groups are kept only if the block's vectorized form
+/// actually schedules faster than dropping them under the final
+/// specification — otherwise the word-length decisions stand (the spec
+/// is untouched) but the packs are discarded. Blocks schedule
+/// independently, so the per-block greedy is exact; the returned
+/// program is the cheapest keep/drop assignment and never slower than
+/// the all-scalar lowering of the same spec.
 fn prune_unprofitable_groups<E>(
     kernel: &Kernel,
     spec: &FixedPointSpec,
     target: &TargetModel,
+    sched: SchedKind,
     blocks: &mut [(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)],
     check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
 ) -> Result<MachineProgram, E> {
-    use crate::sched::block_cycles_cached;
+    use crate::sched::block_activation_cycles_cached;
     use slpwlo_targets::CycleCache;
-    fn candidate<'a>(p: &'a MachineProgram, target: &'a TargetModel) -> PassArtifact<'a> {
+    fn candidate<'a>(
+        p: &'a MachineProgram,
+        target: &'a TargetModel,
+        sched: SchedKind,
+    ) -> PassArtifact<'a> {
         PassArtifact::Program {
             program: p,
             target,
             role: ProgramRole::Candidate,
+            sched,
         }
     }
     // Sorting into document order aligns this list positionally with
@@ -219,7 +246,7 @@ fn prune_unprofitable_groups<E>(
         blocks.len(),
         "lowering must emit one machine block per source block"
     );
-    check(candidate(&full, target))?;
+    check(candidate(&full, target, sched))?;
     if blocks.iter().all(|(_, _, g)| g.is_empty()) {
         return Ok(full);
     }
@@ -228,7 +255,7 @@ fn prune_unprofitable_groups<E>(
         .map(|(b, dfg, _)| (b.clone(), dfg.clone(), Vec::new()))
         .collect();
     let none = lower_fixed(kernel, spec, target, &bare);
-    check(candidate(&none, target))?;
+    check(candidate(&none, target, sched))?;
     // One price cache for every keep/drop comparison: both lowerings of
     // every block draw from the same small set of op queries.
     let costs = CycleCache::new(target);
@@ -238,9 +265,11 @@ fn prune_unprofitable_groups<E>(
             continue;
         }
         // Drop the block's groups only when doing so strictly improves
-        // its schedule (ties keep the vector form).
-        if block_cycles_cached(&costs, &none.blocks[i])
-            < block_cycles_cached(&costs, &full.blocks[i])
+        // its schedule (ties keep the vector form). Trip-weighted
+        // activation cycles, so pipelined steady states are compared on
+        // the same footing as sequential iteration costs.
+        if block_activation_cycles_cached(&costs, &none.blocks[i], sched)
+            < block_activation_cycles_cached(&costs, &full.blocks[i], sched)
         {
             groups.clear();
             pruned = true;
@@ -291,34 +320,39 @@ pub fn wlo_slp_flow_with(
         target,
         constraint_db,
         benefit,
+        SchedKind::List,
         &mut unchecked,
     ))
 }
 
-/// [`wlo_slp_flow_with`] with a pass-boundary callback: every artifact
-/// the flow produces — the kernel, the optimized spec, each block's
-/// grouping before and after the scheduler guard, candidate lowerings
-/// and the final SIMD/scalar programs — is handed to `check` before the
-/// flow proceeds. An `Err` aborts the flow and surfaces unchanged;
-/// instantiate `E` as [`std::convert::Infallible`] for a free no-op.
+/// [`wlo_slp_flow_with`] with an explicit scheduler kind and a
+/// pass-boundary callback: every artifact the flow produces — the
+/// kernel, the optimized spec, each block's grouping before and after
+/// the scheduler guard, candidate lowerings and the final SIMD/scalar
+/// programs — is handed to `check` before the flow proceeds. An `Err`
+/// aborts the flow and surfaces unchanged; instantiate `E` as
+/// [`std::convert::Infallible`] for a free no-op. `sched` governs both
+/// the benefit model's admission hedge and the scheduler-guard pricing.
 pub fn wlo_slp_flow_checked<E>(
     prep: &Prepared,
     target: &TargetModel,
     constraint_db: f64,
     benefit: BenefitKind,
+    sched: SchedKind,
     check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
 ) -> Result<FlowResult, E> {
     check(PassArtifact::Kernel {
         kernel: &prep.kernel,
     })?;
     let eval = IncrementalEvaluator::new(&prep.eval);
-    let res = wlo_slp_with(
+    let res = wlo_slp_sched(
         &prep.kernel,
         target,
         &eval,
         constraint_db,
         &prep.ranges,
         benefit,
+        sched,
     );
     check(PassArtifact::Spec {
         kernel: &prep.kernel,
@@ -340,7 +374,8 @@ pub fn wlo_slp_flow_checked<E>(
             is_final: false,
         })?;
     }
-    let simd = prune_unprofitable_groups(&prep.kernel, &res.spec, target, &mut blocks, check)?;
+    let simd =
+        prune_unprofitable_groups(&prep.kernel, &res.spec, target, sched, &mut blocks, check)?;
     for (b, dfg, groups) in &blocks {
         check(PassArtifact::Groups {
             dfg,
@@ -354,6 +389,7 @@ pub fn wlo_slp_flow_checked<E>(
         program: &simd,
         target,
         role: ProgramRole::Simd,
+        sched,
     })?;
     let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
     let scalar = lower_scalar(&prep.kernel, &res.spec, target);
@@ -361,6 +397,7 @@ pub fn wlo_slp_flow_checked<E>(
         program: &scalar,
         target,
         role: ProgramRole::Scalar,
+        sched,
     })?;
     let noise_db = prep.eval.noise_db(&res.spec);
     Ok(FlowResult {
@@ -399,19 +436,22 @@ pub fn wlo_first_flow_with(
         constraint_db,
         tabu,
         benefit,
+        SchedKind::List,
         &mut unchecked,
     ))
 }
 
-/// [`wlo_first_flow_with`] with a pass-boundary callback; see
-/// [`wlo_slp_flow_checked`] for the contract. The pre-Tabu seed
-/// specification is reported with `is_final: false`.
+/// [`wlo_first_flow_with`] with an explicit scheduler kind and a
+/// pass-boundary callback; see [`wlo_slp_flow_checked`] for the
+/// contract. The pre-Tabu seed specification is reported with
+/// `is_final: false`.
 pub fn wlo_first_flow_checked<E>(
     prep: &Prepared,
     target: &TargetModel,
     constraint_db: f64,
     tabu: &TabuOptions,
     benefit: BenefitKind,
+    sched: SchedKind,
     check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
 ) -> Result<FlowResult, E> {
     check(PassArtifact::Kernel {
@@ -439,7 +479,7 @@ pub fn wlo_first_flow_checked<E>(
         spec: &spec,
         is_final: true,
     })?;
-    let mut blocks = extract_on_spec(&prep.kernel, &spec, target, benefit);
+    let mut blocks = extract_on_spec_sched(&prep.kernel, &spec, target, benefit, sched);
     for (b, dfg, groups) in &blocks {
         check(PassArtifact::Groups {
             dfg,
@@ -449,7 +489,7 @@ pub fn wlo_first_flow_checked<E>(
             is_final: false,
         })?;
     }
-    let simd = prune_unprofitable_groups(&prep.kernel, &spec, target, &mut blocks, check)?;
+    let simd = prune_unprofitable_groups(&prep.kernel, &spec, target, sched, &mut blocks, check)?;
     for (b, dfg, groups) in &blocks {
         check(PassArtifact::Groups {
             dfg,
@@ -463,6 +503,7 @@ pub fn wlo_first_flow_checked<E>(
         program: &simd,
         target,
         role: ProgramRole::Simd,
+        sched,
     })?;
     let group_count = blocks.iter().map(|(_, _, g)| g.len()).sum();
     let scalar = lower_scalar(&prep.kernel, &spec, target);
@@ -470,6 +511,7 @@ pub fn wlo_first_flow_checked<E>(
         program: &scalar,
         target,
         role: ProgramRole::Scalar,
+        sched,
     })?;
     let noise_db = prep.eval.noise_db(&spec);
     Ok(FlowResult {

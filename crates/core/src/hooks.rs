@@ -20,6 +20,7 @@ use slpwlo_accuracy::AccuracyEvaluator;
 use slpwlo_fixedpoint::{FixedPointSpec, SpecKey};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
 use slpwlo_slp::{resolved_operands, CandidateView, SelectHooks, SimdGroup};
+use slpwlo_targets::SchedKind;
 
 /// Selection hooks enforcing the accuracy constraint.
 pub struct AccuracyHooks<'a> {
@@ -28,6 +29,9 @@ pub struct AccuracyHooks<'a> {
     eval: &'a dyn AccuracyEvaluator,
     /// Accuracy constraint in dB (maximum tolerable output noise power).
     constraint_db: f64,
+    /// Scheduler the flow prices blocks under (relayed to the benefit
+    /// model, which relaxes its latency hedge when iterations overlap).
+    sched: SchedKind,
 }
 
 impl<'a> AccuracyHooks<'a> {
@@ -45,7 +49,14 @@ impl<'a> AccuracyHooks<'a> {
             spec,
             eval,
             constraint_db,
+            sched: SchedKind::List,
         }
+    }
+
+    /// Declares which scheduler the flow prices blocks under.
+    pub fn with_sched(mut self, sched: SchedKind) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// One `SETMAXWL` trial: evaluates the spec with the writes since
@@ -107,6 +118,10 @@ impl SelectHooks for AccuracyHooks<'_> {
     /// extraction, so reachable mismatches will be repaired.
     fn equalization_follows(&self) -> bool {
         true
+    }
+
+    fn sched_kind(&self) -> SchedKind {
+        self.sched
     }
 }
 

@@ -34,9 +34,9 @@ pub mod tabu;
 pub mod wlo_slp;
 
 pub use flow::{
-    extract_on_spec, prepare, prepare_with, wlo_first_flow, wlo_first_flow_checked,
-    wlo_first_flow_with, wlo_slp_flow, wlo_slp_flow_checked, wlo_slp_flow_with, FlowResult,
-    PassArtifact, Prepared, ProgramRole,
+    extract_on_spec, extract_on_spec_sched, prepare, prepare_with, wlo_first_flow,
+    wlo_first_flow_checked, wlo_first_flow_with, wlo_slp_flow, wlo_slp_flow_checked,
+    wlo_slp_flow_with, FlowResult, PassArtifact, Prepared, ProgramRole,
 };
 pub use hooks::AccuracyHooks;
 pub use lower::{
@@ -46,9 +46,12 @@ pub use lower::{
 };
 pub use scalopt::scaling_optimize;
 pub use sched::{
-    block_cycles, block_cycles_cached, cycles_per_activation, cycles_per_activation_cached,
-    schedule_block, schedule_block_cached, total_cycles, Schedule,
+    block_activation_cycles_cached, block_cycles, block_cycles_cached, cycles_per_activation,
+    cycles_per_activation_cached, loop_carried_deps, modulo_attempt_cached, modulo_bounds_cached,
+    schedule_block, schedule_block_cached, schedule_block_with, total_cycles, total_cycles_cached,
+    ModuloAttempt, ModuloSchedule, Schedule,
 };
 pub use slpwlo_slp::BenefitKind;
+pub use slpwlo_targets::SchedKind;
 pub use tabu::{tabu_wlo, TabuOptions};
-pub use wlo_slp::{wlo_slp, wlo_slp_with, BlockResult, WloSlpResult};
+pub use wlo_slp::{wlo_slp, wlo_slp_sched, wlo_slp_with, BlockResult, WloSlpResult};

@@ -1,7 +1,45 @@
-//! Resource-constrained list scheduling.
+//! Block scheduling: resource-constrained list scheduling and iterative
+//! modulo scheduling (software pipelining).
+//!
+//! Two schedulers share one [`Schedule`] artifact, selected by
+//! [`SchedKind`]:
+//!
+//! * [`SchedKind::List`] — sequential issue: each loop iteration runs to
+//!   completion before the next starts. This is the historical model and
+//!   stays bit-identical to what it always produced.
+//! * [`SchedKind::Modulo`] — software pipelining for in-loop blocks: a
+//!   branch-and-bound search places one iteration's ops so that copies
+//!   started every `ii` cycles (the initiation interval) respect both the
+//!   II-shifted dependences (including loop-carried variable and memory
+//!   dependences) and the per-cycle unit/issue budgets folded modulo
+//!   `ii`. The search starts at the `max(ResMII, RecMII)` lower bound and
+//!   walks candidate IIs upward; a trial budget caps the search **per
+//!   candidate II**, and any failure — every II abandoned or infeasible,
+//!   no profitable II — falls back to the list schedule, so pricing is
+//!   always defined.
+//!
+//! A pipelined block's trip-weighted cost is
+//! `prologue + ii·(trip−1) + epilogue` (fill, steady state, drain) plus
+//! the loop-control overhead charged **once**: in the steady state the
+//! loop-control ops share issue slots with the overlapped iterations (the
+//! modulo reservation table pre-reserves them), instead of serializing
+//! after every iteration as they do under sequential issue.
 
-use crate::lower::{MachineBlock, MachineProgram};
-use slpwlo_targets::{CycleCache, OpClass, TargetModel};
+use crate::lower::{Loc, MachineBlock, MachineProgram, MopKind, Operand};
+use slpwlo_targets::{CycleCache, OpClass, OpCost, SchedKind, TargetModel};
+
+/// The pipelined overlay of a modulo schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuloSchedule {
+    /// Initiation interval: a new iteration starts every `ii` cycles.
+    pub ii: u64,
+    /// Fill cycles before the first iteration completes
+    /// (`makespan − ii`, saturating).
+    pub prologue: u64,
+    /// Drain cycles of the last iteration (`makespan − prologue`), so
+    /// `prologue + epilogue == makespan` exactly — an audited identity.
+    pub epilogue: u64,
+}
 
 /// Schedule of one block: per-op issue cycles and the block makespan.
 #[derive(Debug, Clone)]
@@ -10,14 +48,20 @@ pub struct Schedule {
     pub start: Vec<u64>,
     /// Cycle at which each operation's result is available.
     pub finish: Vec<u64>,
-    /// Total cycles for one execution of the block.
+    /// Total cycles for one execution of the block (one iteration's
+    /// placement under a modulo schedule).
     pub makespan: u64,
     /// Issue log: one `(op index, cycle, slots)` entry per cycle in
     /// which an operation occupies unit slots. Serializing operations
     /// log their whole blocked window at full issue width. This is the
     /// raw material an independent checker (`slpwlo-verify`) audits
-    /// against the target's per-cycle budgets.
+    /// against the target's per-cycle budgets (folded modulo `ii` for
+    /// pipelined schedules).
     pub issues: Vec<(usize, u64, u32)>,
+    /// Pipelined overlay: `Some` when the block was modulo-scheduled,
+    /// `None` for a flat list schedule (including every modulo
+    /// fallback).
+    pub modulo: Option<ModuloSchedule>,
 }
 
 /// Resource usage tracker with growable per-cycle counters.
@@ -115,17 +159,48 @@ impl<'t> Resources<'t> {
 
 /// List-schedules one block onto the target.
 pub fn schedule_block(target: &TargetModel, block: &MachineBlock) -> Schedule {
-    schedule_block_cached(&CycleCache::new(target), block)
+    schedule_block_cached(&CycleCache::new(target), block, SchedKind::List)
 }
 
-/// List-schedules one block, pricing ops through a shared [`CycleCache`].
+/// Schedules one block under an explicit [`SchedKind`].
+pub fn schedule_block_with(
+    target: &TargetModel,
+    block: &MachineBlock,
+    kind: SchedKind,
+) -> Schedule {
+    schedule_block_cached(&CycleCache::new(target), block, kind)
+}
+
+/// Schedules one block, pricing ops through a shared [`CycleCache`] and
+/// dispatching on `kind`.
 ///
 /// A block of `n` machine ops asks for at most a handful of distinct
 /// `(op kind, word length)` costs; callers that schedule many blocks (or
 /// the same program under many group subsets, as group pruning does)
 /// should thread one cache through every call so each distinct query is
 /// folded once.
-pub fn schedule_block_cached(costs: &CycleCache<'_>, block: &MachineBlock) -> Schedule {
+///
+/// Under [`SchedKind::Modulo`], a pipelined schedule (with
+/// [`Schedule::modulo`] set) is returned only when the block is
+/// pipelinable *and* the search finds an II that strictly beats the list
+/// schedule's trip-weighted cost within the trial budget; every other
+/// outcome returns the list schedule unchanged.
+pub fn schedule_block_cached(
+    costs: &CycleCache<'_>,
+    block: &MachineBlock,
+    kind: SchedKind,
+) -> Schedule {
+    match kind {
+        SchedKind::List => list_schedule_cached(costs, block),
+        SchedKind::Modulo { budget } => match modulo_attempt_cached(costs, block, budget) {
+            ModuloAttempt::Pipelined(s) => s,
+            _ => list_schedule_cached(costs, block),
+        },
+    }
+}
+
+/// The resource-constrained list scheduler (sequential issue).
+fn list_schedule_cached(costs: &CycleCache<'_>, block: &MachineBlock) -> Schedule {
     let target = costs.target();
     let n = block.ops.len();
     let mut start = vec![0u64; n];
@@ -178,45 +253,639 @@ pub fn schedule_block_cached(costs: &CycleCache<'_>, block: &MachineBlock) -> Sc
         finish,
         makespan,
         issues,
+        modulo: None,
     }
+}
+
+/// Per-iteration loop-control overhead of the target, in cycles.
+fn loop_overhead(target: &TargetModel) -> u64 {
+    let w = target.issue_width.max(1);
+    (target.loop_overhead_ops.div_ceil(w) as u64) + 1
 }
 
 /// Cycles for one execution of a block, including loop control overhead
 /// for in-loop blocks.
 pub fn block_cycles(target: &TargetModel, block: &MachineBlock) -> u64 {
-    block_cycles_cached(&CycleCache::new(target), block)
+    block_cycles_cached(&CycleCache::new(target), block, SchedKind::List)
 }
 
-/// [`block_cycles`] pricing ops through a shared [`CycleCache`].
-pub fn block_cycles_cached(costs: &CycleCache<'_>, block: &MachineBlock) -> u64 {
-    let target = costs.target();
-    let sched = schedule_block_cached(costs, block);
-    let overhead = if block.in_loop {
-        let w = target.issue_width.max(1);
-        (target.loop_overhead_ops.div_ceil(w) as u64) + 1
-    } else {
-        0
-    };
-    sched.makespan + overhead
+/// [`block_cycles`] pricing ops through a shared [`CycleCache`],
+/// dispatching on `kind`.
+///
+/// Under a pipelined modulo schedule this is the **steady-state** cost of
+/// one iteration — the initiation interval — not a trip-multipliable
+/// quantity (fill/drain and the once-per-loop control overhead live
+/// outside it); trip-weighted totals must use
+/// [`block_activation_cycles_cached`].
+pub fn block_cycles_cached(costs: &CycleCache<'_>, block: &MachineBlock, kind: SchedKind) -> u64 {
+    let sched = schedule_block_cached(costs, block, kind);
+    match sched.modulo {
+        Some(m) => m.ii,
+        None => {
+            let overhead = if block.in_loop {
+                loop_overhead(costs.target())
+            } else {
+                0
+            };
+            sched.makespan + overhead
+        }
+    }
+}
+
+/// Trip-weighted cycles one kernel activation spends in `block`.
+///
+/// List-scheduled blocks pay `(makespan + overhead) · trip`. Pipelined
+/// blocks pay `overhead + prologue + ii·(trip−1) + epilogue`: iterations
+/// overlap at the initiation interval, and the loop-control overhead is
+/// charged once (its ops are folded into the steady state by the modulo
+/// reservation table) instead of per iteration.
+pub fn block_activation_cycles_cached(
+    costs: &CycleCache<'_>,
+    block: &MachineBlock,
+    kind: SchedKind,
+) -> u64 {
+    let sched = schedule_block_cached(costs, block, kind);
+    match sched.modulo {
+        Some(m) => {
+            loop_overhead(costs.target()) + m.prologue + m.ii * (block.trip - 1) + m.epilogue
+        }
+        None => {
+            let overhead = if block.in_loop {
+                loop_overhead(costs.target())
+            } else {
+                0
+            };
+            (sched.makespan + overhead) * block.trip
+        }
+    }
 }
 
 /// Cycles for one kernel activation (all blocks, trip-weighted).
 pub fn cycles_per_activation(target: &TargetModel, program: &MachineProgram) -> u64 {
-    cycles_per_activation_cached(&CycleCache::new(target), program)
+    cycles_per_activation_cached(&CycleCache::new(target), program, SchedKind::List)
 }
 
-/// [`cycles_per_activation`] pricing ops through a shared [`CycleCache`].
-pub fn cycles_per_activation_cached(costs: &CycleCache<'_>, program: &MachineProgram) -> u64 {
+/// [`cycles_per_activation`] pricing ops through a shared [`CycleCache`],
+/// dispatching on `kind`.
+pub fn cycles_per_activation_cached(
+    costs: &CycleCache<'_>,
+    program: &MachineProgram,
+    kind: SchedKind,
+) -> u64 {
     program
         .blocks
         .iter()
-        .map(|b| block_cycles_cached(costs, b) * b.trip)
+        .map(|b| block_activation_cycles_cached(costs, b, kind))
         .sum()
 }
 
 /// Total cycles for a workload of `activations` kernel activations.
 pub fn total_cycles(target: &TargetModel, program: &MachineProgram, activations: u64) -> u64 {
-    cycles_per_activation(target, program) * activations
+    total_cycles_cached(
+        &CycleCache::new(target),
+        program,
+        activations,
+        SchedKind::List,
+    )
+}
+
+/// [`total_cycles`] pricing ops through a shared [`CycleCache`],
+/// dispatching on `kind` — callers reporting several workloads (or both
+/// scheduler kinds) over one target should share a cache instead of
+/// re-folding the same op costs per call.
+pub fn total_cycles_cached(
+    costs: &CycleCache<'_>,
+    program: &MachineProgram,
+    activations: u64,
+    kind: SchedKind,
+) -> u64 {
+    cycles_per_activation_cached(costs, program, kind) * activations
+}
+
+// --- loop-carried dependences -------------------------------------------
+
+/// Value operands of an operation (the scheduler's own walk — the
+/// verifier deliberately re-derives this independently).
+fn value_operands(kind: &MopKind) -> Vec<&Operand> {
+    match kind {
+        MopKind::ReadInput { .. }
+        | MopKind::Load { .. }
+        | MopKind::VLoad { .. }
+        | MopKind::Nop
+        | MopKind::Opaque => Vec::new(),
+        MopKind::Store { src, .. }
+        | MopKind::ShiftIn { src, .. }
+        | MopKind::Output { src, .. }
+        | MopKind::Un { src, .. }
+        | MopKind::Requant { src, .. }
+        | MopKind::Copy { src }
+        | MopKind::VStore { src, .. }
+        | MopKind::VUn { src, .. }
+        | MopKind::VRequant { src, .. }
+        | MopKind::Splat { src, .. }
+        | MopKind::Extract { src, .. } => vec![src],
+        MopKind::Bin { a, b, .. } | MopKind::VBin { a, b, .. } => vec![a, b],
+        MopKind::Pack { lanes } => lanes.iter().collect(),
+    }
+}
+
+/// Arrays an operation touches, as `(array index, writes)`. `ShiftIn`
+/// rewrites the whole array; loads/stores touch one element but are
+/// treated whole-array here (the carried-dependence analysis does not
+/// reason about indices).
+fn touched_arrays(kind: &MopKind) -> Vec<(usize, bool)> {
+    let of_loc = |loc: &Loc, writes: bool| match loc {
+        Loc::Array(a, _) => Some((a.index(), writes)),
+        Loc::Param(..) => None,
+    };
+    match kind {
+        MopKind::Load { loc } => of_loc(loc, false).into_iter().collect(),
+        MopKind::Store { loc, .. } => of_loc(loc, true).into_iter().collect(),
+        MopKind::VLoad { locs } => locs.iter().filter_map(|l| of_loc(l, false)).collect(),
+        MopKind::VStore { locs, .. } => locs.iter().filter_map(|l| of_loc(l, true)).collect(),
+        MopKind::ShiftIn { array, .. } => vec![(array.index(), true)],
+        _ => Vec::new(),
+    }
+}
+
+/// Distance-1 (loop-carried) dependence edges `(from, to)` of a block:
+/// iteration `k`'s `from` must finish before iteration `k+1`'s `to`
+/// issues (`start[to] + ii ≥ finish[from]` under a modulo schedule).
+///
+/// Two conservative sources:
+///
+/// * **variables** — `var_defs` commits op results to variables at end
+///   of iteration; every op reading that variable next iteration
+///   depends on the defining op;
+/// * **memory** — for each array *written* in the block, every ordered
+///   pair of a writer and any toucher (reader or writer, including the
+///   writer against its own next-iteration copy) conflicts; no index
+///   analysis is attempted.
+pub fn loop_carried_deps(block: &MachineBlock) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Variable commits: def op -> next-iteration readers.
+    for (v, def) in &block.var_defs {
+        let Operand::Op(j) = def else { continue };
+        for (i, op) in block.ops.iter().enumerate() {
+            let reads = value_operands(&op.kind)
+                .into_iter()
+                .any(|o| matches!(o, Operand::Var(r) if r == v));
+            if reads {
+                edges.push((*j, i));
+            }
+        }
+    }
+    // Memory conflicts on arrays written in the block.
+    let touched: Vec<Vec<(usize, bool)>> = block
+        .ops
+        .iter()
+        .map(|op| touched_arrays(&op.kind))
+        .collect();
+    let written: std::collections::BTreeSet<usize> = touched
+        .iter()
+        .flatten()
+        .filter(|(_, w)| *w)
+        .map(|(a, _)| *a)
+        .collect();
+    for &a in &written {
+        let touchers: Vec<usize> = (0..block.ops.len())
+            .filter(|&i| touched[i].iter().any(|&(t, _)| t == a))
+            .collect();
+        for &w in touchers
+            .iter()
+            .filter(|&&i| touched[i].iter().any(|&(t, wr)| t == a && wr))
+        {
+            for &t in &touchers {
+                edges.push((w, t));
+                edges.push((t, w));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+// --- modulo scheduling ---------------------------------------------------
+
+/// Outcome of one modulo-scheduling attempt (see
+/// [`modulo_attempt_cached`]).
+#[derive(Debug, Clone)]
+pub enum ModuloAttempt {
+    /// The block cannot be pipelined: not an in-loop block, a single
+    /// trip, empty, or it contains a machine-serializing operation.
+    Ineligible,
+    /// The search completed but no II strictly beats the list
+    /// schedule's trip-weighted cost; the list schedule stands.
+    NotProfitable,
+    /// At least one candidate II had to be abandoned with its trial
+    /// budget spent, and no other II yielded a placement; the list
+    /// schedule stands.
+    BudgetExhausted,
+    /// A pipelined schedule at the smallest II the budget could decide,
+    /// strictly beating the list schedule.
+    Pipelined(Schedule),
+}
+
+/// Whether `block` is a candidate for software pipelining at all.
+fn pipelinable(costs: &CycleCache<'_>, block: &MachineBlock) -> bool {
+    block.in_loop
+        && block.trip > 1
+        && !block.ops.is_empty()
+        && !block.ops.iter().any(|op| costs.cost(op.query).serialize)
+}
+
+/// The `(ResMII, RecMII)` lower bounds of a pipelinable block, `None`
+/// when the block is not pipelinable.
+///
+/// * **ResMII** — per functional-unit class, the slots the iteration
+///   needs divided by the class's per-cycle capacity; and over all
+///   classes, the total slots plus the loop-control ops divided by the
+///   issue width.
+/// * **RecMII** — the smallest II at which no dependence cycle (through
+///   loop-carried edges) has positive weight under edge weights
+///   `latency − II·distance`, found by binary search with Bellman–Ford
+///   positive-cycle detection. Monotone because intra-iteration edges
+///   point strictly forward, so every cycle crosses at least one
+///   distance-1 edge.
+pub fn modulo_bounds_cached(costs: &CycleCache<'_>, block: &MachineBlock) -> Option<(u64, u64)> {
+    if !pipelinable(costs, block) {
+        return None;
+    }
+    let op_costs: Vec<OpCost> = block.ops.iter().map(|op| costs.cost(op.query)).collect();
+    Some((
+        res_mii(costs.target(), &op_costs),
+        rec_mii(block, &op_costs),
+    ))
+}
+
+fn res_mii(target: &TargetModel, op_costs: &[OpCost]) -> u64 {
+    let mut mii = 1u64;
+    let mut total = 0u64;
+    for class in [
+        OpClass::Alu,
+        OpClass::Mul,
+        OpClass::Mem,
+        OpClass::Shift,
+        OpClass::Fpu,
+    ] {
+        let slots: u64 = op_costs
+            .iter()
+            .filter(|c| c.class == class)
+            .map(|c| c.slots as u64)
+            .sum();
+        total += slots;
+        if slots > 0 {
+            let cap = target.units.of(class).max(1) as u64;
+            mii = mii.max(slots.div_ceil(cap));
+        }
+    }
+    let width = target.issue_width.max(1) as u64;
+    mii.max((total + target.loop_overhead_ops as u64).div_ceil(width))
+}
+
+fn rec_mii(block: &MachineBlock, op_costs: &[OpCost]) -> u64 {
+    let carried = loop_carried_deps(block);
+    if carried.is_empty() {
+        return 1;
+    }
+    // Edges as (from, to, latency, distance).
+    let mut edges: Vec<(usize, usize, u64, u64)> = Vec::new();
+    for (i, op) in block.ops.iter().enumerate() {
+        for &p in &op.preds {
+            edges.push((p, i, op_costs[p].latency as u64, 0));
+        }
+    }
+    for &(from, to) in &carried {
+        edges.push((from, to, op_costs[from].latency as u64, 1));
+    }
+    let n = block.ops.len();
+    let has_positive_cycle = |ii: u64| -> bool {
+        // Bellman–Ford longest-path relaxation: if distances still
+        // change after `n` full rounds, a positive-weight cycle exists.
+        let mut d = vec![0i64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for &(u, v, lat, dist) in &edges {
+                let w = lat as i64 - (ii as i64) * (dist as i64);
+                if d[u] + w > d[v] {
+                    d[v] = d[u] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        true
+    };
+    let mut lo = 1u64;
+    let mut hi = op_costs
+        .iter()
+        .map(|c| c.latency as u64)
+        .sum::<u64>()
+        .max(1);
+    // `hi` is always feasible: a cycle's latency sum is at most the
+    // whole block's, and every cycle crosses a distance-1 edge.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if has_positive_cycle(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Per-residue reservation table of one candidate II.
+struct ModuloTable<'t> {
+    target: &'t TargetModel,
+    ii: u64,
+    issue: Vec<u32>,
+    alu: Vec<u32>,
+    mul: Vec<u32>,
+    mem: Vec<u32>,
+    shift: Vec<u32>,
+    fpu: Vec<u32>,
+}
+
+impl<'t> ModuloTable<'t> {
+    fn new(target: &'t TargetModel, ii: u64) -> Self {
+        let n = ii as usize;
+        ModuloTable {
+            target,
+            ii,
+            issue: vec![0; n],
+            alu: vec![0; n],
+            mul: vec![0; n],
+            mem: vec![0; n],
+            shift: vec![0; n],
+            fpu: vec![0; n],
+        }
+    }
+
+    fn class_used(&mut self, class: OpClass, r: usize) -> &mut u32 {
+        match class {
+            OpClass::Alu => &mut self.alu[r],
+            OpClass::Mul => &mut self.mul[r],
+            OpClass::Mem => &mut self.mem[r],
+            OpClass::Shift => &mut self.shift[r],
+            OpClass::Fpu => &mut self.fpu[r],
+        }
+    }
+
+    /// Free issue+unit slots of `class` at absolute `cycle`, with usage
+    /// folded modulo the II.
+    fn free_slots(&mut self, class: OpClass, cycle: u64) -> u32 {
+        let r = (cycle % self.ii) as usize;
+        let cap = self.target.units.of(class);
+        let width = self.target.issue_width;
+        let used_class = *self.class_used(class, r);
+        let used_issue = self.issue[r];
+        (cap.saturating_sub(used_class)).min(width.saturating_sub(used_issue))
+    }
+
+    fn take(&mut self, class: OpClass, cycle: u64, n: u32) {
+        let r = (cycle % self.ii) as usize;
+        *self.class_used(class, r) += n;
+        self.issue[r] += n;
+        debug_assert!(self.issue[r] <= self.target.issue_width);
+    }
+
+    fn untake(&mut self, class: OpClass, cycle: u64, n: u32) {
+        let r = (cycle % self.ii) as usize;
+        *self.class_used(class, r) -= n;
+        self.issue[r] -= n;
+    }
+
+    /// Pre-reserves the loop-control ops as issue-only slots, spread over
+    /// the least-used residues. Returns `false` when they cannot fit (the
+    /// II is infeasible).
+    fn reserve_overhead(&mut self) -> bool {
+        for _ in 0..self.target.loop_overhead_ops {
+            let r = (0..self.issue.len())
+                .min_by_key(|&r| self.issue[r])
+                .expect("II is at least 1");
+            if self.issue[r] >= self.target.issue_width {
+                return false;
+            }
+            self.issue[r] += 1;
+        }
+        true
+    }
+}
+
+/// What ended a branch-and-bound descent.
+enum Descent {
+    Placed,
+    Failed,
+    OutOfBudget,
+}
+
+struct ModuloSearch<'a, 't> {
+    ops: &'a [crate::lower::Mop],
+    op_costs: &'a [OpCost],
+    /// Distance-1 predecessors with `from < to` (lower-bound the EST).
+    carried_in: Vec<Vec<usize>>,
+    /// Distance-1 successors with `to ≤ from` (checked after placement).
+    carried_back: Vec<Vec<usize>>,
+    table: ModuloTable<'t>,
+    start: Vec<u64>,
+    finish: Vec<u64>,
+    issues: Vec<(usize, u64, u32)>,
+    budget: &'a mut u64,
+}
+
+impl ModuloSearch<'_, '_> {
+    /// Places op `i` and recursively everything after it.
+    fn place(&mut self, i: usize) -> Descent {
+        if i == self.ops.len() {
+            return Descent::Placed;
+        }
+        let ii = self.table.ii;
+        let cost = self.op_costs[i];
+        let est_pred = self.ops[i]
+            .preds
+            .iter()
+            .map(|&p| self.finish[p])
+            .max()
+            .unwrap_or(0);
+        let est_carried = self.carried_in[i]
+            .iter()
+            .map(|&j| self.finish[j].saturating_sub(ii))
+            .max()
+            .unwrap_or(0);
+        let est = est_pred.max(est_carried);
+        // Only `ii` start cycles are distinct modulo the II; requiring
+        // the first slot to land at `t` itself keeps the windows
+        // disjoint.
+        for t in est..est + ii {
+            if *self.budget == 0 {
+                return Descent::OutOfBudget;
+            }
+            *self.budget -= 1;
+            if self.table.free_slots(cost.class, t) == 0 {
+                continue;
+            }
+            // Greedy slot spread from `t`, as in the list scheduler but
+            // against the folded table.
+            let placed_at = self.issues.len();
+            let mut remaining = cost.slots;
+            let mut cur = t;
+            let mut zero_run = 0u64;
+            let mut ok = true;
+            while remaining > 0 {
+                let free = self.table.free_slots(cost.class, cur);
+                if free == 0 {
+                    zero_run += 1;
+                    if zero_run >= ii {
+                        // Every residue is saturated for this class.
+                        ok = false;
+                        break;
+                    }
+                    cur += 1;
+                    continue;
+                }
+                zero_run = 0;
+                let take = free.min(remaining);
+                self.table.take(cost.class, cur, take);
+                self.issues.push((i, cur, take));
+                remaining -= take;
+                if remaining > 0 {
+                    cur += 1;
+                }
+            }
+            if ok {
+                self.start[i] = t;
+                self.finish[i] = cur + cost.latency as u64;
+                // Loop-carried edges back to already-placed ops: the
+                // next iteration's copy of `k` must not need this
+                // result before it exists.
+                let legal = self.carried_back[i]
+                    .iter()
+                    .all(|&k| self.finish[i] <= self.start[k] + ii);
+                if legal {
+                    match self.place(i + 1) {
+                        Descent::Placed => return Descent::Placed,
+                        Descent::OutOfBudget => return Descent::OutOfBudget,
+                        Descent::Failed => {}
+                    }
+                }
+            }
+            for &(op, cycle, n) in &self.issues[placed_at..] {
+                debug_assert_eq!(op, i);
+                self.table.untake(cost.class, cycle, n);
+            }
+            self.issues.truncate(placed_at);
+        }
+        Descent::Failed
+    }
+}
+
+/// Attempts to modulo-schedule one block, pricing ops through a shared
+/// [`CycleCache`].
+///
+/// Searches candidate IIs upward from `max(ResMII, RecMII)`, placing one
+/// iteration's ops by branch and bound against a reservation table
+/// folded modulo the II. The trial `budget` is **per candidate II**
+/// (Rau's iterative-modulo-scheduling discipline): an II whose search
+/// exhausts its budget is abandoned and the walk moves on — near the
+/// resource bound the table is a perfect-packing instance whose
+/// infeasibility proof can cost exponential trials, while a slightly
+/// looser II often places in a handful. After an abandoned II the walk's
+/// stride doubles, so undecidable regions cost at most a logarithmic
+/// number of budget refills before the cap. Adopts the first placement
+/// found (the smallest II the budget could *decide* — the exact minimum
+/// whenever no II was abandoned), and only when its trip-weighted cost
+/// strictly beats the list schedule's — ties and everything else keep
+/// the list schedule, so the scheduler and the pricer can never disagree
+/// about which schedule a block runs.
+pub fn modulo_attempt_cached(
+    costs: &CycleCache<'_>,
+    block: &MachineBlock,
+    budget: u32,
+) -> ModuloAttempt {
+    let target = costs.target();
+    if !pipelinable(costs, block) {
+        return ModuloAttempt::Ineligible;
+    }
+    let list = list_schedule_cached(costs, block);
+    let overhead = loop_overhead(target);
+    let list_total = (list.makespan + overhead) * block.trip;
+    let op_costs: Vec<OpCost> = block.ops.iter().map(|op| costs.cost(op.query)).collect();
+    let mii = res_mii(target, &op_costs).max(rec_mii(block, &op_costs));
+    // An II at or past the list schedule's per-iteration cost cannot
+    // win: the steady state alone would already match sequential issue.
+    let ii_cap = list.makespan + overhead;
+    let carried = loop_carried_deps(block);
+    let n = block.ops.len();
+    let mut carried_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut carried_back: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in &carried {
+        if from < to {
+            carried_in[to].push(from);
+        } else {
+            carried_back[from].push(to);
+        }
+    }
+    let mut abandoned = false;
+    let mut step = 1u64;
+    let mut ii = mii;
+    while ii < ii_cap {
+        let mut table = ModuloTable::new(target, ii);
+        if !table.reserve_overhead() {
+            ii += step;
+            continue;
+        }
+        let mut remaining = budget as u64;
+        let mut search = ModuloSearch {
+            ops: &block.ops,
+            op_costs: &op_costs,
+            carried_in: carried_in.clone(),
+            carried_back: carried_back.clone(),
+            table,
+            start: vec![0; n],
+            finish: vec![0; n],
+            issues: Vec::new(),
+            budget: &mut remaining,
+        };
+        match search.place(0) {
+            Descent::OutOfBudget => {
+                abandoned = true;
+                ii += step;
+                step *= 2;
+            }
+            Descent::Failed => {
+                ii += step;
+            }
+            Descent::Placed => {
+                let makespan = search.finish.iter().copied().max().unwrap_or(0);
+                let prologue = makespan.saturating_sub(ii);
+                let epilogue = makespan - prologue;
+                let total = overhead + prologue + ii * (block.trip - 1) + epilogue;
+                if total >= list_total {
+                    return ModuloAttempt::NotProfitable;
+                }
+                return ModuloAttempt::Pipelined(Schedule {
+                    start: search.start,
+                    finish: search.finish,
+                    makespan,
+                    issues: search.issues,
+                    modulo: Some(ModuloSchedule {
+                        ii,
+                        prologue,
+                        epilogue,
+                    }),
+                });
+            }
+        }
+    }
+    if abandoned {
+        ModuloAttempt::BudgetExhausted
+    } else {
+        ModuloAttempt::NotProfitable
+    }
 }
 
 #[cfg(test)]
@@ -356,5 +1025,191 @@ mod tests {
         let s = schedule_block(&target, &block(ops, false));
         // 4 insert slots on a single ALU: at least 4 cycles of occupancy.
         assert!(s.makespan >= 4, "makespan {}", s.makespan);
+    }
+
+    // --- modulo scheduling ------------------------------------------------
+
+    #[test]
+    fn modulo_reaches_res_mii_on_independent_loads() {
+        // 8 independent loads over XENTIUM's 2 memory ports: ResMII 4,
+        // no recurrence. The search must land exactly on II 4.
+        let target = xentium();
+        let costs = CycleCache::new(&target);
+        let ops: Vec<Mop> = (0..8).map(|_| op(OpQuery::Load(32), vec![])).collect();
+        let b = block_t(ops, 16, true);
+        let (res, rec) = modulo_bounds_cached(&costs, &b).unwrap();
+        assert_eq!((res, rec), (4, 1));
+        let s = schedule_block_cached(&costs, &b, SchedKind::modulo());
+        let m = s.modulo.expect("loads must pipeline");
+        assert_eq!(m.ii, 4, "achieved II must match max(ResMII, RecMII)");
+        assert_eq!(m.prologue + m.epilogue, s.makespan);
+    }
+
+    #[test]
+    fn modulo_hides_loop_overhead_on_single_issue() {
+        // On 1-issue VEX the loop-control overhead serializes every
+        // iteration under list scheduling; the pipeline folds it into
+        // the steady state and wins.
+        let target = vex(1);
+        let costs = CycleCache::new(&target);
+        let ops: Vec<Mop> = (0..4).map(|_| op(OpQuery::Add(32), vec![])).collect();
+        let b = block_t(ops, 8, true);
+        let list = block_activation_cycles_cached(&costs, &b, SchedKind::List);
+        let modulo = block_activation_cycles_cached(&costs, &b, SchedKind::modulo());
+        assert!(
+            modulo < list,
+            "pipelining must beat sequential issue ({modulo} vs {list})"
+        );
+        let s = schedule_block_cached(&costs, &b, SchedKind::modulo());
+        let m = s.modulo.unwrap();
+        let (res, rec) = modulo_bounds_cached(&costs, &b).unwrap();
+        assert_eq!(m.ii, res.max(rec));
+    }
+
+    #[test]
+    fn recurrence_bounds_the_ii() {
+        // A 4-add recurrence carried through a variable: RecMII 4.
+        use crate::lower::MopKind;
+        use slpwlo_fixedpoint::QFormat;
+        use slpwlo_ir::types::VarId;
+        let target = xentium();
+        let costs = CycleCache::new(&target);
+        let v = VarId(0);
+        let mut ops = vec![Mop {
+            query: OpQuery::Add(16),
+            preds: vec![],
+            kind: MopKind::Bin {
+                op: slpwlo_ir::BinOp::Add,
+                a: Operand::Var(v),
+                b: Operand::Imm {
+                    raw: 1,
+                    fmt: QFormat::new(1, 14),
+                },
+                to: Some(QFormat::new(1, 14)),
+            },
+        }];
+        for i in 1..4 {
+            ops.push(op(OpQuery::Add(16), vec![i - 1]));
+        }
+        let mut b = block_t(ops, 16, true);
+        b.var_defs.push((v, Operand::Op(3)));
+        assert_eq!(loop_carried_deps(&b), vec![(3, 0)]);
+        let (_, rec) = modulo_bounds_cached(&costs, &b).unwrap();
+        assert_eq!(rec, 4, "a 4-cycle recurrence forces II >= 4");
+        if let Some(m) = schedule_block_cached(&costs, &b, SchedKind::modulo()).modulo {
+            assert!(m.ii >= 4);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_falls_back_to_the_list_schedule() {
+        let target = xentium();
+        let costs = CycleCache::new(&target);
+        let ops: Vec<Mop> = (0..8).map(|_| op(OpQuery::Load(32), vec![])).collect();
+        let b = block_t(ops, 16, true);
+        assert!(matches!(
+            modulo_attempt_cached(&costs, &b, 1),
+            ModuloAttempt::BudgetExhausted
+        ));
+        let starved = schedule_block_cached(&costs, &b, SchedKind::Modulo { budget: 1 });
+        let list = schedule_block_cached(&costs, &b, SchedKind::List);
+        assert!(starved.modulo.is_none());
+        assert_eq!(starved.start, list.start);
+        assert_eq!(starved.finish, list.finish);
+        assert_eq!(starved.issues, list.issues);
+        assert_eq!(
+            block_activation_cycles_cached(&costs, &b, SchedKind::Modulo { budget: 1 }),
+            block_activation_cycles_cached(&costs, &b, SchedKind::List),
+        );
+    }
+
+    #[test]
+    fn non_loop_blocks_never_pipeline() {
+        let target = xentium();
+        let costs = CycleCache::new(&target);
+        let ops: Vec<Mop> = (0..8).map(|_| op(OpQuery::Load(32), vec![])).collect();
+        for b in [
+            block(ops.clone(), false),     // straight-line
+            block_t(ops.clone(), 1, true), // single trip
+            block_t(Vec::new(), 16, true), // empty
+        ] {
+            assert!(modulo_bounds_cached(&costs, &b).is_none());
+            assert!(matches!(
+                modulo_attempt_cached(&costs, &b, u32::MAX),
+                ModuloAttempt::Ineligible
+            ));
+        }
+        // Serializing soft-float ops block the whole machine and cannot
+        // overlap with anything.
+        let soft = block_t(vec![op(OpQuery::FAdd, vec![])], 16, true);
+        assert!(modulo_bounds_cached(&costs, &soft).is_none());
+    }
+
+    #[test]
+    fn pipelined_issue_log_respects_folded_budgets() {
+        // Independently re-total the issue log per residue class.
+        let target = xentium();
+        let costs = CycleCache::new(&target);
+        let ops: Vec<Mop> = (0..8)
+            .map(|i| {
+                op(
+                    if i % 2 == 0 {
+                        OpQuery::Load(16)
+                    } else {
+                        OpQuery::Mul(16)
+                    },
+                    vec![],
+                )
+            })
+            .collect();
+        let b = block_t(ops, 16, true);
+        let s = schedule_block_cached(&costs, &b, SchedKind::modulo());
+        let m = s.modulo.expect("mixed loads/muls must pipeline");
+        let mut per_residue: std::collections::HashMap<(u64, OpClass), u32> =
+            std::collections::HashMap::new();
+        let mut issue: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for &(i, cycle, slots) in &s.issues {
+            let class = costs.cost(b.ops[i].query).class;
+            *per_residue.entry((cycle % m.ii, class)).or_default() += slots;
+            *issue.entry(cycle % m.ii).or_default() += slots;
+        }
+        for ((_, class), used) in per_residue {
+            assert!(used <= target.units.of(class));
+        }
+        for (_, used) in issue {
+            assert!(used < target.issue_width); // room for the overhead op
+        }
+    }
+
+    #[test]
+    fn memory_conflicts_are_carried_conservatively() {
+        use crate::lower::MopKind;
+        use slpwlo_fixedpoint::QFormat;
+        use slpwlo_ir::types::ArrayId;
+        use slpwlo_ir::IndexExpr;
+        let fmt = QFormat::new(1, 14);
+        let a = ArrayId(0);
+        let load = Mop {
+            query: OpQuery::Load(16),
+            preds: vec![],
+            kind: MopKind::Load {
+                loc: Loc::Array(a, IndexExpr::constant(0)),
+            },
+        };
+        let store = Mop {
+            query: OpQuery::Store(16),
+            preds: vec![0],
+            kind: MopKind::Store {
+                loc: Loc::Array(a, IndexExpr::constant(1)),
+                src: Operand::Op(0),
+                to: fmt,
+            },
+        };
+        let b = block_t(vec![load, store], 8, true);
+        let deps = loop_carried_deps(&b);
+        // The store conflicts with the load and with its own next copy.
+        assert!(deps.contains(&(1, 0)), "store -> next-iteration load");
+        assert!(deps.contains(&(0, 1)), "load -> next-iteration store");
+        assert!(deps.contains(&(1, 1)), "store -> its own next copy");
     }
 }

@@ -21,7 +21,7 @@ use slpwlo_ir::blocks::{blocks_by_priority, Block};
 use slpwlo_ir::dfg::Dfg;
 use slpwlo_ir::Kernel;
 use slpwlo_slp::{run_selection_with, BenefitKind, Round, SimdGroup};
-use slpwlo_targets::TargetModel;
+use slpwlo_targets::{SchedKind, TargetModel};
 
 /// Per-block outcome of the joint optimization.
 #[derive(Debug)]
@@ -96,6 +96,31 @@ pub fn wlo_slp_with(
     ranges: &Ranges,
     benefit: BenefitKind,
 ) -> WloSlpResult {
+    wlo_slp_sched(
+        kernel,
+        target,
+        eval,
+        constraint_db,
+        ranges,
+        benefit,
+        SchedKind::List,
+    )
+}
+
+/// [`wlo_slp_with`] pricing candidates under an explicit scheduler kind:
+/// when the flow will modulo-schedule in-loop blocks, the cycle-priced
+/// benefit model drops its latency-boundedness hedge (overlapped
+/// iterations hide pack/extract chain hops), admitting packs sequential
+/// issue would reject.
+pub fn wlo_slp_sched(
+    kernel: &Kernel,
+    target: &TargetModel,
+    eval: &dyn AccuracyEvaluator,
+    constraint_db: f64,
+    ranges: &Ranges,
+    benefit: BenefitKind,
+    sched: SchedKind,
+) -> WloSlpResult {
     // Lines 1-3: all nodes at the maximum supported word length.
     let mut spec = FixedPointSpec::from_ranges(kernel, ranges, target.max_wl());
     eval.begin(&spec);
@@ -110,7 +135,8 @@ pub fn wlo_slp_with(
         loop {
             let round = Round::new(&dfg, target, &groups);
             let selected = {
-                let mut hooks = AccuracyHooks::new(&dfg, &mut spec, eval, constraint_db);
+                let mut hooks =
+                    AccuracyHooks::new(&dfg, &mut spec, eval, constraint_db).with_sched(sched);
                 run_selection_with(&dfg, target, &round, &groups, &mut hooks, benefit)
             };
             if selected.is_empty() {

@@ -14,7 +14,7 @@ use slpwlo_core::{
     PassArtifact, Prepared, ProgramRole, TabuOptions,
 };
 use slpwlo_fixedpoint::FixedPointSpec;
-use slpwlo_targets::TargetModel;
+use slpwlo_targets::{SchedKind, TargetModel};
 use slpwlo_verify::{verify_boundary, VerifyLevel};
 
 /// Everything a flow needs to run on one (kernel, target, constraint)
@@ -32,6 +32,9 @@ pub struct FlowContext<'a> {
     pub tabu: &'a TabuOptions,
     /// SLP candidate-pricing strategy for flows that extract groups.
     pub benefit: BenefitKind,
+    /// Block-scheduling strategy: flat list scheduling or modulo
+    /// scheduling (software pipelining) of in-loop blocks.
+    pub sched: SchedKind,
     /// How much pass-boundary static verification to run.
     pub verify: VerifyLevel,
 }
@@ -165,6 +168,7 @@ impl CompilationFlow for WloSlpFlow {
             ctx.target,
             db,
             ctx.benefit,
+            ctx.sched,
             &mut ctx.boundary_check(),
         )?;
         Ok(FlowOutput {
@@ -193,6 +197,7 @@ impl CompilationFlow for WloFirstFlow {
             db,
             ctx.tabu,
             ctx.benefit,
+            ctx.sched,
             &mut ctx.boundary_check(),
         )?;
         Ok(FlowOutput {
@@ -227,6 +232,7 @@ impl CompilationFlow for FloatFlow {
             program: &program,
             target: ctx.target,
             role: ProgramRole::Simd,
+            sched: ctx.sched,
         })?;
         let scalar = program.clone();
         Ok(FlowOutput {

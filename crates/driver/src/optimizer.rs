@@ -4,12 +4,11 @@ use crate::error::Error;
 use crate::flow::{CompilationFlow, FlowContext, FlowKind};
 use crate::report::Report;
 use slpwlo_accuracy::{AccuracyEvaluator, EvalOptions};
-use slpwlo_core::{prepare, prepare_with, BenefitKind, Prepared, TabuOptions};
+use slpwlo_core::{prepare, prepare_with, total_cycles_cached, BenefitKind, Prepared, TabuOptions};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::parser::parse_kernel;
 use slpwlo_ir::Kernel;
-use slpwlo_sim::total_cycles;
-use slpwlo_targets::{xentium, TargetModel};
+use slpwlo_targets::{xentium, CycleCache, SchedKind, TargetModel};
 use slpwlo_verify::VerifyLevel;
 
 /// Default activations for cycle reporting (the paper's FIR/IIR workload
@@ -45,6 +44,7 @@ pub struct Optimizer {
     flow: Box<dyn CompilationFlow + Send + Sync>,
     tabu: TabuOptions,
     benefit: BenefitKind,
+    sched: SchedKind,
     verify: VerifyLevel,
     activations: u64,
     /// Worker-thread override for [`Optimizer::sweep`]; `None` follows
@@ -101,6 +101,7 @@ impl Optimizer {
             flow: FlowKind::WloSlp.instantiate(),
             tabu: TabuOptions::default(),
             benefit: BenefitKind::default(),
+            sched: SchedKind::default(),
             verify: VerifyLevel::default(),
             activations: DEFAULT_ACTIVATIONS,
             sweep_threads: None,
@@ -153,6 +154,18 @@ impl Optimizer {
     /// slot-counting model for ablations).
     pub fn benefit_kind(mut self, benefit: BenefitKind) -> Self {
         self.benefit = benefit;
+        self
+    }
+
+    /// Selects the block-scheduling strategy (default:
+    /// [`SchedKind::List`], the paper's flat in-order model).
+    /// [`SchedKind::Modulo`] software-pipelines profitable in-loop
+    /// blocks: cycle reports price them at `prologue + II·(trip−1) +
+    /// epilogue`, candidate pricing drops its latency hedge, and blocks
+    /// the exact search cannot improve (or that exhaust the search
+    /// budget) keep their list schedules.
+    pub fn sched_kind(mut self, sched: SchedKind) -> Self {
+        self.sched = sched;
         self
     }
 
@@ -272,9 +285,14 @@ impl Optimizer {
             constraint_db,
             tabu: &self.tabu,
             benefit: self.benefit,
+            sched: self.sched,
             verify: self.verify,
         };
         let out = flow.run(&ctx)?;
+        // One shared price cache for all four cycle counts; the list
+        // counts ride along so pipelined reports can show what software
+        // pipelining bought without a second run.
+        let costs = CycleCache::new(&self.target);
         Ok(Report {
             kernel_name: self.prep.kernel.name().to_string(),
             flow: flow.name().to_string(),
@@ -282,8 +300,21 @@ impl Optimizer {
             kernel: self.prep.kernel.clone(),
             constraint_db,
             spec: out.spec,
-            cycles_simd: total_cycles(&self.target, &out.program, self.activations),
-            cycles_scalar: total_cycles(&self.target, &out.scalar, self.activations),
+            sched: self.sched,
+            cycles_simd: total_cycles_cached(&costs, &out.program, self.activations, self.sched),
+            cycles_scalar: total_cycles_cached(&costs, &out.scalar, self.activations, self.sched),
+            cycles_simd_list: total_cycles_cached(
+                &costs,
+                &out.program,
+                self.activations,
+                SchedKind::List,
+            ),
+            cycles_scalar_list: total_cycles_cached(
+                &costs,
+                &out.scalar,
+                self.activations,
+                SchedKind::List,
+            ),
             simd: out.program,
             scalar: out.scalar,
             group_count: out.group_count,

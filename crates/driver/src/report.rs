@@ -6,7 +6,7 @@ use slpwlo_core::MachineProgram;
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::Kernel;
 use slpwlo_sim::speedup;
-use slpwlo_targets::TargetModel;
+use slpwlo_targets::{SchedKind, TargetModel};
 use std::path::{Path, PathBuf};
 
 /// Everything one [`Optimizer::run`](crate::Optimizer::run) produces:
@@ -37,10 +37,21 @@ pub struct Report {
     pub noise_db: Option<f64>,
     /// Activations used for the cycle counts below.
     pub activations: u64,
-    /// Cycles of the optimized program over `activations`.
+    /// Scheduler kind the cycle counts were priced under.
+    pub sched: SchedKind,
+    /// Cycles of the optimized program over `activations`, under
+    /// [`Report::sched`].
     pub cycles_simd: u64,
-    /// Cycles of the scalar program over `activations`.
+    /// Cycles of the scalar program over `activations`, under
+    /// [`Report::sched`].
     pub cycles_scalar: u64,
+    /// Cycles of the optimized program under flat list scheduling.
+    /// Equal to [`Report::cycles_simd`] when `sched` is
+    /// [`SchedKind::List`]; under [`SchedKind::Modulo`] the gap is what
+    /// software pipelining bought.
+    pub cycles_simd_list: u64,
+    /// Cycles of the scalar program under flat list scheduling.
+    pub cycles_scalar_list: u64,
 }
 
 /// Paths written by [`Report::export_c`].
@@ -88,12 +99,17 @@ impl Report {
             Some(db) => format!("{db:.1} dB"),
             None => "exact".to_string(),
         };
+        let pipelined = match self.sched {
+            SchedKind::List => String::new(),
+            SchedKind::Modulo { .. } => format!(" pipelined (list {})", self.cycles_simd_list),
+        };
         format!(
-            "{} [{}] on {}: {} cycles ({} scalar, speedup {:.2}), {} groups, noise {}",
+            "{} [{}] on {}: {} cycles{} ({} scalar, speedup {:.2}), {} groups, noise {}",
             self.kernel_name,
             self.flow,
             self.target.name,
             self.cycles_simd,
+            pipelined,
             self.cycles_scalar,
             self.speedup(),
             self.group_count,

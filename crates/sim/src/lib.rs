@@ -1,28 +1,17 @@
-//! VLIW cycle-count simulation.
+//! Bit-accurate execution of lowered machine programs.
 //!
-//! Substitutes for the vendor cycle-accurate simulators of the paper's
-//! evaluation: lowered machine programs are list-scheduled onto the
-//! target's issue slots and functional units, respecting operation
-//! latencies, macro-op expansions (e.g. 32-bit multiplies on a 16x16
-//! multiplier array) and the machine-serializing nature of soft-float
-//! library calls. Loop blocks pay a per-iteration control overhead.
-//!
-//! Absolute cycle counts are approximations of the real cores; the
-//! *relative* comparisons the paper draws (SIMD vs scalar code produced
-//! by the two flows, fixed-point vs floating point) are what this model
-//! preserves.
+//! Substitutes for the vendor instruction-set simulators of the paper's
+//! evaluation: [`execute_fixed`] interprets a lowered fixed-point
+//! program operation by operation, reproducing the exact arithmetic the
+//! generated C would perform. Cycle counting (list and modulo
+//! scheduling onto the target's issue slots and functional units) lives
+//! in `slpwlo-core`'s `sched` module, where the compilation flows can
+//! consult schedules when pruning unprofitable packs — use
+//! `slpwlo_core::{schedule_block, total_cycles, ...}` directly.
 
 pub mod exec;
 
-/// Resource-constrained list scheduling, hosted in `slpwlo-core` (so the
-/// compilation flows can consult the schedule when pruning unprofitable
-/// packs) and re-exported here unchanged.
-pub use slpwlo_core::sched;
-
 pub use exec::{execute_fixed, ExecError, Machine};
-pub use slpwlo_core::sched::{
-    block_cycles, cycles_per_activation, schedule_block, total_cycles, Schedule,
-};
 
 /// Speedup of `cycles` relative to `baseline` (equation (2) of the
 /// paper: `baseline / cycles`).

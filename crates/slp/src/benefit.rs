@@ -11,7 +11,8 @@
 //!   cycle-denominated model: the candidate's vector op, its pack/unpack
 //!   traffic, and the scalar ops it displaces are all priced through
 //!   [`TargetModel::cycles`] (which folds over [`TargetModel::cost`], the
-//!   same source `sim::sched` prices the lowered program with) **at the
+//!   same source the `slpwlo-core` schedulers price the lowered program
+//!   with) **at the
 //!   candidate's current word lengths** — so a 32-bit multiply pair on a
 //!   16x16 multiplier carries its macro-expansion price, packs on a
 //!   single-issue machine cost whole cycles, and shifter style matters.
@@ -29,7 +30,7 @@ use crate::candidate::Round;
 use crate::group::{mem_status, MemStatus, SimdGroup};
 use slpwlo_ir::dfg::{Dfg, NodeId, NodeKind};
 use slpwlo_ir::types::BinOp;
-use slpwlo_targets::{CycleCache, OpQuery, TargetModel};
+use slpwlo_targets::{CycleCache, OpQuery, SchedKind, TargetModel};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -167,6 +168,11 @@ pub struct BenefitModel<'a> {
     /// superwords are then priced as one vector shift (the equalizer's
     /// job), not the fig. 2 penalty.
     equalization_follows: bool,
+    /// Which scheduler the flow prices blocks under. Governs the
+    /// admission margin of the cycle model: under modulo scheduling the
+    /// latency-boundedness hedge is dropped (see
+    /// [`admission_margin`](Self::admission_margin)).
+    sched: SchedKind,
     /// Memoized op prices: selection asks the same `(op kind, wl)`
     /// throughput questions for every candidate every iteration.
     prices: Prices<'a>,
@@ -296,6 +302,7 @@ impl<'a> BenefitModel<'a> {
             wl: Box::new(wl),
             fwl: Box::new(fwl),
             equalization_follows: false,
+            sched: SchedKind::List,
             prices,
             scalar_cycles: RefCell::new(vec![None; dfg.len()]),
             fwl_memo: RefCell::new(vec![None; dfg.len()]),
@@ -319,6 +326,14 @@ impl<'a> BenefitModel<'a> {
     /// a uniform vector shift instead of the fig. 2 penalty.
     pub fn assume_equalization(mut self, yes: bool) -> Self {
         self.equalization_follows = yes;
+        self
+    }
+
+    /// Declares which scheduler the flow prices blocks under (see
+    /// [`admission_margin`](Self::admission_margin)). Defaults to the
+    /// sequential-issue list scheduler.
+    pub fn assume_sched(mut self, sched: SchedKind) -> Self {
+        self.sched = sched;
         self
     }
 
@@ -363,17 +378,25 @@ impl<'a> BenefitModel<'a> {
     }
 
     /// The admission threshold `net()` must clear. Zero for the slots
-    /// model (its historical behaviour). The cycle model demands a
-    /// margin of half a chain hop (extract latency): candidate-local
-    /// throughput pricing cannot see block-level latency-boundedness, so
-    /// a pack whose predicted gain is within one chain hop of zero is as
-    /// likely a scheduling loss as a win — on a wide-issue machine the
-    /// "saved" issue slots buy nothing while the extra pack/extract hops
-    /// still lengthen the critical path.
+    /// model (its historical behaviour). Under list scheduling the cycle
+    /// model demands a margin of half a chain hop (extract latency):
+    /// candidate-local throughput pricing cannot see block-level
+    /// latency-boundedness, so a pack whose predicted gain is within one
+    /// chain hop of zero is as likely a scheduling loss as a win — on a
+    /// wide-issue machine the "saved" issue slots buy nothing while the
+    /// extra pack/extract hops still lengthen the critical path. Under
+    /// modulo scheduling the hedge drops back to zero: overlapped
+    /// iterations hide chain-hop latency (the pipeline's II is bound by
+    /// resource pressure, which the throughput pricing *does* see), so
+    /// packs the hedge would reject become admissible — the scheduler
+    /// guard still arbitrates with the real pipelined schedule.
     pub fn admission_margin(&self) -> f64 {
-        match self.kind {
-            BenefitKind::Slots => 0.0,
-            BenefitKind::Cycles => 0.5 * self.prices.get().cost(OpQuery::Extract).latency as f64,
+        match (self.kind, self.sched) {
+            (BenefitKind::Slots, _) => 0.0,
+            (BenefitKind::Cycles, SchedKind::Modulo { .. }) => 0.0,
+            (BenefitKind::Cycles, SchedKind::List) => {
+                0.5 * self.prices.get().cost(OpQuery::Extract).latency as f64
+            }
         }
     }
 

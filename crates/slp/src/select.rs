@@ -19,7 +19,7 @@ use crate::candidate::{CandidateView, Round};
 use crate::conflict::conflicts;
 use crate::group::{closes_cycle, SimdGroup};
 use slpwlo_ir::dfg::{Dfg, NodeId};
-use slpwlo_targets::{CycleCache, TargetModel};
+use slpwlo_targets::{CycleCache, SchedKind, TargetModel};
 
 /// Hooks through which accuracy awareness (or any other policy) is
 /// injected into the selection loop.
@@ -81,6 +81,15 @@ pub trait SelectHooks {
     /// the default `false`.
     fn equalization_follows(&self) -> bool {
         false
+    }
+
+    /// Which scheduler the flow prices (and will run) blocks under.
+    /// Under [`SchedKind::Modulo`] the cycle-priced model drops its
+    /// latency-boundedness admission hedge: overlapped iterations hide
+    /// pack/extract chain hops, so slot pressure is the honest price.
+    /// The default is the sequential-issue list scheduler.
+    fn sched_kind(&self) -> SchedKind {
+        SchedKind::List
     }
 }
 
@@ -170,7 +179,8 @@ pub fn run_selection_with(
                 |n| oracle.current_wl(n).unwrap_or(max_wl),
                 |n| oracle.current_fwl(n),
             )
-            .assume_equalization(oracle.equalization_follows());
+            .assume_equalization(oracle.equalization_follows())
+            .assume_sched(oracle.sched_kind());
             argmax_benefit(&model, &alive, &selected)
         };
         let Some(best) = best else {

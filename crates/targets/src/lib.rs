@@ -19,5 +19,5 @@ pub mod model;
 pub mod presets;
 
 pub use cache::CycleCache;
-pub use model::{FuSet, OpClass, OpCost, OpQuery, SimdConfig, TargetModel};
+pub use model::{FuSet, OpClass, OpCost, OpQuery, SchedKind, SimdConfig, TargetModel};
 pub use presets::{all_targets, st240, vex, xentium};

@@ -54,6 +54,55 @@ pub struct SimdConfig {
     pub elem_wl: i32,
 }
 
+/// Which scheduler prices (and legalizes) machine blocks.
+///
+/// Lives next to the cost model rather than in `slpwlo-core` because
+/// every layer that prices code — the SLP benefit model, the core
+/// scheduler, the verifier, the driver — needs the type, and `slpwlo-slp`
+/// cannot depend on `slpwlo-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SchedKind {
+    /// Sequential-issue resource-constrained list scheduling: iterations
+    /// of a loop block execute back to back.
+    #[default]
+    List,
+    /// Iterative modulo scheduling (software pipelining) for in-loop
+    /// blocks: a branch-and-bound search overlaps iterations at the
+    /// smallest initiation interval it can decide. `budget` caps the
+    /// branch-and-bound placement trials per candidate II; an II whose
+    /// search exhausts the budget is abandoned and the next II is tried,
+    /// and when no II yields a placement the block falls back to its
+    /// list schedule, so pricing is always defined. Blocks that are not
+    /// in a loop (or not pipelinable) use the list schedule regardless.
+    Modulo {
+        /// Maximum branch-and-bound placement trials per block.
+        budget: u32,
+    },
+}
+
+impl SchedKind {
+    /// Default branch-and-bound budget of [`SchedKind::modulo`]: ample
+    /// for every kernel in the suite (which needs a few hundred trials)
+    /// while still bounding adversarial generated blocks.
+    pub const DEFAULT_BUDGET: u32 = 65_536;
+
+    /// Modulo scheduling with the default trial budget.
+    pub fn modulo() -> Self {
+        SchedKind::Modulo {
+            budget: Self::DEFAULT_BUDGET,
+        }
+    }
+}
+
+impl fmt::Display for SchedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchedKind::List => "list",
+            SchedKind::Modulo { .. } => "modulo",
+        })
+    }
+}
+
 /// Cost of issuing one (macro-)operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpCost {

@@ -43,7 +43,7 @@ pub mod slp;
 pub mod spec;
 
 pub use ir::verify_kernel;
-pub use machine::verify_program;
+pub use machine::{audit_block_schedule, verify_program, verify_program_sched};
 pub use slp::verify_groups;
 pub use spec::verify_spec;
 
@@ -183,6 +183,15 @@ pub enum Invariant {
     ResourceOverflow,
     /// A serializing operation shares the machine with another op.
     SerializedOverlap,
+    /// A modulo schedule issues an op before a loop-carried dependence
+    /// (shifted by the initiation interval) is satisfied: iteration
+    /// `k+1`'s consumer starts before iteration `k`'s producer finished.
+    LoopCarriedOrder,
+    /// A modulo schedule's steady state oversubscribes the machine: the
+    /// issue log folded modulo the II exceeds a per-residue unit/issue
+    /// budget, the loop-control ops no longer fit beside it, or the
+    /// prologue/epilogue split does not reassemble the makespan.
+    SteadyStateOverflow,
 }
 
 impl fmt::Display for Invariant {
@@ -214,6 +223,12 @@ impl fmt::Display for Invariant {
             Invariant::IssueBeforeReady => "op must not issue before its operands are ready",
             Invariant::ResourceOverflow => "per-cycle unit and issue budgets must be respected",
             Invariant::SerializedOverlap => "serialized ops must occupy the machine alone",
+            Invariant::LoopCarriedOrder => {
+                "loop-carried dependences must be satisfied across the initiation interval"
+            }
+            Invariant::SteadyStateOverflow => {
+                "the steady state must respect per-residue budgets and the prologue/epilogue split"
+            }
         };
         f.write_str(s)
     }
@@ -316,9 +331,10 @@ pub fn verify_boundary(level: VerifyLevel, artifact: &PassArtifact<'_>) -> Resul
             program,
             target,
             role,
+            sched,
         } => {
             if *role != ProgramRole::Candidate || paranoid {
-                verify_program(program, target)
+                verify_program_sched(program, target, *sched)
             } else {
                 Ok(())
             }

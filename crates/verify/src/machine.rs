@@ -24,23 +24,32 @@
 //! * vector widths have a SIMD configuration on the target, and
 //!   requantization shifts fit the 63-bit grid on every lane.
 //!
-//! Schedule checks (per block, against [`schedule_block`]'s issue log):
+//! Schedule checks (per block, against the scheduler's issue log — the
+//! list scheduler's, or the modulo scheduler's when the flow pipelines):
 //!
 //! * no op issues before every predecessor's result is available;
 //! * per cycle, no functional-unit class exceeds its capacity and the
-//!   total stays within the issue width;
+//!   total stays within the issue width (for a pipelined schedule the
+//!   usage is folded modulo the initiation interval and re-totaled
+//!   per residue);
 //! * every op's logged slots add up to its full cost;
 //! * serializing ops (soft-float calls) share no cycle with any other
-//!   op.
+//!   op — and never appear in a pipelined schedule at all;
+//! * a pipelined schedule satisfies every loop-carried dependence
+//!   across the II (`start[to] + ii ≥ finish[from]`) over carried
+//!   edges this checker re-derives itself from `var_defs` and the
+//!   block's array accesses, leaves headroom for the loop-control ops
+//!   in the steady state, and splits its makespan exactly into
+//!   prologue + epilogue.
 
 use crate::{Invariant, Pass, VerifyError};
 use slpwlo_core::{
-    broadcast_lane, ix_bounds, operand_fmts, result_fmt, schedule_block, Loc, MachineBlock,
-    MachineProgram, MopKind, Operand,
+    broadcast_lane, ix_bounds, operand_fmts, result_fmt, schedule_block_with, Loc, MachineBlock,
+    MachineProgram, ModuloSchedule, MopKind, Operand, Schedule,
 };
 use slpwlo_fixedpoint::QFormat;
-use slpwlo_targets::{OpClass, OpQuery, TargetModel};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use slpwlo_targets::{OpClass, OpCost, OpQuery, SchedKind, TargetModel};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 struct Ctx<'a> {
     program: &'a MachineProgram,
@@ -113,14 +122,46 @@ fn query_lanes(q: OpQuery) -> Option<u32> {
 }
 
 /// Verifies a lowered program's structural invariants and re-audits its
-/// schedule against `target`'s resource model.
+/// list schedule against `target`'s resource model.
 pub fn verify_program(program: &MachineProgram, target: &TargetModel) -> Result<(), VerifyError> {
+    verify_program_sched(program, target, SchedKind::List)
+}
+
+/// [`verify_program`] auditing the schedule the flow actually prices:
+/// under [`SchedKind::Modulo`], blocks the scheduler pipelines are
+/// checked against the modulo invariants (II-shifted dependences,
+/// per-residue steady-state budgets) instead of the flat-cycle audit.
+pub fn verify_program_sched(
+    program: &MachineProgram,
+    target: &TargetModel,
+    kind: SchedKind,
+) -> Result<(), VerifyError> {
     for (bi, block) in program.blocks.iter().enumerate() {
         let ctx = Ctx { program, block: bi };
         verify_block_structure(&ctx, block, target)?;
-        verify_block_schedule(&ctx, block, target)?;
+        let sched = schedule_block_with(target, block, kind);
+        audit_schedule(&ctx, block, target, &sched)?;
     }
     Ok(())
+}
+
+/// Audits an externally supplied schedule of `program`'s block
+/// `block_index` against `target`'s resource model — the same audit
+/// [`verify_program_sched`] applies to the schedules it computes
+/// itself. Public so tests can prove the checker *rejects* corrupted
+/// schedules (a hand-shifted steady state, a decremented II) rather
+/// than merely accepting everything the scheduler emits.
+pub fn audit_block_schedule(
+    program: &MachineProgram,
+    block_index: usize,
+    target: &TargetModel,
+    sched: &Schedule,
+) -> Result<(), VerifyError> {
+    let ctx = Ctx {
+        program,
+        block: block_index,
+    };
+    audit_schedule(&ctx, &program.blocks[block_index], target, sched)
 }
 
 /// Checks one location access. Scalar accesses are free to leave
@@ -400,12 +441,72 @@ fn check_shift(ctx: &Ctx<'_>, i: usize, shift: i32) -> Result<(), VerifyError> {
     Ok(())
 }
 
-fn verify_block_schedule(
+/// The verifier's own loop-carried (distance-1) dependence derivation,
+/// deliberately re-coded rather than shared with the scheduler's:
+/// `var_defs` commits make next-iteration readers depend on the
+/// defining op, and every array *written* in the block (stores, vector
+/// stores, shift-ins) conservatively conflicts writer↔toucher across
+/// iterations, including an op against its own next copy.
+fn carried_edges(block: &MachineBlock) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (v, def) in &block.var_defs {
+        let Operand::Op(j) = def else { continue };
+        for (i, op) in block.ops.iter().enumerate() {
+            if kind_operands(&op.kind)
+                .into_iter()
+                .any(|o| matches!(o, Operand::Var(r) if r == v))
+            {
+                edges.push((*j, i));
+            }
+        }
+    }
+    // (array, writes) pairs per op; `kind_locs` covers loads/stores,
+    // shift-in rewrites its whole array.
+    let touches = |op: &slpwlo_core::Mop| -> Vec<(usize, bool)> {
+        let mut t: Vec<(usize, bool)> = kind_locs(&op.kind)
+            .into_iter()
+            .filter_map(|(loc, writes, _)| match loc {
+                Loc::Array(a, _) => Some((a.index(), writes)),
+                Loc::Param(..) => None,
+            })
+            .collect();
+        if let MopKind::ShiftIn { array, .. } = &op.kind {
+            t.push((array.index(), true));
+        }
+        t
+    };
+    let per_op: Vec<Vec<(usize, bool)>> = block.ops.iter().map(touches).collect();
+    let written: BTreeSet<usize> = per_op
+        .iter()
+        .flatten()
+        .filter(|(_, w)| *w)
+        .map(|(a, _)| *a)
+        .collect();
+    for &a in &written {
+        let touchers: Vec<usize> = (0..block.ops.len())
+            .filter(|&i| per_op[i].iter().any(|&(t, _)| t == a))
+            .collect();
+        for &w in touchers
+            .iter()
+            .filter(|&&i| per_op[i].iter().any(|&(t, wr)| t == a && wr))
+        {
+            for &t in &touchers {
+                edges.push((w, t));
+                edges.push((t, w));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn audit_schedule(
     ctx: &Ctx<'_>,
     block: &MachineBlock,
     target: &TargetModel,
+    sched: &Schedule,
 ) -> Result<(), VerifyError> {
-    let sched = schedule_block(target, block);
     let costs: Vec<_> = block.ops.iter().map(|op| target.cost(op.query)).collect();
 
     for (i, op) in block.ops.iter().enumerate() {
@@ -454,6 +555,9 @@ fn verify_block_schedule(
             ));
         }
     }
+    if let Some(m) = &sched.modulo {
+        return audit_modulo_overlay(ctx, block, target, sched, &costs, m);
+    }
     for (cycle, entries) in &per_cycle {
         let serialized = entries.iter().find(|&&(i, _)| costs[i].serialize);
         if let Some(&(si, _)) = serialized {
@@ -492,6 +596,110 @@ fn verify_block_schedule(
                 ));
             }
         }
+    }
+    Ok(())
+}
+
+/// The modulo-specific half of the schedule audit: everything the flat
+/// per-cycle check cannot see once iterations overlap. The steady-state
+/// resource usage is re-derived here from the issue log alone — folded
+/// modulo the II per residue — never read back from the scheduler's
+/// reservation table.
+fn audit_modulo_overlay(
+    ctx: &Ctx<'_>,
+    block: &MachineBlock,
+    target: &TargetModel,
+    sched: &Schedule,
+    costs: &[OpCost],
+    m: &ModuloSchedule,
+) -> Result<(), VerifyError> {
+    if m.ii == 0 {
+        return Err(ctx.err(
+            Invariant::SteadyStateOverflow,
+            None,
+            "initiation interval must be at least 1",
+        ));
+    }
+    if m.prologue + m.epilogue != sched.makespan {
+        return Err(ctx.err(
+            Invariant::SteadyStateOverflow,
+            None,
+            format!(
+                "prologue {} + epilogue {} must reassemble makespan {}",
+                m.prologue, m.epilogue, sched.makespan
+            ),
+        ));
+    }
+    // A serializing op blocks the whole machine and cannot overlap with
+    // any other iteration's ops — it has no place in a pipeline.
+    if let Some(i) = costs.iter().position(|c| c.serialize) {
+        return Err(ctx.err(
+            Invariant::SerializedOverlap,
+            Some(i),
+            "serializing op inside a pipelined schedule",
+        ));
+    }
+    // II-shifted loop-carried dependences: iteration k+1's consumer
+    // (start + ii in absolute cycles) must not precede iteration k's
+    // producer finishing.
+    for (from, to) in carried_edges(block) {
+        if sched.start[to] + m.ii < sched.finish[from] {
+            return Err(ctx.err(
+                Invariant::LoopCarriedOrder,
+                Some(to),
+                format!(
+                    "starts at {} (+ II {}) but carried producer op {from} finishes at {}",
+                    sched.start[to], m.ii, sched.finish[from]
+                ),
+            ));
+        }
+    }
+    // Steady-state budgets: fold the issue log per residue and re-check
+    // every cap; in the steady state one copy of every logged slot is
+    // in flight per II window.
+    let mut residue_class: HashMap<(u64, OpClass), u32> = HashMap::new();
+    let mut residue_issue: HashMap<u64, u32> = HashMap::new();
+    let mut total_slots = 0u64;
+    for &(i, cycle, slots) in &sched.issues {
+        let r = cycle % m.ii;
+        *residue_class.entry((r, costs[i].class)).or_default() += slots;
+        *residue_issue.entry(r).or_default() += slots;
+        total_slots += slots as u64;
+    }
+    for ((r, class), used) in residue_class {
+        let cap = target.units.of(class);
+        if used > cap {
+            return Err(ctx.err(
+                Invariant::SteadyStateOverflow,
+                None,
+                format!("residue {r} uses {used} {class:?} slots of {cap}"),
+            ));
+        }
+    }
+    for (r, used) in residue_issue {
+        if used > target.issue_width {
+            return Err(ctx.err(
+                Invariant::SteadyStateOverflow,
+                None,
+                format!(
+                    "residue {r} issues {used} ops on a {}-wide machine",
+                    target.issue_width
+                ),
+            ));
+        }
+    }
+    // The loop-control ops run every iteration too; the steady state
+    // must leave them aggregate issue headroom inside one II window.
+    let window = m.ii * target.issue_width as u64;
+    if total_slots + target.loop_overhead_ops as u64 > window {
+        return Err(ctx.err(
+            Invariant::SteadyStateOverflow,
+            None,
+            format!(
+                "{total_slots} slots + {} loop-control ops exceed the II window of {window}",
+                target.loop_overhead_ops
+            ),
+        ));
     }
     Ok(())
 }

@@ -15,7 +15,7 @@
 
 use std::time::{Duration, Instant};
 
-use slpwlo::core::{wlo_slp_flow_checked, BenefitKind, PassArtifact};
+use slpwlo::core::{wlo_slp_flow_checked, BenefitKind, PassArtifact, SchedKind};
 use slpwlo::kernels::all_benchmarks;
 use slpwlo::targets::xentium;
 use slpwlo::verify::verify_boundary;
@@ -51,8 +51,15 @@ fn attributed_checker_time() -> Duration {
             spent += start.elapsed();
             r
         };
-        wlo_slp_flow_checked(&prep, &target, -40.0, BenefitKind::default(), &mut check)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        wlo_slp_flow_checked(
+            &prep,
+            &target,
+            -40.0,
+            BenefitKind::default(),
+            SchedKind::List,
+            &mut check,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
     }
     spent
 }

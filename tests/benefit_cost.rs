@@ -15,6 +15,7 @@
 mod common;
 
 use common::extract_on_spec;
+use slpwlo::core::cycles_per_activation;
 use slpwlo::core::nodes::value_wl;
 use slpwlo::core::{lower_fixed, lower_scalar};
 use slpwlo::fixedpoint::range::{determine_ranges, RangeOptions};
@@ -22,7 +23,6 @@ use slpwlo::fixedpoint::FixedPointSpec;
 use slpwlo::ir::blocks::collect_blocks;
 use slpwlo::ir::Dfg;
 use slpwlo::kernels::all_benchmarks;
-use slpwlo::sim::cycles_per_activation;
 use slpwlo::slp::{extract_plain_with, BenefitKind};
 use slpwlo::targets::{vex, FuSet, OpQuery, SimdConfig, TargetModel};
 

@@ -7,10 +7,10 @@
 //! [`IncrementalEvaluator`] the flows now use.
 
 use slpwlo::accuracy::{AccuracyEvaluator, IncrementalEvaluator};
+use slpwlo::core::total_cycles;
 use slpwlo::core::{prepare, tabu_wlo, wlo_slp, TabuOptions};
 use slpwlo::fixedpoint::FixedPointSpec;
 use slpwlo::kernels::{conv3x3, fir64, iir10};
-use slpwlo::sim::total_cycles;
 use slpwlo::targets::xentium;
 
 fn assert_specs_identical(

@@ -24,13 +24,13 @@
 mod common;
 
 use slpwlo::core::nodes::value_wl;
+use slpwlo::core::total_cycles;
 use slpwlo::core::{lower_fixed, lower_scalar};
 use slpwlo::fixedpoint::range::{determine_ranges, RangeOptions};
 use slpwlo::fixedpoint::FixedPointSpec;
 use slpwlo::gen::KernelGen;
 use slpwlo::ir::blocks::collect_blocks;
 use slpwlo::ir::Dfg;
-use slpwlo::sim::total_cycles;
 use slpwlo::slp::extract_plain;
 use slpwlo::targets::{vex, xentium};
 use slpwlo::verify::verify_groups;

@@ -455,3 +455,89 @@ fn machine_mutations_kill_the_machine_checker() {
         "no benchmark lowering emitted a vector access to corrupt"
     );
 }
+
+/// Pipelining-specific corruption of otherwise-clean modulo schedules:
+/// tearing the prologue/epilogue reassembly identity, folding the whole
+/// issue log onto one residue, and stretching an op past its own
+/// loop-carried dependence. Each must die in the machine pass with the
+/// matching modulo invariant — none of these is visible to the flat
+/// per-cycle audit, which is exactly why the overlay exists.
+#[test]
+fn modulo_schedule_mutations_kill_the_machine_checker() {
+    use slpwlo::core::{loop_carried_deps, schedule_block_with, SchedKind};
+    use slpwlo::verify::audit_block_schedule;
+
+    let mut identity_kills = 0usize;
+    let mut residue_kills = 0usize;
+    let mut carried_kills = 0usize;
+    for target in [xentium(), vex(4), vex(1)] {
+        for bench in all_benchmarks() {
+            let (simd, scalar) = lowerings(&bench, &target);
+            for program in [&simd, &scalar] {
+                for (b, block) in program.blocks.iter().enumerate() {
+                    let sched = schedule_block_with(&target, block, SchedKind::modulo());
+                    let Some(ms) = sched.modulo else { continue };
+                    audit_block_schedule(program, b, &target, &sched).unwrap_or_else(|e| {
+                        panic!("{}: clean pipelined schedule rejected: {e}", bench.name)
+                    });
+
+                    // Tear the `prologue + epilogue == makespan` identity
+                    // the pipelined pricing formula rests on.
+                    let mut mutant = sched.clone();
+                    mutant.modulo.as_mut().unwrap().prologue += 1;
+                    assert_kill(
+                        &format!("{}/modulo-identity {}", bench.name, target.name),
+                        audit_block_schedule(program, b, &target, &mutant),
+                        Pass::Machine,
+                        Invariant::SteadyStateOverflow,
+                    );
+                    identity_kills += 1;
+
+                    // Fold the whole issue log onto residue 0. The flat
+                    // retotal still balances (per-op slot sums are
+                    // untouched), so only the steady-state re-derivation
+                    // can notice the residue is over budget.
+                    let slots: u64 = sched.issues.iter().map(|&(_, _, s)| s as u64).sum();
+                    if slots > target.issue_width as u64 {
+                        let mut mutant = sched.clone();
+                        for entry in &mut mutant.issues {
+                            entry.1 = 0;
+                        }
+                        assert_kill(
+                            &format!("{}/modulo-residue {}", bench.name, target.name),
+                            audit_block_schedule(program, b, &target, &mutant),
+                            Pass::Machine,
+                            Invariant::SteadyStateOverflow,
+                        );
+                        residue_kills += 1;
+                    }
+
+                    // Stretch a carried producer past what the II-shifted
+                    // consumer tolerates: iteration k+1's copy of `to`
+                    // now reads before iteration k's `from` has finished.
+                    // Carried producers feed only the next iteration, so
+                    // a successor-free one keeps the intra-iteration
+                    // checks quiet and the II-shifted check must fire.
+                    let succ_free = |w: usize| block.ops.iter().all(|op| !op.preds.contains(&w));
+                    if let Some((from, to)) = loop_carried_deps(block)
+                        .into_iter()
+                        .find(|&(from, _)| succ_free(from))
+                    {
+                        let mut mutant = sched.clone();
+                        mutant.finish[from] = sched.start[to] + ms.ii + 1;
+                        assert_kill(
+                            &format!("{}/modulo-carried {}", bench.name, target.name),
+                            audit_block_schedule(program, b, &target, &mutant),
+                            Pass::Machine,
+                            Invariant::LoopCarriedOrder,
+                        );
+                        carried_kills += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(identity_kills > 0, "no benchmark block pipelined");
+    assert!(residue_kills > 0, "no residue-overflow kills");
+    assert!(carried_kills > 0, "no loop-carried kills");
+}
