@@ -19,7 +19,13 @@
 //!   activation, group-count flips, and the modulo scheduler's
 //!   budget-fallback rate across every eligible block, recorded to
 //!   `BENCH_sched.json` (own `--sched-json` flag — the global `--json`
-//!   override belongs to the benefit study).
+//!   override belongs to the benefit study);
+//! * **selection exactness** — greedy cycle-priced selection vs the
+//!   exact `BenefitKind::Optimal` branch-and-bound across the suite on
+//!   XENTIUM and single-issue VEX: cycles per activation of both legs,
+//!   the relative gap, flow time, and the search's fallback counters,
+//!   recorded to `BENCH_optimal.json` (own `--optimal-json` flag), with
+//!   the never-slower contract and a zero budget-fallback rate asserted.
 //!
 //! Each variant is a custom [`CompilationFlow`] strategy plugged into the
 //! unified `Optimizer` driver — the extension point new flows register
@@ -42,7 +48,10 @@ use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
 use slpwlo_ir::dfg::Dfg;
 use slpwlo_kernels::{all_benchmarks, paper_benchmarks, Benchmark};
-use slpwlo_slp::{run_selection, BenefitModel, CandidateView, Round, SelectHooks, SimdGroup};
+use slpwlo_slp::{
+    absorb_selected, run_selection, BenefitModel, CandidateView, Round, SelectHooks, SelectStats,
+    SimdGroup,
+};
 use slpwlo_targets::{all_targets, st240, vex, xentium, CycleCache, TargetModel};
 
 /// Accuracy hooks with the pairwise conflict detection disabled.
@@ -103,12 +112,7 @@ impl CompilationFlow for AblatedWloSlp {
                 if selected.is_empty() {
                     break;
                 }
-                groups.retain(|g| {
-                    !selected
-                        .iter()
-                        .any(|s| s.lanes() > g.lanes() && s.overlaps(g))
-                });
-                groups.extend(selected);
+                absorb_selected(&mut groups, selected);
             }
             if self.0 != Ablate::Scalopt {
                 let _ = scaling_optimize(&mut spec, &dfg, &groups, &prep.eval, db, target);
@@ -126,6 +130,7 @@ impl CompilationFlow for AblatedWloSlp {
             scalar,
             group_count,
             noise_db: Some(noise_db),
+            select: SelectStats::default(),
         })
     }
 }
@@ -368,6 +373,121 @@ fn sched_study() -> Result<(), Error> {
     Ok(())
 }
 
+/// Greedy-vs-exact pack-selection study at −40 dB: per benchmark and
+/// target the joint flow runs once under the greedy cycle-priced kind
+/// and once under [`BenefitKind::Optimal`] (default budget), recording
+/// scheduled cycles per activation of both legs, the relative gap, the
+/// end-to-end flow time, and the exact selector's search counters. Two
+/// gates keep the study honest:
+///
+/// * the exact kind's cycles never exceed greedy's on any point — the
+///   portfolio-arbitration contract, re-checked on real suite data
+///   rather than generated kernels;
+/// * the default search budget covers the whole suite, gated at
+///   **exactly zero** fallbacks: a budget fallback silently degrades
+///   "exact" to greedy, so any nonzero rate makes the study's label a
+///   lie.
+///
+/// Results go to `--optimal-json <path>` (default
+/// `BENCH_optimal.json`) — a dedicated flag for the same reason as
+/// `--sched-json`.
+fn optimal_study() -> Result<(), Error> {
+    let mut micro = Micro::with_options(MicroOptions::from_env_args());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--optimal-json")
+        .and_then(|pos| args.get(pos + 1).cloned())
+        .unwrap_or_else(|| "BENCH_optimal.json".to_string());
+    let (mut rounds, mut improved, mut budget_fallbacks) = (0u64, 0u64, 0u64);
+    let mut improved_points = 0usize;
+    for target in [xentium(), vex(1)] {
+        println!(
+            "\nGreedy vs exact pack selection on {} (cycles/activation at -40 dB)\n\
+             {:<18} {:>10} {:>10} {:>8} {:>10}",
+            target.name, "bench", "greedy", "optimal", "gap", "rounds"
+        );
+        for bench in all_benchmarks() {
+            let mut cpa = [0u64; 2];
+            let mut stats = SelectStats::default();
+            for (k, (label, kind)) in [
+                ("greedy", BenefitKind::Cycles),
+                ("optimal", BenefitKind::optimal()),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let opt = Optimizer::for_kernel(bench.kernel.clone())?
+                    .target(target.clone())
+                    .constraint_db(-40.0)
+                    .flow(FlowKind::WloSlp)
+                    .benefit_kind(kind);
+                // End-to-end flow time: the optimal leg pays for the
+                // branch-and-bound search *and* the greedy portfolio
+                // leg it arbitrates against. The timed closure's last
+                // run doubles as the report.
+                let mut report = None;
+                micro.bench(
+                    &format!("optimal_time/{}/{}/{label}", bench.name, target.name),
+                    || report = Some(opt.run().expect("feasible point")),
+                );
+                let report = report.expect("bench ran at least once");
+                cpa[k] = cycles_per_activation(&target, &report.simd);
+                micro.metric(
+                    &format!("optimal_cpa/{}/{}/{label}", bench.name, target.name),
+                    cpa[k] as f64,
+                );
+                if k == 1 {
+                    stats = report.select;
+                }
+            }
+            assert!(
+                cpa[1] <= cpa[0],
+                "{} on {}: exact selection scheduled slower than greedy ({} > {})",
+                bench.name,
+                target.name,
+                cpa[1],
+                cpa[0]
+            );
+            let gap = (cpa[0] as f64 - cpa[1] as f64) / cpa[0].max(1) as f64;
+            micro.metric(&format!("optimal_gap/{}/{}", bench.name, target.name), gap);
+            if cpa[1] < cpa[0] {
+                improved_points += 1;
+            }
+            rounds += stats.rounds;
+            improved += stats.improved;
+            budget_fallbacks += stats.budget_fallbacks;
+            println!(
+                "{:<18} {:>10} {:>10} {:>7.1}% {:>10}",
+                bench.name,
+                cpa[0],
+                cpa[1],
+                gap * 100.0,
+                stats.rounds
+            );
+        }
+    }
+    micro.metric("optimal_rounds", rounds as f64);
+    micro.metric("optimal_improved_rounds", improved as f64);
+    micro.metric("optimal_improved_points", improved_points as f64);
+    let fallback_rate = if rounds == 0 {
+        0.0
+    } else {
+        budget_fallbacks as f64 / rounds as f64
+    };
+    micro.metric("optimal_budget_fallback_rate", fallback_rate);
+    assert_eq!(
+        budget_fallbacks, 0,
+        "exact search budget exhausted on {budget_fallbacks}/{rounds} rounds: \
+         the default budget no longer covers the suite"
+    );
+    micro
+        .write_json(std::path::Path::new(&json_path))
+        .expect("write optimal study JSON");
+    println!("wrote {json_path}");
+    Ok(())
+}
+
 fn main() -> Result<(), Error> {
     let target = xentium();
     println!(
@@ -399,5 +519,6 @@ fn main() -> Result<(), Error> {
         }
     }
     benefit_model_study()?;
-    sched_study()
+    sched_study()?;
+    optimal_study()
 }

@@ -22,7 +22,7 @@ use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::collect_blocks;
 use slpwlo_ir::dfg::{Dfg, NodeId};
 use slpwlo_ir::Kernel;
-use slpwlo_slp::{extract_rounds_with, BenefitKind, CandidateView, SelectHooks};
+use slpwlo_slp::{extract_rounds_stats, BenefitKind, CandidateView, SelectHooks, SelectStats};
 use slpwlo_targets::{SchedKind, TargetModel};
 
 /// A kernel with its once-per-kernel analyses (ranges, noise gains).
@@ -82,6 +82,20 @@ pub fn extract_on_spec_sched(
     benefit: BenefitKind,
     sched: SchedKind,
 ) -> Vec<(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)> {
+    let mut stats = SelectStats::default();
+    extract_on_spec_stats(kernel, spec, target, benefit, sched, &mut stats)
+}
+
+/// [`extract_on_spec_sched`] accumulating the exact selector's search
+/// statistics into `stats` (untouched under the greedy kinds).
+pub fn extract_on_spec_stats(
+    kernel: &Kernel,
+    spec: &FixedPointSpec,
+    target: &TargetModel,
+    benefit: BenefitKind,
+    sched: SchedKind,
+    stats: &mut SelectStats,
+) -> Vec<(slpwlo_ir::blocks::Block, Dfg, Vec<slpwlo_slp::SimdGroup>)> {
     struct FrozenSpecHooks<'a> {
         target: &'a TargetModel,
         spec: &'a FixedPointSpec,
@@ -118,7 +132,7 @@ pub fn extract_on_spec_sched(
                     dfg: &dfg,
                     sched,
                 };
-                extract_rounds_with(&dfg, target, &mut hooks, benefit)
+                extract_rounds_stats(&dfg, target, &mut hooks, benefit, stats)
             };
             (b, dfg, groups)
         })
@@ -297,6 +311,42 @@ pub struct FlowResult {
     pub group_count: usize,
     /// Predicted output noise power of the final spec (dB).
     pub noise_db: f64,
+    /// Exact-selector search statistics (all zeros under the greedy
+    /// kinds). Under [`BenefitKind::Optimal`] these always describe the
+    /// exact leg's search, even when portfolio arbitration returns the
+    /// greedy leg's program.
+    pub select: SelectStats,
+}
+
+/// Portfolio arbitration for [`BenefitKind::Optimal`]: per-round
+/// model-value optimality does not by itself bound the *final* scheduled
+/// cycle count (rounds interact through `SETMAXWL`, and the scheduler
+/// guard re-prices whole blocks), so the flow also runs the greedy
+/// cycle-priced leg end to end and returns whichever program schedules
+/// faster — ties go to the exact leg, keeping budget-0 runs bitwise
+/// identical to greedy. A greedy win bumps `select.portfolio_fallbacks`;
+/// the exact leg's search statistics are carried either way.
+fn arbitrate_portfolio<E>(
+    exact: FlowResult,
+    benefit: BenefitKind,
+    target: &TargetModel,
+    sched: SchedKind,
+    greedy_leg: &mut dyn FnMut(BenefitKind) -> Result<FlowResult, E>,
+) -> Result<FlowResult, E> {
+    if !matches!(benefit, BenefitKind::Optimal { .. }) {
+        return Ok(exact);
+    }
+    let greedy = greedy_leg(BenefitKind::Cycles)?;
+    let costs = slpwlo_targets::CycleCache::new(target);
+    let exact_cycles = crate::sched::cycles_per_activation_cached(&costs, &exact.simd, sched);
+    let greedy_cycles = crate::sched::cycles_per_activation_cached(&costs, &greedy.simd, sched);
+    if greedy_cycles < exact_cycles {
+        let mut select = exact.select;
+        select.portfolio_fallbacks += 1;
+        Ok(FlowResult { select, ..greedy })
+    } else {
+        Ok(exact)
+    }
 }
 
 /// The paper's joint flow (`WLO-SLP`, fig. 3).
@@ -333,7 +383,26 @@ pub fn wlo_slp_flow_with(
 /// aborts the flow and surfaces unchanged; instantiate `E` as
 /// [`std::convert::Infallible`] for a free no-op. `sched` governs both
 /// the benefit model's admission hedge and the scheduler-guard pricing.
+///
+/// Under [`BenefitKind::Optimal`] the flow runs twice — the exact leg
+/// and the greedy cycle-priced leg — and the faster-scheduling program
+/// wins (ties to the exact leg), so the exact kind never returns a
+/// program slower than greedy's; `check` sees both legs' artifacts.
 pub fn wlo_slp_flow_checked<E>(
+    prep: &Prepared,
+    target: &TargetModel,
+    constraint_db: f64,
+    benefit: BenefitKind,
+    sched: SchedKind,
+    check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
+) -> Result<FlowResult, E> {
+    let exact = wlo_slp_flow_once(prep, target, constraint_db, benefit, sched, check)?;
+    arbitrate_portfolio(exact, benefit, target, sched, &mut |kind| {
+        wlo_slp_flow_once(prep, target, constraint_db, kind, sched, check)
+    })
+}
+
+fn wlo_slp_flow_once<E>(
     prep: &Prepared,
     target: &TargetModel,
     constraint_db: f64,
@@ -406,6 +475,7 @@ pub fn wlo_slp_flow_checked<E>(
         scalar,
         group_count,
         noise_db,
+        select: res.select,
     })
 }
 
@@ -443,9 +513,25 @@ pub fn wlo_first_flow_with(
 
 /// [`wlo_first_flow_with`] with an explicit scheduler kind and a
 /// pass-boundary callback; see [`wlo_slp_flow_checked`] for the
-/// contract. The pre-Tabu seed specification is reported with
-/// `is_final: false`.
+/// contract (including the two-leg portfolio under
+/// [`BenefitKind::Optimal`]). The pre-Tabu seed specification is
+/// reported with `is_final: false`.
 pub fn wlo_first_flow_checked<E>(
+    prep: &Prepared,
+    target: &TargetModel,
+    constraint_db: f64,
+    tabu: &TabuOptions,
+    benefit: BenefitKind,
+    sched: SchedKind,
+    check: &mut dyn FnMut(PassArtifact<'_>) -> Result<(), E>,
+) -> Result<FlowResult, E> {
+    let exact = wlo_first_flow_once(prep, target, constraint_db, tabu, benefit, sched, check)?;
+    arbitrate_portfolio(exact, benefit, target, sched, &mut |kind| {
+        wlo_first_flow_once(prep, target, constraint_db, tabu, kind, sched, check)
+    })
+}
+
+fn wlo_first_flow_once<E>(
     prep: &Prepared,
     target: &TargetModel,
     constraint_db: f64,
@@ -479,7 +565,9 @@ pub fn wlo_first_flow_checked<E>(
         spec: &spec,
         is_final: true,
     })?;
-    let mut blocks = extract_on_spec_sched(&prep.kernel, &spec, target, benefit, sched);
+    let mut select = SelectStats::default();
+    let mut blocks =
+        extract_on_spec_stats(&prep.kernel, &spec, target, benefit, sched, &mut select);
     for (b, dfg, groups) in &blocks {
         check(PassArtifact::Groups {
             dfg,
@@ -520,6 +608,7 @@ pub fn wlo_first_flow_checked<E>(
         scalar,
         group_count,
         noise_db,
+        select,
     })
 }
 

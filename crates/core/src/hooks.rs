@@ -32,6 +32,11 @@ pub struct AccuracyHooks<'a> {
     /// Scheduler the flow prices blocks under (relayed to the benefit
     /// model, which relaxes its latency hedge when iterations overlap).
     sched: SchedKind,
+    /// Whole-spec snapshot for the exact selector's checkpoint/restore
+    /// protocol. `FixedPointSpec::commit` truncates the undo journal, so
+    /// a committed greedy probe cannot be unwound through the journal —
+    /// a clone of the spec is the only sound checkpoint.
+    saved: Option<FixedPointSpec>,
 }
 
 impl<'a> AccuracyHooks<'a> {
@@ -50,6 +55,7 @@ impl<'a> AccuracyHooks<'a> {
             eval,
             constraint_db,
             sched: SchedKind::List,
+            saved: None,
         }
     }
 
@@ -122,6 +128,22 @@ impl SelectHooks for AccuracyHooks<'_> {
 
     fn sched_kind(&self) -> SchedKind {
         self.sched
+    }
+
+    /// Snapshot the working spec so the exact selector can probe a whole
+    /// greedy round — `on_select` commits included — speculatively.
+    fn checkpoint(&mut self) {
+        self.saved = Some(self.spec.clone());
+    }
+
+    /// Restore the last snapshot and re-synchronize the evaluator's
+    /// incremental caches with the restored spec (the same contract as
+    /// construction).
+    fn restore(&mut self) {
+        if let Some(saved) = self.saved.take() {
+            *self.spec = saved;
+            self.eval.begin(self.spec);
+        }
     }
 }
 

@@ -34,9 +34,9 @@ pub mod tabu;
 pub mod wlo_slp;
 
 pub use flow::{
-    extract_on_spec, extract_on_spec_sched, prepare, prepare_with, wlo_first_flow,
-    wlo_first_flow_checked, wlo_first_flow_with, wlo_slp_flow, wlo_slp_flow_checked,
-    wlo_slp_flow_with, FlowResult, PassArtifact, Prepared, ProgramRole,
+    extract_on_spec, extract_on_spec_sched, extract_on_spec_stats, prepare, prepare_with,
+    wlo_first_flow, wlo_first_flow_checked, wlo_first_flow_with, wlo_slp_flow,
+    wlo_slp_flow_checked, wlo_slp_flow_with, FlowResult, PassArtifact, Prepared, ProgramRole,
 };
 pub use hooks::AccuracyHooks;
 pub use lower::{
@@ -51,7 +51,7 @@ pub use sched::{
     schedule_block, schedule_block_cached, schedule_block_with, total_cycles, total_cycles_cached,
     ModuloAttempt, ModuloSchedule, Schedule,
 };
-pub use slpwlo_slp::BenefitKind;
+pub use slpwlo_slp::{BenefitKind, SelectStats};
 pub use slpwlo_targets::SchedKind;
 pub use tabu::{tabu_wlo, TabuOptions};
 pub use wlo_slp::{wlo_slp, wlo_slp_sched, wlo_slp_with, BlockResult, WloSlpResult};

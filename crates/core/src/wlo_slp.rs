@@ -20,7 +20,9 @@ use slpwlo_fixedpoint::{FixedPointSpec, Ranges};
 use slpwlo_ir::blocks::{blocks_by_priority, Block};
 use slpwlo_ir::dfg::Dfg;
 use slpwlo_ir::Kernel;
-use slpwlo_slp::{run_selection_with, BenefitKind, Round, SimdGroup};
+use slpwlo_slp::{
+    absorb_selected, run_selection_stats, BenefitKind, Round, SelectStats, SimdGroup,
+};
 use slpwlo_targets::{SchedKind, TargetModel};
 
 /// Per-block outcome of the joint optimization.
@@ -44,6 +46,9 @@ pub struct WloSlpResult {
     pub spec: FixedPointSpec,
     /// Per-block groups, in priority order.
     pub blocks: Vec<BlockResult>,
+    /// Exact-selector search statistics accumulated across all rounds of
+    /// all blocks (all zeros under the greedy kinds).
+    pub select: SelectStats,
 }
 
 impl WloSlpResult {
@@ -125,6 +130,7 @@ pub fn wlo_slp_sched(
     let mut spec = FixedPointSpec::from_ranges(kernel, ranges, target.max_wl());
     eval.begin(&spec);
     let mut results = Vec::new();
+    let mut select = SelectStats::default();
 
     // Line 4: visit blocks in priority order.
     for block in blocks_by_priority(kernel) {
@@ -137,18 +143,21 @@ pub fn wlo_slp_sched(
             let selected = {
                 let mut hooks =
                     AccuracyHooks::new(&dfg, &mut spec, eval, constraint_db).with_sched(sched);
-                run_selection_with(&dfg, target, &round, &groups, &mut hooks, benefit)
+                run_selection_stats(
+                    &dfg,
+                    target,
+                    &round,
+                    &groups,
+                    &mut hooks,
+                    benefit,
+                    &mut select,
+                )
             };
             if selected.is_empty() {
                 break;
             }
             // Line 12: wider merges supersede the groups they absorbed.
-            groups.retain(|g| {
-                !selected
-                    .iter()
-                    .any(|s| s.lanes() > g.lanes() && s.overlaps(g))
-            });
-            groups.extend(selected);
+            absorb_selected(&mut groups, selected);
         }
 
         // Line 15: SLP-aware scaling optimization.
@@ -163,6 +172,7 @@ pub fn wlo_slp_sched(
     WloSlpResult {
         spec,
         blocks: results,
+        select,
     }
 }
 

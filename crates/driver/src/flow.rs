@@ -11,7 +11,7 @@
 use crate::error::Error;
 use slpwlo_core::{
     lower_float, wlo_first_flow_checked, wlo_slp_flow_checked, BenefitKind, MachineProgram,
-    PassArtifact, Prepared, ProgramRole, TabuOptions,
+    PassArtifact, Prepared, ProgramRole, SelectStats, TabuOptions,
 };
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_targets::{SchedKind, TargetModel};
@@ -64,6 +64,9 @@ pub struct FlowOutput {
     pub group_count: usize,
     /// Predicted output noise power of `spec` (dB); `None` when exact.
     pub noise_db: Option<f64>,
+    /// Exact-selector search statistics (all zeros under the greedy
+    /// benefit kinds and for flows that do not extract groups).
+    pub select: SelectStats,
 }
 
 /// A pluggable compilation strategy.
@@ -177,6 +180,7 @@ impl CompilationFlow for WloSlpFlow {
             scalar: res.scalar,
             group_count: res.group_count,
             noise_db: Some(res.noise_db),
+            select: res.select,
         })
     }
 }
@@ -206,6 +210,7 @@ impl CompilationFlow for WloFirstFlow {
             scalar: res.scalar,
             group_count: res.group_count,
             noise_db: Some(res.noise_db),
+            select: res.select,
         })
     }
 }
@@ -241,6 +246,7 @@ impl CompilationFlow for FloatFlow {
             scalar,
             group_count: 0,
             noise_db: None,
+            select: SelectStats::default(),
         })
     }
 }

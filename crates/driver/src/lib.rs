@@ -41,5 +41,5 @@ pub use flow::{
 };
 pub use optimizer::Optimizer;
 pub use report::{ExportedC, Report};
-pub use slpwlo_core::BenefitKind;
+pub use slpwlo_core::{BenefitKind, SelectStats};
 pub use slpwlo_verify::{VerifyError, VerifyLevel};

@@ -151,7 +151,11 @@ impl Optimizer {
     /// [`BenefitKind::Cycles`], which prices every candidate through
     /// `TargetModel::cost` at its current word lengths;
     /// [`BenefitKind::Slots`] keeps the historical target-blind
-    /// slot-counting model for ablations).
+    /// slot-counting model for ablations; [`BenefitKind::Optimal`]
+    /// replaces the greedy per-round selection with an exact
+    /// branch-and-bound over the same cycle prices — never worse than
+    /// greedy, with search statistics and fallbacks reported in
+    /// [`Report::select`](crate::Report)).
     pub fn benefit_kind(mut self, benefit: BenefitKind) -> Self {
         self.benefit = benefit;
         self
@@ -320,6 +324,7 @@ impl Optimizer {
             group_count: out.group_count,
             noise_db: out.noise_db,
             activations: self.activations,
+            select: out.select,
         })
     }
 
@@ -708,6 +713,7 @@ kernel tiny {
                     program,
                     group_count: 0,
                     noise_db: None,
+                    select: Default::default(),
                 })
             }
         }

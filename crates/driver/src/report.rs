@@ -2,7 +2,7 @@
 
 use crate::error::Error;
 use slpwlo_codegen::{emit_fixed_c, emit_intrinsics_header, emit_simd_c};
-use slpwlo_core::MachineProgram;
+use slpwlo_core::{MachineProgram, SelectStats};
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::Kernel;
 use slpwlo_sim::speedup;
@@ -52,6 +52,11 @@ pub struct Report {
     pub cycles_simd_list: u64,
     /// Cycles of the scalar program under flat list scheduling.
     pub cycles_scalar_list: u64,
+    /// Exact-selector search statistics: rounds searched, rounds where
+    /// the search improved on the greedy incumbent, and every fallback
+    /// taken (budget exhaustion, accuracy veto on replay, portfolio
+    /// arbitration). All zeros under the greedy benefit kinds.
+    pub select: SelectStats,
 }
 
 /// Paths written by [`Report::export_c`].

@@ -43,14 +43,54 @@ pub enum BenefitKind {
     /// current word lengths.
     #[default]
     Cycles,
+    /// Exact per-round selection: a branch-and-bound search over the
+    /// [`BenefitKind::Cycles`] prices for the conflict-free, acyclic
+    /// candidate subset maximizing total net benefit, with reuse priced
+    /// pairwise-exactly (a partner's speculative reuse becomes certain
+    /// once the partner is in the chosen set). The incumbent is seeded
+    /// from the greedy result, so the exact selector never returns a
+    /// worse packing than greedy; when the search exceeds `budget`
+    /// include-steps in one round it falls back to the greedy result
+    /// deterministically (recorded in `SelectStats::budget_fallbacks`).
+    Optimal {
+        /// Maximum branch-and-bound include-steps per round before the
+        /// deterministic greedy fallback.
+        budget: u32,
+    },
 }
 
 impl BenefitKind {
-    /// Stable machine-readable name (`"slots"` / `"cycles"`).
+    /// Default per-round trial budget of [`BenefitKind::Optimal`] —
+    /// enough to search any round the suite produces exhaustively
+    /// (CFIR's fully-unrolled first round, the suite's largest at 244
+    /// pooled candidates, completes in ~106k include-steps), small
+    /// enough to bound a degenerate round.
+    pub const DEFAULT_BUDGET: u32 = 262_144;
+
+    /// [`BenefitKind::Optimal`] with the default budget.
+    pub fn optimal() -> Self {
+        BenefitKind::Optimal {
+            budget: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// Stable machine-readable name (`"slots"` / `"cycles"` /
+    /// `"optimal"`).
     pub fn name(self) -> &'static str {
         match self {
             BenefitKind::Slots => "slots",
             BenefitKind::Cycles => "cycles",
+            BenefitKind::Optimal { .. } => "optimal",
+        }
+    }
+
+    /// The pricing model assessments run under: [`BenefitKind::Optimal`]
+    /// searches over [`BenefitKind::Cycles`] prices, the other kinds
+    /// price as themselves.
+    pub fn pricing(self) -> BenefitKind {
+        match self {
+            BenefitKind::Optimal { .. } => BenefitKind::Cycles,
+            k => k,
         }
     }
 }
@@ -85,6 +125,21 @@ pub struct CostedBenefit {
 }
 
 impl CostedBenefit {
+    /// A benefit from raw parts with the cycle model's unit reuse
+    /// weight. The parts are taken as-is — including non-finite poison,
+    /// which is the point: tests drive [`sanitized`](Self::sanitized)
+    /// and the selector's admission guard with values the pricing code
+    /// is never supposed to produce.
+    pub fn from_parts(saved: f64, reuse: f64, reuse_speculative: f64, pack: f64) -> Self {
+        CostedBenefit {
+            saved,
+            reuse,
+            reuse_speculative,
+            pack,
+            reuse_weight: 1.0,
+        }
+    }
+
     /// The admission key: positive iff realising the candidate is
     /// expected to be cheaper than leaving its lanes scalar.
     pub fn net(&self) -> f64 {
@@ -96,6 +151,31 @@ impl CostedBenefit {
     pub fn rank(&self) -> f64 {
         let gain = self.saved + self.reuse_weight * self.reuse + self.reuse_speculative;
         (gain / (1.0 + self.pack)).max(0.0)
+    }
+
+    /// Finiteness boundary for everything ordering-sensitive downstream:
+    /// a benefit with any non-finite component (a degenerate price gone
+    /// NaN or infinite) collapses to the unselectable benefit — zero
+    /// gain against infinite pack, so `net()` is `-inf` and `rank()` is
+    /// `0.0`. Admission (`net() <= margin` rejects `-inf`) and ranking
+    /// both then handle the poisoned candidate totally instead of
+    /// letting a NaN slip through `f64`'s partial order.
+    pub fn sanitized(self) -> CostedBenefit {
+        let finite = self.saved.is_finite()
+            && self.reuse.is_finite()
+            && self.reuse_speculative.is_finite()
+            && self.pack.is_finite();
+        if finite {
+            self
+        } else {
+            CostedBenefit {
+                saved: 0.0,
+                reuse: 0.0,
+                reuse_speculative: 0.0,
+                pack: f64::INFINITY,
+                reuse_weight: self.reuse_weight,
+            }
+        }
     }
 }
 
@@ -391,12 +471,10 @@ impl<'a> BenefitModel<'a> {
     /// packs the hedge would reject become admissible — the scheduler
     /// guard still arbitrates with the real pipelined schedule.
     pub fn admission_margin(&self) -> f64 {
-        match (self.kind, self.sched) {
+        match (self.kind.pricing(), self.sched) {
             (BenefitKind::Slots, _) => 0.0,
-            (BenefitKind::Cycles, SchedKind::Modulo { .. }) => 0.0,
-            (BenefitKind::Cycles, SchedKind::List) => {
-                0.5 * self.prices.get().cost(OpQuery::Extract).latency as f64
-            }
+            (_, SchedKind::Modulo { .. }) => 0.0,
+            (_, SchedKind::List) => 0.5 * self.prices.get().cost(OpQuery::Extract).latency as f64,
         }
     }
 
@@ -893,6 +971,67 @@ impl<'a> BenefitModel<'a> {
         let ci = self.round.candidate_of(li, ri)?;
         (ci != self_idx && alive[ci]).then_some(ci)
     }
+
+    // -- exact-selection support ------------------------------------------
+
+    /// Optimistic (shallow) assessment of candidate `idx`: every
+    /// speculative flow counts as certain full-price reuse, with no
+    /// viability recursion. For the cycle pricing this upper-bounds the
+    /// candidate's *in-set* net benefit over every possible chosen set —
+    /// a flow either resolves to certain reuse (what the optimism
+    /// already credits) or degrades to packing traffic — which is what
+    /// makes it a sound branch-and-bound bound for
+    /// [`BenefitKind::Optimal`]. Sanitized like every pass assessment.
+    pub fn assess_optimistic(
+        &self,
+        idx: usize,
+        alive: &[bool],
+        selected: &[SimdGroup],
+    ) -> CostedBenefit {
+        let g = self.round.merged(idx);
+        match self.kind.pricing() {
+            BenefitKind::Slots => self.assess_slots(g, idx, alive, selected),
+            _ => {
+                let viab = RefCell::new(HashMap::new());
+                self.assess_cycles(g, idx, alive, selected, true, &viab)
+            }
+        }
+        .sanitized()
+    }
+
+    /// The live candidates whose selection changes candidate `idx`'s
+    /// pricing through superword reuse: producers of its operand
+    /// superwords and consumers of its result superword. The relation is
+    /// symmetric (a producer's consumer index lists `idx` back), so its
+    /// connected components partition the round's candidates into
+    /// pricing-independent islands — the exact selector searches only
+    /// components that contain a positively-valued member.
+    pub fn reuse_partners(&self, idx: usize, alive: &[bool]) -> Vec<usize> {
+        let g = self.round.merged(idx);
+        let mut out = Vec::new();
+        let arity = match g.kind(self.dfg) {
+            NodeKind::Bin(_) => 2,
+            NodeKind::Un(_) | NodeKind::StoreArray(..) => 1,
+            _ => 0,
+        };
+        for pos in 0..arity {
+            if let Some(sw) = self.operand_superword(g, pos) {
+                if let Some(ci) = self.matching_candidate(&sw, idx, alive) {
+                    out.push(ci);
+                }
+            }
+        }
+        if !matches!(g.kind(self.dfg), NodeKind::StoreArray(..)) {
+            for &ci in self.round.consumers_of(&g.elems) {
+                if ci != idx && alive[ci] {
+                    out.push(ci);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 /// One assessment pass over a fixed `(alive, selected)` state — see
@@ -910,16 +1049,18 @@ pub struct AssessPass<'s, 'a> {
 
 impl AssessPass<'_, '_> {
     /// Full priced assessment of candidate `idx` — identical to
-    /// [`BenefitModel::assess`] with the pass's state.
+    /// [`BenefitModel::assess`] with the pass's state. The result is
+    /// [`sanitized`](CostedBenefit::sanitized): non-finite prices leave
+    /// here as the unselectable benefit, never as a NaN `net()`.
     pub fn assess(&self, idx: usize) -> CostedBenefit {
         let g = self.model.round.merged(idx);
-        match self.model.kind {
+        match self.model.kind.pricing() {
             BenefitKind::Slots => self.model.assess_slots(g, idx, self.alive, self.selected),
-            BenefitKind::Cycles => {
-                self.model
-                    .assess_cycles(g, idx, self.alive, self.selected, false, &self.viable)
-            }
+            _ => self
+                .model
+                .assess_cycles(g, idx, self.alive, self.selected, false, &self.viable),
         }
+        .sanitized()
     }
 }
 
@@ -1154,6 +1295,98 @@ kernel f {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sanitized_collapses_non_finite_benefits() {
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for slot in 0..4 {
+                let mut parts = [1.0, 2.0, 0.5, 3.0];
+                parts[slot] = poison;
+                let b =
+                    CostedBenefit::from_parts(parts[0], parts[1], parts[2], parts[3]).sanitized();
+                assert_eq!(b.net(), f64::NEG_INFINITY, "slot {slot} poison {poison}");
+                assert_eq!(b.rank(), 0.0, "slot {slot} poison {poison}");
+            }
+        }
+        // A finite benefit passes through unchanged.
+        let b = CostedBenefit::from_parts(1.0, 2.0, 0.5, 3.0);
+        assert_eq!(b.sanitized(), b);
+    }
+
+    #[test]
+    fn optimal_kind_prices_as_cycles() {
+        let dfg = fir_unrolled();
+        let target = xentium();
+        let round = Round::new(&dfg, &target, &[]);
+        let cycles = BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::Cycles, |_| 16);
+        let optimal =
+            BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::optimal(), |_| 16);
+        assert_eq!(BenefitKind::optimal().pricing(), BenefitKind::Cycles);
+        assert_eq!(BenefitKind::optimal().name(), "optimal");
+        assert_eq!(cycles.admission_margin(), optimal.admission_margin());
+        let alive = vec![true; round.candidates.len()];
+        for idx in 0..round.candidates.len() {
+            assert_eq!(
+                cycles.assess(idx, &alive, &[]),
+                optimal.assess(idx, &alive, &[]),
+                "candidate {idx}: Optimal must assess exactly as Cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn optimistic_assessment_bounds_the_in_set_assessment() {
+        // The branch-and-bound soundness invariant: the shallow
+        // optimistic net is an upper bound on the candidate's net under
+        // *any* committed set — probed here against the empty set and
+        // against every single-partner set, with liveness off (the
+        // in-set pricing the exact selector's value function uses).
+        let dfg = fir_unrolled();
+        for target in [xentium(), vex(1), vex(4)] {
+            let round = Round::new(&dfg, &target, &[]);
+            let model = BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::Cycles, |_| 16);
+            let alive = vec![true; round.candidates.len()];
+            let dead = vec![false; round.candidates.len()];
+            for idx in 0..round.candidates.len() {
+                let opt = model.assess_optimistic(idx, &alive, &[]).net();
+                let bare = model.assess(idx, &dead, &[]).net();
+                assert!(
+                    opt >= bare - 1e-9,
+                    "{}: cand {idx} optimistic {opt} < bare in-set {bare}",
+                    target.name
+                );
+                for p in model.reuse_partners(idx, &alive) {
+                    let sel = vec![round.merged(p).clone()];
+                    let with = model.assess(idx, &dead, &sel).net();
+                    assert!(
+                        opt >= with - 1e-9,
+                        "{}: cand {idx} optimistic {opt} < in-set-with-{p} {with}",
+                        target.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_partners_is_symmetric() {
+        let dfg = fir_unrolled();
+        let target = xentium();
+        let round = Round::new(&dfg, &target, &[]);
+        let model = BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::Cycles, |_| 16);
+        let alive = vec![true; round.candidates.len()];
+        let mut edges = 0;
+        for idx in 0..round.candidates.len() {
+            for p in model.reuse_partners(idx, &alive) {
+                edges += 1;
+                assert!(
+                    model.reuse_partners(p, &alive).contains(&idx),
+                    "edge {idx} -> {p} has no back edge"
+                );
+            }
+        }
+        assert!(edges > 0, "FIR must expose at least one reuse edge");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * the iterative **selection loop** with pluggable hooks, through which
 //!   `slpwlo-core` injects the paper's accuracy-awareness (candidate
 //!   validation, accuracy conflicts, `SETMAXWL` on selection);
+//! * an **exact per-round selector** ([`BenefitKind::Optimal`], module
+//!   [`optimal`]): branch-and-bound over the cycle prices with a greedy
+//!   incumbent and deterministic budget fallback;
 //! * a plain accuracy-*unaware* extraction ([`select::extract_plain`]) used
 //!   by the `WLO-First` baseline flow.
 
@@ -21,6 +24,7 @@ pub mod benefit;
 pub mod candidate;
 pub mod conflict;
 pub mod group;
+pub mod optimal;
 pub mod select;
 
 pub use benefit::{BenefitKind, BenefitModel, CostedBenefit};
@@ -30,7 +34,9 @@ pub use group::{
     closes_cycle, effective_users, fully_independent, group_reaches, mem_status, resolve_producer,
     resolved_operands, MemStatus, SimdGroup,
 };
+pub use optimal::{exhaustive_best, set_value, SelectStats};
 pub use select::{
-    extract_plain, extract_plain_with, extract_rounds, extract_rounds_with, run_selection,
-    run_selection_with, NoHooks, SelectHooks,
+    absorb_selected, extract_plain, extract_plain_with, extract_rounds, extract_rounds_stats,
+    extract_rounds_with, run_selection, run_selection_stats, run_selection_with, NoHooks,
+    SelectHooks,
 };

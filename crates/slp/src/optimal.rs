@@ -1,0 +1,774 @@
+//! Exact per-round pack selection ([`BenefitKind::Optimal`]).
+//!
+//! goSLP (see PAPERS.md) shows that pairwise pack selection can be
+//! solved globally instead of greedily. This module does so without a
+//! solver dependency, mirroring the modulo scheduler's homegrown
+//! branch-and-bound discipline: over one round's candidates it searches
+//! for the conflict-free, acyclic subset maximizing the total *in-set*
+//! net benefit under the [`BenefitKind::Cycles`] prices — in-set
+//! meaning each member is priced against the chosen set itself, so a
+//! candidate's speculative reuse becomes exact the moment its partner
+//! is in the set.
+//!
+//! Three contracts shape the search:
+//!
+//! * **Incumbent seeding** — the greedy result (probed speculatively
+//!   through [`SelectHooks::checkpoint`]/`restore`) is the starting
+//!   incumbent, so the exact selector can never return a set valued
+//!   worse than greedy's.
+//! * **Budget fallback** — each round spends at most `budget`
+//!   include-steps; an exhausted budget abandons the search and replays
+//!   the greedy probe deterministically (recorded in
+//!   [`SelectStats::budget_fallbacks`]).
+//! * **Replay in chosen order** — hook side effects (`SETMAXWL`
+//!   commits) happen only after the search, by replaying the winning
+//!   set through [`SelectHooks::on_select`] in ascending candidate
+//!   order; a veto during that replay (the set's *cumulative* accuracy
+//!   effect can exceed what pairwise conflicts admit) rolls back and
+//!   falls back to greedy ([`SelectStats::veto_fallbacks`]).
+
+use crate::benefit::{BenefitKind, BenefitModel};
+use crate::candidate::{CandidateView, Round};
+use crate::conflict::conflicts;
+use crate::group::{closes_cycle, SimdGroup};
+use crate::select::{greedy_loop, SelectHooks};
+use slpwlo_ir::dfg::Dfg;
+use slpwlo_targets::{CycleCache, TargetModel};
+
+/// Value-comparison slack: two selections within this are considered
+/// equal, so float dust can neither dethrone the greedy incumbent nor
+/// flip a verdict between runs.
+const EPS: f64 = 1e-9;
+
+/// Counters of the exact selector's behaviour, accumulated across
+/// rounds (and blocks) of one flow run. All zeros under the greedy
+/// kinds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Rounds the branch-and-bound search ran on (rounds with at least
+    /// one live candidate).
+    pub rounds: u64,
+    /// Rounds where the search found and committed a set strictly
+    /// better than the greedy incumbent.
+    pub improved: u64,
+    /// Rounds abandoned to the greedy fallback because the include-step
+    /// budget ran out.
+    pub budget_fallbacks: u64,
+    /// Rounds where replaying the improved set was vetoed by the hooks
+    /// (cumulative accuracy effect) and greedy was restored instead.
+    pub veto_fallbacks: u64,
+    /// Flow-level arbitrations that preferred the greedy leg's schedule
+    /// over the exact leg's (the exact selector optimizes the benefit
+    /// model, the flow's contract is real scheduled cycles).
+    pub portfolio_fallbacks: u64,
+}
+
+impl SelectStats {
+    /// Total rounds that fell back to greedy for any per-round reason.
+    pub fn fallbacks(&self) -> u64 {
+        self.budget_fallbacks + self.veto_fallbacks
+    }
+}
+
+/// In-set value of a chosen candidate subset: the sum over members of
+/// their net benefit priced against the chosen set itself (liveness
+/// off, so no speculative optimism — a reuse either resolves against a
+/// chosen or prior group or is paid as packing traffic), each cleared
+/// against the model's admission margin so that adding a candidate that
+/// merely breaks even does not count as an improvement.
+pub fn set_value(
+    model: &BenefitModel<'_>,
+    round: &Round,
+    prior: &[SimdGroup],
+    chosen: &[usize],
+) -> f64 {
+    let mut all: Vec<SimdGroup> = prior.to_vec();
+    all.extend(chosen.iter().map(|&i| round.merged(i).clone()));
+    let dead = vec![false; round.candidates.len()];
+    value_with(model, round, &dead, chosen, &all)
+}
+
+fn value_with(
+    model: &BenefitModel<'_>,
+    _round: &Round,
+    dead: &[bool],
+    chosen: &[usize],
+    all: &[SimdGroup],
+) -> f64 {
+    let margin = model.admission_margin();
+    chosen
+        .iter()
+        .map(|&i| model.assess(i, dead, all).net() - margin)
+        .sum()
+}
+
+/// Reference optimum by subset enumeration, for verification on small
+/// rounds: the feasible (pairwise structurally conflict-free, acyclic
+/// against `prior`) subset of live candidates with maximal
+/// [`set_value`], against the empty set's baseline of zero. Exponential
+/// in the live count — callers gate the size.
+pub fn exhaustive_best(
+    dfg: &Dfg,
+    model: &BenefitModel<'_>,
+    round: &Round,
+    prior: &[SimdGroup],
+    alive: &[bool],
+) -> (Vec<usize>, f64) {
+    let live: Vec<usize> = alive
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        live.len() <= 20,
+        "exhaustive_best is for small rounds; got {} live candidates",
+        live.len()
+    );
+    let mut best: (Vec<usize>, f64) = (Vec::new(), 0.0);
+    'subset: for mask in 1u64..(1u64 << live.len()) {
+        let subset: Vec<usize> = live
+            .iter()
+            .enumerate()
+            .filter(|&(b, _)| mask & (1 << b) != 0)
+            .map(|(_, &i)| i)
+            .collect();
+        for (a, &i) in subset.iter().enumerate() {
+            for &j in &subset[a + 1..] {
+                if conflicts(dfg, round, i, j) {
+                    continue 'subset;
+                }
+            }
+        }
+        // Incremental acyclicity in subset order: if the full coarsened
+        // graph were cyclic, the member completing the cycle would be
+        // caught when added.
+        let mut sel: Vec<SimdGroup> = prior.to_vec();
+        for &i in &subset {
+            if closes_cycle(dfg, &sel, round.merged(i)) {
+                continue 'subset;
+            }
+            sel.push(round.merged(i).clone());
+        }
+        let v = set_value(model, round, prior, &subset);
+        if v > best.1 + EPS {
+            best = (subset, v);
+        }
+    }
+    best
+}
+
+/// One exact selection pass over a round. Called from
+/// `run_selection_stats` with the views, validated liveness and
+/// conflict pairs it already computed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_selection_optimal(
+    dfg: &Dfg,
+    target: &TargetModel,
+    round: &Round,
+    selected_so_far: &[SimdGroup],
+    hooks: &mut dyn SelectHooks,
+    views: &[CandidateView],
+    alive: Vec<bool>,
+    conf: &[(usize, usize)],
+    budget: u32,
+    stats: &mut SelectStats,
+) -> Vec<SimdGroup> {
+    let pricing = BenefitKind::Optimal { budget }.pricing();
+    if !alive.iter().any(|&a| a) {
+        return Vec::new();
+    }
+    stats.rounds += 1;
+
+    // Greedy probe: run the full greedy loop speculatively to learn its
+    // chosen set (the incumbent), then roll every hook side effect back
+    // so the search prices candidates at the round-entry spec state —
+    // the same state greedy's own first iteration saw.
+    hooks.checkpoint();
+    let probe = greedy_loop(
+        dfg,
+        target,
+        round,
+        selected_so_far,
+        hooks,
+        pricing,
+        views,
+        alive.clone(),
+        conf,
+    );
+    hooks.restore();
+
+    let max_wl = target.max_wl();
+    let prices = CycleCache::new(target);
+    let (best_set, exhausted) = {
+        let oracle: &dyn SelectHooks = &*hooks;
+        let model = BenefitModel::with_context_shared(
+            dfg,
+            round,
+            &prices,
+            pricing,
+            |n| oracle.current_wl(n).unwrap_or(max_wl),
+            |n| oracle.current_fwl(n),
+        )
+        .assume_equalization(oracle.equalization_follows())
+        .assume_sched(oracle.sched_kind());
+        search(
+            dfg,
+            &model,
+            round,
+            selected_so_far,
+            &alive,
+            conf,
+            budget,
+            &probe.chosen,
+        )
+    };
+
+    if exhausted {
+        stats.budget_fallbacks += 1;
+        return replay(dfg, hooks, views, selected_so_far, &probe.chosen, false)
+            .expect("lax replay never fails");
+    }
+    let Some(mut set) = best_set else {
+        // Greedy already matched the searched optimum: replay its
+        // probe. From the restored round-entry state the same accepted
+        // selections receive the same answers, so this is bitwise the
+        // greedy outcome.
+        return replay(dfg, hooks, views, selected_so_far, &probe.chosen, false)
+            .expect("lax replay never fails");
+    };
+    // Commit the improved set in ascending candidate order — a fixed,
+    // deterministic replay order for the hooks' side effects.
+    set.sort_unstable();
+    hooks.checkpoint();
+    match replay(dfg, hooks, views, selected_so_far, &set, true) {
+        Some(groups) => {
+            stats.improved += 1;
+            groups
+        }
+        None => {
+            // The set's cumulative accuracy effect was vetoed mid-replay:
+            // roll back and fall back to the greedy incumbent.
+            stats.veto_fallbacks += 1;
+            hooks.restore();
+            replay(dfg, hooks, views, selected_so_far, &probe.chosen, false)
+                .expect("lax replay never fails")
+        }
+    }
+}
+
+/// Branch-and-bound over the round's candidates. Returns the best set
+/// strictly better than the greedy incumbent (`None` when greedy is
+/// already optimal among what was searched) and whether the budget ran
+/// out (in which case the best set is meaningless and discarded).
+#[allow(clippy::too_many_arguments)]
+fn search(
+    dfg: &Dfg,
+    model: &BenefitModel<'_>,
+    round: &Round,
+    prior: &[SimdGroup],
+    alive: &[bool],
+    conf: &[(usize, usize)],
+    budget: u32,
+    incumbent: &[usize],
+) -> (Option<Vec<usize>>, bool) {
+    // Per-candidate optimistic bound: the shallow assessment treats
+    // every speculative flow as certain reuse, which upper-bounds the
+    // candidate's in-set net over any chosen set.
+    let margin = model.admission_margin();
+    let n = round.candidates.len();
+    let mut opt = vec![f64::NEG_INFINITY; n];
+    for (i, &a) in alive.iter().enumerate() {
+        if a {
+            opt[i] = model.assess_optimistic(i, alive, prior).net() - margin;
+        }
+    }
+
+    // Restrict the search to candidates reachable from a positive-bound
+    // seed over reuse edges: pricing interactions between candidates
+    // travel exclusively along operand/result superword matches, so a
+    // connected component whose members all bound non-positive cannot
+    // contribute positive value to any set and is dropped whole.
+    let mut in_pool = vec![false; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&i| alive[i] && opt[i] > 0.0).collect();
+    for &i in &queue {
+        in_pool[i] = true;
+    }
+    while let Some(i) = queue.pop() {
+        for p in model.reuse_partners(i, alive) {
+            if !in_pool[p] {
+                in_pool[p] = true;
+                queue.push(p);
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).filter(|&i| in_pool[i]).collect();
+    // Re-tighten the static bounds against the pool itself: partners
+    // outside the pool can never be chosen, so optimism extended to
+    // them (the full `alive` set above — needed first, to make the
+    // reachability closure sound) only loosens every cap derived from
+    // `opt` below.
+    let pool_alive: Vec<bool> = (0..n).map(|i| in_pool[i]).collect();
+    for &i in &order {
+        opt[i] = model.assess_optimistic(i, &pool_alive, prior).net() - margin;
+    }
+    // Best-bound-first ordering tightens the suffix bound fastest;
+    // total_cmp plus the index tie-break keeps it deterministic.
+    order.sort_unstable_by(|&a, &b| opt[b].total_cmp(&opt[a]).then(a.cmp(&b)));
+
+    // Conflict adjacency as bitsets over candidate indices, so an
+    // include bans everything structurally incompatible with it in one
+    // masked AND — and, crucially, so the suffix bound can skip banned
+    // candidates instead of crediting them with value they can never
+    // contribute. Dense rounds (CONV's fully-unrolled taps reach 80+
+    // mutually overlapping candidates) are intractable under the
+    // conflict-blind bound and close in a few thousand steps under this
+    // one.
+    let words = n.div_ceil(64);
+    let mut conf_mask = vec![0u64; n * words];
+    for &(a, b) in conf {
+        conf_mask[a * words + b / 64] |= 1 << (b % 64);
+        conf_mask[b * words + a / 64] |= 1 << (a % 64);
+    }
+    let mut avail = vec![0u64; words];
+    for &i in &order {
+        avail[i / 64] |= 1 << (i % 64);
+    }
+
+    // Greedy clique cover of the pool under the conflict relation, in
+    // best-bound-first order: each candidate joins the first clique it
+    // conflicts with *entirely*, else opens its own. At most one member
+    // of a clique can ever be chosen, so a clique's contribution to any
+    // completion is bounded by its best still-available member — far
+    // tighter than summing every positive candidate on rounds built
+    // from shared items (CFIR's first round has 148 positive candidates
+    // in item-sharing cliques; the per-candidate sum never prunes
+    // there, the cover bound closes the search).
+    let mut cliques: Vec<(Vec<usize>, Vec<u64>)> = Vec::new();
+    for &i in &order {
+        let row = &conf_mask[i * words..(i + 1) * words];
+        let home = cliques
+            .iter()
+            .position(|(_, members)| members.iter().zip(row).all(|(m, r)| m & !r == 0));
+        let c = home.unwrap_or_else(|| {
+            cliques.push((Vec::new(), vec![0u64; words]));
+            cliques.len() - 1
+        });
+        cliques[c].0.push(i);
+        cliques[c].1[i / 64] |= 1 << (i % 64);
+    }
+    let clique_members: Vec<Vec<usize>> = cliques.into_iter().map(|(m, _)| m).collect();
+
+    let incumbent_value = set_value(model, round, prior, incumbent);
+
+    if std::env::var_os("SLPWLO_SEARCH_DEBUG").is_some() {
+        let pos = order.iter().filter(|&&i| opt[i] > 0.0).count();
+        let live_conf = conf
+            .iter()
+            .filter(|&&(a, b)| in_pool[a] && in_pool[b])
+            .count();
+        let root: f64 = clique_members
+            .iter()
+            .map(|m| m.iter().map(|&i| opt[i].max(0.0)).fold(0.0, f64::max))
+            .sum();
+        let sizes: Vec<usize> = clique_members.iter().map(Vec::len).collect();
+        eprintln!(
+            "search: n={n} pool={} positive={pos} conf-pairs={live_conf} cliques={} root-bound={root:.3} incumbent={incumbent_value:.3} sizes={sizes:?}",
+            order.len(),
+            clique_members.len()
+        );
+    }
+
+    let dead = vec![false; n];
+    let mut s = Search {
+        dfg,
+        model,
+        round,
+        order: &order,
+        opt: &opt,
+        conf_mask: &conf_mask,
+        words,
+        cliques: &clique_members,
+        dead: &dead,
+        margin,
+        budget,
+        exhausted: false,
+        chosen: Vec::new(),
+        sel: prior.to_vec(),
+        prior_len: prior.len(),
+        best_value: incumbent_value,
+        best_set: None,
+        alive_buf: vec![false; n],
+        nodes: 0,
+        prunes: 0,
+    };
+    s.dfs(0, &avail);
+    if std::env::var_os("SLPWLO_SEARCH_DEBUG").is_some() {
+        eprintln!(
+            "search end: nodes={} prunes={} includes={} exhausted={} best={:.3} (incumbent {incumbent_value:.3})",
+            s.nodes,
+            s.prunes,
+            budget - s.budget,
+            s.exhausted,
+            s.best_value
+        );
+    }
+    (s.best_set, s.exhausted)
+}
+
+struct Search<'a, 'm> {
+    dfg: &'a Dfg,
+    model: &'a BenefitModel<'m>,
+    round: &'a Round,
+    order: &'a [usize],
+    opt: &'a [f64],
+    /// Row-major `order`-independent adjacency: bit `j` of row `i` is
+    /// set iff candidates `i` and `j` structurally conflict.
+    conf_mask: &'a [u64],
+    words: usize,
+    /// Clique cover of the pool; members of each clique in descending
+    /// optimistic-bound order, mutually conflicting.
+    cliques: &'a [Vec<usize>],
+    dead: &'a [bool],
+    margin: f64,
+    budget: u32,
+    exhausted: bool,
+    /// Candidate indices of the current partial set, in inclusion order.
+    chosen: Vec<usize>,
+    /// Prior groups plus the chosen groups (the pricing context).
+    sel: Vec<SimdGroup>,
+    prior_len: usize,
+    best_value: f64,
+    best_set: Option<Vec<usize>>,
+    /// Scratch liveness slice for path-dependent optimistic bounds.
+    alive_buf: Vec<bool>,
+    nodes: u64,
+    prunes: u64,
+}
+
+impl Search<'_, '_> {
+    /// `avail` holds the candidates still reachable on this path: the
+    /// pool minus everything already decided (included, excluded, or
+    /// conflicting with a chosen member). Every bound term is
+    /// *path-dependent*: a member's contribution to any completion is
+    /// capped by its optimistic assessment against the partners still
+    /// in `avail` (chosen partners resolve through `sel` regardless),
+    /// and each clique surrenders at most one member — so the chosen
+    /// members' dynamic total plus the cover's best-available mass
+    /// bounds every completion of this partial set. Bounding the chosen
+    /// side statically instead is fatal on large rounds: round-entry
+    /// optimism alone can exceed the incumbent at depth 15, and the
+    /// search never prunes again below that.
+    fn dfs(&mut self, k: usize, avail: &[u64]) {
+        if self.exhausted {
+            return;
+        }
+        self.nodes += 1;
+        let Some((pos, i)) = self
+            .order
+            .iter()
+            .enumerate()
+            .skip(k)
+            .find(|&(_, &i)| avail[i / 64] & (1 << (i % 64)) != 0)
+            .map(|(pos, &i)| (pos, i))
+        else {
+            return;
+        };
+        // Refresh the scratch liveness to this subtree's reachable set.
+        for (idx, a) in self.alive_buf.iter_mut().enumerate() {
+            *a = avail[idx / 64] & (1 << (idx % 64)) != 0;
+        }
+        let mut bound: f64 = self
+            .chosen
+            .iter()
+            .map(|&j| {
+                self.model
+                    .assess_optimistic(j, &self.alive_buf, &self.sel)
+                    .net()
+                    - self.margin
+            })
+            .sum();
+        // Add each clique's best still-available member at its dynamic
+        // value. Members are walked in descending static-bound order,
+        // which caps the dynamic value, so the walk stops early; the
+        // whole sum stops as soon as it proves the subtree can still
+        // beat the best (a full sum is only needed to *prune*).
+        for members in self.cliques {
+            if bound > self.best_value + EPS {
+                break;
+            }
+            let mut best_m = 0.0f64;
+            for &m in members {
+                if self.opt[m] <= best_m {
+                    break;
+                }
+                if avail[m / 64] & (1 << (m % 64)) == 0 {
+                    continue;
+                }
+                let d = self
+                    .model
+                    .assess_optimistic(m, &self.alive_buf, &self.sel)
+                    .net()
+                    - self.margin;
+                best_m = best_m.max(d);
+            }
+            bound += best_m.max(0.0);
+        }
+        if bound <= self.best_value + EPS {
+            self.prunes += 1;
+            return;
+        }
+        // Structural conflicts with the chosen set are pre-banned in
+        // `avail`; only the (set-dependent) cycle test remains.
+        if !closes_cycle(self.dfg, &self.sel, self.round.merged(i)) {
+            if self.budget == 0 {
+                self.exhausted = true;
+                return;
+            }
+            self.budget -= 1;
+            self.chosen.push(i);
+            self.sel.push(self.round.merged(i).clone());
+            let v = value_with(self.model, self.round, self.dead, &self.chosen, &self.sel);
+            if v > self.best_value + EPS {
+                self.best_value = v;
+                self.best_set = Some(self.chosen.clone());
+            }
+            let mut narrowed = avail.to_vec();
+            narrowed[i / 64] &= !(1 << (i % 64));
+            let row = &self.conf_mask[i * self.words..(i + 1) * self.words];
+            for (w, c) in narrowed.iter_mut().zip(row) {
+                *w &= !c;
+            }
+            self.dfs(pos + 1, &narrowed);
+            self.chosen.pop();
+            self.sel.truncate(self.prior_len + self.chosen.len());
+            if self.exhausted {
+                return;
+            }
+        }
+        // Exclusion branch: dropping the bit keeps `avail` an exact
+        // image of what this subtree may still use, which is what lets
+        // the clique bound discount the candidate just passed over.
+        let mut narrowed = avail.to_vec();
+        narrowed[i / 64] &= !(1 << (i % 64));
+        self.dfs(pos + 1, &narrowed);
+    }
+}
+
+/// Applies a chosen set through the hooks, in the order given. In
+/// strict mode (the improved set) any rejection — a group that now
+/// closes a cycle, or an `on_select` veto — aborts with `None`. In lax
+/// mode (the greedy probe's log, replayed from the identical restored
+/// state) rejections are skipped; they cannot actually occur, because
+/// the probe only logged accepted selections and the replay reproduces
+/// the probe's state trajectory write for write.
+fn replay(
+    dfg: &Dfg,
+    hooks: &mut dyn SelectHooks,
+    views: &[CandidateView],
+    selected_so_far: &[SimdGroup],
+    chosen: &[usize],
+    strict: bool,
+) -> Option<Vec<SimdGroup>> {
+    let mut selected: Vec<SimdGroup> = selected_so_far.to_vec();
+    let mut new_groups: Vec<SimdGroup> = Vec::new();
+    for &i in chosen {
+        if closes_cycle(dfg, &selected, &views[i].group) || !hooks.on_select(&views[i]) {
+            if strict {
+                return None;
+            }
+            continue;
+        }
+        selected.push(views[i].group.clone());
+        new_groups.push(views[i].group.clone());
+    }
+    Some(new_groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{extract_rounds_stats, run_selection_stats, NoHooks};
+    use slpwlo_ir::blocks::collect_blocks;
+    use slpwlo_ir::parser::parse_kernel;
+    use slpwlo_targets::{st240, vex, xentium};
+
+    fn fir_dfg() -> Dfg {
+        let src = r#"
+kernel f {
+    input x range [-1, 1];
+    output y;
+    param c[4] = { 0.4, 0.3, 0.2, 0.1 };
+    array dl[4];
+    var t0;
+    var t1;
+    shiftin dl <- x;
+    t0 = c[0] * dl[0] + c[1] * dl[1];
+    t1 = c[2] * dl[2] + c[3] * dl[3];
+    y = t0 + t1;
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let blocks = collect_blocks(&k);
+        Dfg::from_stmts(&k, &blocks[0].stmts)
+    }
+
+    /// Per-round: the committed set's value must match the exhaustive
+    /// optimum (on rounds small enough to enumerate), and the search
+    /// must never trip its default budget on this fixture.
+    #[test]
+    fn search_matches_exhaustive_enumeration() {
+        let dfg = fir_dfg();
+        let mut enumerated = 0usize;
+        for target in [xentium(), vex(4), st240()] {
+            let mut groups: Vec<SimdGroup> = Vec::new();
+            let mut stats = SelectStats::default();
+            loop {
+                let round = Round::new(&dfg, &target, &groups);
+                let n = round.candidates.len();
+                let selected = run_selection_stats(
+                    &dfg,
+                    &target,
+                    &round,
+                    &groups,
+                    &mut NoHooks,
+                    BenefitKind::optimal(),
+                    &mut stats,
+                );
+                if n <= 14 {
+                    enumerated += 1;
+                    let alive = vec![true; n];
+                    let model =
+                        BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::Cycles, |_| {
+                            target.max_wl()
+                        });
+                    let chosen_idx: Vec<usize> = selected
+                        .iter()
+                        .map(|g| {
+                            (0..n)
+                                .find(|&i| round.merged(i).elems == g.elems)
+                                .expect("chosen group must be a round candidate")
+                        })
+                        .collect();
+                    let v = set_value(&model, &round, &groups, &chosen_idx);
+                    let (_, best_v) = exhaustive_best(&dfg, &model, &round, &groups, &alive);
+                    assert!(
+                        v + 1e-6 >= best_v,
+                        "{}: chosen value {v} below exhaustive optimum {best_v}",
+                        target.name
+                    );
+                }
+                if selected.is_empty() {
+                    break;
+                }
+                crate::select::absorb_selected(&mut groups, selected);
+            }
+            assert!(stats.rounds > 0, "{}: no round searched", target.name);
+            assert_eq!(
+                stats.budget_fallbacks, 0,
+                "{}: budget too small",
+                target.name
+            );
+        }
+        assert!(enumerated > 0, "no round was small enough to enumerate");
+    }
+
+    /// A zero budget degrades to exactly the greedy selection.
+    #[test]
+    fn zero_budget_replays_greedy_exactly() {
+        let dfg = fir_dfg();
+        for target in [xentium(), vex(4)] {
+            let mut stats = SelectStats::default();
+            let exact = extract_rounds_stats(
+                &dfg,
+                &target,
+                &mut NoHooks,
+                BenefitKind::Optimal { budget: 0 },
+                &mut stats,
+            );
+            let greedy = crate::select::extract_rounds_with(
+                &dfg,
+                &target,
+                &mut NoHooks,
+                BenefitKind::Cycles,
+            );
+            assert_eq!(
+                exact, greedy,
+                "{}: budget-0 diverged from greedy",
+                target.name
+            );
+            assert_eq!(stats.improved, 0);
+            assert_eq!(stats.veto_fallbacks, 0);
+        }
+    }
+
+    /// The exact selector's fixpoint is never valued below greedy's on
+    /// the same block, and the default budget never trips.
+    #[test]
+    fn optimal_never_loses_to_greedy_per_round() {
+        let dfg = fir_dfg();
+        for target in [xentium(), vex(1), vex(4), st240()] {
+            let mut stats = SelectStats::default();
+            let mut groups: Vec<SimdGroup> = Vec::new();
+            loop {
+                let round = Round::new(&dfg, &target, &groups);
+                // Value greedy's per-round choice before running exact.
+                let n = round.candidates.len();
+                let views: Vec<CandidateView> = (0..n).map(|i| round.view(&target, i)).collect();
+                let alive = vec![true; n];
+                let mut conf: Vec<(usize, usize)> = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if conflicts(&dfg, &round, i, j) {
+                            conf.push((i, j));
+                        }
+                    }
+                }
+                let probe = greedy_loop(
+                    &dfg,
+                    &target,
+                    &round,
+                    &groups,
+                    &mut NoHooks,
+                    BenefitKind::Cycles,
+                    &views,
+                    alive,
+                    &conf,
+                );
+                let model =
+                    BenefitModel::with_kind(&dfg, &round, &target, BenefitKind::Cycles, |_| {
+                        target.max_wl()
+                    });
+                let greedy_v = set_value(&model, &round, &groups, &probe.chosen);
+                let selected = run_selection_stats(
+                    &dfg,
+                    &target,
+                    &round,
+                    &groups,
+                    &mut NoHooks,
+                    BenefitKind::optimal(),
+                    &mut stats,
+                );
+                let chosen_idx: Vec<usize> = selected
+                    .iter()
+                    .map(|g| {
+                        (0..round.candidates.len())
+                            .find(|&i| round.merged(i).elems == g.elems)
+                            .unwrap()
+                    })
+                    .collect();
+                let exact_v = set_value(&model, &round, &groups, &chosen_idx);
+                assert!(
+                    exact_v + 1e-9 >= greedy_v,
+                    "{}: exact {exact_v} below greedy incumbent {greedy_v}",
+                    target.name
+                );
+                if selected.is_empty() {
+                    break;
+                }
+                crate::select::absorb_selected(&mut groups, selected);
+            }
+            assert_eq!(stats.budget_fallbacks, 0, "{}", target.name);
+        }
+    }
+}

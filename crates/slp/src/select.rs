@@ -14,10 +14,11 @@
 //!   constraint (a strict guard the paper implies through its conflict
 //!   definition).
 
-use crate::benefit::{BenefitKind, BenefitModel};
+use crate::benefit::{BenefitKind, BenefitModel, CostedBenefit};
 use crate::candidate::{CandidateView, Round};
 use crate::conflict::conflicts;
 use crate::group::{closes_cycle, SimdGroup};
+use crate::optimal::{run_selection_optimal, SelectStats};
 use slpwlo_ir::dfg::{Dfg, NodeId};
 use slpwlo_targets::{CycleCache, SchedKind, TargetModel};
 
@@ -91,6 +92,20 @@ pub trait SelectHooks {
     fn sched_kind(&self) -> SchedKind {
         SchedKind::List
     }
+
+    /// Snapshot the hook's mutable state (the spec under accuracy-aware
+    /// selection). The exact selector ([`BenefitKind::Optimal`]) probes a
+    /// whole greedy round speculatively — `checkpoint`, run greedy
+    /// through `on_select` commits, [`restore`](Self::restore) — before
+    /// replaying the winning set's side effects in chosen order. Hooks
+    /// whose `on_select` mutates state **must** implement both to be
+    /// sound under `Optimal`; the default no-ops are correct for
+    /// stateless hooks.
+    fn checkpoint(&mut self) {}
+
+    /// Roll the hook's mutable state back to the last
+    /// [`checkpoint`](Self::checkpoint). See there.
+    fn restore(&mut self) {}
 }
 
 /// Policy-free hooks: plain structural SLP.
@@ -124,7 +139,10 @@ pub fn run_selection(
 /// `benefit` picks the candidate-pricing strategy; under
 /// [`BenefitKind::Cycles`] the model reads each node's current word
 /// length through [`SelectHooks::current_wl`] every iteration, so
-/// candidates are re-priced as selections shrink the spec.
+/// candidates are re-priced as selections shrink the spec. Under
+/// [`BenefitKind::Optimal`] the round is solved exactly by
+/// branch-and-bound; use [`run_selection_stats`] to observe its search
+/// statistics.
 pub fn run_selection_with(
     dfg: &Dfg,
     target: &TargetModel,
@@ -133,11 +151,34 @@ pub fn run_selection_with(
     hooks: &mut dyn SelectHooks,
     benefit: BenefitKind,
 ) -> Vec<SimdGroup> {
+    let mut stats = SelectStats::default();
+    run_selection_stats(
+        dfg,
+        target,
+        round,
+        selected_so_far,
+        hooks,
+        benefit,
+        &mut stats,
+    )
+}
+
+/// [`run_selection_with`], accumulating the exact selector's search
+/// statistics into `stats` (untouched under the greedy kinds).
+pub fn run_selection_stats(
+    dfg: &Dfg,
+    target: &TargetModel,
+    round: &Round,
+    selected_so_far: &[SimdGroup],
+    hooks: &mut dyn SelectHooks,
+    benefit: BenefitKind,
+    stats: &mut SelectStats,
+) -> Vec<SimdGroup> {
     let n = round.candidates.len();
     let views: Vec<CandidateView> = (0..n).map(|i| round.view(target, i)).collect();
 
     // Candidate validation (fig. 1c lines 4-12).
-    let mut alive: Vec<bool> = views.iter().map(|v| hooks.validate(v)).collect();
+    let alive: Vec<bool> = views.iter().map(|v| hooks.validate(v)).collect();
 
     // Conflict detection (fig. 1c lines 13-25).
     let mut conf: Vec<(usize, usize)> = Vec::new();
@@ -155,8 +196,61 @@ pub fn run_selection_with(
         }
     }
 
+    if let BenefitKind::Optimal { budget } = benefit {
+        run_selection_optimal(
+            dfg,
+            target,
+            round,
+            selected_so_far,
+            hooks,
+            &views,
+            alive,
+            &conf,
+            budget,
+            stats,
+        )
+    } else {
+        greedy_loop(
+            dfg,
+            target,
+            round,
+            selected_so_far,
+            hooks,
+            benefit,
+            &views,
+            alive,
+            &conf,
+        )
+        .groups
+    }
+}
+
+/// What one greedy pass produced: the new groups, plus the accepted
+/// candidate indices in selection order (the exact selector replays a
+/// probe from exactly this log).
+pub(crate) struct GreedyOutcome {
+    pub groups: Vec<SimdGroup>,
+    pub chosen: Vec<usize>,
+}
+
+/// The paper's greedy-with-guards loop over pre-computed candidate
+/// views, liveness and conflicts. `benefit` only picks the pricing model
+/// here — [`BenefitKind::Optimal`] dispatch happens one level up.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedy_loop(
+    dfg: &Dfg,
+    target: &TargetModel,
+    round: &Round,
+    selected_so_far: &[SimdGroup],
+    hooks: &mut dyn SelectHooks,
+    benefit: BenefitKind,
+    views: &[CandidateView],
+    mut alive: Vec<bool>,
+    conf: &[(usize, usize)],
+) -> GreedyOutcome {
     let mut selected: Vec<SimdGroup> = selected_so_far.to_vec();
     let mut new_groups: Vec<SimdGroup> = Vec::new();
+    let mut chosen: Vec<usize> = Vec::new();
     let max_wl = target.max_wl();
     // Op prices depend only on the target, never on the evolving spec,
     // so one cache warms up across every per-iteration model rebuild.
@@ -190,30 +284,39 @@ pub fn run_selection_with(
             // Conflict-free tail (paper: loop ends when conflicts are
             // resolved; remaining compatible candidates are selected in
             // benefit order, still subject to the selection hook).
-            try_select(
+            if try_select(
                 dfg,
                 best,
-                &views,
+                views,
                 &mut alive,
                 &mut selected,
                 &mut new_groups,
                 hooks,
-            );
+            ) {
+                chosen.push(best);
+            }
+            // Killing against `new_groups` alone suffices: a candidate
+            // overlapping a `selected_so_far` group necessarily contains
+            // it wholly as one of its two items (prior-round nodes only
+            // enter candidates through their group's item), which is a
+            // legal widening that `absorb_selected` resolves — see
+            // `overlap_with_prior_groups_implies_containment`.
             kill_overlapping(round, best, &mut alive, &new_groups);
             continue;
         }
         let accepted = try_select(
             dfg,
             best,
-            &views,
+            views,
             &mut alive,
             &mut selected,
             &mut new_groups,
             hooks,
         );
         if accepted {
+            chosen.push(best);
             // Eliminate candidates in conflict with the selection.
-            for &(i, j) in &conf {
+            for &(i, j) in conf {
                 if i == best && alive[j] {
                     alive[j] = false;
                 } else if j == best && alive[i] {
@@ -222,7 +325,10 @@ pub fn run_selection_with(
             }
         }
     }
-    new_groups
+    GreedyOutcome {
+        groups: new_groups,
+        chosen,
+    }
 }
 
 fn try_select(
@@ -275,25 +381,42 @@ fn argmax_benefit(
     // One pass for the whole sweep: `(alive, selected)` are fixed here,
     // so the pass's viability memo is shared across every candidate.
     let pass = model.pass(alive, selected);
-    let margin = model.admission_margin();
+    pick_best(
+        alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| (i, pass.assess(i))),
+        model.admission_margin(),
+    )
+}
+
+/// The admission + argmax kernel of the greedy loop, total over any
+/// `f64` the pricing produces.
+///
+/// Admission: only candidates whose *net* benefit clears the margin may
+/// be selected — the ranking key alone would pack pairs whose inserts
+/// and extracts cost more than what the vector op saves. Re-evaluated
+/// every iteration: a candidate rejected now can become admissible once
+/// neighbours are selected (reuse grows) or, under WLO↔SLP, once word
+/// lengths shrink. A NaN net is rejected explicitly — `net <= margin`
+/// is false for NaN, so without the guard a poisoned price would pass
+/// admission. Ranking uses the total order with an earliest-index
+/// tie-break, so a NaN rank can never displace a finite best and equal
+/// ranks resolve deterministically.
+pub(crate) fn pick_best(
+    scores: impl Iterator<Item = (usize, CostedBenefit)>,
+    margin: f64,
+) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
-    for (i, &a) in alive.iter().enumerate() {
-        if !a {
-            continue;
-        }
-        // Admission: only candidates whose *net* benefit is positive may
-        // be selected — the ranking key alone would pack pairs whose
-        // inserts and extracts cost more than what the vector op saves.
-        // Re-evaluated every iteration: a candidate rejected now can
-        // become admissible once neighbours are selected (reuse grows)
-        // or, under WLO↔SLP, once word lengths shrink.
-        let assessed = pass.assess(i);
-        if assessed.net() <= margin {
+    for (i, assessed) in scores {
+        let net = assessed.net();
+        if net.is_nan() || net <= margin {
             continue;
         }
         let b = assessed.rank();
         match best {
-            Some((_, bb)) if bb >= b => {}
+            Some((_, bb)) if bb.total_cmp(&b).is_ge() => {}
             _ => best = Some((i, b)),
         }
     }
@@ -320,22 +443,45 @@ pub fn extract_rounds_with(
     hooks: &mut dyn SelectHooks,
     benefit: BenefitKind,
 ) -> Vec<SimdGroup> {
+    let mut stats = SelectStats::default();
+    extract_rounds_stats(dfg, target, hooks, benefit, &mut stats)
+}
+
+/// [`extract_rounds_with`], accumulating the exact selector's search
+/// statistics into `stats` (untouched under the greedy kinds).
+pub fn extract_rounds_stats(
+    dfg: &Dfg,
+    target: &TargetModel,
+    hooks: &mut dyn SelectHooks,
+    benefit: BenefitKind,
+    stats: &mut SelectStats,
+) -> Vec<SimdGroup> {
     let mut groups: Vec<SimdGroup> = Vec::new();
     loop {
         let round = Round::new(dfg, target, &groups);
-        let selected = run_selection_with(dfg, target, &round, &groups, hooks, benefit);
+        let selected = run_selection_stats(dfg, target, &round, &groups, hooks, benefit, stats);
         if selected.is_empty() {
             return groups;
         }
-        // A freshly selected wider group supersedes the narrower groups it
-        // absorbed (fig. 1a line 12).
-        groups.retain(|g| {
-            !selected
-                .iter()
-                .any(|s| s.lanes() > g.lanes() && s.overlaps(g))
-        });
-        groups.extend(selected);
+        absorb_selected(&mut groups, selected);
     }
+}
+
+/// Folds a round's freshly selected groups into the accumulated group
+/// set: a selection supersedes every prior group it overlaps (fig. 1a
+/// line 12 — the wider extension absorbs the groups it grew from).
+///
+/// The retain triggers on *any* overlap, not only strictly-wider ones.
+/// `Round` provably cannot emit an overlapping selection that is not a
+/// strict widening — a candidate overlapping a prior group contains it
+/// wholly as one of its two equal-lane items, hence has twice its lanes
+/// (pinned by `overlap_with_prior_groups_implies_containment`) — but
+/// keeping the supersede rule independent of that enumeration invariant
+/// means a future relaxation of `Round` cannot silently leave one node
+/// in two groups.
+pub fn absorb_selected(groups: &mut Vec<SimdGroup>, selected: Vec<SimdGroup>) {
+    groups.retain(|g| !selected.iter().any(|s| s.overlaps(g)));
+    groups.extend(selected);
 }
 
 /// Plain, accuracy-*unaware* SLP extraction with the default benefit
@@ -481,6 +627,107 @@ kernel f {
         for g in &groups {
             for &e in &g.elems {
                 assert!(seen.insert(e), "node {e} appears in two groups");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_prices_never_win_the_argmax() {
+        // Regression for the NaN admission hole: `net() <= margin` is
+        // false when net() is NaN, so the pre-fix argmax admitted a
+        // poisoned candidate — and `bb >= b` (false against NaN) then
+        // let its NaN rank displace any finite best. Both must be dead.
+        let nan = CostedBenefit::from_parts(f64::NAN, 0.0, 0.0, 0.0);
+        let good = CostedBenefit::from_parts(5.0, 0.0, 0.0, 1.0);
+        // A lone poisoned candidate is not admitted.
+        assert_eq!(pick_best([(0, nan)].into_iter(), 0.0), None);
+        // A poisoned candidate never displaces a finite one, on either
+        // side of it.
+        assert_eq!(pick_best([(0, nan), (1, good)].into_iter(), 0.0), Some(1));
+        assert_eq!(pick_best([(0, good), (1, nan)].into_iter(), 0.0), Some(0));
+        // Infinite prices are collapsed at the assessment boundary; via
+        // `sanitized()` they reach the argmax as net() == -inf and lose
+        // admission outright.
+        let inf = CostedBenefit::from_parts(f64::INFINITY, 0.0, 0.0, 0.0).sanitized();
+        assert_eq!(pick_best([(0, inf), (1, good)].into_iter(), 0.0), Some(1));
+        // Equal ranks tie-break to the earliest index, deterministically.
+        assert_eq!(pick_best([(0, good), (1, good)].into_iter(), 0.0), Some(0));
+        // The margin is respected as a strict bound.
+        assert_eq!(pick_best([(0, good)].into_iter(), 4.0), None);
+    }
+
+    #[test]
+    fn absorb_drops_any_overlapping_prior_group() {
+        let g = |elems: &[u32]| SimdGroup {
+            elems: elems.iter().map(|&i| NodeId(i)).collect(),
+        };
+        // A wider selection absorbs the pair it contains.
+        let mut groups = vec![g(&[0, 1]), g(&[2, 3])];
+        absorb_selected(&mut groups, vec![g(&[0, 1, 4, 5])]);
+        assert_eq!(groups, vec![g(&[2, 3]), g(&[0, 1, 4, 5])]);
+        // An equal-lane overlapping selection (impossible from `Round`,
+        // but the supersede rule must not rely on that) also absorbs.
+        let mut groups = vec![g(&[0, 1]), g(&[2, 3])];
+        absorb_selected(&mut groups, vec![g(&[1, 4])]);
+        assert_eq!(groups, vec![g(&[2, 3]), g(&[1, 4])]);
+        // Disjoint selections accumulate.
+        let mut groups = vec![g(&[0, 1])];
+        absorb_selected(&mut groups, vec![g(&[2, 3])]);
+        assert_eq!(groups, vec![g(&[0, 1]), g(&[2, 3])]);
+    }
+
+    #[test]
+    fn overlap_with_prior_groups_implies_containment() {
+        // The structural invariant both the supersede rule and the
+        // conflict-free tail lean on: a candidate overlapping a
+        // prior-round group must contain it wholly as one of its two
+        // items — prior-round nodes only enter the item set through
+        // their group — and therefore has strictly more lanes. An
+        // equal-lane partial overlap is unrepresentable.
+        let (_, dfg) = fir4_block();
+        for target in [xentium(), vex(4), st240()] {
+            // Drive rounds to fixpoint, checking every round's candidate
+            // enumeration against the prior groups it extends.
+            let mut groups: Vec<SimdGroup> = Vec::new();
+            loop {
+                let round = Round::new(&dfg, &target, &groups);
+                for idx in 0..round.candidates.len() {
+                    let cand = round.merged(idx);
+                    for prior in &groups {
+                        if cand.overlaps(prior) {
+                            assert!(
+                                prior.elems.iter().all(|&e| cand.contains(e)),
+                                "{}: candidate {cand} partially overlaps prior {prior}",
+                                target.name
+                            );
+                            assert!(
+                                cand.lanes() > prior.lanes(),
+                                "{}: overlapping candidate {cand} is not wider than {prior}",
+                                target.name
+                            );
+                        }
+                    }
+                }
+                let selected = run_selection_with(
+                    &dfg,
+                    &target,
+                    &round,
+                    &groups,
+                    &mut NoHooks,
+                    BenefitKind::Cycles,
+                );
+                if selected.is_empty() {
+                    break;
+                }
+                absorb_selected(&mut groups, selected);
+            }
+            // And the final fixpoint leaves every node in at most one
+            // group (the verify_groups invariant the supersede protects).
+            let mut seen = std::collections::HashSet::new();
+            for g in &groups {
+                for &e in &g.elems {
+                    assert!(seen.insert(e), "{}: node {e} in two groups", target.name);
+                }
             }
         }
     }

@@ -44,7 +44,7 @@ pub mod spec;
 
 pub use ir::verify_kernel;
 pub use machine::{audit_block_schedule, verify_program, verify_program_sched};
-pub use slp::verify_groups;
+pub use slp::{verify_groups, verify_optimal_selection};
 pub use spec::verify_spec;
 
 use slpwlo_core::{PassArtifact, ProgramRole};
@@ -165,6 +165,10 @@ pub enum Invariant {
     DependentLanes,
     /// The coarsened group graph has a dependency cycle.
     GroupCycle,
+    /// The exact selector committed a round whose in-set value falls
+    /// below the exhaustive optimum over the same candidates (or chose
+    /// a group that is not a candidate of the round at all).
+    SelectionSuboptimal,
     // --- Machine ---
     /// An operation's predecessor or operand references a later (or
     /// itself as an) operation — def must precede use.
@@ -216,6 +220,9 @@ impl fmt::Display for Invariant {
             Invariant::DuplicateNode => "a node may belong to at most one group",
             Invariant::DependentLanes => "group lanes must be pairwise independent",
             Invariant::GroupCycle => "coarsened group graph must stay acyclic",
+            Invariant::SelectionSuboptimal => {
+                "exact selection must match the exhaustive optimum on small rounds"
+            }
             Invariant::PredOrder => "operation dependences must point backwards",
             Invariant::BadOperand => "operand must reference an existing def or slot",
             Invariant::Redefinition => "virtual register must have a single definition",

@@ -18,8 +18,10 @@
 //!   form a cycle with every pair clean).
 
 use crate::{Invariant, Pass, VerifyError};
-use slpwlo_ir::Dfg;
-use slpwlo_slp::{closes_cycle, SimdGroup};
+use slpwlo_ir::{Dfg, NodeId};
+use slpwlo_slp::{
+    closes_cycle, exhaustive_best, set_value, BenefitKind, BenefitModel, Round, SimdGroup,
+};
 use slpwlo_targets::TargetModel;
 use std::collections::HashSet;
 
@@ -130,6 +132,81 @@ pub fn verify_groups(
     Ok(())
 }
 
+/// Spot-checks one *round* of the exact selector against brute force:
+/// rebuilds the round's candidates from `(dfg, target, prior)`, prices
+/// them under the fixed word-length oracle `wl` with the
+/// [`BenefitKind::Cycles`] model (the pricing the exact kind searches),
+/// and verifies that the round's `chosen` groups are (a) genuine
+/// candidates of the round and (b) valued no worse than the exhaustive
+/// optimum over the live candidates.
+///
+/// Candidate liveness mirrors the frozen-spec selection hooks: a
+/// candidate is live when every lane's current word length fits the
+/// candidate's per-lane container on the target. Rounds with more than
+/// `max_candidates` live candidates are skipped (enumeration is
+/// exponential) — callers gate the size, `Ok(())` means "checked or too
+/// big", never "silently wrong".
+///
+/// This check is sound only for selections driven by the *same* fixed
+/// oracle (e.g. `extract_plain`-style hooks); under evolving-spec hooks
+/// the selector legitimately prices against intermediate states the
+/// verifier cannot see.
+pub fn verify_optimal_selection(
+    dfg: &Dfg,
+    target: &TargetModel,
+    prior: &[SimdGroup],
+    chosen: &[SimdGroup],
+    wl: &dyn Fn(NodeId) -> i32,
+    max_candidates: usize,
+    ctx: &str,
+) -> Result<(), VerifyError> {
+    let round = Round::new(dfg, target, prior);
+    let n = round.candidates.len();
+    let alive: Vec<bool> = (0..n)
+        .map(|i| {
+            let view = round.view(target, i);
+            view.group
+                .elems
+                .iter()
+                .all(|&e| match target.container_wl(wl(e)) {
+                    Some(c) => c <= view.elem_wl,
+                    None => false,
+                })
+        })
+        .collect();
+    if alive.iter().filter(|&&a| a).count() > max_candidates {
+        return Ok(());
+    }
+    let mut chosen_idx = Vec::with_capacity(chosen.len());
+    for g in chosen {
+        match (0..n).find(|&i| round.merged(i).elems == g.elems) {
+            Some(i) => chosen_idx.push(i),
+            None => {
+                return Err(err(
+                    ctx,
+                    Invariant::SelectionSuboptimal,
+                    Some(format!("{g}")),
+                    "chosen group is not a candidate of the reconstructed round",
+                ));
+            }
+        }
+    }
+    let model = BenefitModel::with_kind(dfg, &round, target, BenefitKind::Cycles, wl);
+    let v = set_value(&model, &round, prior, &chosen_idx);
+    let (best_set, best_v) = exhaustive_best(dfg, &model, &round, prior, &alive);
+    if v + 1e-6 < best_v {
+        return Err(err(
+            ctx,
+            Invariant::SelectionSuboptimal,
+            None,
+            format!(
+                "chosen set valued {v}, exhaustive optimum {best_v} via candidates {best_set:?}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +302,65 @@ kernel f {
         }];
         let e = verify_groups(&dfg, &groups, &xentium(), "t").unwrap_err();
         assert_eq!(e.invariant, Invariant::UnsupportedWidth);
+    }
+
+    #[test]
+    fn optimal_selection_spot_check_accepts_exact_and_rejects_empty() {
+        use slpwlo_slp::{run_selection_stats, CandidateView, SelectHooks, SelectStats};
+        // Frozen 16-bit word lengths, mirroring `extract_plain`'s hooks.
+        struct FixedWl<'a> {
+            target: &'a TargetModel,
+        }
+        impl SelectHooks for FixedWl<'_> {
+            fn validate(&mut self, view: &CandidateView) -> bool {
+                match self.target.container_wl(16) {
+                    Some(c) => c <= view.elem_wl,
+                    None => false,
+                }
+            }
+            fn current_wl(&self, _n: NodeId) -> Option<i32> {
+                Some(16)
+            }
+        }
+        let k = parse_kernel(
+            r#"
+kernel g {
+    input x range [-1, 1];
+    output y;
+    param c[2] = { 0.5, 0.25 };
+    array dl[2];
+    var t0;
+    var t1;
+    shiftin dl <- x;
+    t0 = c[0] * dl[0];
+    t1 = c[1] * dl[1];
+    y = t0 + t1;
+}
+"#,
+        )
+        .unwrap();
+        let blocks = collect_blocks(&k);
+        let dfg = Dfg::from_block(&k, &blocks[0]);
+        let target = slpwlo_targets::st240();
+        let wl = |_: NodeId| 16;
+        let round = Round::new(&dfg, &target, &[]);
+        let mut stats = SelectStats::default();
+        let mut hooks = FixedWl { target: &target };
+        let chosen = run_selection_stats(
+            &dfg,
+            &target,
+            &round,
+            &[],
+            &mut hooks,
+            BenefitKind::optimal(),
+            &mut stats,
+        );
+        assert!(!chosen.is_empty(), "ST240 must pack this round");
+        verify_optimal_selection(&dfg, &target, &[], &chosen, &wl, 20, "t").unwrap();
+        // An empty selection on a profitable round is provably below the
+        // enumerated optimum.
+        let e = verify_optimal_selection(&dfg, &target, &[], &[], &wl, 20, "t").unwrap_err();
+        assert_eq!(e.invariant, Invariant::SelectionSuboptimal);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 pub use slpwlo_driver::{
     BenefitKind, CompilationFlow, Error, ExportedC, FlowContext, FlowKind, FlowOutput, Optimizer,
-    Report, VerifyError, VerifyLevel,
+    Report, SelectStats, VerifyError, VerifyLevel,
 };
 
 pub use slpwlo_accuracy as accuracy;
