@@ -8,10 +8,10 @@
 //! instances fully characterise how that node's quantization error reaches
 //! the output of an LTI kernel.
 
+use slpwlo_ir::cone::ConeIndex;
 use slpwlo_ir::interp::{BatchExecutor, ExecCtx, Executor, FloatSem, ImpulseChannel, Semantics};
 use slpwlo_ir::types::{BinOp, ExprId, InputId, ParamId, UnOp};
 use slpwlo_ir::{ExprNode, Kernel, Stmt};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -32,6 +32,11 @@ pub struct GainOptions {
     /// Worker threads for the impulse-source sweep (`0` = one per
     /// available core). Results are identical for any thread count.
     pub threads: usize,
+    /// Restrict each impulse lane's evaluation to its source's influence
+    /// cone and retire lanes past their deviation lifetime (see
+    /// [`ConeIndex`]). Results are bitwise identical either way; `false`
+    /// forces the dense sweep (ablation / differential testing).
+    pub cone: bool,
 }
 
 impl Default for GainOptions {
@@ -43,37 +48,67 @@ impl Default for GainOptions {
             param_activations: 1024,
             param_seed: 0x9A1A5,
             threads: 0,
+            cone: true,
         }
     }
 }
 
-/// `G1`/`G2` gains from every potential noise source to the kernel output.
+/// `G1`/`G2` gains from every potential noise source to the kernel
+/// output, stored densely by expression arena index.
 #[derive(Debug, Clone)]
 pub struct NoiseGains {
-    /// Map from source expression to `(G1, G2)`, both summed over the
-    /// source's execution instances and over all outputs.
-    gains: HashMap<ExprId, (f64, f64)>,
+    /// `(G1, G2)` per expression, both summed over the source's
+    /// execution instances and over all outputs; `None` for expressions
+    /// that are not measured sources (non-source nodes, dead arena
+    /// nodes).
+    gains: Vec<Option<(f64, f64)>>,
+    /// Number of `Some` entries.
+    measured: usize,
 }
 
 impl NoiseGains {
-    /// `(G1, G2)` for a source; zero for nodes that never execute.
-    pub fn get(&self, e: ExprId) -> (f64, f64) {
-        self.gains.get(&e).copied().unwrap_or((0.0, 0.0))
+    fn new(expr_count: usize) -> Self {
+        NoiseGains {
+            gains: vec![None; expr_count],
+            measured: 0,
+        }
     }
 
-    /// Iterates over `(expr, (g1, g2))` pairs in unspecified order.
+    fn insert(&mut self, e: ExprId, g: (f64, f64)) {
+        let slot = &mut self.gains[e.index()];
+        if slot.is_none() {
+            self.measured += 1;
+        }
+        *slot = Some(g);
+    }
+
+    /// `(G1, G2)` for a source; zero for nodes that never execute.
+    #[inline]
+    pub fn get(&self, e: ExprId) -> (f64, f64) {
+        self.gains
+            .get(e.index())
+            .copied()
+            .flatten()
+            .unwrap_or((0.0, 0.0))
+    }
+
+    /// Iterates over `(expr, (g1, g2))` pairs of measured sources, in
+    /// ascending expression order.
     pub fn iter(&self) -> impl Iterator<Item = (ExprId, (f64, f64))> + '_ {
-        self.gains.iter().map(|(&e, &g)| (e, g))
+        self.gains
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.map(|g| (ExprId(i as u32), g)))
     }
 
     /// Number of measured sources.
     pub fn len(&self) -> usize {
-        self.gains.len()
+        self.measured
     }
 
     /// True if no source was measured.
     pub fn is_empty(&self) -> bool {
-        self.gains.is_empty()
+        self.measured == 0
     }
 }
 
@@ -117,7 +152,7 @@ pub fn expr_executions(kernel: &Kernel) -> Vec<u64> {
 
     fn mark(kernel: &Kernel, e: ExprId, trips: u64, execs: &mut [u64]) {
         execs[e.index()] += trips;
-        for op in kernel.expr(e).operands().collect::<Vec<_>>() {
+        for op in kernel.expr(e).operands() {
             mark(kernel, op, trips, execs);
         }
     }
@@ -133,9 +168,33 @@ pub fn expr_executions(kernel: &Kernel) -> Vec<u64> {
 /// carries a lane of deviation state per pending (source × execution
 /// instance) impulse, the lanes retiring early on the `tail_epsilon`
 /// criterion — and the source sweep is sharded across `threads` scoped
-/// workers. Per-source results are bitwise identical to the one run per
-/// impulse of [`measure_gains_reference`], for any thread count.
+/// workers. With `opts.cone` set (the default) each lane is further
+/// evaluated only over its source's influence cone and retired as soon
+/// as its deviation lifetime has provably elapsed. Per-source results
+/// are bitwise identical to the one run per impulse of
+/// [`measure_gains_reference`], for any thread count and cone toggle.
 pub fn measure_gains(kernel: &Kernel, opts: &GainOptions) -> NoiseGains {
+    measure_gains_with(kernel, opts, None)
+}
+
+/// [`measure_gains`] against a caller-provided [`ConeIndex`] (built once
+/// per kernel and reused across analyses). Builds a local index when
+/// `opts.cone` is set and none is supplied; ignores a supplied index
+/// when `opts.cone` is unset.
+pub fn measure_gains_with(
+    kernel: &Kernel,
+    opts: &GainOptions,
+    cone: Option<&ConeIndex>,
+) -> NoiseGains {
+    let built;
+    let cone = match (opts.cone, cone) {
+        (false, _) => None,
+        (true, Some(c)) => Some(c),
+        (true, None) => {
+            built = ConeIndex::build(kernel);
+            Some(&built)
+        }
+    };
     let sources = noise_source_exprs(kernel);
     let execs = expr_executions(kernel);
 
@@ -156,17 +215,17 @@ pub fn measure_gains(kernel: &Kernel, opts: &GainOptions) -> NoiseGains {
         }
     }
 
-    let mut gains = HashMap::new();
+    let mut gains = NoiseGains::new(kernel.expr_count());
     for (src, g2) in param_srcs
         .iter()
-        .zip(param_sensitivities(kernel, &param_srcs, opts))
+        .zip(param_sensitivities(kernel, &param_srcs, opts, cone))
     {
         gains.insert(*src, (0.0, g2));
     }
-    for (src, g1, g2) in impulse_gains(kernel, &impulse_srcs, opts) {
+    for (src, g1, g2) in impulse_gains(kernel, &impulse_srcs, opts, cone) {
         gains.insert(src, (g1, g2));
     }
-    NoiseGains { gains }
+    gains
 }
 
 /// The original one-simulation-per-impulse measurement, kept as the
@@ -176,7 +235,7 @@ pub fn measure_gains_reference(kernel: &Kernel, opts: &GainOptions) -> NoiseGain
     let execs = expr_executions(kernel);
     let mut baseline = Baseline::new(kernel);
 
-    let mut gains = HashMap::new();
+    let mut gains = NoiseGains::new(kernel.expr_count());
     for &src in &sources {
         let k_execs = execs[src.index()];
         if k_execs == 0 {
@@ -196,7 +255,7 @@ pub fn measure_gains_reference(kernel: &Kernel, opts: &GainOptions) -> NoiseGain
         }
         gains.insert(src, (g1, g2));
     }
-    NoiseGains { gains }
+    gains
 }
 
 /// Soft cap on impulse channels per batched sweep: a worker keeps
@@ -211,24 +270,49 @@ fn impulse_gains(
     kernel: &Kernel,
     srcs: &[(ExprId, u64)],
     opts: &GainOptions,
+    cone: Option<&ConeIndex>,
 ) -> Vec<(ExprId, f64, f64)> {
     if srcs.is_empty() {
         return Vec::new();
     }
+    // With a cone index, pack lanes of similar deviation lifetime into
+    // the same batch (per-source sums are independent of batch
+    // composition, and the final list is re-sorted by source anyway), so
+    // short-lived batches retire wholesale instead of idling behind one
+    // long-lived lane.
+    let sorted;
+    let srcs = match cone {
+        Some(c) => {
+            let mut v = srcs.to_vec();
+            v.sort_by_key(|&(e, _)| (c.life(e).map_or(u32::MAX, |lf| lf), e.index()));
+            sorted = v;
+            &sorted[..]
+        }
+        None => srcs,
+    };
+    // Static lane retirement is bitwise-safe only while the zero-input
+    // baseline provably stays finite, which holds exactly when every
+    // expression's deviation lifetime is finite (no unbounded feedback
+    // carrier reaches an output).
+    let lives: Option<Vec<u32>> = cone.and_then(|c| {
+        (0..kernel.expr_count())
+            .map(|i| c.life(ExprId(i as u32)))
+            .collect()
+    });
+    let lives = lives.as_deref();
     let threads = match opts.threads {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,
     }
     .min(srcs.len());
     if threads <= 1 {
-        let mut baseline = Baseline::new(kernel);
         let mut out = Vec::with_capacity(srcs.len());
         let all: Vec<usize> = (0..srcs.len()).collect();
         for chunk in all.chunks(chunk_len(srcs, BATCH_LANES)) {
             // chunks() of a precomputed length keeps sources grouped the
             // same way regardless of arrival order; correctness only
             // needs each source whole within one batch.
-            run_impulse_batch(kernel, srcs, chunk, opts, &mut baseline, &mut out);
+            run_impulse_batch(kernel, srcs, chunk, opts, cone, lives, &mut out);
         }
         out.sort_by_key(|&(e, _, _)| e.index());
         return out;
@@ -238,7 +322,6 @@ fn impulse_gains(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut baseline = Baseline::new(kernel);
                 let mut local = Vec::new();
                 loop {
                     // Claim whole sources until the lane budget is met.
@@ -255,7 +338,7 @@ fn impulse_gains(
                     if batch.is_empty() {
                         break;
                     }
-                    run_impulse_batch(kernel, srcs, &batch, opts, &mut baseline, &mut local);
+                    run_impulse_batch(kernel, srcs, &batch, opts, cone, lives, &mut local);
                 }
                 results.lock().expect("worker panicked").extend(local);
             });
@@ -278,16 +361,24 @@ fn chunk_len(srcs: &[(ExprId, u64)], target: usize) -> usize {
 /// into `srcs`) and appends `(source, G1, G2)` per source.
 ///
 /// Each lane performs exactly the solo-run arithmetic of
-/// [`impulse_response_sums`]: same zero-input trajectory, same
-/// `(baseline + impulse) − baseline` deviations accumulated in the same
-/// `(activation, output)` order, same per-channel chunk-energy stopping
-/// rule — so the sums are bitwise identical.
+/// [`impulse_response_sums`]: same zero-input trajectory (carried by the
+/// executor's internal baseline lane), same `(baseline + impulse) −
+/// baseline` deviations accumulated in the same `(activation, output)`
+/// order, same per-channel chunk-energy stopping rule — so the sums are
+/// bitwise identical.
+///
+/// When `lives` is supplied (every expression's lifetime finite), lanes
+/// whose deviation lifetime has elapsed retire early: all their
+/// remaining reference terms are exactly `+0.0`, so skipping them only
+/// needs a single `+ 0.0` normalization wherever the reference would
+/// still have folded at least one such term.
 fn run_impulse_batch(
     kernel: &Kernel,
     srcs: &[(ExprId, u64)],
     batch: &[usize],
     opts: &GainOptions,
-    baseline: &mut Baseline<'_>,
+    cone: Option<&ConeIndex>,
+    lives: Option<&[u32]>,
     out: &mut Vec<(ExprId, f64, f64)>,
 ) {
     let mut channels = Vec::new();
@@ -306,7 +397,14 @@ fn run_impulse_batch(
         spans.push((si, start..channels.len()));
     }
     let n_ch = channels.len();
-    let mut ex = BatchExecutor::new(kernel, channels);
+    // Lifetime per channel id; `srcs` arrives life-sorted, so live lanes
+    // stay sorted too and statically-dead lanes always form a prefix.
+    let life_by_id: Option<Vec<u32>> =
+        lives.map(|lv| channels.iter().map(|ch| lv[ch.target.index()]).collect());
+    let mut ex = match cone {
+        Some(c) => BatchExecutor::with_cone(kernel, channels, c),
+        None => BatchExecutor::new(kernel, channels),
+    };
     let zero = vec![0.0; kernel.inputs().len()];
     let mut s1 = vec![0.0; n_ch];
     let mut s2 = vec![0.0; n_ch];
@@ -318,8 +416,9 @@ fn run_impulse_batch(
         chunk[..l].fill(0.0);
         while m < chunk_end {
             ex.step(&zero);
-            let base = baseline.get(m);
+            let base = ex.outputs_base();
             let outs = ex.outputs();
+            let l = ex.lanes();
             for (lane, &id) in ex.channel_ids().iter().enumerate() {
                 let (mut a, mut b, mut c) = (s1[id], s2[id], chunk[lane]);
                 for (o, &bo) in base.iter().enumerate() {
@@ -333,14 +432,48 @@ fn run_impulse_batch(
                 chunk[lane] = c;
             }
             m += 1;
+            if let Some(lives) = &life_by_id {
+                if m < chunk_end && !kernel.outputs().is_empty() {
+                    // Mid-chunk static retirement: the reference folds at
+                    // least one more (all-`+0.0`) activation for these
+                    // lanes, so normalize the sums once.
+                    let ids = ex.channel_ids();
+                    let dead = ids.partition_point(|&id| (lives[id] as usize) < m);
+                    if dead > 0 {
+                        for &id in &ids[..dead] {
+                            s1[id] += 0.0;
+                            s2[id] += 0.0;
+                        }
+                        let keep: Vec<bool> = (0..l).map(|lane| lane >= dead).collect();
+                        ex.retain(&keep);
+                        chunk.copy_within(dead..l, 0);
+                        if ex.lanes() == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
         }
-        if m >= opts.max_activations {
+        if m >= opts.max_activations || ex.lanes() == 0 {
             break;
         }
-        // Retire channels whose response has died out.
-        let keep: Vec<bool> = (0..l)
-            .map(|lane| chunk[lane] > opts.tail_epsilon * s2[ex.channel_ids()[lane]].max(1e-300))
-            .collect();
+        // Retire channels: the chunk-energy test first (the reference
+        // stops exactly here — no normalization), then statically-dead
+        // energy survivors (the reference runs one more all-zero chunk
+        // and stops at its boundary — normalize once).
+        let l = ex.lanes();
+        let mut keep = Vec::with_capacity(l);
+        for (lane, &id) in ex.channel_ids().iter().enumerate() {
+            let surviving = chunk[lane] > opts.tail_epsilon * s2[id].max(1e-300);
+            let statically_dead = life_by_id
+                .as_ref()
+                .is_some_and(|lives| (lives[id] as usize) < m && !kernel.outputs().is_empty());
+            if surviving && statically_dead {
+                s1[id] += 0.0;
+                s2[id] += 0.0;
+            }
+            keep.push(surviving && !statically_dead);
+        }
         ex.retain(&keep);
     }
     for (si, span) in spans {
@@ -410,18 +543,22 @@ fn param_input_matrix(kernel: &Kernel, opts: &GainOptions) -> Vec<Vec<f64>> {
 }
 
 /// Batched coefficient-sensitivity measurement: one shared input
-/// matrix, one shared unperturbed base run, and a single batched sweep
-/// with one always-on `DELTA` lane per source — each lane bitwise
-/// identical to the solo perturbed run of [`param_sensitivity`].
-fn param_sensitivities(kernel: &Kernel, srcs: &[ExprId], opts: &GainOptions) -> Vec<f64> {
+/// matrix and a single batched sweep with one always-on `DELTA` lane per
+/// source — each lane bitwise identical to the solo perturbed run of
+/// [`param_sensitivity`], and the executor's internal baseline lane
+/// standing in (bitwise) for the solo unperturbed run.
+fn param_sensitivities(
+    kernel: &Kernel,
+    srcs: &[ExprId],
+    opts: &GainOptions,
+    cone: Option<&ConeIndex>,
+) -> Vec<f64> {
     const DELTA: f64 = 1e-4;
     if srcs.is_empty() {
         return Vec::new();
     }
     let n = opts.param_activations.max(1);
     let inputs = param_input_matrix(kernel, opts);
-    let mut base_ex = Executor::new(kernel, FloatSem);
-    let base = base_ex.run(&inputs);
     // With no input streams the reference runs zero activations; its
     // deviation fold is then empty and every sensitivity is +0.0.
     let acts = inputs.first().map_or(0, |v| v.len());
@@ -436,8 +573,13 @@ fn param_sensitivities(kernel: &Kernel, srcs: &[ExprId], opts: &GainOptions) -> 
             amount: DELTA,
         })
         .collect();
-    let mut ex = BatchExecutor::new(kernel, channels);
-    // Perturbed trajectories per (lane, output), activation-indexed.
+    let mut ex = match cone {
+        Some(c) => BatchExecutor::with_cone(kernel, channels, c),
+        None => BatchExecutor::new(kernel, channels),
+    };
+    // Base and perturbed trajectories per (lane, output), activation-
+    // indexed.
+    let mut base = vec![vec![0.0; acts]; n_out];
     let mut pert = vec![vec![0.0; acts]; l * n_out];
     let mut sample = vec![0.0; inputs.len()];
     for a in 0..acts {
@@ -446,8 +588,10 @@ fn param_sensitivities(kernel: &Kernel, srcs: &[ExprId], opts: &GainOptions) -> 
         }
         ex.step(&sample);
         let outs = ex.outputs();
-        for lane in 0..l {
-            for o in 0..n_out {
+        let bouts = ex.outputs_base();
+        for o in 0..n_out {
+            base[o][a] = bouts[o];
+            for lane in 0..l {
                 pert[lane * n_out + o][a] = outs[o * l + lane];
             }
         }

@@ -14,10 +14,11 @@
 //! * values stored to a state array are additionally quantized to the
 //!   array's storage grid, folded into the producing node's source.
 
-use crate::gains::{measure_gains, GainOptions, NoiseGains};
+use crate::gains::{measure_gains_with, GainOptions, NoiseGains};
 use slpwlo_fixedpoint::quantize::{noise_stats, QuantizeMode};
 use slpwlo_fixedpoint::spec::{FixedPointSpec, SpecKey};
-use slpwlo_ir::types::{ArrayId, BinOp, ExprId, ParamId, UnOp, VarId};
+use slpwlo_ir::cone::{var_flow, ConeIndex};
+use slpwlo_ir::types::{ArrayId, BinOp, ExprId, ParamId, UnOp};
 use slpwlo_ir::{ExprNode, Kernel, Stmt};
 use std::collections::HashMap;
 
@@ -157,7 +158,14 @@ impl AnalyticalEvaluator {
     /// Builds the evaluator for a kernel: measures noise gains (the
     /// expensive, once-per-kernel part) and resolves operand grids.
     pub fn new(kernel: &Kernel, opts: &EvalOptions) -> Self {
-        let gains = measure_gains(kernel, &opts.gains);
+        Self::new_with_cone(kernel, opts, None)
+    }
+
+    /// [`new`](Self::new) against a caller-provided [`ConeIndex`], so a
+    /// pipeline that already built one (e.g. `prepare_with`) does not pay
+    /// for it twice.
+    pub fn new_with_cone(kernel: &Kernel, opts: &EvalOptions, cone: Option<&ConeIndex>) -> Self {
+        let gains = measure_gains_with(kernel, &opts.gains, cone);
         let sources = enumerate_sources(kernel);
         AnalyticalEvaluator {
             gains,
@@ -312,7 +320,9 @@ fn min_key_step(spec: &FixedPointSpec, keys: &[Deliver]) -> Option<f64> {
 
 fn enumerate_sources(kernel: &Kernel) -> Vec<Source> {
     let store_roots = store_roots(kernel);
-    let reaching = reaching_defs(kernel);
+    // Possible defining root expressions per `ReadVar` — the same
+    // two-pass structured dataflow the cone index is built from.
+    let reaching = var_flow(kernel).reaching;
     let mut sources = Vec::new();
     for (id, node) in kernel.exprs() {
         let kind = match node {
@@ -352,89 +362,6 @@ fn store_roots(kernel: &Kernel) -> HashMap<ExprId, ArrayId> {
         _ => {}
     });
     map
-}
-
-/// Possible defining root expressions for every `ReadVar` expression.
-///
-/// Structured two-pass dataflow: loop bodies are walked twice so that
-/// back-edge definitions (accumulators) reach the reads at the top of the
-/// body; the entry state is merged, so both "first iteration" and
-/// "subsequent iteration" definitions are reported.
-fn reaching_defs(kernel: &Kernel) -> HashMap<ExprId, Vec<ExprId>> {
-    type State = HashMap<VarId, Vec<ExprId>>;
-    let mut out: HashMap<ExprId, Vec<ExprId>> = HashMap::new();
-
-    fn record_reads(
-        kernel: &Kernel,
-        e: ExprId,
-        state: &State,
-        out: &mut HashMap<ExprId, Vec<ExprId>>,
-    ) {
-        match kernel.expr(e) {
-            ExprNode::ReadVar(v) => {
-                let defs = state.get(v).cloned().unwrap_or_default();
-                let entry = out.entry(e).or_default();
-                for d in defs {
-                    if !entry.contains(&d) {
-                        entry.push(d);
-                    }
-                }
-            }
-            n => {
-                for op in n.operands().collect::<Vec<_>>() {
-                    record_reads(kernel, op, state, out);
-                }
-            }
-        }
-    }
-
-    fn merge(into: &mut State, from: &State) {
-        for (v, defs) in from {
-            let entry = into.entry(*v).or_default();
-            for d in defs {
-                if !entry.contains(d) {
-                    entry.push(*d);
-                }
-            }
-        }
-    }
-
-    fn walk(
-        kernel: &Kernel,
-        stmts: &[Stmt],
-        state: &mut State,
-        out: &mut HashMap<ExprId, Vec<ExprId>>,
-    ) {
-        for s in stmts {
-            match s {
-                Stmt::Assign(v, e) => {
-                    record_reads(kernel, *e, state, out);
-                    state.insert(*v, vec![*e]);
-                }
-                Stmt::Store(_, _, e) | Stmt::ShiftIn(_, e) | Stmt::Output(_, e) => {
-                    record_reads(kernel, *e, state, out);
-                }
-                Stmt::For { body, .. } => {
-                    // First pass: entry state.
-                    let mut first = state.clone();
-                    walk(kernel, body, &mut first, out);
-                    // Second pass: entry state merged with the first pass's
-                    // exit state — reads now also see back-edge defs.
-                    let mut second = state.clone();
-                    merge(&mut second, &first);
-                    walk(kernel, body, &mut second, out);
-                    // Trip counts are at least one, so the state after the
-                    // loop is exactly the second pass's exit state (vars
-                    // the body never defines keep their entry defs there).
-                    *state = second;
-                }
-            }
-        }
-    }
-
-    let mut state = State::new();
-    walk(kernel, kernel.body(), &mut state, &mut out);
-    out
 }
 
 /// Grids a value produced by `e` can be delivered on.
@@ -567,7 +494,7 @@ kernel fir4 {
     #[test]
     fn reaching_defs_see_back_edges() {
         let k = parse_kernel(FIR4).unwrap();
-        let reaching = reaching_defs(&k);
+        let reaching = var_flow(&k).reaching;
         // The `acc` read inside the loop must see both the init assign and
         // the loop's own assign.
         let mut found = false;

@@ -7,6 +7,7 @@
 use slpwlo_accuracy::{AccuracyEvaluator, AnalyticalEvaluator};
 use slpwlo_bench::Micro;
 use slpwlo_core::{cycles_per_activation, lower_scalar, prepare, tabu_wlo, TabuOptions};
+use slpwlo_driver::Optimizer;
 use slpwlo_fixedpoint::FixedPointSpec;
 use slpwlo_ir::blocks::blocks_by_priority;
 use slpwlo_ir::dfg::Dfg;
@@ -49,6 +50,28 @@ fn main() {
     let prog = lower_scalar(&prep.kernel, &spec, &target);
     m.bench("vliw_schedule_fir64", || {
         cycles_per_activation(&target, &prog)
+    });
+
+    // True end-to-end runs: kernel in, optimized report out — range
+    // analysis, gain measurement, WLO-SLP search, scheduling, the lot.
+    // These keep the full pipeline honest; a regression anywhere in the
+    // front-end or search shows up here even if every stage micro-bench
+    // above stays flat.
+    m.bench("optimize_e2e_fir64", || {
+        Optimizer::for_kernel(fir64())
+            .expect("valid kernel")
+            .target(xentium())
+            .constraint_db(-40.0)
+            .run()
+            .expect("e2e optimize")
+    });
+    m.bench("optimize_e2e_conv3x3", || {
+        Optimizer::for_kernel(conv3x3())
+            .expect("valid kernel")
+            .target(xentium())
+            .constraint_db(-40.0)
+            .run()
+            .expect("e2e optimize")
     });
 
     m.finish().expect("write bench JSON");

@@ -211,6 +211,20 @@ impl Optimizer {
         self
     }
 
+    /// Toggles cone-restricted impulse evaluation in the noise-gain
+    /// measurement (on by default). Gains are bitwise identical either
+    /// way; off trades the analysis speedup for the simpler dense
+    /// executor — useful for differential debugging. Re-runs the
+    /// per-kernel analyses, so call it before anything that reads
+    /// [`Optimizer::prepared`].
+    pub fn gain_cone(mut self, on: bool) -> Self {
+        let mut opts = EvalOptions::default();
+        opts.gains.cone = on;
+        self.prep = prepare_with(self.prep.kernel, &opts);
+        self.floor_db = std::sync::OnceLock::new();
+        self
+    }
+
     /// The kernel under optimization.
     pub fn kernel(&self) -> &Kernel {
         &self.prep.kernel
@@ -692,6 +706,28 @@ kernel tiny {
             base.noise_db.unwrap().to_bits(),
             threaded.noise_db.unwrap().to_bits(),
             "gain measurement must be thread-count invariant"
+        );
+    }
+
+    #[test]
+    fn gain_cone_does_not_change_results() {
+        let base = Optimizer::for_source(TINY)
+            .unwrap()
+            .constraint_db(-40.0)
+            .run()
+            .unwrap();
+        let dense = Optimizer::for_source(TINY)
+            .unwrap()
+            .gain_cone(false)
+            .constraint_db(-40.0)
+            .run()
+            .unwrap();
+        assert_eq!(base.cycles_simd, dense.cycles_simd);
+        assert_eq!(base.group_count, dense.group_count);
+        assert_eq!(
+            base.noise_db.unwrap().to_bits(),
+            dense.noise_db.unwrap().to_bits(),
+            "gain measurement must be cone-toggle invariant"
         );
     }
 

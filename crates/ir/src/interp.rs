@@ -13,6 +13,7 @@
 //! is running — the key piece needed to inject impulses per execution
 //! instance during gain analysis.
 
+use crate::cone::ConeIndex;
 use crate::kernel::{ExprNode, Kernel, Stmt};
 use crate::types::{ArrayId, BinOp, ExprId, InputId, LoopId, ParamId, UnOp};
 use std::collections::HashMap;
@@ -188,6 +189,13 @@ impl<'k, S: Semantics> Executor<'k, S> {
     /// state alone cannot witness convergence.
     pub fn array_state(&self) -> &[Vec<S::Value>] {
         &self.arrays
+    }
+
+    /// The current value of every scalar variable (see
+    /// [`array_state`](Self::array_state) for why fix-point analyses
+    /// need raw state: variables persist across activations too).
+    pub fn var_state(&self) -> &[S::Value] {
+        &self.vars
     }
 
     /// Runs the kernel over `inputs[i][n]` (input `i`, activation `n`) and
@@ -376,61 +384,467 @@ pub struct ImpulseChannel {
 /// of state per [`ImpulseChannel`], in structure-of-arrays layout
 /// (`state[elem * lanes + lane]`).
 ///
-/// Every lane performs exactly the floating-point operation sequence of
-/// a solo [`Executor`] run under an impulse-injecting semantics: kernel
-/// structure — statement dispatch, loop bookkeeping, index resolution,
-/// execution counters — is walked once per batch and shared (control
-/// flow is static, so it is identical across lanes), while the per-node
-/// arithmetic runs lane by lane on contiguous `f64` rows. Per-lane
+/// The kernel is compiled once into a linear **tape** — control flow is
+/// static, so loops unroll into a fixed entry sequence with array
+/// indices, parameter values and execution-instance ids resolved at
+/// build time. Each [`step`](Self::step) replays the tape: per-node
+/// arithmetic runs lane by lane on contiguous `f64` rows of a value
+/// stack, performing exactly the floating-point operation sequence of a
+/// solo [`Executor`] run under an impulse-injecting semantics. Per-lane
 /// results are therefore **bitwise identical** to solo runs, at a
 /// fraction of the interpreter overhead.
 ///
-/// Lanes whose response has died out are retired with [`retain`]
-/// (Self::retain); the survivors are compacted so inner loops stay
-/// dense.
+/// A lane's values can deviate from the impulse-free baseline only where
+/// an impulse was injected and only downstream of it — its source's
+/// influence *cone*. The executor exploits that sparsity dynamically:
+/// every value row and state element carries the contiguous lane range
+/// (*deviation hull*) that may differ from the baseline, seeded by the
+/// injected impulses, widened through operators, and narrowed again when
+/// state is overwritten by baseline-valued data. One scalar **baseline
+/// lane** runs the same operation sequence impulse-free; lanes outside a
+/// hull are never computed or stored — they are, bitwise, the baseline
+/// value — which keeps the restricted sweep bitwise identical to a dense
+/// one while doing work proportional to actual deviations. Sorting
+/// channels so that lanes with overlapping cones sit next to each other
+/// (see [`ConeIndex`]) keeps the hulls tight.
+///
+/// Lanes whose response has died out are retired with
+/// [`retain`](Self::retain); the survivors are compacted so inner loops
+/// stay dense.
 #[derive(Debug)]
 pub struct BatchExecutor<'k> {
-    kernel: &'k Kernel,
+    kernel: std::marker::PhantomData<&'k Kernel>,
     /// Live channels, parallel to lanes.
     channels: Vec<ImpulseChannel>,
     /// Original channel index of each live lane.
     ids: Vec<usize>,
+    tape: Vec<TapeEntry>,
     arrays: Vec<Vec<f64>>,
     vars: Vec<f64>,
     outputs: Vec<f64>,
-    exec_counts: Vec<(u32, u32)>,
-    epoch: u32,
-    activation: u32,
-    loop_env: HashMap<LoopId, i64>,
+    /// Baseline (impulse-free) state: one scalar per state element.
+    arrays_base: Vec<Vec<f64>>,
+    vars_base: Vec<f64>,
+    outputs_base: Vec<f64>,
+    /// Lane range `[lo, hi)` the element's last writer actually stored;
+    /// every lane outside it is baseline-valued (the row slots there may
+    /// be stale and are never read). Empty at the zeroed initial state.
+    arrays_hull: Vec<Vec<(u32, u32)>>,
+    vars_hull: Vec<(u32, u32)>,
+    /// Evaluation value stack: `max_stack` rows of `lanes` values.
+    stack: Vec<f64>,
+    base_stack: Vec<f64>,
+    /// Deviation hull of each live stack row (scratch, parallel to the
+    /// stack rows).
+    slot_hull: Vec<(u32, u32)>,
     /// Lanes targeting each expression (indexed by `ExprId::index`).
     by_expr: Vec<Vec<usize>>,
-    /// Reusable evaluation buffers, indexed by expression depth.
-    scratch: Vec<Vec<f64>>,
+    activation: u32,
+}
+
+/// One tape entry: an expression evaluation (pushes a row) or a
+/// statement effect (pops the root row into state).
+#[derive(Debug, Clone, Copy)]
+struct TapeEntry {
+    op: TapeOp,
+    /// Arena index of the expression this entry evaluates (for value
+    /// entries) or of the statement's root value (for state entries).
+    expr: u32,
+    /// Execution instance of `expr` within one activation.
+    exec: u32,
+    /// Some channel targets `expr` (kept in sync with the live channel
+    /// set, so the common no-impulse entry skips the lookup).
+    poke: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TapeOp {
+    Const(f64),
+    ReadVar(u32),
+    ReadInput(u32),
+    /// Parameter value, resolved at tape-build time.
+    LoadParam(f64),
+    /// Array and element index, resolved at tape-build time.
+    LoadArray(u32, u32),
+    Neg,
+    Bin(BinOp),
+    /// Fused `Bin` + `AssignVar`: the result row is computed straight
+    /// into the variable's state row.
+    BinAssign(BinOp, u32),
+    /// Fused `v = op(ReadVar(v), b)` (the accumulator pattern): operand
+    /// `a` is the variable's own state row, updated in place — the read
+    /// copy disappears entirely.
+    AccumVar(BinOp, u32),
+    AssignVar(u32),
+    StoreArr(u32, u32),
+    ShiftInArr(u32),
+    SetOut(u32),
+}
+
+struct Tape {
+    entries: Vec<TapeEntry>,
+    max_stack: usize,
+}
+
+/// Flattens the kernel into a tape: loops are unrolled, indices and
+/// parameter values resolved, and per-expression execution-instance ids
+/// assigned exactly as the epoch counters of a solo run would.
+///
+/// `poked[e]` flags expressions some impulse channel targets; fusions
+/// that would drop an expression's tape entry are suppressed for them
+/// (the entry is where the impulse is injected).
+fn build_tape(kernel: &Kernel, poked: &[bool]) -> Tape {
+    struct B<'a> {
+        kernel: &'a Kernel,
+        poked: &'a [bool],
+        env: HashMap<LoopId, i64>,
+        counts: Vec<u32>,
+        entries: Vec<TapeEntry>,
+        sp: usize,
+        max_sp: usize,
+    }
+    impl B<'_> {
+        fn index(&self, ix: &crate::types::IndexExpr) -> i64 {
+            ix.eval(&|l| self.env.get(&l).copied().unwrap_or(0))
+        }
+        fn value(&mut self, op: TapeOp, e: ExprId, pushes: bool) {
+            let exec = self.counts[e.index()];
+            self.counts[e.index()] += 1;
+            self.entries.push(TapeEntry {
+                op,
+                expr: e.index() as u32,
+                exec,
+                poke: false,
+            });
+            if pushes {
+                self.sp += 1;
+                self.max_sp = self.max_sp.max(self.sp);
+            }
+        }
+        fn tree(&mut self, e: ExprId) {
+            match self.kernel.expr(e) {
+                ExprNode::Const(v) => self.value(TapeOp::Const(*v), e, true),
+                ExprNode::ReadVar(v) => self.value(TapeOp::ReadVar(v.index() as u32), e, true),
+                ExprNode::ReadInput(i) => self.value(TapeOp::ReadInput(i.index() as u32), e, true),
+                ExprNode::LoadParam(p, ix) => {
+                    let raw = self.kernel.param_value(*p, self.index(ix));
+                    self.value(TapeOp::LoadParam(raw), e, true);
+                }
+                ExprNode::LoadArray(a, ix) => {
+                    let len = self.kernel.arrays()[a.index()].len as i64;
+                    let idx = self.index(ix).rem_euclid(len) as u32;
+                    self.value(TapeOp::LoadArray(a.index() as u32, idx), e, true);
+                }
+                ExprNode::Unary(UnOp::Neg, a) => {
+                    let a = *a;
+                    self.tree(a);
+                    self.value(TapeOp::Neg, e, false);
+                }
+                ExprNode::Bin(op, a, b) => {
+                    let (op, a, b) = (*op, *a, *b);
+                    self.tree(a);
+                    self.tree(b);
+                    self.value(TapeOp::Bin(op), e, false);
+                    self.sp -= 1;
+                }
+            }
+        }
+        fn root(&mut self, op: TapeOp, e: ExprId) {
+            self.entries.push(TapeEntry {
+                op,
+                expr: e.index() as u32,
+                exec: 0,
+                poke: false,
+            });
+            self.sp -= 1;
+        }
+        fn stmts(&mut self, stmts: &[Stmt]) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign(v, e) => {
+                        // Accumulator fusion: `v = op(v, b)` evaluates in
+                        // place on the variable's state row, skipping the
+                        // read copy. The read's tape entry disappears, so
+                        // only fuse when no impulse targets it (variable
+                        // reads never produce noise, so in practice
+                        // always).
+                        if let ExprNode::Bin(op, a, bx) = self.kernel.expr(*e) {
+                            if let ExprNode::ReadVar(av) = self.kernel.expr(*a) {
+                                if av == v && !self.poked[a.index()] {
+                                    let (op, bx) = (*op, *bx);
+                                    self.tree(bx);
+                                    self.value(TapeOp::AccumVar(op, v.index() as u32), *e, false);
+                                    self.sp -= 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        self.tree(*e);
+                        // Peephole: a binary root writes its result row
+                        // straight into the variable state.
+                        let last = self.entries.last_mut().expect("tree emits entries");
+                        if let TapeOp::Bin(op) = last.op {
+                            last.op = TapeOp::BinAssign(op, v.index() as u32);
+                            self.sp -= 1;
+                        } else {
+                            self.root(TapeOp::AssignVar(v.index() as u32), *e);
+                        }
+                    }
+                    Stmt::Store(a, ix, e) => {
+                        let len = self.kernel.arrays()[a.index()].len as i64;
+                        let idx = self.index(ix).rem_euclid(len) as u32;
+                        self.tree(*e);
+                        self.root(TapeOp::StoreArr(a.index() as u32, idx), *e);
+                    }
+                    Stmt::ShiftIn(a, e) => {
+                        self.tree(*e);
+                        self.root(TapeOp::ShiftInArr(a.index() as u32), *e);
+                    }
+                    Stmt::Output(o, e) => {
+                        self.tree(*e);
+                        self.root(TapeOp::SetOut(*o as u32), *e);
+                    }
+                    Stmt::For { var, count, body } => {
+                        for trip in 0..*count {
+                            self.env.insert(*var, trip as i64);
+                            self.stmts(body);
+                        }
+                        self.env.remove(var);
+                    }
+                }
+            }
+        }
+    }
+    let mut b = B {
+        kernel,
+        poked,
+        env: HashMap::new(),
+        counts: vec![0; kernel.expr_count()],
+        entries: Vec::new(),
+        sp: 0,
+        max_sp: 0,
+    };
+    b.stmts(kernel.body());
+    debug_assert_eq!(b.sp, 0);
+    Tape {
+        entries: b.entries,
+        max_stack: b.max_sp,
+    }
+}
+
+/// Applies a binary operation lane-wise over the union span of the two
+/// operands' deviation hulls, reading lanes outside an operand's hull
+/// from its baseline scalar, writing the result in place over `a`'s row.
+/// Returns the result's deviation hull. Lanes in the span covered by
+/// neither hull compute `f(abase, bbase)` — exactly the result baseline,
+/// so the returned (convex) hull stays sound.
+#[inline]
+fn seg_bin_inplace(
+    a: &mut [f64],
+    ah: (u32, u32),
+    abase: f64,
+    b: &[f64],
+    bh: (u32, u32),
+    bbase: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> (u32, u32) {
+    let a_empty = ah.0 >= ah.1;
+    let b_empty = bh.0 >= bh.1;
+    if a_empty && b_empty {
+        return (0, 0);
+    }
+    if a_empty {
+        for i in bh.0 as usize..bh.1 as usize {
+            a[i] = f(abase, b[i]);
+        }
+        return bh;
+    }
+    if b_empty {
+        for x in &mut a[ah.0 as usize..ah.1 as usize] {
+            *x = f(*x, bbase);
+        }
+        return ah;
+    }
+    if ah == bh {
+        for i in ah.0 as usize..ah.1 as usize {
+            a[i] = f(a[i], b[i]);
+        }
+        return ah;
+    }
+    let lo = ah.0.min(bh.0);
+    let hi = ah.1.max(bh.1);
+    for i in lo as usize..hi as usize {
+        let x = if (i as u32) >= ah.0 && (i as u32) < ah.1 {
+            a[i]
+        } else {
+            abase
+        };
+        let y = if (i as u32) >= bh.0 && (i as u32) < bh.1 {
+            b[i]
+        } else {
+            bbase
+        };
+        a[i] = f(x, y);
+    }
+    (lo, hi)
+}
+
+/// [`seg_bin_inplace`] writing into a separate destination row (a state
+/// row for the fused assign forms).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn seg_bin_to(
+    dst: &mut [f64],
+    a: &[f64],
+    ah: (u32, u32),
+    abase: f64,
+    b: &[f64],
+    bh: (u32, u32),
+    bbase: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> (u32, u32) {
+    let a_empty = ah.0 >= ah.1;
+    let b_empty = bh.0 >= bh.1;
+    if a_empty && b_empty {
+        return (0, 0);
+    }
+    let lo = if a_empty {
+        bh.0
+    } else if b_empty {
+        ah.0
+    } else {
+        ah.0.min(bh.0)
+    };
+    let hi = if a_empty {
+        bh.1
+    } else if b_empty {
+        ah.1
+    } else {
+        ah.1.max(bh.1)
+    };
+    if ah == (lo, hi) && bh == (lo, hi) {
+        for i in lo as usize..hi as usize {
+            dst[i] = f(a[i], b[i]);
+        }
+        return (lo, hi);
+    }
+    for i in lo as usize..hi as usize {
+        let x = if (i as u32) >= ah.0 && (i as u32) < ah.1 {
+            a[i]
+        } else {
+            abase
+        };
+        let y = if (i as u32) >= bh.0 && (i as u32) < bh.1 {
+            b[i]
+        } else {
+            bbase
+        };
+        dst[i] = f(x, y);
+    }
+    (lo, hi)
+}
+
+/// Applies the matching impulses of `lanes` to `row`, materialising any
+/// poked lane outside the current deviation hull (gap lanes are filled
+/// with the baseline they provably hold). Returns the widened hull —
+/// the batched equivalent of the solo impulse semantics' per-value poke.
+#[inline]
+fn poke_lanes(
+    lanes: &[usize],
+    channels: &[ImpulseChannel],
+    activation: u32,
+    exec: u32,
+    row: &mut [f64],
+    mut h: (u32, u32),
+    base: f64,
+) -> (u32, u32) {
+    for &lane in lanes {
+        let ch = &channels[lane];
+        let always = ch.exec == u32::MAX && ch.activation == u32::MAX;
+        if always || (exec == ch.exec && activation == ch.activation) {
+            let p = lane as u32;
+            if h.0 >= h.1 {
+                row[lane] = base;
+                h = (p, p + 1);
+            } else if p < h.0 {
+                row[lane..h.0 as usize].fill(base);
+                h.0 = p;
+            } else if p >= h.1 {
+                row[h.1 as usize..=lane].fill(base);
+                h.1 = p + 1;
+            }
+            row[lane] += ch.amount;
+        }
+    }
+    h
+}
+
+/// Writes a popped root row into a full state row: hull lanes from the
+/// row, everything else (provably baseline-valued) from the scalar.
+#[inline]
+fn write_state(dst: &mut [f64], row: &[f64], base: f64, own: (u32, u32)) {
+    let (olo, ohi) = (own.0 as usize, own.1 as usize);
+    dst[..olo].fill(base);
+    dst[olo..ohi].copy_from_slice(&row[olo..ohi]);
+    dst[ohi..].fill(base);
 }
 
 impl<'k> BatchExecutor<'k> {
     /// Creates a batch executor with zeroed state, one lane per channel.
     pub fn new(kernel: &'k Kernel, channels: Vec<ImpulseChannel>) -> Self {
+        Self::make(kernel, channels)
+    }
+
+    /// Creates a batch executor for channels packed with the help of a
+    /// [`ConeIndex`] (sorting lanes so overlapping cones sit together
+    /// keeps the deviation hulls tight). Execution is identical to
+    /// [`new`](Self::new) — the index only validates compatibility here.
+    pub fn with_cone(
+        kernel: &'k Kernel,
+        channels: Vec<ImpulseChannel>,
+        cone: &'k ConeIndex,
+    ) -> Self {
+        assert_eq!(
+            cone.expr_count(),
+            kernel.expr_count(),
+            "cone index built for a different kernel"
+        );
+        Self::make(kernel, channels)
+    }
+
+    fn make(kernel: &'k Kernel, channels: Vec<ImpulseChannel>) -> Self {
         let l = channels.len();
-        let arrays = kernel
-            .arrays()
-            .iter()
-            .map(|a| vec![0.0; a.len * l])
-            .collect();
-        let ids = (0..l).collect();
+        let mut poked = vec![false; kernel.expr_count()];
+        for ch in &channels {
+            poked[ch.target.index()] = true;
+        }
+        let tape = build_tape(kernel, &poked);
         let mut ex = BatchExecutor {
-            kernel,
+            kernel: std::marker::PhantomData,
             channels,
-            ids,
-            arrays,
+            ids: (0..l).collect(),
+            arrays: kernel
+                .arrays()
+                .iter()
+                .map(|a| vec![0.0; a.len * l])
+                .collect(),
             vars: vec![0.0; kernel.vars().len() * l],
             outputs: vec![0.0; kernel.outputs().len() * l],
-            exec_counts: vec![(0, 0); kernel.expr_count()],
-            epoch: 0,
-            activation: 0,
-            loop_env: HashMap::new(),
+            arrays_base: kernel.arrays().iter().map(|a| vec![0.0; a.len]).collect(),
+            vars_base: vec![0.0; kernel.vars().len()],
+            outputs_base: vec![0.0; kernel.outputs().len()],
+            arrays_hull: kernel
+                .arrays()
+                .iter()
+                .map(|a| vec![(0, 0); a.len])
+                .collect(),
+            vars_hull: vec![(0, 0); kernel.vars().len()],
+            stack: vec![0.0; tape.max_stack * l],
+            base_stack: vec![0.0; tape.max_stack],
+            slot_hull: vec![(0, 0); tape.max_stack],
+            tape: tape.entries,
             by_expr: vec![Vec::new(); kernel.expr_count()],
-            scratch: Vec::new(),
+            activation: 0,
         };
         ex.rebuild_by_expr();
         ex
@@ -452,12 +866,11 @@ impl<'k> BatchExecutor<'k> {
         &self.outputs
     }
 
-    /// Executes one activation with the given input values (shared by
-    /// all lanes; only the injected impulses differ per lane).
-    pub fn step(&mut self, input_vals: &[f64]) {
-        self.epoch = self.epoch.wrapping_add(1);
-        self.exec_stmts(self.kernel.body(), input_vals);
-        self.activation += 1;
+    /// Baseline (impulse-free) output values after the last step — the
+    /// trajectory a solo [`Executor`] fed the same inputs produces,
+    /// bitwise.
+    pub fn outputs_base(&self) -> &[f64] {
+        &self.outputs_base
     }
 
     /// Retires lanes with `keep[lane] == false` and compacts the state
@@ -474,6 +887,20 @@ impl<'k> BatchExecutor<'k> {
         for arr in &mut self.arrays {
             compact_lanes(arr, old, &kept);
         }
+        // Kept lanes inside a stored write hull stay contiguous after
+        // compaction; remap each hull by rank (kept lanes below bound).
+        let mut rank = vec![0u32; old + 1];
+        for i in 0..old {
+            rank[i + 1] = rank[i] + keep[i] as u32;
+        }
+        for h in &mut self.vars_hull {
+            *h = (rank[h.0 as usize], rank[h.1 as usize]);
+        }
+        for hulls in &mut self.arrays_hull {
+            for h in hulls {
+                *h = (rank[h.0 as usize], rank[h.1 as usize]);
+            }
+        }
         self.channels = kept.iter().map(|&i| self.channels[i]).collect();
         self.ids = kept.iter().map(|&i| self.ids[i]).collect();
         self.rebuild_by_expr();
@@ -486,178 +913,304 @@ impl<'k> BatchExecutor<'k> {
         for (lane, ch) in self.channels.iter().enumerate() {
             self.by_expr[ch.target.index()].push(lane);
         }
+        for en in &mut self.tape {
+            en.poke = !self.by_expr[en.expr as usize].is_empty();
+        }
     }
 
-    fn exec_stmts(&mut self, stmts: &'k [Stmt], input_vals: &[f64]) {
+    /// Executes one activation with the given input values (shared by
+    /// all lanes; only the injected impulses differ per lane).
+    ///
+    /// Every value row carries its deviation hull on `slot_hull`: the
+    /// contiguous lane range that may differ from the baseline scalar.
+    /// Lanes outside a hull hold the baseline bitwise (the row slots
+    /// there are stale and never read), so each entry touches only the
+    /// lanes an impulse actually reaches.
+    pub fn step(&mut self, input_vals: &[f64]) {
         let l = self.ids.len();
-        for s in stmts {
-            match s {
-                Stmt::Assign(v, e) => {
-                    self.eval_into(*e, input_vals, 0);
-                    let buf = std::mem::take(&mut self.scratch[0]);
-                    self.vars[v.index() * l..(v.index() + 1) * l].copy_from_slice(&buf);
-                    self.scratch[0] = buf;
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut bstack = std::mem::take(&mut self.base_stack);
+        let mut shull = std::mem::take(&mut self.slot_hull);
+        let mut sp = 0usize;
+        for ti in 0..self.tape.len() {
+            let en = self.tape[ti];
+            let eix = en.expr as usize;
+            match en.op {
+                TapeOp::Const(_) | TapeOp::ReadInput(_) | TapeOp::LoadParam(_) => {
+                    let v = match en.op {
+                        TapeOp::Const(c) => c,
+                        TapeOp::ReadInput(i) => input_vals[i as usize],
+                        TapeOp::LoadParam(r) => r,
+                        _ => unreachable!(),
+                    };
+                    bstack[sp] = v;
+                    // A leaf deviates from its baseline only where poked.
+                    shull[sp] = if en.poke {
+                        let row = &mut stack[sp * l..sp * l + l];
+                        poke_lanes(
+                            &self.by_expr[eix],
+                            &self.channels,
+                            self.activation,
+                            en.exec,
+                            row,
+                            (0, 0),
+                            v,
+                        )
+                    } else {
+                        (0, 0)
+                    };
+                    sp += 1;
                 }
-                Stmt::Store(a, ix, e) => {
-                    self.eval_into(*e, input_vals, 0);
-                    let buf = std::mem::take(&mut self.scratch[0]);
-                    let idx = self.resolve_index(ix, a.index());
-                    self.arrays[a.index()][idx * l..(idx + 1) * l].copy_from_slice(&buf);
-                    self.scratch[0] = buf;
+                TapeOp::ReadVar(v) => {
+                    let v = v as usize;
+                    let base = self.vars_base[v];
+                    bstack[sp] = base;
+                    let h = self.vars_hull[v];
+                    if h.0 < h.1 {
+                        let (lo, hi) = (h.0 as usize, h.1 as usize);
+                        stack[sp * l + lo..sp * l + hi]
+                            .copy_from_slice(&self.vars[v * l + lo..v * l + hi]);
+                    }
+                    // Variable reads pass through unchanged (no poke):
+                    // the solo impulse semantics never perturbs `var_use`.
+                    shull[sp] = h;
+                    sp += 1;
                 }
-                Stmt::ShiftIn(a, e) => {
-                    self.eval_into(*e, input_vals, 0);
-                    let buf = std::mem::take(&mut self.scratch[0]);
-                    let arr = &mut self.arrays[a.index()];
-                    let elems = arr.len() / l.max(1);
+                TapeOp::LoadArray(a, elem) => {
+                    let (a, elem) = (a as usize, elem as usize);
+                    let base = self.arrays_base[a][elem];
+                    bstack[sp] = base;
+                    let mut h = self.arrays_hull[a][elem];
+                    if h.0 < h.1 {
+                        let (lo, hi) = (h.0 as usize, h.1 as usize);
+                        stack[sp * l + lo..sp * l + hi]
+                            .copy_from_slice(&self.arrays[a][elem * l + lo..elem * l + hi]);
+                    }
+                    if en.poke {
+                        h = poke_lanes(
+                            &self.by_expr[eix],
+                            &self.channels,
+                            self.activation,
+                            en.exec,
+                            &mut stack[sp * l..sp * l + l],
+                            h,
+                            base,
+                        );
+                    }
+                    shull[sp] = h;
+                    sp += 1;
+                }
+                TapeOp::Neg => {
+                    let h = shull[sp - 1];
+                    let row = &mut stack[(sp - 1) * l..(sp - 1) * l + l];
+                    for x in &mut row[h.0 as usize..h.1 as usize] {
+                        *x = -*x;
+                    }
+                    let base = -bstack[sp - 1];
+                    bstack[sp - 1] = base;
+                    shull[sp - 1] = if en.poke {
+                        poke_lanes(
+                            &self.by_expr[eix],
+                            &self.channels,
+                            self.activation,
+                            en.exec,
+                            row,
+                            h,
+                            base,
+                        )
+                    } else {
+                        h
+                    };
+                }
+                TapeOp::Bin(op) => {
+                    let (head, tail) = stack.split_at_mut((sp - 1) * l);
+                    let arow = &mut head[(sp - 2) * l..(sp - 2) * l + l];
+                    let brow = &tail[..l];
+                    let (ah, bh) = (shull[sp - 2], shull[sp - 1]);
+                    let (abase, bbase) = (bstack[sp - 2], bstack[sp - 1]);
+                    let h = match op {
+                        BinOp::Add => {
+                            seg_bin_inplace(arow, ah, abase, brow, bh, bbase, |x, y| x + y)
+                        }
+                        BinOp::Sub => {
+                            seg_bin_inplace(arow, ah, abase, brow, bh, bbase, |x, y| x - y)
+                        }
+                        BinOp::Mul => {
+                            seg_bin_inplace(arow, ah, abase, brow, bh, bbase, |x, y| x * y)
+                        }
+                    };
+                    let base = match op {
+                        BinOp::Add => abase + bbase,
+                        BinOp::Sub => abase - bbase,
+                        BinOp::Mul => abase * bbase,
+                    };
+                    bstack[sp - 2] = base;
+                    shull[sp - 2] = if en.poke {
+                        poke_lanes(
+                            &self.by_expr[eix],
+                            &self.channels,
+                            self.activation,
+                            en.exec,
+                            arow,
+                            h,
+                            base,
+                        )
+                    } else {
+                        h
+                    };
+                    sp -= 1;
+                }
+                TapeOp::BinAssign(op, v) => {
+                    let v = v as usize;
+                    let arow = &stack[(sp - 2) * l..(sp - 2) * l + l];
+                    let brow = &stack[(sp - 1) * l..(sp - 1) * l + l];
+                    let (ah, bh) = (shull[sp - 2], shull[sp - 1]);
+                    let (abase, bbase) = (bstack[sp - 2], bstack[sp - 1]);
+                    let vrow = &mut self.vars[v * l..v * l + l];
+                    let h = match op {
+                        BinOp::Add => {
+                            seg_bin_to(vrow, arow, ah, abase, brow, bh, bbase, |x, y| x + y)
+                        }
+                        BinOp::Sub => {
+                            seg_bin_to(vrow, arow, ah, abase, brow, bh, bbase, |x, y| x - y)
+                        }
+                        BinOp::Mul => {
+                            seg_bin_to(vrow, arow, ah, abase, brow, bh, bbase, |x, y| x * y)
+                        }
+                    };
+                    let base = match op {
+                        BinOp::Add => abase + bbase,
+                        BinOp::Sub => abase - bbase,
+                        BinOp::Mul => abase * bbase,
+                    };
+                    self.vars_base[v] = base;
+                    self.vars_hull[v] = if en.poke {
+                        poke_lanes(
+                            &self.by_expr[eix],
+                            &self.channels,
+                            self.activation,
+                            en.exec,
+                            vrow,
+                            h,
+                            base,
+                        )
+                    } else {
+                        h
+                    };
+                    sp -= 2;
+                }
+                TapeOp::AccumVar(op, v) => {
+                    let v = v as usize;
+                    let brow = &stack[(sp - 1) * l..(sp - 1) * l + l];
+                    let bh = shull[sp - 1];
+                    let bbase = bstack[sp - 1];
+                    let vh = self.vars_hull[v];
+                    let vbase = self.vars_base[v];
+                    let vrow = &mut self.vars[v * l..v * l + l];
+                    let h = match op {
+                        BinOp::Add => {
+                            seg_bin_inplace(vrow, vh, vbase, brow, bh, bbase, |x, y| x + y)
+                        }
+                        BinOp::Sub => {
+                            seg_bin_inplace(vrow, vh, vbase, brow, bh, bbase, |x, y| x - y)
+                        }
+                        BinOp::Mul => {
+                            seg_bin_inplace(vrow, vh, vbase, brow, bh, bbase, |x, y| x * y)
+                        }
+                    };
+                    let base = match op {
+                        BinOp::Add => vbase + bbase,
+                        BinOp::Sub => vbase - bbase,
+                        BinOp::Mul => vbase * bbase,
+                    };
+                    self.vars_base[v] = base;
+                    self.vars_hull[v] = if en.poke {
+                        poke_lanes(
+                            &self.by_expr[eix],
+                            &self.channels,
+                            self.activation,
+                            en.exec,
+                            vrow,
+                            h,
+                            base,
+                        )
+                    } else {
+                        h
+                    };
+                    sp -= 1;
+                }
+                TapeOp::AssignVar(v) => {
+                    let v = v as usize;
+                    let h = shull[sp - 1];
+                    self.vars_base[v] = bstack[sp - 1];
+                    self.vars_hull[v] = h;
+                    let (lo, hi) = (h.0 as usize, h.1 as usize);
+                    if lo < hi {
+                        let row = &stack[(sp - 1) * l..(sp - 1) * l + l];
+                        self.vars[v * l + lo..v * l + hi].copy_from_slice(&row[lo..hi]);
+                    }
+                    sp -= 1;
+                }
+                TapeOp::StoreArr(a, elem) => {
+                    let (a, elem) = (a as usize, elem as usize);
+                    let h = shull[sp - 1];
+                    self.arrays_base[a][elem] = bstack[sp - 1];
+                    self.arrays_hull[a][elem] = h;
+                    let (lo, hi) = (h.0 as usize, h.1 as usize);
+                    if lo < hi {
+                        let row = &stack[(sp - 1) * l..(sp - 1) * l + l];
+                        self.arrays[a][elem * l + lo..elem * l + hi].copy_from_slice(&row[lo..hi]);
+                    }
+                    sp -= 1;
+                }
+                TapeOp::ShiftInArr(a) => {
+                    let a = a as usize;
+                    let own = shull[sp - 1];
+                    let base = bstack[sp - 1];
+                    let elems = self.arrays_base[a].len();
+                    let arr = &mut self.arrays[a];
+                    let ab = &mut self.arrays_base[a];
+                    let ah = &mut self.arrays_hull[a];
                     for i in (1..elems).rev() {
-                        arr.copy_within((i - 1) * l..i * l, i * l);
+                        ab[i] = ab[i - 1];
+                        let h = ah[i - 1];
+                        ah[i] = h;
+                        if h.0 < h.1 {
+                            let (lo, hi) = (h.0 as usize, h.1 as usize);
+                            arr.copy_within((i - 1) * l + lo..(i - 1) * l + hi, i * l + lo);
+                        }
                     }
-                    arr[..l].copy_from_slice(&buf);
-                    self.scratch[0] = buf;
-                }
-                Stmt::Output(idx, e) => {
-                    self.eval_into(*e, input_vals, 0);
-                    let buf = std::mem::take(&mut self.scratch[0]);
-                    self.outputs[idx * l..(idx + 1) * l].copy_from_slice(&buf);
-                    self.scratch[0] = buf;
-                }
-                Stmt::For { var, count, body } => {
-                    for trip in 0..*count {
-                        self.loop_env.insert(*var, trip as i64);
-                        self.exec_stmts(body, input_vals);
+                    if elems > 0 {
+                        ab[0] = base;
+                        ah[0] = own;
+                        let (lo, hi) = (own.0 as usize, own.1 as usize);
+                        if lo < hi {
+                            let row = &stack[(sp - 1) * l..(sp - 1) * l + l];
+                            arr[lo..hi].copy_from_slice(&row[lo..hi]);
+                        }
                     }
-                    self.loop_env.remove(var);
+                    sp -= 1;
+                }
+                TapeOp::SetOut(o) => {
+                    let o = o as usize;
+                    let own = shull[sp - 1];
+                    let base = bstack[sp - 1];
+                    self.outputs_base[o] = base;
+                    let dst = &mut self.outputs[o * l..o * l + l];
+                    if own.0 >= own.1 {
+                        dst.fill(base);
+                    } else {
+                        let row = &stack[(sp - 1) * l..(sp - 1) * l + l];
+                        write_state(dst, row, base, own);
+                    }
+                    sp -= 1;
                 }
             }
         }
-    }
-
-    fn ctx(&mut self, e: ExprId) -> ExecCtx {
-        let slot = &mut self.exec_counts[e.index()];
-        if slot.0 != self.epoch {
-            *slot = (self.epoch, 0);
-        }
-        let exec = slot.1;
-        slot.1 += 1;
-        ExecCtx {
-            activation: self.activation,
-            exec,
-        }
-    }
-
-    /// Applies the impulses of every channel targeting `e` whose
-    /// execution instance matches — the batched equivalent of the solo
-    /// impulse semantics' per-value poke.
-    fn poke(&self, ctx: ExecCtx, e: ExprId, out: &mut [f64]) {
-        for &lane in &self.by_expr[e.index()] {
-            let ch = &self.channels[lane];
-            let always = ch.exec == u32::MAX && ch.activation == u32::MAX;
-            if always || (ctx.exec == ch.exec && ctx.activation == ch.activation) {
-                out[lane] += ch.amount;
-            }
-        }
-    }
-
-    fn index_env(&self, ix: &crate::types::IndexExpr) -> i64 {
-        ix.eval(&|l| self.loop_env.get(&l).copied().unwrap_or(0))
-    }
-
-    fn resolve_index(&self, ix: &crate::types::IndexExpr, array: usize) -> usize {
-        let len = (self.arrays[array].len() / self.ids.len().max(1)) as i64;
-        self.index_env(ix).rem_euclid(len) as usize
-    }
-
-    /// Evaluates `e` for every lane into `self.scratch[depth]`. Child
-    /// operands use `depth + 1` / `depth + 2`; a child's own scratch
-    /// needs stay above the buffers its siblings' results occupy.
-    fn eval_into(&mut self, e: ExprId, input_vals: &[f64], depth: usize) {
-        if self.scratch.len() < depth + 3 {
-            self.scratch.resize_with(depth + 3, Vec::new);
-        }
-        let l = self.ids.len();
-        let kernel = self.kernel;
-        match kernel.expr(e) {
-            ExprNode::Const(v) => {
-                let v = *v;
-                let mut out = std::mem::take(&mut self.scratch[depth]);
-                out.clear();
-                out.resize(l, v);
-                let ctx = self.ctx(e);
-                self.poke(ctx, e, &mut out);
-                self.scratch[depth] = out;
-            }
-            ExprNode::ReadVar(v) => {
-                let mut out = std::mem::take(&mut self.scratch[depth]);
-                out.clear();
-                out.extend_from_slice(&self.vars[v.index() * l..(v.index() + 1) * l]);
-                let _ctx = self.ctx(e);
-                // Variable reads pass through unchanged (no poke): the
-                // solo impulse semantics never perturbs `var_use`.
-                self.scratch[depth] = out;
-            }
-            ExprNode::ReadInput(i) => {
-                let v = input_vals[i.index()];
-                let mut out = std::mem::take(&mut self.scratch[depth]);
-                out.clear();
-                out.resize(l, v);
-                let ctx = self.ctx(e);
-                self.poke(ctx, e, &mut out);
-                self.scratch[depth] = out;
-            }
-            ExprNode::LoadParam(p, ix) => {
-                let idx = self.index_env(ix);
-                let raw = kernel.param_value(*p, idx);
-                let mut out = std::mem::take(&mut self.scratch[depth]);
-                out.clear();
-                out.resize(l, raw);
-                let ctx = self.ctx(e);
-                self.poke(ctx, e, &mut out);
-                self.scratch[depth] = out;
-            }
-            ExprNode::LoadArray(a, ix) => {
-                let idx = self.resolve_index(ix, a.index());
-                let mut out = std::mem::take(&mut self.scratch[depth]);
-                out.clear();
-                out.extend_from_slice(&self.arrays[a.index()][idx * l..(idx + 1) * l]);
-                let ctx = self.ctx(e);
-                self.poke(ctx, e, &mut out);
-                self.scratch[depth] = out;
-            }
-            ExprNode::Unary(op, a) => {
-                let (op, a) = (*op, *a);
-                self.eval_into(a, input_vals, depth + 1);
-                let av = std::mem::take(&mut self.scratch[depth + 1]);
-                let mut out = std::mem::take(&mut self.scratch[depth]);
-                out.clear();
-                match op {
-                    UnOp::Neg => out.extend(av.iter().map(|&x| -x)),
-                }
-                let ctx = self.ctx(e);
-                self.poke(ctx, e, &mut out);
-                self.scratch[depth] = out;
-                self.scratch[depth + 1] = av;
-            }
-            ExprNode::Bin(op, a, b) => {
-                let (op, a, b) = (*op, *a, *b);
-                self.eval_into(a, input_vals, depth + 1);
-                self.eval_into(b, input_vals, depth + 2);
-                let av = std::mem::take(&mut self.scratch[depth + 1]);
-                let bv = std::mem::take(&mut self.scratch[depth + 2]);
-                let mut out = std::mem::take(&mut self.scratch[depth]);
-                out.clear();
-                match op {
-                    BinOp::Add => out.extend(av.iter().zip(&bv).map(|(&x, &y)| x + y)),
-                    BinOp::Sub => out.extend(av.iter().zip(&bv).map(|(&x, &y)| x - y)),
-                    BinOp::Mul => out.extend(av.iter().zip(&bv).map(|(&x, &y)| x * y)),
-                }
-                let ctx = self.ctx(e);
-                self.poke(ctx, e, &mut out);
-                self.scratch[depth] = out;
-                self.scratch[depth + 1] = av;
-                self.scratch[depth + 2] = bv;
-            }
-        }
+        self.stack = stack;
+        self.base_stack = bstack;
+        self.slot_hull = shull;
+        self.activation += 1;
     }
 }
 

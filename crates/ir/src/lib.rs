@@ -48,6 +48,7 @@
 
 pub mod blocks;
 pub mod builder;
+pub mod cone;
 pub mod dfg;
 pub mod error;
 pub mod interp;
@@ -59,8 +60,9 @@ pub mod unroll;
 
 pub use blocks::{Block, BlockId};
 pub use builder::KernelBuilder;
+pub use cone::ConeIndex;
 pub use dfg::{Dfg, DfgNode, NodeId, NodeKind};
 pub use error::IrError;
 pub use interp::{ExecCtx, Executor, FloatSem, Semantics};
-pub use kernel::{Array, ExprNode, Input, Kernel, Output, Param, Stmt, Var};
+pub use kernel::{Array, ExprNode, Input, Kernel, Output, Param, Stmt, ValueSite, Var};
 pub use types::{ArrayId, BinOp, ExprId, IndexExpr, InputId, LoopId, ParamId, UnOp, VarId};

@@ -29,24 +29,30 @@ fn opts(threads: usize) -> GainOptions {
 }
 
 /// Asserts bitwise `(G1, G2)` equality between the batched and the
-/// reference measurement on every noise source of `kernel`.
+/// reference measurement on every noise source of `kernel`, with the
+/// cone-restricted evaluation both on and off.
 fn assert_bitwise_identical(kernel: &Kernel, label: &str, threads: usize) {
-    let o = opts(threads);
-    let batched = measure_gains(kernel, &o);
-    let reference = measure_gains_reference(kernel, &o);
-    assert_eq!(batched.len(), reference.len(), "{label}: source count");
-    for (e, (g1, g2)) in batched.iter() {
-        let (r1, r2) = reference.get(e);
-        assert_eq!(
-            g1.to_bits(),
-            r1.to_bits(),
-            "{label} threads={threads}: G1 of source {e:?} diverged ({g1} vs {r1})"
-        );
-        assert_eq!(
-            g2.to_bits(),
-            r2.to_bits(),
-            "{label} threads={threads}: G2 of source {e:?} diverged ({g2} vs {r2})"
-        );
+    for cone in [true, false] {
+        let o = GainOptions {
+            cone,
+            ..opts(threads)
+        };
+        let batched = measure_gains(kernel, &o);
+        let reference = measure_gains_reference(kernel, &o);
+        assert_eq!(batched.len(), reference.len(), "{label}: source count");
+        for (e, (g1, g2)) in batched.iter() {
+            let (r1, r2) = reference.get(e);
+            assert_eq!(
+                g1.to_bits(),
+                r1.to_bits(),
+                "{label} threads={threads} cone={cone}: G1 of source {e:?} diverged ({g1} vs {r1})"
+            );
+            assert_eq!(
+                g2.to_bits(),
+                r2.to_bits(),
+                "{label} threads={threads} cone={cone}: G2 of source {e:?} diverged ({g2} vs {r2})"
+            );
+        }
     }
 }
 
@@ -56,6 +62,76 @@ fn benchmarks_batched_gains_match_reference_bitwise() {
         // 1 pins the sharding-free path, 3 an uneven shard split.
         for threads in [1, 3] {
             assert_bitwise_identical(&bench.kernel, bench.name, threads);
+        }
+    }
+}
+
+/// Feedback kernels stress the cone path hardest: variable and array
+/// state edges keep every impulse's deviation hull alive across
+/// activations, so the hull bookkeeping (`ShiftIn` rotation, read-back
+/// of stored hulls, accumulator fusion on `acc = acc + ...`) must stay
+/// sound under infinite lifetimes. The length-1 delay line pins the
+/// `ShiftIn` edge case where rotation degenerates to a plain store.
+#[test]
+fn feedback_kernels_batched_gains_match_reference_bitwise() {
+    use slpwlo::ir::builder::KernelBuilder;
+
+    // y[n] = x[n] + a*y[n-1] via a scalar variable.
+    let mut b = KernelBuilder::new("fb_var");
+    let x = b.input("x", -1.0, 1.0);
+    let y = b.output("y");
+    let acc = b.var("acc");
+    let c = b.constf(0.5);
+    let prev = b.read_var(acc);
+    let fed = b.mul(c, prev);
+    let xv = b.read_input(x);
+    let sum = b.add(xv, fed);
+    b.assign(acc, sum);
+    let out = b.read_var(acc);
+    b.set_output(y, out);
+    let fb_var = b.finish();
+
+    // Same recurrence through a length-1 delay line.
+    let mut b = KernelBuilder::new("fb_shift1");
+    let x = b.input("x", -1.0, 1.0);
+    let y = b.output("y");
+    let d = b.array("d", 1);
+    let c = b.constf(0.5);
+    let prev = b.load(d, 0);
+    let fed = b.mul(c, prev);
+    let xv = b.read_input(x);
+    let sum = b.add(xv, fed);
+    b.shift_in(d, sum);
+    let out = b.load(d, 0);
+    b.set_output(y, out);
+    let fb_shift1 = b.finish();
+
+    // Second-order feedback through a length-2 delay line (IIR2).
+    let mut b = KernelBuilder::new("fb_iir2");
+    let x = b.input("x", -1.0, 1.0);
+    let y = b.output("y");
+    let d = b.array("d", 2);
+    let a1 = b.constf(0.4);
+    let y1 = b.load(d, 0);
+    let t1 = b.mul(a1, y1);
+    let a2 = b.constf(-0.3);
+    let y2 = b.load(d, 1);
+    let t2 = b.mul(a2, y2);
+    let fb = b.add(t1, t2);
+    let xv = b.read_input(x);
+    let sum = b.add(xv, fb);
+    b.shift_in(d, sum);
+    let out = b.load(d, 0);
+    b.set_output(y, out);
+    let fb_iir2 = b.finish();
+
+    for (k, label) in [
+        (&fb_var, "fb_var"),
+        (&fb_shift1, "fb_shift1"),
+        (&fb_iir2, "fb_iir2"),
+    ] {
+        for threads in [1, 3] {
+            assert_bitwise_identical(k, label, threads);
         }
     }
 }
